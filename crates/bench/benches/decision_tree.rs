@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the ML substrate: tree training (offline
+//! cost) and inference (the 29 predictions on WISE's critical path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wise_ml::{Dataset, DecisionTree, TreeParams};
+
+fn synthetic_dataset(n: usize, f: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..f).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .collect();
+    let labels: Vec<u32> = (0..n).map(|i| ((i * 31 + i / 13) % 7) as u32).collect();
+    Dataset::new(rows, labels, 7)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    // Shapes matching WISE: ~1500 matrices x 67 features x 7 classes.
+    let ds = synthetic_dataset(1500, 67);
+    c.bench_function("tree_fit_1500x67", |b| {
+        b.iter(|| DecisionTree::fit(&ds, TreeParams::default()))
+    });
+    let tree = DecisionTree::fit(&ds, TreeParams::default());
+    let row: Vec<f64> = ds.row(7).to_vec();
+    c.bench_function("tree_predict_single", |b| b.iter(|| tree.predict(&row)));
+    c.bench_function("tree_predict_29_models", |b| {
+        b.iter(|| {
+            // WISE runs 29 trees per matrix at selection time.
+            (0..29).map(|_| tree.predict(&row)).sum::<u32>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benchmark of WISE feature extraction — the per-matrix cost
+//! a deployed WISE pays before prediction (half of Fig. 13c's
+//! overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wise_features::{FeatureConfig, FeatureVector};
+use wise_gen::RmatParams;
+
+fn bench_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    for scale in [11u32, 13] {
+        let m = RmatParams::MED_SKEW.generate(scale, 16, 3);
+        group.throughput(Throughput::Elements(m.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("extract", format!("2^{scale}")), &m, |b, m| {
+            b.iter(|| FeatureVector::extract(m, &FeatureConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of every SpMV method (wall-clock on the
+//! host, complementing the deterministic model used by the figure
+//! harness). One group per method family; throughput in nonzeros/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wise_gen::RmatParams;
+use wise_kernels::method::MethodConfig;
+use wise_kernels::srvpack::SpmvWorkspace;
+use wise_kernels::Schedule;
+
+fn bench_methods(c: &mut Criterion) {
+    let matrices = [
+        ("HS_s13_d16", RmatParams::HIGH_SKEW.generate(13, 16, 1)),
+        ("LL_s13_d16", RmatParams::LOW_LOC.generate(13, 16, 1)),
+        ("HL_s13_d16", RmatParams::HIGH_LOC.generate(13, 16, 1)),
+    ];
+    let configs = [
+        MethodConfig::csr(Schedule::StCont),
+        MethodConfig::csr(Schedule::Dyn),
+        MethodConfig::sellpack(8, Schedule::StCont),
+        MethodConfig::sell_c_sigma(8, 4096, Schedule::StCont),
+        MethodConfig::sell_c_r(8),
+        MethodConfig::lav_1seg(8),
+        MethodConfig::lav(8, 0.8),
+    ];
+    let mut group = c.benchmark_group("spmv");
+    for (name, m) in &matrices {
+        group.throughput(Throughput::Elements(m.nnz() as u64));
+        let x = vec![1.0f64; m.ncols()];
+        let mut y = vec![0.0f64; m.nrows()];
+        for cfg in &configs {
+            let prep = cfg.prepare(m);
+            let mut ws = SpmvWorkspace::default();
+            group.bench_with_input(
+                BenchmarkId::new(cfg.label(), name),
+                &prep,
+                |b, prep| {
+                    b.iter(|| prep.spmv(&x, &mut y, 1, &mut ws));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let m = RmatParams::MED_SKEW.generate(13, 16, 2);
+    let mut group = c.benchmark_group("prepare");
+    group.throughput(Throughput::Elements(m.nnz() as u64));
+    for cfg in [
+        MethodConfig::sellpack(8, Schedule::Dyn),
+        MethodConfig::sell_c_r(8),
+        MethodConfig::lav(8, 0.8),
+    ] {
+        group.bench_function(cfg.label(), |b| b.iter(|| cfg.prepare(&m)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs every figure/table harness in sequence (labels are computed
+//! once and shared through the on-disk cache), capturing each report
+//! under the results directory.
+
+use std::process::Command;
+
+const TARGETS: [&str; 14] = [
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10",
+    "fig11", "fig12", "fig13", "ie",
+];
+
+fn main() {
+    // table4 is far more expensive (24 full CV evaluations); include it
+    // only when asked.
+    let with_table4 = std::env::args().any(|a| a == "--with-table4");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let results_dir =
+        std::env::var("WISE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    std::fs::create_dir_all(&results_dir).expect("results dir");
+
+    let mut targets: Vec<&str> = TARGETS.to_vec();
+    if with_table4 {
+        targets.push("table4");
+    }
+    for t in targets {
+        println!("\n=================== {t} ===================");
+        let out = Command::new(exe_dir.join(t)).output().unwrap_or_else(|e| {
+            panic!("failed to run {t}: {e}; build with `cargo build --release -p wise-bench --bins` first")
+        });
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        print!("{stdout}");
+        if !out.status.success() {
+            eprintln!("{stderr}");
+            panic!("{t} failed with {}", out.status);
+        }
+        std::fs::write(format!("{results_dir}/{t}.txt"), stdout.as_bytes())
+            .expect("write report");
+    }
+    println!("\nAll reports written under {results_dir}/");
+}

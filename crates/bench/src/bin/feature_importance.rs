@@ -1,0 +1,69 @@
+//! Which Table 2 features do the trained models actually use?
+//!
+//! Trains the full registry (paper hyperparameters) on the corpus and
+//! reports, per representative model and aggregated over all 29, the
+//! features with the highest importance (normalized training-error
+//! decrease). The paper's qualitative claims to check: the *skew*
+//! statistics of R/C should drive scheduling- and padding-sensitive
+//! models (CSR, SELLPACK, Sell-c-σ), while *locality* metrics should
+//! drive the LAV family.
+
+use wise_bench::*;
+use wise_core::ModelRegistry;
+use wise_features::FeatureVector;
+use wise_ml::TreeParams;
+
+fn top_features(importances: &[f64], k: usize) -> Vec<(String, f64)> {
+    let names = FeatureVector::names();
+    let mut idx: Vec<usize> = (0..importances.len()).collect();
+    idx.sort_by(|&a, &b| importances[b].total_cmp(&importances[a]));
+    idx.iter()
+        .take(k)
+        .filter(|&&i| importances[i] > 0.0)
+        .map(|&i| (names[i].clone(), importances[i]))
+        .collect()
+}
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.full_labels();
+    let registry = ModelRegistry::train(&labels, TreeParams::default());
+
+    let representative = [
+        "CSR-Dyn",
+        "SELLPACK-c8-StCont",
+        "Sell-c-s-c8-s4096-StCont",
+        "Sell-c-R-c8",
+        "LAV-1Seg-c8",
+        "LAV-c8-T80",
+    ];
+    println!("== Feature importances (trained on {} matrices) ==\n", labels.len());
+    for label in representative {
+        let i = labels.config_index(label);
+        let imp = registry.tree(i).feature_importances();
+        let top = top_features(&imp, 5);
+        println!("-- {label} --");
+        for (name, v) in top {
+            println!("   {name:<18} {:.1}%", v * 100.0);
+        }
+        println!();
+    }
+
+    // Aggregate across all 29 models.
+    let mut agg = vec![0.0f64; FeatureVector::names().len()];
+    for i in 0..labels.catalog.len() {
+        for (a, v) in agg.iter_mut().zip(registry.tree(i).feature_importances()) {
+            *a += v;
+        }
+    }
+    for v in agg.iter_mut() {
+        *v /= labels.catalog.len() as f64;
+    }
+    println!("== Aggregate over all 29 models: top 12 features ==");
+    let mut rows = Vec::new();
+    for (name, v) in top_features(&agg, 12) {
+        println!("   {name:<18} {:.1}%", v * 100.0);
+        rows.push(format!("{name},{v:.5}"));
+    }
+    ctx.write_csv("feature_importance.csv", "feature,mean_importance", &rows);
+}

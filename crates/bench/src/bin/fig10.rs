@@ -1,0 +1,68 @@
+//! Figure 10 / Section 6.2: 10-fold cross-validated confusion matrices
+//! for the five representative models (c=8; StCont for SELLPACK and
+//! Sell-c-σ, Dyn otherwise), plus accuracy for all 29 models.
+//!
+//! The paper's reading: per-model accuracy 83–92%, and ~90% of
+//! misclassifications land within one class of the truth.
+
+use wise_bench::*;
+use wise_core::evaluate::evaluate_cv;
+use wise_ml::TreeParams;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.full_labels();
+    let k = 10.min(labels.len());
+    let ev = evaluate_cv(&labels, TreeParams::default(), k, ctx.seed);
+
+    let representative = [
+        "SELLPACK-c8-StCont",
+        "Sell-c-s-c8-s4096-StCont",
+        "Sell-c-R-c8",
+        "LAV-1Seg-c8",
+        "LAV-c8-T80",
+    ];
+    println!(
+        "== Figure 10: confusion matrices, {k}-fold CV over {} matrices ==\n",
+        labels.len()
+    );
+    for label in representative {
+        let i = labels.config_index(label);
+        let cm = &ev.confusions[i];
+        println!("-- {label} --");
+        print!("{}", cm.render());
+        println!(
+            "accuracy {:.1}%  misses-within-1 {:.1}%  over/under = {:?}\n",
+            100.0 * cm.accuracy(),
+            100.0 * cm.misses_within(1),
+            cm.over_under()
+        );
+    }
+
+    println!("== Section 6.2: accuracy of all 29 models ==");
+    let mut rows = Vec::new();
+    let mut accs = Vec::new();
+    let mut within = Vec::new();
+    for (i, cfg) in labels.catalog.iter().enumerate() {
+        let cm = &ev.confusions[i];
+        accs.push(cm.accuracy());
+        within.push(cm.misses_within(1));
+        rows.push(format!(
+            "{},{:.4},{:.4}",
+            cfg.label(),
+            cm.accuracy(),
+            cm.misses_within(1)
+        ));
+        println!(
+            "{:<28} accuracy {:>5.1}%   misses within 1 class {:>5.1}%",
+            cfg.label(),
+            100.0 * cm.accuracy(),
+            100.0 * cm.misses_within(1)
+        );
+    }
+    println!("\n{}", summarize("accuracy       ", &accs));
+    println!("{}", summarize("misses-within-1", &within));
+    println!("(paper, representative models: accuracy 83-92%, within-1 on misses 89-94%)");
+
+    ctx.write_csv("fig10_accuracy.csv", "config,accuracy,misses_within_1", &rows);
+}

@@ -1,0 +1,35 @@
+//! Figure 11: distribution of the nonzeros-per-row p-ratio over the
+//! *random* (RMAT/RGG) corpus, by recipe.
+//!
+//! The paper's reading: HS/MS/LS land near 0.1/0.2/0.3 and the locality
+//! recipes near 0.4–0.5 — together covering the skew range SuiteSparse
+//! misses (contrast with Figure 7).
+
+use wise_bench::*;
+use wise_gen::Recipe;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.random_labels();
+
+    println!("== Figure 11: p-ratio of nnz/row, random corpus ({} matrices) ==\n", labels.len());
+    let mut rows = Vec::new();
+    for recipe in Recipe::ALL {
+        let ps: Vec<f64> = labels
+            .matrices
+            .iter()
+            .filter(|m| m.name.starts_with(&format!("{}_", recipe.abbrev())))
+            .map(|m| m.features.get("p_R").unwrap())
+            .collect();
+        println!("{}", summarize(&format!("{:<4}", recipe.abbrev()), &ps));
+        for p in &ps {
+            rows.push(format!("{},{p:.4}", recipe.abbrev()));
+        }
+    }
+    let all: Vec<f64> =
+        labels.matrices.iter().map(|m| m.features.get("p_R").unwrap()).collect();
+    let bins = histogram_bins(&all, 0.0, 0.5, 5);
+    println!("\n{}", render_histogram("combined", &bins));
+    println!("(paper: HS~0.1, MS~0.2, LS~0.3, LL/ML/HL/rgg~0.4-0.5)");
+    ctx.write_csv("fig11_p_ratio_random.csv", "recipe,p_ratio_rows", &rows);
+}

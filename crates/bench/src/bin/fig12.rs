@@ -1,0 +1,42 @@
+//! Figure 12: distribution of the average nonzeros per row (μR) for
+//! (a) the random corpus and (b) the suite corpus.
+//!
+//! The paper's reading: the random matrices cover a much wider μR range
+//! (up to 128), including the dense-row regime that exercises vector
+//! units; SuiteSparse mass sits at small μR.
+
+use wise_bench::*;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let random = ctx.random_labels();
+    let suite = ctx.suite_labels();
+
+    let mu = |labels: &wise_core::labels::CorpusLabels| -> Vec<f64> {
+        labels.matrices.iter().map(|m| m.features.get("mean_R").unwrap()).collect()
+    };
+    let mu_r = mu(&random);
+    let mu_s = mu(&suite);
+
+    println!(
+        "{}",
+        render_histogram(
+            &format!("Figure 12a: mean nnz/row, random corpus ({} matrices)", random.len()),
+            &histogram_bins(&mu_r, 0.0, 130.0, 13)
+        )
+    );
+    println!(
+        "{}",
+        render_histogram(
+            &format!("Figure 12b: mean nnz/row, suite corpus ({} matrices)", suite.len()),
+            &histogram_bins(&mu_s, 0.0, 130.0, 13)
+        )
+    );
+    println!("{}", summarize("random", &mu_r));
+    println!("{}", summarize("suite ", &mu_s));
+
+    let mut rows: Vec<String> =
+        mu_r.iter().map(|v| format!("random,{v:.3}")).collect();
+    rows.extend(mu_s.iter().map(|v| format!("suite,{v:.3}")));
+    ctx.write_csv("fig12_mean_nnz_per_row.csv", "corpus,mean_R", &rows);
+}

@@ -1,0 +1,78 @@
+//! Figure 13 / Section 6.3: distribution of (a) WISE's speedup over the
+//! MKL baseline, (b) the oracle's speedup, and (c) WISE's preprocessing
+//! overhead in MKL SpMV iterations. All selections are out-of-fold
+//! (10-fold CV).
+//!
+//! The paper's reading: WISE averages 2.4x vs the oracle's 2.5x, with
+//! 8.33 MKL iterations of preprocessing.
+
+use wise_bench::*;
+use wise_core::evaluate::evaluate_cv;
+use wise_ml::TreeParams;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.full_labels();
+    let k = 10.min(labels.len());
+    let ev = evaluate_cv(&labels, TreeParams::default(), k, ctx.seed);
+
+    let wise: Vec<f64> = ev.outcomes.iter().map(|o| o.wise_speedup_over_mkl()).collect();
+    let oracle: Vec<f64> = ev.outcomes.iter().map(|o| o.oracle_speedup_over_mkl()).collect();
+    let overhead: Vec<f64> = ev.outcomes.iter().map(|o| o.wise_overhead_mkl_iters()).collect();
+
+    let hi = oracle.iter().fold(1.0f64, |a, &b| a.max(b)).ceil().max(4.0);
+    println!(
+        "{}",
+        render_histogram(
+            &format!("Figure 13a: WISE speedup over MKL ({} matrices)", ev.outcomes.len()),
+            &histogram_bins(&wise, 0.0, hi, 16)
+        )
+    );
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 13b: oracle speedup over MKL",
+            &histogram_bins(&oracle, 0.0, hi, 16)
+        )
+    );
+    let oh_hi = overhead.iter().fold(1.0f64, |a, &b| a.max(b)).ceil().max(10.0);
+    println!(
+        "{}",
+        render_histogram(
+            "Figure 13c: WISE preprocessing overhead (MKL iterations)",
+            &histogram_bins(&overhead, 0.0, oh_hi, 10)
+        )
+    );
+
+    println!("{}", summarize("WISE speedup   ", &wise));
+    println!("{}", summarize("oracle speedup ", &oracle));
+    println!("{}", summarize("overhead (iters)", &overhead));
+    println!(
+        "\nmeans: WISE {:.2}x | oracle {:.2}x | overhead {:.2} MKL iters",
+        ev.mean_wise_speedup(),
+        ev.mean_oracle_speedup(),
+        ev.mean_wise_overhead_iters()
+    );
+    println!("(paper: WISE 2.4x, oracle 2.5x, overhead 8.33 iters)");
+
+    let rows: Vec<String> = ev
+        .outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{},{:.4},{:.4},{:.4},{},{}",
+                o.name,
+                o.wise_speedup_over_mkl(),
+                o.oracle_speedup_over_mkl(),
+                o.wise_overhead_mkl_iters(),
+                labels.catalog[o.wise_index].label(),
+                labels.catalog[o.oracle_index].label()
+            )
+        })
+        .collect();
+    ctx.write_csv(
+        "fig13_speedups.csv",
+        "matrix,wise_speedup,oracle_speedup,overhead_iters,wise_choice,oracle_choice",
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 2: speedup of each vectorized SpMV method and MKL over the
+//! best-scheduled CSR, per SuiteSparse(-stand-in) matrix, grouped by
+//! the matrix's fastest method.
+//!
+//! The paper's reading: every method's speedup varies widely even among
+//! matrices it wins on (e.g. SELLPACK 1.05–1.31x, Sell-c-σ 1.00–1.76x),
+//! which is why WISE predicts the *magnitude* of speedups, not just the
+//! winner.
+
+use wise_bench::*;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.suite_labels();
+
+    // Group matrices by fastest method (catalog oracle).
+    let mut rows: Vec<String> = Vec::new();
+    let mut per_winner: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+    for mi in 0..labels.len() {
+        per_winner.entry(method_name(fastest_method(&labels, mi))).or_default().push(mi);
+    }
+
+    println!("== Figure 2: vectorized-method speedup over best CSR (suite corpus, {} matrices) ==", labels.len());
+    println!("   matrices grouped by their fastest method; speedup = t_bestCSR / t_bestConfigOfMethod\n");
+
+    for (winner, group) in &per_winner {
+        println!("-- fastest method: {winner} ({} matrices) --", group.len());
+        for &method in &VECTORIZED {
+            let speedups: Vec<f64> = group
+                .iter()
+                .map(|&mi| {
+                    let best = best_index_of_method(&labels, mi, method);
+                    best_csr_seconds(&labels, mi) / labels.matrices[mi].seconds[best]
+                })
+                .collect();
+            println!("   {}", summarize(&format!("{:<10}", method_name(method)), &speedups));
+        }
+        let mkl: Vec<f64> = group
+            .iter()
+            .map(|&mi| best_csr_seconds(&labels, mi) / mkl_seconds(&labels, mi))
+            .collect();
+        println!("   {}", summarize("MKL       ", &mkl));
+    }
+
+    // Per-matrix CSV (the figure's raw points).
+    for mi in 0..labels.len() {
+        let name = &labels.matrices[mi].name;
+        let winner = method_name(fastest_method(&labels, mi));
+        let mut cells = vec![name.clone(), winner.to_string()];
+        for &method in &VECTORIZED {
+            let best = best_index_of_method(&labels, mi, method);
+            cells.push(format!(
+                "{:.4}",
+                best_csr_seconds(&labels, mi) / labels.matrices[mi].seconds[best]
+            ));
+        }
+        cells.push(format!("{:.4}", best_csr_seconds(&labels, mi) / mkl_seconds(&labels, mi)));
+        rows.push(cells.join(","));
+    }
+    ctx.write_csv(
+        "fig2_speedups.csv",
+        "matrix,fastest,SELLPACK,Sell-c-s,Sell-c-R,LAV-1Seg,LAV,MKL",
+        &rows,
+    );
+}

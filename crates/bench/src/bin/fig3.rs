@@ -1,0 +1,63 @@
+//! Figure 3: CSR with Dyn / St / StCont scheduling and MKL, normalized
+//! to the best CSR schedule per matrix (suite corpus).
+//!
+//! The paper's reading: the scheduling choice alone can cost up to 10x;
+//! Dyn wins on web/social (skewed) matrices, St/StCont on scientific
+//! ones.
+
+use wise_bench::*;
+use wise_kernels::method::MethodConfig;
+use wise_kernels::Schedule;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.suite_labels();
+
+    let idx_of = |s: Schedule| labels.config_index(&MethodConfig::csr(s).label());
+    let scheds = [
+        ("CSR-Dyn", idx_of(Schedule::Dyn)),
+        ("CSR-St", idx_of(Schedule::St)),
+        ("CSR-StCont", idx_of(Schedule::StCont)),
+    ];
+
+    println!(
+        "== Figure 3: CSR scheduling (+MKL) vs best CSR (suite corpus, {} matrices) ==\n",
+        labels.len()
+    );
+
+    let mut best_counts = [0usize; 3];
+    let mut rows = Vec::new();
+    let mut per_sched: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (mi, ml) in labels.matrices.iter().enumerate() {
+        let best = best_csr_seconds(&labels, mi);
+        let rel: Vec<f64> = scheds.iter().map(|&(_, i)| best / ml.seconds[i]).collect();
+        let winner = rel
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        best_counts[winner] += 1;
+        let mkl = best / mkl_seconds(&labels, mi);
+        for (k, &r) in rel.iter().enumerate() {
+            per_sched[k].push(r);
+        }
+        per_sched[3].push(mkl);
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            ml.name, rel[0], rel[1], rel[2], mkl
+        ));
+    }
+
+    for (k, (name, _)) in scheds.iter().enumerate() {
+        println!("{}", summarize(&format!("{name:<11}"), &per_sched[k]));
+    }
+    println!("{}", summarize("MKL        ", &per_sched[3]));
+    println!(
+        "\nfastest schedule counts: Dyn={} St={} StCont={}",
+        best_counts[0], best_counts[1], best_counts[2]
+    );
+    println!("(paper, real SuiteSparse: Dyn=28 St=16 StCont=92)");
+
+    ctx.write_csv("fig3_scheduling.csv", "matrix,dyn,st,stcont,mkl", &rows);
+}

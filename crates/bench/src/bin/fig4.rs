@@ -1,0 +1,35 @@
+//! Figure 4: distribution of the fastest SpMV method over the
+//! SuiteSparse(-stand-in) corpus.
+//!
+//! The paper's reading: Sell-c-σ wins most often (66/136), CSR second
+//! (34), MKL never — scientific corpora favor padding-minimizing
+//! methods over the LAV family.
+
+use wise_bench::*;
+use wise_kernels::Method;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.suite_labels();
+
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for m in Method::ALL {
+        counts.insert(method_name(m), 0);
+    }
+    for mi in 0..labels.len() {
+        *counts.get_mut(method_name(fastest_method(&labels, mi))).unwrap() += 1;
+    }
+    let bins: Vec<(String, usize)> =
+        counts.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    println!(
+        "{}",
+        render_histogram(
+            &format!("Figure 4: fastest method (suite corpus, {} matrices)", labels.len()),
+            &bins
+        )
+    );
+    println!("(paper, real SuiteSparse: Sell-c-s=66, CSR=34, others split the rest, MKL=0)");
+
+    let rows: Vec<String> = bins.iter().map(|(k, v)| format!("{k},{v}")).collect();
+    ctx.write_csv("fig4_fastest_method.csv", "method,count", &rows);
+}

@@ -1,0 +1,18 @@
+//! Figure 5: effect of nonzero *skew* — fastest method and its speedup
+//! over best CSR, across a (#rows x nnz/row) sweep of LowSkew and
+//! HighSkew RMAT matrices.
+//!
+//! The paper's reading: the LAV family and Sell-c-R dominate; LAV wins
+//! when the matrix outgrows the LLC and rows are dense; LAV-1Seg when a
+//! single segment suffices; Sell-c-R for small/low-skew matrices whose
+//! input vector fits in the LLC.
+
+use wise_bench::sweep::print_sweep_figure;
+
+fn main() {
+    print_sweep_figure(
+        "Figure 5",
+        &[wise_gen::Recipe::LowSkew, wise_gen::Recipe::HighSkew],
+        "fig5",
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 6: effect of nonzero *locality* — fastest method and speedup
+//! grids for LowLoc and HighLoc RMAT matrices.
+//!
+//! The paper's reading: Sell-c-σ dominates high-locality matrices
+//! (caches already work, segmentation unnecessary); for low locality
+//! with dense rows, LAV wins by manufacturing LLC locality through
+//! segmentation.
+
+use wise_bench::sweep::print_sweep_figure;
+
+fn main() {
+    print_sweep_figure(
+        "Figure 6",
+        &[wise_gen::Recipe::LowLoc, wise_gen::Recipe::HighLoc],
+        "fig6",
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 7: histogram of the nonzeros-per-row p-ratio over the
+//! SuiteSparse(-stand-in) corpus.
+//!
+//! The paper's reading: most SuiteSparse matrices sit above 0.4 —
+//! balanced row distributions — which biases the corpus toward
+//! SELLPACK/Sell-c-σ and motivates augmenting it with RMAT matrices.
+
+use wise_bench::*;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.suite_labels();
+    let p_ratios: Vec<f64> = labels
+        .matrices
+        .iter()
+        .map(|m| m.features.get("p_R").expect("p_R feature exists"))
+        .collect();
+    let bins = histogram_bins(&p_ratios, 0.0, 0.5, 5);
+    println!(
+        "{}",
+        render_histogram(
+            &format!("Figure 7: p-ratio of nnz/row, suite corpus ({} matrices)", labels.len()),
+            &bins
+        )
+    );
+    let above = p_ratios.iter().filter(|&&p| p > 0.4).count();
+    println!(
+        "matrices with p-ratio > 0.4: {above}/{} ({:.0}%) — paper: 'most'",
+        labels.len(),
+        100.0 * above as f64 / labels.len() as f64
+    );
+    let rows: Vec<String> = labels
+        .matrices
+        .iter()
+        .zip(&p_ratios)
+        .map(|(m, p)| format!("{},{p:.4}", m.name))
+        .collect();
+    ctx.write_csv("fig7_p_ratio_suite.csv", "matrix,p_ratio_rows", &rows);
+}

@@ -1,0 +1,75 @@
+//! Model-vs-measured validation: runs a probe set of `{matrix, config}`
+//! pairs through both the deterministic cost model and host wall-clock
+//! measurement, then reports the Spearman rank correlation and the
+//! calibrated absolute-scale fit.
+//!
+//! The claim being validated is the one the figures rest on: the model
+//! orders configurations the way real hardware does. (On a single-core
+//! host the parallel-scheduling terms are untested — run on a multicore
+//! machine for the full check.)
+
+use wise_gen::{suite, RmatParams};
+use wise_kernels::method::MethodConfig;
+use wise_kernels::sched::default_threads;
+use wise_kernels::Schedule;
+use wise_perf::calibrate::{calibrate_to_host, spearman};
+use wise_perf::MachineModel;
+
+fn main() {
+    let nthreads = default_threads();
+    let matrices = vec![
+        ("HS_s13_d16", RmatParams::HIGH_SKEW.generate_shuffled(13, 16, 1)),
+        ("LL_s13_d16", RmatParams::LOW_LOC.generate(13, 16, 1)),
+        ("HL_s13_d8", RmatParams::HIGH_LOC.generate(13, 8, 1)),
+        ("stencil2d_90", suite::stencil_2d(90, 90)),
+        ("banded_8k", suite::banded(8192, 16, 0.7, 3)),
+    ];
+    let configs = vec![
+        MethodConfig::csr(Schedule::StCont),
+        MethodConfig::csr(Schedule::Dyn),
+        MethodConfig::sellpack(8, Schedule::StCont),
+        MethodConfig::sell_c_sigma(8, 4096, Schedule::StCont),
+        MethodConfig::sell_c_r(8),
+        MethodConfig::lav_1seg(8),
+        MethodConfig::lav(8, 0.8),
+    ];
+    // Model the HOST, not the paper's server: same thread count.
+    let mut machine = MachineModel::scaled_for_rows(1 << 13);
+    machine.threads = nthreads;
+
+    let probes: Vec<(&wise_matrix::Csr, MethodConfig)> = matrices
+        .iter()
+        .flat_map(|(_, m)| configs.iter().map(move |c| (m, *c)))
+        .collect();
+    println!(
+        "validating the cost model against wall clock: {} probes on {} thread(s)\n",
+        probes.len(),
+        nthreads
+    );
+    let (calibrated, report) = calibrate_to_host(&machine, &probes, nthreads, 7);
+
+    let modeled: Vec<f64> = report.probes.iter().map(|&(m, _)| m).collect();
+    let measured: Vec<f64> = report.probes.iter().map(|&(_, t)| t).collect();
+    let rho = spearman(&modeled, &measured);
+
+    println!("{:<14} {:<26} {:>12} {:>12}", "matrix", "config", "modeled*a", "measured");
+    for ((mi, cfg), &(mo, me)) in matrices
+        .iter()
+        .flat_map(|(n, _)| configs.iter().map(move |c| (n, c)))
+        .zip(&report.probes)
+    {
+        println!(
+            "{:<14} {:<26} {:>11.3e}s {:>11.3e}s",
+            mi,
+            cfg.label(),
+            mo * report.alpha,
+            me
+        );
+    }
+    println!("\nSpearman rank correlation (model vs measured): {rho:.3}");
+    println!(
+        "time-scale fit alpha = {:.3e}, rms relative error after scaling = {:.2}",
+        report.alpha, report.rms_rel_error
+    );
+    println!("calibrated machine: {}", calibrated.name);
+}

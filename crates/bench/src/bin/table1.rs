@@ -1,0 +1,21 @@
+//! Table 1: the SpMV method/parameter space, as the 29 concrete
+//! configurations WISE models (Section 4.3).
+
+use wise_kernels::method::MethodConfig;
+
+fn main() {
+    let catalog = MethodConfig::catalog();
+    println!("== Table 1: SpMV methods and parameters ({} configurations) ==\n", catalog.len());
+    println!("{:<28} {:<10} {:>3} {:>7} {:>5}", "config", "method", "c", "sigma", "T");
+    for cfg in &catalog {
+        println!(
+            "{:<28} {:<10} {:>3} {:>7} {:>5}",
+            cfg.label(),
+            cfg.method.name(),
+            if cfg.c == 0 { "-".to_string() } else { cfg.c.to_string() },
+            if cfg.sigma == 0 { "-".to_string() } else { cfg.sigma.to_string() },
+            if cfg.t == 0.0 { "-".to_string() } else { format!("{:.0}%", cfg.t * 100.0) },
+        );
+    }
+    println!("\nPreprocessing-cost tie-break order (Section 4.4): CSR < SELLPACK < Sell-c-s < Sell-c-R < LAV-1Seg < LAV, smaller parameters first.");
+}

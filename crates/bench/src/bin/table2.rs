@@ -1,0 +1,33 @@
+//! Table 2: the WISE feature set (Section 4.2) — printed from the
+//! actual extractor so the table can never drift from the code.
+
+use wise_features::FeatureVector;
+
+fn main() {
+    let names = FeatureVector::names();
+    println!("== Table 2: WISE matrix features ({} total) ==\n", names.len());
+    let group = |prefix: &str| -> Vec<&String> {
+        names.iter().filter(|n| n.ends_with(prefix)).collect()
+    };
+    println!("Matrix size:      n_rows n_cols nnz");
+    for dist in ["R", "C", "T", "RB", "CB"] {
+        let stats: Vec<String> = group(&format!("_{dist}"))
+            .iter()
+            .map(|n| n.trim_end_matches(&format!("_{dist}")).to_string())
+            .collect();
+        println!("{dist:>4} distribution: {}", stats.join(" "));
+    }
+    let locality: Vec<&String> = names
+        .iter()
+        .filter(|n| {
+            n.contains("uniq") || n.contains("potReuse")
+        })
+        .collect();
+    println!("Locality layout:  {} metrics:", locality.len());
+    for chunk in locality.chunks(6) {
+        println!(
+            "                  {}",
+            chunk.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ")
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Table 3: RMAT/RGG generator parameters (Section 4.5).
+
+use wise_gen::Recipe;
+
+fn main() {
+    println!("== Table 3: parameters for the RMAT/RGG matrices ==\n");
+    println!("{:<10} {:<6} parameters", "recipe", "abbr");
+    for r in Recipe::ALL {
+        let params = match r.rmat_params() {
+            Some(p) => format!("a={} b={} c={} d={}", p.a, p.b, p.c, p.d),
+            None => "r = sqrt(degree / (#rows * pi))".to_string(),
+        };
+        println!("{:<10} {:<6} {}", format!("{r:?}"), r.abbrev(), params);
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 4 / Section 6.5: mean WISE speedup over MKL for every
+//! decision-tree (max depth D, pruning ccp_alpha) combination, 10-fold
+//! CV end to end.
+//!
+//! The paper's reading: ccp must stay below 0.05 and D at 10+; the
+//! chosen cell is D=15, ccp=0.005.
+
+use wise_bench::*;
+use wise_core::evaluate::evaluate_cv;
+use wise_ml::grid::{CCP_GRID, DEPTH_GRID};
+use wise_ml::TreeParams;
+
+fn main() {
+    let ctx = BenchContext::from_env();
+    let labels = ctx.full_labels();
+    let k = 10.min(labels.len());
+
+    println!(
+        "== Table 4: mean WISE speedup over MKL vs tree hyperparameters ({k}-fold CV, {} matrices) ==\n",
+        labels.len()
+    );
+    print!("{:>6} |", "D\\ccp");
+    for ccp in CCP_GRID {
+        print!(" {ccp:>6}");
+    }
+    println!();
+    let mut rows = Vec::new();
+    for d in DEPTH_GRID {
+        print!("{d:>6} |");
+        for ccp in CCP_GRID {
+            let params = TreeParams { max_depth: d, ccp_alpha: ccp, ..Default::default() };
+            let ev = evaluate_cv(&labels, params, k, ctx.seed);
+            let s = ev.mean_wise_speedup();
+            print!(" {s:>6.2}");
+            rows.push(format!("{d},{ccp},{s:.4}"));
+        }
+        println!();
+    }
+    println!("\n(paper: 2.21-2.41 across the grid, chosen D=15 ccp=0.005 at 2.40)");
+    ctx.write_csv("table4_hyperparams.csv", "max_depth,ccp_alpha,mean_wise_speedup", &rows);
+}

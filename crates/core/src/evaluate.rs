@@ -1,0 +1,311 @@
+//! Cross-validated end-to-end evaluation of WISE — the machinery behind
+//! the paper's Sections 6.2–6.5 (Figures 10 and 13, Table 4, and the
+//! MKL-IE comparison).
+//!
+//! Evaluation is strictly out-of-fold: every matrix's class predictions
+//! come from models trained without it (10-fold CV as in Section 5),
+//! and WISE's selection for that matrix uses only those held-out
+//! predictions.
+
+use crate::classes::{SpeedupClass, N_CLASSES};
+use crate::labels::CorpusLabels;
+use crate::registry::ModelRegistry;
+use crate::select::select_index;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wise_kernels::baseline::mkl_like_config;
+use wise_ml::grid::cross_val_confusion;
+use wise_ml::{ConfusionMatrix, TreeParams};
+
+/// Per-matrix outcome of the end-to-end evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    pub name: String,
+    /// Catalog indices of each selector's choice.
+    pub wise_index: usize,
+    pub oracle_index: usize,
+    pub ie_index: usize,
+    /// Steady-state seconds of each selection, plus references.
+    pub wise_seconds: f64,
+    pub oracle_seconds: f64,
+    pub ie_seconds: f64,
+    pub mkl_seconds: f64,
+    pub best_csr_seconds: f64,
+    /// WISE preprocessing: feature extraction + conversion of the
+    /// chosen format.
+    pub wise_preproc_seconds: f64,
+    /// IE preprocessing: every conversion + every cold trial.
+    pub ie_preproc_seconds: f64,
+}
+
+impl EvalOutcome {
+    /// Speedup of WISE's choice over the MKL baseline.
+    pub fn wise_speedup_over_mkl(&self) -> f64 {
+        self.mkl_seconds / self.wise_seconds
+    }
+
+    /// Speedup of the oracle over the MKL baseline.
+    pub fn oracle_speedup_over_mkl(&self) -> f64 {
+        self.mkl_seconds / self.oracle_seconds
+    }
+
+    /// Speedup of the inspector-executor choice over MKL.
+    pub fn ie_speedup_over_mkl(&self) -> f64 {
+        self.mkl_seconds / self.ie_seconds
+    }
+
+    /// WISE preprocessing expressed in MKL SpMV iterations (the paper's
+    /// Fig. 13c unit).
+    pub fn wise_overhead_mkl_iters(&self) -> f64 {
+        self.wise_preproc_seconds / self.mkl_seconds
+    }
+
+    /// IE preprocessing in MKL iterations.
+    pub fn ie_overhead_mkl_iters(&self) -> f64 {
+        self.ie_preproc_seconds / self.mkl_seconds
+    }
+}
+
+/// Full result of a cross-validated evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CvEvaluation {
+    /// Per-matrix outcomes, corpus order.
+    pub outcomes: Vec<EvalOutcome>,
+    /// Combined 10-fold confusion matrix per catalog configuration.
+    pub confusions: Vec<ConfusionMatrix>,
+    /// Out-of-fold predicted class per matrix (outer) per configuration
+    /// (inner, catalog order).
+    pub predictions: Vec<Vec<SpeedupClass>>,
+}
+
+impl CvEvaluation {
+    /// Arithmetic mean of WISE's speedup over MKL (the paper's headline
+    /// 2.4x).
+    pub fn mean_wise_speedup(&self) -> f64 {
+        mean(self.outcomes.iter().map(|o| o.wise_speedup_over_mkl()))
+    }
+
+    /// Mean oracle speedup over MKL (the paper's 2.5x ceiling).
+    pub fn mean_oracle_speedup(&self) -> f64 {
+        mean(self.outcomes.iter().map(|o| o.oracle_speedup_over_mkl()))
+    }
+
+    /// Mean IE speedup over MKL (the paper measures 2.11x).
+    pub fn mean_ie_speedup(&self) -> f64 {
+        mean(self.outcomes.iter().map(|o| o.ie_speedup_over_mkl()))
+    }
+
+    /// Mean WISE preprocessing overhead in MKL iterations (paper: 8.33).
+    pub fn mean_wise_overhead_iters(&self) -> f64 {
+        mean(self.outcomes.iter().map(|o| o.wise_overhead_mkl_iters()))
+    }
+
+    /// Mean IE preprocessing overhead in MKL iterations (paper: 17.43).
+    pub fn mean_ie_overhead_iters(&self) -> f64 {
+        mean(self.outcomes.iter().map(|o| o.ie_overhead_mkl_iters()))
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let mut n = 0usize;
+    let mut acc = 0.0;
+    for v in it {
+        acc += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Runs the full cross-validated evaluation on a labeled corpus.
+pub fn evaluate_cv(
+    labels: &CorpusLabels,
+    tree_params: TreeParams,
+    k: usize,
+    seed: u64,
+) -> CvEvaluation {
+    assert!(labels.len() >= k, "need at least k matrices for k-fold CV");
+    let n_cfg = labels.catalog.len();
+
+    // Out-of-fold predictions + confusion per configuration.
+    let per_cfg: Vec<(Vec<(u32, u32)>, ConfusionMatrix)> = (0..n_cfg)
+        .into_par_iter()
+        .map(|cfg_idx| {
+            let ds = ModelRegistry::dataset_for(labels, cfg_idx);
+            cross_val_confusion(&ds, tree_params, k, seed)
+        })
+        .collect();
+    let confusions: Vec<ConfusionMatrix> = per_cfg.iter().map(|(_, c)| c.clone()).collect();
+
+    // Transpose to per-matrix prediction vectors.
+    let predictions: Vec<Vec<SpeedupClass>> = (0..labels.len())
+        .map(|mi| {
+            (0..n_cfg)
+                .map(|ci| SpeedupClass::from_index(per_cfg[ci].0[mi].1))
+                .collect()
+        })
+        .collect();
+
+    let mkl_index = labels.config_index(&mkl_like_config().label());
+    let outcomes = labels
+        .matrices
+        .iter()
+        .zip(&predictions)
+        .map(|(ml, preds)| {
+            let wise_index = select_index(&labels.catalog, preds);
+            let oracle_index = ml.oracle_index();
+            // IE picks by its cold trials, then runs steady state.
+            let ie_index = ml
+                .cold_seconds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty catalog");
+            let ie_preproc_seconds = ml.preprocessing_seconds.iter().sum::<f64>()
+                + ml.cold_seconds.iter().sum::<f64>();
+            EvalOutcome {
+                name: ml.name.clone(),
+                wise_index,
+                oracle_index,
+                ie_index,
+                wise_seconds: ml.seconds[wise_index],
+                oracle_seconds: ml.seconds[oracle_index],
+                ie_seconds: ml.seconds[ie_index],
+                mkl_seconds: ml.seconds[mkl_index],
+                best_csr_seconds: ml.best_csr_seconds,
+                wise_preproc_seconds: ml.feature_extraction_seconds
+                    + ml.preprocessing_seconds[wise_index],
+                ie_preproc_seconds,
+            }
+        })
+        .collect();
+
+    CvEvaluation { outcomes, confusions, predictions }
+}
+
+/// Sanity helper used by tests and the Table 4 harness: the evaluation
+/// run with every class predicted perfectly (upper bound on what the
+/// trees can deliver).
+pub fn evaluate_with_perfect_predictions(labels: &CorpusLabels) -> CvEvaluation {
+    let predictions: Vec<Vec<SpeedupClass>> =
+        labels.matrices.iter().map(|m| m.classes.clone()).collect();
+    let confusions = (0..labels.catalog.len())
+        .map(|ci| {
+            ConfusionMatrix::from_pairs(
+                N_CLASSES,
+                labels.matrices.iter().map(|m| {
+                    let c = m.classes[ci].index();
+                    (c, c)
+                }),
+            )
+        })
+        .collect();
+    let mkl_index = labels.config_index(&mkl_like_config().label());
+    let outcomes = labels
+        .matrices
+        .iter()
+        .zip(&predictions)
+        .map(|(ml, preds)| {
+            let wise_index = select_index(&labels.catalog, preds);
+            let oracle_index = ml.oracle_index();
+            let ie_index = oracle_index; // irrelevant for this helper
+            EvalOutcome {
+                name: ml.name.clone(),
+                wise_index,
+                oracle_index,
+                ie_index,
+                wise_seconds: ml.seconds[wise_index],
+                oracle_seconds: ml.seconds[oracle_index],
+                ie_seconds: ml.seconds[ie_index],
+                mkl_seconds: ml.seconds[mkl_index],
+                best_csr_seconds: ml.best_csr_seconds,
+                wise_preproc_seconds: ml.feature_extraction_seconds
+                    + ml.preprocessing_seconds[wise_index],
+                ie_preproc_seconds: 0.0,
+            }
+        })
+        .collect();
+    CvEvaluation { outcomes, confusions, predictions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::label_corpus;
+    use wise_features::FeatureConfig;
+    use wise_gen::{Corpus, CorpusScale};
+    use wise_perf::Estimator;
+
+    fn labeled() -> CorpusLabels {
+        let corpus = Corpus::full(&CorpusScale::tiny(), 21);
+        label_corpus(&corpus, &Estimator::model_for_rows(1 << 10), &FeatureConfig::default())
+    }
+
+    #[test]
+    fn cv_evaluation_is_complete() {
+        let labels = labeled();
+        let ev = evaluate_cv(&labels, TreeParams::default(), 5, 3);
+        assert_eq!(ev.outcomes.len(), labels.len());
+        assert_eq!(ev.confusions.len(), 29);
+        for c in &ev.confusions {
+            assert_eq!(c.total(), labels.len() as u64);
+        }
+        for o in &ev.outcomes {
+            assert!(o.wise_seconds > 0.0);
+            assert!(o.oracle_seconds <= o.wise_seconds + 1e-15);
+            assert!(o.oracle_seconds <= o.mkl_seconds + 1e-15);
+        }
+    }
+
+    #[test]
+    fn oracle_dominates_wise_and_ie() {
+        let labels = labeled();
+        let ev = evaluate_cv(&labels, TreeParams::default(), 5, 3);
+        assert!(ev.mean_oracle_speedup() >= ev.mean_wise_speedup() - 1e-12);
+        assert!(ev.mean_oracle_speedup() >= ev.mean_ie_speedup() - 1e-12);
+        assert!(ev.mean_oracle_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn ie_overhead_exceeds_wise_overhead() {
+        // The paper's core efficiency claim: trial-everything costs far
+        // more preprocessing than predict-then-convert.
+        let labels = labeled();
+        let ev = evaluate_cv(&labels, TreeParams::default(), 5, 3);
+        assert!(
+            ev.mean_ie_overhead_iters() > ev.mean_wise_overhead_iters(),
+            "IE {} vs WISE {}",
+            ev.mean_ie_overhead_iters(),
+            ev.mean_wise_overhead_iters()
+        );
+    }
+
+    #[test]
+    fn perfect_predictions_upper_bound_cv() {
+        let labels = labeled();
+        let perfect = evaluate_with_perfect_predictions(&labels);
+        let cv = evaluate_cv(&labels, TreeParams::default(), 5, 3);
+        // Perfect class knowledge can't be slower on average than CV
+        // predictions under the same selection rule... modulo the
+        // coarseness of classes; allow small slack.
+        assert!(perfect.mean_wise_speedup() >= cv.mean_wise_speedup() * 0.95);
+        // And every confusion matrix is diagonal.
+        for c in &perfect.confusions {
+            assert_eq!(c.accuracy(), 1.0);
+        }
+    }
+
+    #[test]
+    fn accuracy_is_reasonable_on_tiny_corpus() {
+        let labels = labeled();
+        let ev = evaluate_cv(&labels, TreeParams::default(), 5, 3);
+        let mean_acc: f64 =
+            ev.confusions.iter().map(|c| c.accuracy()).sum::<f64>() / ev.confusions.len() as f64;
+        // Tiny corpus: demand only "clearly better than chance" (1/7).
+        assert!(mean_acc > 0.4, "mean accuracy {mean_acc}");
+    }
+}

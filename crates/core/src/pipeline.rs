@@ -1,0 +1,265 @@
+//! The end-to-end WISE pipeline (paper Figure 8): feature extraction →
+//! per-configuration class prediction → method selection → format
+//! conversion → SpMV.
+
+use crate::classes::SpeedupClass;
+use crate::labels::{label_corpus, CorpusLabels};
+use crate::registry::ModelRegistry;
+use crate::select::select_index;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use wise_features::{FeatureConfig, FeatureVector};
+use wise_gen::{Corpus, CorpusScale};
+use wise_kernels::method::{MethodConfig, Prepared};
+use wise_kernels::srvpack::SpmvWorkspace;
+use wise_matrix::Csr;
+use wise_ml::TreeParams;
+use wise_perf::Estimator;
+
+/// Everything needed to train a WISE instance.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Label backend (machine model or wall clock).
+    pub estimator: Estimator,
+    pub feature_config: FeatureConfig,
+    pub tree_params: TreeParams,
+}
+
+impl TrainOptions {
+    /// Defaults for a corpus scale: the machine model scaled to the
+    /// corpus' largest matrices (respecting `WISE_MEASURED`), paper
+    /// tree hyperparameters.
+    pub fn for_scale(scale: &CorpusScale) -> TrainOptions {
+        let max_rows = 1usize << scale.row_scales.iter().copied().max().unwrap_or(16);
+        TrainOptions {
+            estimator: Estimator::from_env(max_rows),
+            feature_config: FeatureConfig::default(),
+            tree_params: TreeParams::default(),
+        }
+    }
+}
+
+/// The outcome of WISE's selection step for one matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Choice {
+    /// The selected configuration.
+    pub config: MethodConfig,
+    /// Catalog index of the selection.
+    pub index: usize,
+    /// Predicted class per catalog configuration.
+    pub predictions: Vec<SpeedupClass>,
+    /// Features extracted for the prediction.
+    pub features: FeatureVector,
+}
+
+/// A trained WISE instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Wise {
+    registry: ModelRegistry,
+    feature_config: FeatureConfig,
+}
+
+impl Wise {
+    /// Labels `corpus` with `opts.estimator`, then trains the 29
+    /// models. For custom workflows (e.g. reusing labels), see
+    /// [`Wise::from_labels`].
+    pub fn train(corpus: &Corpus, opts: &TrainOptions) -> Wise {
+        let labels = label_corpus(corpus, &opts.estimator, &opts.feature_config);
+        Self::from_labels(&labels, opts)
+    }
+
+    /// Trains from pre-computed labels.
+    pub fn from_labels(labels: &CorpusLabels, opts: &TrainOptions) -> Wise {
+        Wise {
+            registry: ModelRegistry::train(labels, opts.tree_params),
+            feature_config: opts.feature_config,
+        }
+    }
+
+    /// Wraps an existing registry.
+    pub fn from_registry(registry: ModelRegistry, feature_config: FeatureConfig) -> Wise {
+        Wise { registry, feature_config }
+    }
+
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    pub fn feature_config(&self) -> &FeatureConfig {
+        &self.feature_config
+    }
+
+    /// Runs steps 1–3 of Figure 8: extract features, predict classes,
+    /// select the best configuration.
+    pub fn select(&self, m: &Csr) -> Choice {
+        let features = FeatureVector::extract(m, &self.feature_config);
+        self.select_from_features(features)
+    }
+
+    /// Selection from pre-extracted features (used when the caller
+    /// already paid for extraction).
+    pub fn select_from_features(&self, features: FeatureVector) -> Choice {
+        let predictions = self.registry.predict(&features);
+        let index = select_index(self.registry.catalog(), &predictions);
+        Choice { config: self.registry.catalog()[index], index, predictions, features }
+    }
+
+    /// Amortization-aware selection: minimizes conversion cost plus
+    /// `n_iterations` predicted SpMV iterations (Section 4.1's
+    /// "including the preprocessing cost", made quantitative). Callers
+    /// running few iterations get CSR back; iterative solvers get the
+    /// fastest format.
+    pub fn select_for_iterations(
+        &self,
+        m: &Csr,
+        estimator: &wise_perf::Estimator,
+        n_iterations: u64,
+    ) -> Choice {
+        let features = FeatureVector::extract(m, &self.feature_config);
+        let predictions = self.registry.predict(&features);
+        let catalog = self.registry.catalog();
+        let preproc: Vec<f64> =
+            catalog.iter().map(|cfg| estimator.preprocessing_seconds(m, cfg)).collect();
+        let best_csr = catalog
+            .iter()
+            .filter(|c| c.method == wise_kernels::Method::Csr)
+            .map(|cfg| estimator.spmv_seconds(m, cfg))
+            .fold(f64::MAX, f64::min);
+        let index = crate::select::select_index_amortized(
+            catalog,
+            &predictions,
+            &preproc,
+            best_csr,
+            n_iterations,
+        );
+        Choice { config: catalog[index], index, predictions, features }
+    }
+
+    /// Steps 4–5 of Figure 8: converts `m` to the chosen format and
+    /// returns the executable kernel (callers keep it for iterative
+    /// SpMV).
+    pub fn prepare<'m>(&self, m: &'m Csr, choice: &Choice) -> Prepared<'m> {
+        choice.config.prepare(m)
+    }
+
+    /// One-shot convenience: prepare and execute a single `y = A x`.
+    pub fn run_spmv(&self, m: &Csr, choice: &Choice, x: &[f64], y: &mut [f64], nthreads: usize) {
+        let prepared = self.prepare(m, choice);
+        let mut ws = SpmvWorkspace::default();
+        prepared.spmv(x, y, nthreads, &mut ws);
+    }
+
+    /// Persists the trained instance as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("wise serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Loads an instance saved by [`Self::save`].
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Wise> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained() -> (Wise, CorpusScale) {
+        let scale = CorpusScale::tiny();
+        let corpus = Corpus::random(&scale, 11);
+        let wise = Wise::train(&corpus, &TrainOptions::for_scale(&scale));
+        (wise, scale)
+    }
+
+    #[test]
+    fn select_produces_catalog_config() {
+        let (wise, _) = trained();
+        let m = wise_gen::RmatParams::HIGH_SKEW.generate(9, 16, 77);
+        let choice = wise.select(&m);
+        assert_eq!(choice.predictions.len(), 29);
+        assert_eq!(wise.registry().catalog()[choice.index].label(), choice.config.label());
+    }
+
+    #[test]
+    fn run_spmv_is_correct() {
+        let (wise, _) = trained();
+        let m = wise_gen::RmatParams::MED_LOC.generate(9, 8, 13);
+        let choice = wise.select(&m);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..m.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; m.nrows()];
+        wise.run_spmv(&m, &choice, &x, &mut y, 2);
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x, &mut want);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (wise, _) = trained();
+        let path = std::env::temp_dir().join("wise_pipeline_test.json");
+        wise.save(&path).unwrap();
+        let back = Wise::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let m = wise_gen::RmatParams::LOW_LOC.generate(8, 4, 5);
+        assert_eq!(wise.select(&m).config.label(), back.select(&m).config.label());
+    }
+
+    #[test]
+    fn prepared_is_reusable_for_iterations() {
+        let (wise, _) = trained();
+        let m = wise_gen::RmatParams::LOW_SKEW.generate(8, 8, 2);
+        let choice = wise.select(&m);
+        let prep = wise.prepare(&m, &choice);
+        let mut ws = SpmvWorkspace::default();
+        let mut x = vec![1.0; m.ncols()];
+        let mut y = vec![0.0; m.nrows()];
+        // Three power iterations; just has to stay finite and correct
+        // shape-wise.
+        for _ in 0..3 {
+            prep.spmv(&x, &mut y, 1, &mut ws);
+            let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            for (xi, yi) in x.iter_mut().zip(&y) {
+                *xi = yi / norm;
+            }
+        }
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[cfg(test)]
+mod amortized_pipeline_tests {
+    use super::*;
+    use wise_perf::Estimator;
+
+    #[test]
+    fn few_iterations_select_a_cheaper_format_than_many() {
+        let scale = CorpusScale::tiny();
+        let corpus = Corpus::random(&scale, 11);
+        let opts = TrainOptions {
+            estimator: Estimator::model_for_rows(1 << 10),
+            feature_config: FeatureConfig::default(),
+            tree_params: Default::default(),
+        };
+        let wise = Wise::train(&corpus, &opts);
+        let m = wise_gen::RmatParams::HIGH_SKEW.generate_shuffled(10, 16, 313);
+        let one = wise.select_for_iterations(&m, &opts.estimator, 1);
+        let many = wise.select_for_iterations(&m, &opts.estimator, 1_000_000);
+        // One iteration can never justify conversion: CSR family.
+        assert_eq!(one.config.method, wise_kernels::Method::Csr, "{}", one.config.label());
+        // The asymptotic choice matches the plain (pure-speed) selection
+        // tier.
+        let plain = wise.select(&m);
+        assert_eq!(
+            many.predictions[many.index], plain.predictions[plain.index],
+            "many-iteration choice should reach the plain selection tier"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The 29-model registry: one decision tree per catalog configuration
+//! (paper Section 4.3), with JSON persistence.
+
+use crate::classes::{SpeedupClass, N_CLASSES};
+use crate::labels::CorpusLabels;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use wise_features::FeatureVector;
+use wise_kernels::method::MethodConfig;
+use wise_ml::{Dataset, DecisionTree, TreeParams};
+
+/// The trained per-configuration performance models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRegistry {
+    catalog: Vec<MethodConfig>,
+    /// One tree per catalog entry, same order.
+    trees: Vec<DecisionTree>,
+    params: TreeParams,
+}
+
+impl ModelRegistry {
+    /// Trains every model on the labeled corpus.
+    pub fn train(labels: &CorpusLabels, params: TreeParams) -> ModelRegistry {
+        assert!(!labels.is_empty(), "cannot train on an empty corpus");
+        let rows: Vec<Vec<f64>> =
+            labels.matrices.iter().map(|m| m.features.values().to_vec()).collect();
+        let trees: Vec<DecisionTree> = (0..labels.catalog.len())
+            .into_par_iter()
+            .map(|cfg_idx| {
+                let y: Vec<u32> =
+                    labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
+                let ds = Dataset::new(rows.clone(), y, N_CLASSES);
+                DecisionTree::fit(&ds, params)
+            })
+            .collect();
+        ModelRegistry { catalog: labels.catalog.clone(), trees, params }
+    }
+
+    /// Builds the per-configuration training dataset (exposed for
+    /// cross-validation in the evaluation harness).
+    pub fn dataset_for(labels: &CorpusLabels, cfg_idx: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            labels.matrices.iter().map(|m| m.features.values().to_vec()).collect();
+        let y: Vec<u32> = labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
+        Dataset::new(rows, y, N_CLASSES)
+    }
+
+    pub fn catalog(&self) -> &[MethodConfig] {
+        &self.catalog
+    }
+
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    pub fn tree(&self, cfg_idx: usize) -> &DecisionTree {
+        &self.trees[cfg_idx]
+    }
+
+    /// Predicts the speedup class of every configuration for a feature
+    /// vector, in catalog order.
+    pub fn predict(&self, features: &FeatureVector) -> Vec<SpeedupClass> {
+        self.trees
+            .iter()
+            .map(|t| SpeedupClass::from_index(t.predict(features.values())))
+            .collect()
+    }
+
+    /// Serializes to pretty JSON at `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("registry serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Loads a registry saved by [`Self::save`].
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<ModelRegistry> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::label_corpus;
+    use wise_features::FeatureConfig;
+    use wise_gen::{Corpus, CorpusScale};
+    use wise_perf::Estimator;
+
+    fn labeled() -> CorpusLabels {
+        let corpus = Corpus::random(&CorpusScale::tiny(), 4);
+        label_corpus(&corpus, &Estimator::model_for_rows(1 << 10), &FeatureConfig::default())
+    }
+
+    #[test]
+    fn train_and_predict_shapes() {
+        let labels = labeled();
+        let reg = ModelRegistry::train(&labels, TreeParams::default());
+        assert_eq!(reg.catalog().len(), 29);
+        let preds = reg.predict(&labels.matrices[0].features);
+        assert_eq!(preds.len(), 29);
+    }
+
+    #[test]
+    fn training_fit_is_strong_on_train_set() {
+        // With unpruned deep trees, training accuracy should be very
+        // high (features nearly identify each matrix).
+        let labels = labeled();
+        let params = TreeParams { max_depth: 30, ccp_alpha: 0.0, ..Default::default() };
+        let reg = ModelRegistry::train(&labels, params);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for m in &labels.matrices {
+            let preds = reg.predict(&m.features);
+            for (p, t) in preds.iter().zip(&m.classes) {
+                total += 1;
+                if p == t {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let labels = labeled();
+        let reg = ModelRegistry::train(&labels, TreeParams::default());
+        let path = std::env::temp_dir().join("wise_registry_test.json");
+        reg.save(&path).unwrap();
+        let back = ModelRegistry::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        for m in &labels.matrices {
+            assert_eq!(reg.predict(&m.features), back.predict(&m.features));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_corpus_rejected() {
+        let empty = CorpusLabels { catalog: MethodConfig::catalog(), matrices: vec![] };
+        ModelRegistry::train(&empty, TreeParams::default());
+    }
+}

@@ -1,0 +1,26 @@
+//! Sparse-matrix feature extraction for WISE (paper Section 4.2,
+//! Table 2).
+//!
+//! WISE characterizes a matrix by summary statistics over five nonzero
+//! distributions — rows (R), columns (C), 2D tiles (T), row blocks
+//! (RB), and column blocks (CB) — plus within-tile layout metrics
+//! (unique rows/columns, cache-line-grouped uniques, and cross-tile
+//! reuse potential). These are *method-oblivious*: none of them
+//! references a particular SpMV format, which is what lets WISE add new
+//! methods without re-designing features.
+//!
+//! * [`stats`] — mean/σ/σ²/min/max/Gini/p-ratio/ne over a distribution;
+//! * [`tiling`] — the K×K logical tile grid and T/RB/CB distributions;
+//! * [`locality`] — uniqR/uniqC, GrX_* grouped uniques, potReuse*;
+//! * [`FeatureVector`] — the assembled, fixed-order feature vector fed
+//!   to the decision trees.
+
+pub mod locality;
+pub mod stats;
+pub mod tiling;
+
+mod vector;
+
+pub use stats::SummaryStats;
+pub use tiling::TileGrid;
+pub use vector::{FeatureConfig, FeatureVector};

@@ -1,0 +1,287 @@
+//! Summary statistics over nonzero-count distributions.
+//!
+//! For every distribution (nonzeros per row, per column, per tile, per
+//! row block, per column block) the paper records: mean, standard
+//! deviation, variance, min, max, Gini coefficient, p-ratio, and the
+//! number of non-empty buckets (Section 4.2).
+//!
+//! * **Gini** ∈ [0, 1): 0 for a perfectly balanced distribution, →1
+//!   when all mass sits in one bucket.
+//! * **p-ratio** ∈ (0, 0.5]: the `p` such that the most-loaded `p`
+//!   fraction of buckets holds a `(1-p)` fraction of the mass; 0.5 for
+//!   balanced, →0 for maximally skewed (Kunegis & Preusse, WebSci'12).
+
+use serde::{Deserialize, Serialize};
+
+/// The eight per-distribution statistics of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    pub mean: f64,
+    pub std: f64,
+    pub var: f64,
+    pub gini: f64,
+    pub p_ratio: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Number of buckets holding at least one nonzero.
+    pub ne: f64,
+}
+
+impl SummaryStats {
+    /// Statistics of a dense distribution (every bucket materialized).
+    pub fn from_counts(counts: &[usize]) -> SummaryStats {
+        let mut sorted: Vec<usize> = counts.iter().copied().filter(|&v| v > 0).collect();
+        sorted.sort_unstable();
+        let has_empty_bucket = sorted.len() < counts.len();
+        Self::from_sorted_nonzero(&sorted, counts.len(), has_empty_bucket)
+    }
+
+    /// Statistics of a sparsely-stored distribution: `nonzero` holds
+    /// only the non-empty bucket values; `total_buckets` includes the
+    /// implicit zeros (used for the T distribution, where K² buckets
+    /// would be too many to materialize).
+    pub fn from_sparse(nonzero: &[usize], total_buckets: usize) -> SummaryStats {
+        assert!(
+            nonzero.len() <= total_buckets,
+            "more non-empty buckets ({}) than buckets ({})",
+            nonzero.len(),
+            total_buckets
+        );
+        let mut sorted: Vec<usize> = nonzero.iter().copied().filter(|&v| v > 0).collect();
+        sorted.sort_unstable();
+        let has_empty = sorted.len() < total_buckets;
+        Self::from_sorted_nonzero(&sorted, total_buckets, has_empty)
+    }
+
+    /// Core computation over ascending-sorted non-empty values plus an
+    /// implicit block of zero buckets.
+    fn from_sorted_nonzero(sorted: &[usize], n_buckets: usize, has_empty: bool) -> SummaryStats {
+        if n_buckets == 0 {
+            return SummaryStats {
+                mean: 0.0,
+                std: 0.0,
+                var: 0.0,
+                gini: 0.0,
+                p_ratio: 0.5,
+                min: 0.0,
+                max: 0.0,
+                ne: 0.0,
+            };
+        }
+        let n = n_buckets as f64;
+        let total: usize = sorted.iter().sum();
+        let mean = total as f64 / n;
+        let sum_sq: f64 = sorted.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        // var = E[x^2] - mean^2 (zeros contribute 0 to sum_sq).
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        let std = var.sqrt();
+        let min = if has_empty { 0.0 } else { sorted.first().copied().unwrap_or(0) as f64 };
+        let max = sorted.last().copied().unwrap_or(0) as f64;
+        let ne = sorted.len() as f64;
+
+        // Gini over all buckets: zeros occupy ranks 1..z with value 0,
+        // contributing nothing to the weighted sum but inflating n.
+        // G = (2 * sum_i i*v_(i)) / (n * total) - (n + 1) / n, ascending.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let z = n_buckets - sorted.len(); // zero buckets, lowest ranks
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (z + i + 1) as f64 * v as f64)
+                .sum();
+            (2.0 * weighted / (n * total as f64) - (n + 1.0) / n).clamp(0.0, 1.0)
+        };
+
+        // p-ratio: walk buckets in descending order; report the first
+        // point where the cumulative mass fraction reaches 1 - k/n.
+        let p_ratio = if total == 0 {
+            0.5
+        } else {
+            let mut cum = 0usize;
+            let mut p = 0.5;
+            let mut found = false;
+            for (k, &v) in sorted.iter().rev().enumerate() {
+                cum += v;
+                let frac_buckets = (k + 1) as f64 / n;
+                let frac_mass = cum as f64 / total as f64;
+                if frac_mass >= 1.0 - frac_buckets {
+                    p = frac_buckets.min(0.5);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                // All non-empty buckets exhausted without crossing:
+                // remaining buckets are zeros, so the crossing is where
+                // frac_mass (=1) meets 1 - k/n — i.e. at ne/n.
+                p = (sorted.len() as f64 / n).min(0.5)
+            }
+            p
+        };
+
+        SummaryStats { mean, std, var, gini, p_ratio, min, max, ne }
+    }
+
+    /// The statistics as `(name_suffix, value)` pairs, in Table 2 order.
+    pub fn named(&self, dist: &str) -> Vec<(String, f64)> {
+        vec![
+            (format!("mean_{dist}"), self.mean),
+            (format!("std_{dist}"), self.std),
+            (format!("var_{dist}"), self.var),
+            (format!("gini_{dist}"), self.gini),
+            (format!("p_{dist}"), self.p_ratio),
+            (format!("min_{dist}"), self.min),
+            (format!("max_{dist}"), self.max),
+            (format!("ne_{dist}"), self.ne),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_is_balanced() {
+        let s = SummaryStats::from_counts(&[5; 100]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.var, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.ne, 100.0);
+        assert!(s.gini.abs() < 1e-9, "gini={}", s.gini);
+        assert!((s.p_ratio - 0.5).abs() < 0.02, "p={}", s.p_ratio);
+    }
+
+    #[test]
+    fn single_loaded_bucket_is_maximally_skewed() {
+        let mut counts = vec![0usize; 1000];
+        counts[17] = 5000;
+        let s = SummaryStats::from_counts(&counts);
+        assert!(s.gini > 0.99, "gini={}", s.gini);
+        assert!(s.p_ratio <= 0.002, "p={}", s.p_ratio);
+        assert_eq!(s.ne, 1.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 5000.0);
+    }
+
+    #[test]
+    fn mean_var_match_manual() {
+        let s = SummaryStats::from_counts(&[1, 2, 3, 4]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.var - 1.25).abs() < 1e-12);
+        assert!((s.std - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn gini_of_known_distribution() {
+        // Values 1,1,2,4: G = sum_i sum_j |xi-xj| / (2 n^2 mean).
+        // pairwise abs diffs (ordered pairs): computed = 14 * 2? Let's
+        // use the textbook value: mean=2, n=4.
+        // sum_{i,j} |xi - xj| with (1,1,2,4): pairs (1,1):0 (1,2):1
+        // (1,4):3 (1,2):1 (1,4):3 (2,4):2 -> unordered sum 10, ordered 20.
+        // G = 20 / (2 * 16 * 2) = 0.3125.
+        let s = SummaryStats::from_counts(&[1, 1, 2, 4]);
+        assert!((s.gini - 0.3125).abs() < 1e-9, "gini={}", s.gini);
+    }
+
+    #[test]
+    fn empty_and_all_zero_distributions() {
+        let e = SummaryStats::from_counts(&[]);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e.p_ratio, 0.5);
+        let z = SummaryStats::from_counts(&[0, 0, 0]);
+        assert_eq!(z.gini, 0.0);
+        assert_eq!(z.ne, 0.0);
+        assert_eq!(z.max, 0.0);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let dense = [0usize, 3, 0, 0, 7, 1, 0, 2];
+        let a = SummaryStats::from_counts(&dense);
+        let b = SummaryStats::from_sparse(&[3, 7, 1, 2], dense.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more non-empty buckets")]
+    fn sparse_rejects_overflow() {
+        SummaryStats::from_sparse(&[1, 2, 3], 2);
+    }
+
+    #[test]
+    fn p_ratio_power_law_is_low() {
+        // Zipf-ish distribution: bucket k has floor(1000/k) items.
+        let counts: Vec<usize> = (1..=1000usize).map(|k| 1000 / k).collect();
+        let s = SummaryStats::from_counts(&counts);
+        assert!(s.p_ratio < 0.2, "p={}", s.p_ratio);
+        assert!(s.gini > 0.6, "gini={}", s.gini);
+    }
+
+    #[test]
+    fn named_order_and_count() {
+        let s = SummaryStats::from_counts(&[1, 2]);
+        let named = s.named("R");
+        assert_eq!(named.len(), 8);
+        assert_eq!(named[0].0, "mean_R");
+        assert_eq!(named[7].0, "ne_R");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Gini in [0,1), p-ratio in (0, 0.5], std^2 == var, min <= mean
+        /// <= max, ne counts non-empty buckets.
+        #[test]
+        fn invariants_hold(counts in proptest::collection::vec(0usize..1000, 1..200)) {
+            let s = SummaryStats::from_counts(&counts);
+            prop_assert!((0.0..1.0).contains(&s.gini), "gini {}", s.gini);
+            prop_assert!(s.p_ratio > 0.0 && s.p_ratio <= 0.5, "p {}", s.p_ratio);
+            prop_assert!((s.std * s.std - s.var).abs() < 1e-9 * (1.0 + s.var));
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            let ne = counts.iter().filter(|&&c| c > 0).count() as f64;
+            prop_assert_eq!(s.ne, ne);
+        }
+
+        /// Gini matches the O(n^2) mean-absolute-difference definition.
+        #[test]
+        fn gini_matches_pairwise_definition(
+            counts in proptest::collection::vec(0usize..50, 2..40)
+        ) {
+            let s = SummaryStats::from_counts(&counts);
+            let n = counts.len() as f64;
+            let total: usize = counts.iter().sum();
+            if total > 0 {
+                let mut diff = 0.0;
+                for &a in &counts {
+                    for &b in &counts {
+                        diff += (a as f64 - b as f64).abs();
+                    }
+                }
+                let want = diff / (2.0 * n * n * (total as f64 / n));
+                prop_assert!((s.gini - want).abs() < 1e-9, "{} vs {}", s.gini, want);
+            } else {
+                prop_assert_eq!(s.gini, 0.0);
+            }
+        }
+
+        /// Sparse and dense constructions always agree.
+        #[test]
+        fn sparse_equals_dense(counts in proptest::collection::vec(0usize..100, 1..100)) {
+            let dense = SummaryStats::from_counts(&counts);
+            let nonzero: Vec<usize> = counts.iter().copied().filter(|&v| v > 0).collect();
+            let sparse = SummaryStats::from_sparse(&nonzero, counts.len());
+            prop_assert_eq!(dense, sparse);
+        }
+    }
+}

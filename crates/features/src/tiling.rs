@@ -1,0 +1,162 @@
+//! The logical K×K tile grid (paper Section 4.2, Figure 9).
+//!
+//! The matrix is broken into `K²` tiles of `⌈nR/K⌉ × ⌈nC/K⌉` elements.
+//! Rows of tiles are *row blocks* (RB), columns of tiles are *column
+//! blocks* (CB). The paper picks K = 2048 for 2^20–2^26-row matrices;
+//! [`TileGrid::new`] clamps K to the matrix dimensions so the same
+//! definitions remain meaningful for the quick-scale corpora.
+
+use wise_matrix::Csr;
+
+/// Tile-grid geometry plus the T/RB/CB nonzero distributions.
+#[derive(Debug, Clone)]
+pub struct TileGrid {
+    /// Grid dimension actually used (after clamping to the matrix).
+    k: usize,
+    /// Rows per tile.
+    tile_h: usize,
+    /// Columns per tile.
+    tile_w: usize,
+    /// Nonzero count of each *non-empty* tile (unordered).
+    tile_counts: Vec<usize>,
+    /// Nonzeros per row block (dense, length k).
+    row_block_counts: Vec<usize>,
+    /// Nonzeros per column block (dense, length k).
+    col_block_counts: Vec<usize>,
+}
+
+impl TileGrid {
+    /// Builds the grid with dimension `min(k_max, nrows, ncols)` (at
+    /// least 1) and computes all three block distributions in
+    /// O(nnz log nnz).
+    pub fn new(m: &Csr, k_max: usize) -> TileGrid {
+        let k = k_max.min(m.nrows().max(1)).min(m.ncols().max(1)).max(1);
+        let tile_h = m.nrows().div_ceil(k).max(1);
+        let tile_w = m.ncols().div_ceil(k).max(1);
+
+        let mut row_block_counts = vec![0usize; k];
+        let mut col_block_counts = vec![0usize; k];
+        // Tile ids of every nonzero; sorted to get per-tile counts.
+        let mut tile_ids: Vec<u64> = Vec::with_capacity(m.nnz());
+        for r in 0..m.nrows() {
+            let rb = r / tile_h;
+            let row_cols = m.row_cols(r);
+            row_block_counts[rb] += row_cols.len();
+            for &c in row_cols {
+                let cb = c as usize / tile_w;
+                col_block_counts[cb] += 1;
+                tile_ids.push((rb as u64) << 32 | cb as u64);
+            }
+        }
+        tile_ids.sort_unstable();
+        let mut tile_counts = Vec::new();
+        let mut i = 0;
+        while i < tile_ids.len() {
+            let id = tile_ids[i];
+            let mut j = i + 1;
+            while j < tile_ids.len() && tile_ids[j] == id {
+                j += 1;
+            }
+            tile_counts.push(j - i);
+            i = j;
+        }
+        TileGrid { k, tile_h, tile_w, tile_counts, row_block_counts, col_block_counts }
+    }
+
+    /// Grid dimension (K).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Rows per tile.
+    pub fn tile_h(&self) -> usize {
+        self.tile_h
+    }
+
+    /// Columns per tile.
+    pub fn tile_w(&self) -> usize {
+        self.tile_w
+    }
+
+    /// Total number of tile buckets (K²).
+    pub fn n_tiles(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// Nonzero counts of non-empty tiles (unordered).
+    pub fn tile_counts(&self) -> &[usize] {
+        &self.tile_counts
+    }
+
+    /// Nonzeros per row block.
+    pub fn row_block_counts(&self) -> &[usize] {
+        &self.row_block_counts
+    }
+
+    /// Nonzeros per column block.
+    pub fn col_block_counts(&self) -> &[usize] {
+        &self.col_block_counts
+    }
+
+    /// Number of non-empty tiles.
+    pub fn n_nonempty_tiles(&self) -> usize {
+        self.tile_counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wise_gen::suite;
+
+    #[test]
+    fn identity_matrix_hits_diagonal_tiles() {
+        let m = Csr::identity(16);
+        let g = TileGrid::new(&m, 4);
+        assert_eq!(g.k(), 4);
+        assert_eq!(g.tile_h(), 4);
+        assert_eq!(g.tile_w(), 4);
+        // Identity nonzeros land only in the 4 diagonal tiles, 4 each.
+        assert_eq!(g.n_nonempty_tiles(), 4);
+        assert!(g.tile_counts().iter().all(|&c| c == 4));
+        assert_eq!(g.row_block_counts(), &[4, 4, 4, 4]);
+        assert_eq!(g.col_block_counts(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn counts_sum_to_nnz() {
+        let m = suite::banded(300, 7, 0.6, 9);
+        let g = TileGrid::new(&m, 16);
+        assert_eq!(g.tile_counts().iter().sum::<usize>(), m.nnz());
+        assert_eq!(g.row_block_counts().iter().sum::<usize>(), m.nnz());
+        assert_eq!(g.col_block_counts().iter().sum::<usize>(), m.nnz());
+    }
+
+    #[test]
+    fn k_clamps_to_matrix() {
+        let m = Csr::identity(5);
+        let g = TileGrid::new(&m, 2048);
+        assert_eq!(g.k(), 5);
+        let wide = Csr::try_new(2, 100, vec![0, 1, 2], vec![0, 99], vec![1.0, 1.0]).unwrap();
+        let g = TileGrid::new(&wide, 2048);
+        assert_eq!(g.k(), 2); // min(nrows, ncols)
+    }
+
+    #[test]
+    fn diagonal_band_occupies_diagonal_blocks() {
+        let m = suite::banded(256, 2, 1.0, 0);
+        let g = TileGrid::new(&m, 8);
+        // A bandwidth-2 matrix in 32-wide tiles touches only diagonal
+        // and immediately adjacent tiles.
+        assert!(g.n_nonempty_tiles() <= 3 * g.k());
+    }
+
+    #[test]
+    fn empty_matrix_grid() {
+        let m = Csr::zero(10, 10);
+        let g = TileGrid::new(&m, 4);
+        assert_eq!(g.n_nonempty_tiles(), 0);
+        assert_eq!(g.tile_counts().len(), 0);
+        assert_eq!(g.row_block_counts().iter().sum::<usize>(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Assembly of the fixed-order feature vector fed to the decision
+//! trees (the full Table 2).
+
+use crate::locality::{locality_metrics, GROUP_XS};
+use crate::stats::SummaryStats;
+use crate::tiling::TileGrid;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+use wise_matrix::Csr;
+
+/// Feature-extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Maximum tile-grid dimension K. The paper uses 2048 (sized for L2
+    /// and 2^20+-row matrices); the grid is clamped to the matrix
+    /// dimensions either way.
+    pub k_max: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { k_max: 2048 }
+    }
+}
+
+/// A fixed-order vector of the 67 matrix features of Table 2:
+/// 3 size + 5 distributions × 8 statistics + 24 locality metrics.
+///
+/// ```
+/// use wise_features::{FeatureConfig, FeatureVector};
+/// let m = wise_matrix::Csr::identity(64);
+/// let f = FeatureVector::extract(&m, &FeatureConfig::default());
+/// assert_eq!(f.get("nnz"), Some(64.0));
+/// assert_eq!(f.get("mean_R"), Some(1.0)); // one nonzero per row
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+/// Number of features.
+pub const N_FEATURES: usize = 3 + 5 * 8 + 24;
+
+fn build_names() -> Vec<String> {
+    let mut names = vec!["n_rows".to_string(), "n_cols".to_string(), "nnz".to_string()];
+    for dist in ["R", "C", "T", "RB", "CB"] {
+        for stat in ["mean", "std", "var", "gini", "p", "min", "max", "ne"] {
+            names.push(format!("{stat}_{dist}"));
+        }
+    }
+    names.push("uniqR".into());
+    names.push("uniqC".into());
+    for x in GROUP_XS {
+        names.push(format!("Gr{x}_uniqR"));
+    }
+    for x in GROUP_XS {
+        names.push(format!("Gr{x}_uniqC"));
+    }
+    names.push("potReuseR".into());
+    names.push("potReuseC".into());
+    for x in GROUP_XS {
+        names.push(format!("Gr{x}_potReuseR"));
+    }
+    for x in GROUP_XS {
+        names.push(format!("Gr{x}_potReuseC"));
+    }
+    debug_assert_eq!(names.len(), N_FEATURES);
+    names
+}
+
+impl FeatureVector {
+    /// The feature names, in vector order.
+    pub fn names() -> &'static [String] {
+        static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+        NAMES.get_or_init(build_names)
+    }
+
+    /// Extracts all features from `m`. Runs in O(nnz log nnz); this is
+    /// the feature-calculation half of WISE's preprocessing overhead
+    /// (Fig. 13c).
+    pub fn extract(m: &Csr, cfg: &FeatureConfig) -> FeatureVector {
+        let grid = TileGrid::new(m, cfg.k_max);
+        let mt = m.transpose();
+
+        let r_stats = SummaryStats::from_counts(&m.nnz_per_row());
+        let c_stats = SummaryStats::from_counts(&m.nnz_per_col());
+        let t_stats = SummaryStats::from_sparse(grid.tile_counts(), grid.n_tiles());
+        let rb_stats = SummaryStats::from_counts(grid.row_block_counts());
+        let cb_stats = SummaryStats::from_counts(grid.col_block_counts());
+        let loc = locality_metrics(m, &mt, &grid);
+
+        let mut values = Vec::with_capacity(N_FEATURES);
+        values.push(m.nrows() as f64);
+        values.push(m.ncols() as f64);
+        values.push(m.nnz() as f64);
+        for s in [r_stats, c_stats, t_stats, rb_stats, cb_stats] {
+            values.extend_from_slice(&[s.mean, s.std, s.var, s.gini, s.p_ratio, s.min, s.max, s.ne]);
+        }
+        values.push(loc.uniq_r);
+        values.push(loc.uniq_c);
+        values.extend_from_slice(&loc.gr_uniq_r);
+        values.extend_from_slice(&loc.gr_uniq_c);
+        values.push(loc.pot_reuse_r);
+        values.push(loc.pot_reuse_c);
+        values.extend_from_slice(&loc.gr_pot_reuse_r);
+        values.extend_from_slice(&loc.gr_pot_reuse_c);
+        debug_assert_eq!(values.len(), N_FEATURES);
+        FeatureVector { values }
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Looks a feature up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        Self::names().iter().position(|n| n == name).map(|i| self.values[i])
+    }
+
+    /// Builds a vector directly from values (model deserialization).
+    pub fn from_values(values: Vec<f64>) -> FeatureVector {
+        assert_eq!(values.len(), N_FEATURES, "feature vector must have {N_FEATURES} entries");
+        FeatureVector { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wise_gen::{suite, RmatParams};
+
+    #[test]
+    fn names_unique_and_sized() {
+        let names = FeatureVector::names();
+        assert_eq!(names.len(), N_FEATURES);
+        let mut sorted = names.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), N_FEATURES);
+    }
+
+    #[test]
+    fn extract_sizes_and_lookup() {
+        let m = RmatParams::LOW_LOC.generate(8, 4, 1);
+        let f = FeatureVector::extract(&m, &FeatureConfig::default());
+        assert_eq!(f.len(), N_FEATURES);
+        assert_eq!(f.get("n_rows"), Some(256.0));
+        assert_eq!(f.get("n_cols"), Some(256.0));
+        assert_eq!(f.get("nnz"), Some(m.nnz() as f64));
+        assert_eq!(f.get("no_such_feature"), None);
+        // Mean nonzeros per row must equal nnz / nrows.
+        let mean_r = f.get("mean_R").unwrap();
+        assert!((mean_r - m.nnz() as f64 / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_features_separate_recipes() {
+        // The core claim of the feature set: HS and LL matrices of the
+        // same size differ strongly in skew features.
+        let hs = RmatParams::HIGH_SKEW.generate(11, 8, 2);
+        let ll = RmatParams::LOW_LOC.generate(11, 8, 2);
+        let fh = FeatureVector::extract(&hs, &FeatureConfig::default());
+        let fl = FeatureVector::extract(&ll, &FeatureConfig::default());
+        assert!(fh.get("gini_R").unwrap() > fl.get("gini_R").unwrap() + 0.2);
+        assert!(fh.get("p_R").unwrap() < fl.get("p_R").unwrap() - 0.1);
+    }
+
+    #[test]
+    fn locality_features_separate_recipes() {
+        let hl = RmatParams::HIGH_LOC.generate(11, 8, 2);
+        let ll = RmatParams::LOW_LOC.generate(11, 8, 2);
+        let fh = FeatureVector::extract(&hl, &FeatureConfig::default());
+        let fl = FeatureVector::extract(&ll, &FeatureConfig::default());
+        // Diagonal concentration -> fewer non-empty tiles, higher tile gini.
+        assert!(fh.get("ne_T").unwrap() < fl.get("ne_T").unwrap());
+        assert!(fh.get("gini_T").unwrap() > fl.get("gini_T").unwrap());
+    }
+
+    #[test]
+    fn p_ratio_matches_paper_recipe_targets() {
+        // Section 4.5: HS/MS/LS have row p-ratios of ~0.1 / ~0.2 / ~0.3;
+        // locality recipes sit at ~0.4-0.5.
+        let cfg = FeatureConfig::default();
+        let p_of = |r: RmatParams, seed| {
+            let m = r.generate(12, 16, seed);
+            FeatureVector::extract(&m, &cfg).get("p_R").unwrap()
+        };
+        let p_hs = p_of(RmatParams::HIGH_SKEW, 3);
+        let p_ms = p_of(RmatParams::MED_SKEW, 3);
+        let p_ls = p_of(RmatParams::LOW_SKEW, 3);
+        let p_ll = p_of(RmatParams::LOW_LOC, 3);
+        assert!(p_hs < p_ms && p_ms < p_ls && p_ls < p_ll, "{p_hs} {p_ms} {p_ls} {p_ll}");
+        assert!(p_hs < 0.2, "HS p-ratio {p_hs}");
+        assert!(p_ll > 0.35, "LL p-ratio {p_ll}");
+    }
+
+    #[test]
+    fn suite_matrices_have_high_p_ratio() {
+        // Fig. 7's claim reproduced by our stand-ins.
+        let cfg = FeatureConfig::default();
+        for m in [suite::stencil_2d(48, 48), suite::banded(2048, 8, 0.7, 5)] {
+            let p = FeatureVector::extract(&m, &cfg).get("p_R").unwrap();
+            assert!(p > 0.4, "suite p-ratio {p}");
+        }
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let m = suite::stencil_2d(10, 10);
+        let f = FeatureVector::extract(&m, &FeatureConfig::default());
+        let g = FeatureVector::from_values(f.values().to_vec());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector must have")]
+    fn from_values_rejects_wrong_len() {
+        FeatureVector::from_values(vec![1.0, 2.0]);
+    }
+}

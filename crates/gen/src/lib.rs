@@ -1,0 +1,29 @@
+//! Matrix generators for the WISE reproduction.
+//!
+//! The paper's training corpus (Section 4.5) combines:
+//!
+//! * **RMAT** graphs ([`rmat`]) with the quadrant probabilities of
+//!   Table 3 — three skew levels (HS/MS/LS) and three locality levels
+//!   (LL/ML/HL);
+//! * **RGG** random geometric graphs ([`rgg`]) for spatially structured
+//!   matrices;
+//! * **SuiteSparse** matrices. Downloading SuiteSparse is a data gate in
+//!   this environment, so [`suite`] synthesizes matrices matching the
+//!   statistical profile the paper measures for SuiteSparse (Figs. 7 and
+//!   12b): p-ratio mostly > 0.4, small average row degree, few columns —
+//!   banded systems, 2D/3D stencils, FEM-like meshes, road-like graphs,
+//!   plus a handful of power-law graphs (the paper notes SuiteSparse
+//!   "also has some social and web network graphs").
+//!
+//! [`recipe`] names the Table 3 parameter sets and assembles full
+//! corpora at a configurable scale. All generation is seeded and
+//! deterministic.
+
+pub mod recipe;
+pub mod rgg;
+pub mod rmat;
+pub mod suite;
+
+pub use recipe::{Corpus, CorpusScale, LabeledMatrix, Recipe};
+pub use rgg::RggParams;
+pub use rmat::RmatParams;

@@ -1,0 +1,395 @@
+//! Named generator recipes (paper Table 3) and corpus assembly
+//! (Section 4.5 / Section 5).
+//!
+//! The paper trains on 136 SuiteSparse + 1326 RMAT/RGG matrices with
+//! 2^20–2^26 rows. [`CorpusScale`] makes the sweep dimensions explicit
+//! so the same code runs at laptop scale (`quick`, the default
+//! everywhere) or at paper scale (`paper`) on a machine that can hold
+//! 2-billion-nonzero matrices.
+
+use crate::rmat::RmatParams;
+use crate::{rgg::RggParams, suite};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wise_matrix::Csr;
+
+/// One row of the paper's Table 3: a named random-matrix recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Recipe {
+    /// RMAT a=.57 b=.19 c=.19 d=.05 (Graph500; p-ratio ~0.1).
+    HighSkew,
+    /// RMAT a=.46 b=.22 c=.22 d=.10 (p-ratio ~0.2).
+    MedSkew,
+    /// RMAT a=.35 b=.25 c=.25 d=.15 (p-ratio ~0.3).
+    LowSkew,
+    /// RMAT a=b=c=d=.25 (Erdos-Renyi-like; nonzeros spread everywhere).
+    LowLoc,
+    /// RMAT a=d=.35 b=c=.15 (diagonal-leaning).
+    MedLoc,
+    /// RMAT a=d=.45 b=c=.05 (strongly diagonal).
+    HighLoc,
+    /// Random geometric graph (spatial structure, high locality).
+    Rgg,
+}
+
+impl Recipe {
+    /// All Table 3 recipes, in the paper's order.
+    pub const ALL: [Recipe; 7] = [
+        Recipe::HighSkew,
+        Recipe::MedSkew,
+        Recipe::LowSkew,
+        Recipe::LowLoc,
+        Recipe::MedLoc,
+        Recipe::HighLoc,
+        Recipe::Rgg,
+    ];
+
+    /// The paper's abbreviation (HS, MS, LS, LL, ML, HL, rgg).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Recipe::HighSkew => "HS",
+            Recipe::MedSkew => "MS",
+            Recipe::LowSkew => "LS",
+            Recipe::LowLoc => "LL",
+            Recipe::MedLoc => "ML",
+            Recipe::HighLoc => "HL",
+            Recipe::Rgg => "rgg",
+        }
+    }
+
+    /// RMAT quadrant probabilities, or `None` for RGG.
+    pub fn rmat_params(&self) -> Option<RmatParams> {
+        match self {
+            Recipe::HighSkew => Some(RmatParams::HIGH_SKEW),
+            Recipe::MedSkew => Some(RmatParams::MED_SKEW),
+            Recipe::LowSkew => Some(RmatParams::LOW_SKEW),
+            Recipe::LowLoc => Some(RmatParams::LOW_LOC),
+            Recipe::MedLoc => Some(RmatParams::MED_LOC),
+            Recipe::HighLoc => Some(RmatParams::HIGH_LOC),
+            Recipe::Rgg => None,
+        }
+    }
+
+    /// Generates one matrix: `2^scale` rows, ~`avg_degree` nonzeros/row.
+    ///
+    /// The skew recipes (HS/MS/LS) apply Graph500-style random vertex
+    /// relabeling — real web/social graphs have their hubs scattered
+    /// across the ID space, and that scattering is what CFS/RFS exist
+    /// to undo. The locality recipes (LL/ML/HL) keep raw RMAT labels:
+    /// the diagonal concentration *is* the property being modeled.
+    pub fn generate(&self, scale: u32, avg_degree: u32, seed: u64) -> Csr {
+        match self {
+            Recipe::HighSkew | Recipe::MedSkew | Recipe::LowSkew => self
+                .rmat_params()
+                .expect("skew recipes are RMAT")
+                .generate_shuffled(scale, avg_degree, seed),
+            Recipe::LowLoc | Recipe::MedLoc | Recipe::HighLoc => self
+                .rmat_params()
+                .expect("locality recipes are RMAT")
+                .generate(scale, avg_degree, seed),
+            Recipe::Rgg => RggParams { n: 1usize << scale, avg_degree: avg_degree as f64 }
+                .generate(seed),
+        }
+    }
+}
+
+/// Where a corpus matrix came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatrixGroup {
+    /// SuiteSparse stand-in (synthetic scientific suite).
+    Suite,
+    /// Randomly generated per a Table 3 recipe.
+    Random(Recipe),
+}
+
+/// A corpus matrix with provenance.
+#[derive(Debug, Clone)]
+pub struct LabeledMatrix {
+    /// Unique human-readable id, e.g. `HS_s14_d32` or `stencil2d_128`.
+    pub name: String,
+    pub group: MatrixGroup,
+    pub matrix: Csr,
+}
+
+/// Sweep dimensions for corpus generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusScale {
+    /// log2 of row counts to sweep (paper: 20..=26).
+    pub row_scales: Vec<u32>,
+    /// Average nonzeros per row to sweep (paper: 4..=128).
+    pub degrees: Vec<u32>,
+    /// Skip configurations whose projected nnz exceeds this
+    /// (paper: 2 billion, bounded by server memory).
+    pub max_nnz: usize,
+}
+
+impl CorpusScale {
+    /// Laptop-scale default: 2^12–2^16 rows, nnz capped at 2^21 so the
+    /// full corpus labels in minutes on one core.
+    pub fn quick() -> Self {
+        CorpusScale {
+            row_scales: vec![12, 13, 14, 15, 16],
+            degrees: vec![4, 8, 16, 32, 64, 128],
+            max_nnz: 1 << 21,
+        }
+    }
+
+    /// Tiny scale for unit/integration tests.
+    pub fn tiny() -> Self {
+        CorpusScale {
+            row_scales: vec![8, 9, 10],
+            degrees: vec![4, 16],
+            max_nnz: 1 << 16,
+        }
+    }
+
+    /// The paper's scale (needs a large-memory server).
+    pub fn paper() -> Self {
+        CorpusScale {
+            row_scales: (20..=26).collect(),
+            degrees: vec![4, 8, 16, 24, 32, 48, 64, 80, 96, 112, 128],
+            max_nnz: 2_000_000_000,
+        }
+    }
+}
+
+/// The full matrix corpus: SuiteSparse stand-ins + Table 3 randoms.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    pub matrices: Vec<LabeledMatrix>,
+}
+
+impl Corpus {
+    /// Generates the random (RMAT/RGG) part of the corpus: every
+    /// `recipe x scale x degree` combination within the nnz budget.
+    /// Generation is parallel across matrices and fully deterministic:
+    /// each configuration derives its seed from `base_seed` and its own
+    /// coordinates, independent of sweep order.
+    pub fn random(scale: &CorpusScale, base_seed: u64) -> Corpus {
+        let mut configs = Vec::new();
+        for (ri, &recipe) in Recipe::ALL.iter().enumerate() {
+            for &s in &scale.row_scales {
+                for &d in &scale.degrees {
+                    let projected = (1usize << s).saturating_mul(d as usize);
+                    if projected > scale.max_nnz {
+                        continue;
+                    }
+                    let seed = base_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((ri as u64) << 32)
+                        .wrapping_add((s as u64) << 16)
+                        .wrapping_add(d as u64);
+                    configs.push((recipe, s, d, seed));
+                }
+            }
+        }
+        let matrices = configs
+            .into_par_iter()
+            .map(|(recipe, s, d, seed)| LabeledMatrix {
+                name: format!("{}_s{}_d{}", recipe.abbrev(), s, d),
+                group: MatrixGroup::Random(recipe),
+                matrix: recipe.generate(s, d, seed),
+            })
+            .collect();
+        Corpus { matrices }
+    }
+
+    /// Generates the SuiteSparse stand-in part of the corpus. Family
+    /// sizes are derived from the sweep's row-scale range so quick and
+    /// paper scales produce proportionate matrices.
+    pub fn suite(scale: &CorpusScale, base_seed: u64) -> Corpus {
+        let lo = *scale.row_scales.iter().min().expect("empty row_scales");
+        let hi = *scale.row_scales.iter().max().expect("empty row_scales");
+        let mid = (lo + hi) / 2;
+        let budget = scale.max_nnz;
+
+        // (name, thunk) pairs; thunks run in parallel below.
+        type Thunk = Box<dyn Fn() -> Csr + Send + Sync>;
+        let mut fams: Vec<(String, Thunk)> = Vec::new();
+
+        // Banded systems.
+        for (i, &s) in [lo, mid, hi].iter().enumerate() {
+            for (j, &bw) in [4usize, 16, 64].iter().enumerate() {
+                for (k, fill) in [0.4f64, 0.9].iter().enumerate() {
+                    let n = 1usize << s;
+                    if n * (2 * bw + 1) * 9 / 10 > budget {
+                        continue;
+                    }
+                    let fill = *fill;
+                    let seed = base_seed + (i * 100 + j * 10 + k) as u64;
+                    fams.push((
+                        format!("banded_s{}_bw{}_f{}", s, bw, (fill * 10.0) as u32),
+                        Box::new(move || suite::banded(n, bw, fill, seed)),
+                    ));
+                }
+            }
+        }
+        // 2D stencils: side ~ 2^(s/2) so n ~ 2^s. Integer division can
+        // collapse adjacent scales to the same side, so dedupe.
+        let mut sides2d: Vec<usize> = [lo, mid, hi]
+            .iter()
+            .map(|&s| ((1usize << s) as f64).sqrt().round() as usize)
+            .collect();
+        sides2d.dedup();
+        for side in sides2d {
+            if side * side * 5 > budget {
+                continue;
+            }
+            fams.push((
+                format!("stencil2d_{side}"),
+                Box::new(move || suite::stencil_2d(side, side)),
+            ));
+        }
+        // 3D stencils: side ~ 2^(s/3).
+        let mut sides3d: Vec<usize> = [lo, mid, hi]
+            .iter()
+            .map(|&s| ((1usize << s) as f64).cbrt().round() as usize)
+            .collect();
+        sides3d.dedup();
+        for side in sides3d {
+            if side.pow(3) * 7 > budget {
+                continue;
+            }
+            fams.push((
+                format!("stencil3d_{side}"),
+                Box::new(move || suite::stencil_3d(side, side, side)),
+            ));
+        }
+        // FEM-like meshes.
+        for (i, &s) in [lo, mid, hi].iter().enumerate() {
+            for (j, &deg) in [8u32, 16, 24].iter().enumerate() {
+                let n = 1usize << s;
+                if n * deg as usize > budget {
+                    continue;
+                }
+                let seed = base_seed + 1000 + (i * 10 + j) as u64;
+                fams.push((
+                    format!("fem_s{s}_d{deg}"),
+                    Box::new(move || suite::fem_like(n, deg as f64, seed)),
+                ));
+            }
+        }
+        // Road networks.
+        for (i, &s) in [mid, hi].iter().enumerate() {
+            let n = 1usize << s;
+            if n * 4 > budget {
+                continue;
+            }
+            let seed = base_seed + 2000 + i as u64;
+            fams.push((format!("road_s{s}"), Box::new(move || suite::road_like(n, seed))));
+        }
+        // The minority power-law class.
+        for (i, &s) in [lo, mid].iter().enumerate() {
+            for (j, &deg) in [8u32, 32].iter().enumerate() {
+                if (1usize << s) * deg as usize > budget {
+                    continue;
+                }
+                let seed = base_seed + 3000 + (i * 10 + j) as u64;
+                fams.push((
+                    format!("weblike_s{s}_d{deg}"),
+                    Box::new(move || suite::power_law(s, deg, seed)),
+                ));
+            }
+        }
+        // Uniform randoms for variety.
+        for (i, &s) in [lo, mid].iter().enumerate() {
+            let deg = 8u32;
+            if (1usize << s) * deg as usize > budget {
+                continue;
+            }
+            let seed = base_seed + 4000 + i as u64;
+            fams.push((
+                format!("uniform_s{s}_d{deg}"),
+                Box::new(move || suite::uniform_random(s, deg, seed)),
+            ));
+        }
+
+        let matrices = fams
+            .into_par_iter()
+            .map(|(name, thunk)| LabeledMatrix {
+                name,
+                group: MatrixGroup::Suite,
+                matrix: thunk(),
+            })
+            .collect();
+        Corpus { matrices }
+    }
+
+    /// The combined corpus (suite + random), as used for training.
+    pub fn full(scale: &CorpusScale, base_seed: u64) -> Corpus {
+        let mut c = Corpus::suite(scale, base_seed);
+        c.matrices.extend(Corpus::random(scale, base_seed).matrices);
+        c
+    }
+
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipes_roundtrip_abbrev() {
+        let abbrevs: Vec<_> = Recipe::ALL.iter().map(|r| r.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["HS", "MS", "LS", "LL", "ML", "HL", "rgg"]);
+    }
+
+    #[test]
+    fn tiny_random_corpus_shape() {
+        let scale = CorpusScale::tiny();
+        let c = Corpus::random(&scale, 42);
+        // 7 recipes x 3 scales x 2 degrees, minus nnz-capped combos.
+        assert!(!c.is_empty());
+        assert!(c.len() <= 7 * 3 * 2);
+        for m in &c.matrices {
+            assert!(m.matrix.nnz() <= scale.max_nnz);
+            assert!(matches!(m.group, MatrixGroup::Random(_)));
+        }
+        // Names unique.
+        let mut names: Vec<_> = c.matrices.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let scale = CorpusScale::tiny();
+        let a = Corpus::random(&scale, 1);
+        let b = Corpus::random(&scale, 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.matrices.iter().zip(&b.matrices) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.matrix, y.matrix);
+        }
+    }
+
+    #[test]
+    fn suite_corpus_nonempty_and_unique() {
+        let scale = CorpusScale::tiny();
+        let c = Corpus::suite(&scale, 7);
+        assert!(c.len() >= 10, "suite corpus too small: {}", c.len());
+        let mut names: Vec<_> = c.matrices.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+        for m in &c.matrices {
+            assert_eq!(m.group, MatrixGroup::Suite);
+        }
+    }
+
+    #[test]
+    fn full_is_union() {
+        let scale = CorpusScale::tiny();
+        let s = Corpus::suite(&scale, 3).len();
+        let r = Corpus::random(&scale, 3).len();
+        assert_eq!(Corpus::full(&scale, 3).len(), s + r);
+    }
+}

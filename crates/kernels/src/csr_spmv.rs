@@ -1,0 +1,149 @@
+//! Parallel CSR SpMV under the three scheduling policies
+//! (paper Section 2.1).
+//!
+//! Rows are grouped into chunks of [`CsrSpmv::rows_per_chunk`] rows;
+//! chunks are assigned to threads per [`Schedule`]. Each chunk writes a
+//! disjoint row range of `y`, which is what makes the shared-output
+//! parallelism sound.
+
+use crate::sched::{parallel_for_chunks, DisjointWriter, Schedule};
+use wise_matrix::Csr;
+
+/// Default rows per scheduling chunk (the paper's "K rows at a time").
+pub const DEFAULT_ROWS_PER_CHUNK: usize = 256;
+
+/// A CSR matrix prepared for scheduled parallel SpMV.
+///
+/// CSR needs no format conversion — this type only records the
+/// scheduling configuration, mirroring "CSR is the format the matrix
+/// already arrives in" (zero preprocessing cost in Section 4.4).
+#[derive(Debug, Clone)]
+pub struct CsrSpmv<'a> {
+    matrix: &'a Csr,
+    schedule: Schedule,
+    rows_per_chunk: usize,
+}
+
+impl<'a> CsrSpmv<'a> {
+    pub fn new(matrix: &'a Csr, schedule: Schedule) -> Self {
+        CsrSpmv { matrix, schedule, rows_per_chunk: DEFAULT_ROWS_PER_CHUNK }
+    }
+
+    /// Overrides the chunk granularity.
+    pub fn with_rows_per_chunk(mut self, rows: usize) -> Self {
+        self.rows_per_chunk = rows.max(1);
+        self
+    }
+
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    pub fn rows_per_chunk(&self) -> usize {
+        self.rows_per_chunk
+    }
+
+    /// Number of scheduling chunks.
+    pub fn nchunks(&self) -> usize {
+        self.matrix.nrows().div_ceil(self.rows_per_chunk)
+    }
+
+    /// `y = A x` with `nthreads` workers.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64], nthreads: usize) {
+        let m = self.matrix;
+        assert_eq!(x.len(), m.ncols(), "x length must equal ncols");
+        assert_eq!(y.len(), m.nrows(), "y length must equal nrows");
+        let rows_per_chunk = self.rows_per_chunk;
+        let nchunks = self.nchunks();
+        let row_ptr = m.row_ptr();
+        let col_idx = m.col_idx();
+        let vals = m.vals();
+        let writer = DisjointWriter::new(y);
+        // For CSR the scheduling chunk IS the work grain, so grain = 1.
+        parallel_for_chunks(nchunks, nthreads, self.schedule, 1, |chunk| {
+            let row_lo = chunk * rows_per_chunk;
+            let row_hi = (row_lo + rows_per_chunk).min(m.nrows());
+            for r in row_lo..row_hi {
+                let mut acc = 0.0f64;
+                for k in row_ptr[r]..row_ptr[r + 1] {
+                    // SAFETY-free: plain indexing; bounds guaranteed by
+                    // CSR invariants, and the optimizer elides checks in
+                    // this canonical loop shape.
+                    acc += vals[k] * x[col_idx[k] as usize];
+                }
+                // SAFETY: chunk row ranges are disjoint by construction.
+                unsafe { writer.write(r, acc) };
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wise_gen::RmatParams;
+
+    fn random_x(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn check_against_reference(m: &Csr, nthreads: usize) {
+        let x = random_x(m.ncols(), 99);
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x, &mut want);
+        for sched in Schedule::ALL {
+            let mut got = vec![0.0; m.nrows()];
+            CsrSpmv::new(m, sched)
+                .with_rows_per_chunk(7)
+                .spmv(&x, &mut got, nthreads);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                    "{sched:?} nthreads={nthreads}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_single_thread() {
+        let m = RmatParams::MED_SKEW.generate(9, 8, 5);
+        check_against_reference(&m, 1);
+    }
+
+    #[test]
+    fn matches_reference_multi_thread() {
+        let m = RmatParams::HIGH_SKEW.generate(10, 8, 6);
+        check_against_reference(&m, 4);
+        check_against_reference(&m, 13);
+    }
+
+    #[test]
+    fn empty_rows_produce_zeros() {
+        // Matrix with many empty rows.
+        let m = Csr::try_new(4, 4, vec![0, 0, 2, 2, 2], vec![0, 3], vec![2.0, 4.0]).unwrap();
+        let x = vec![1.0, 1.0, 1.0, 1.0];
+        let mut y = vec![9.9; 4];
+        CsrSpmv::new(&m, Schedule::Dyn).spmv(&x, &mut y, 2);
+        assert_eq!(y, vec![0.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rectangular_matrix() {
+        let m = Csr::try_new(2, 5, vec![0, 2, 3], vec![0, 4, 2], vec![1.0, 2.0, 3.0]).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = vec![0.0; 2];
+        CsrSpmv::new(&m, Schedule::StCont).spmv(&x, &mut y, 3);
+        assert_eq!(y, vec![1.0 + 10.0, 9.0]);
+    }
+
+    #[test]
+    fn nchunks_rounds_up() {
+        let m = Csr::zero(10, 10);
+        let k = CsrSpmv::new(&m, Schedule::St).with_rows_per_chunk(3);
+        assert_eq!(k.nchunks(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! SpMV kernels for the WISE reproduction.
+//!
+//! This crate implements the full SpMV optimization space of the paper
+//! (Section 2 and Table 1):
+//!
+//! * [`sched`] — the three row-scheduling policies (Dyn, St, StCont) and
+//!   the scoped-thread executor that realizes them;
+//! * [`csr_spmv`] — parallel CSR SpMV under any scheduling policy;
+//! * [`srvpack`] — the unified Segmented Reordered Vector Packing format
+//!   (Appendix A) and its vectorized kernel, plus builders for
+//!   SELLPACK, Sell-c-σ, Sell-c-R, LAV-1Seg and LAV;
+//! * [`method`] — the `{method, parameter}` catalog (29 configurations,
+//!   Section 4.3) and a uniform `prepare`/`spmv` interface over it;
+//! * [`baseline`] — the MKL-like fixed-schedule baseline and the trial-
+//!   executing inspector-executor (substitutes for Intel MKL and MKL IE;
+//!   see DESIGN.md for the substitution argument);
+//! * [`merge_csr`] — a merge-path load-balanced CSR kernel, the worked
+//!   example for extending WISE beyond the paper's 29 configurations;
+//! * [`timing`] — robust wall-clock measurement helpers.
+//!
+//! Every kernel computes exactly `y = A x` and is tested against
+//! [`wise_matrix::Csr::spmv_reference`].
+
+pub mod baseline;
+pub mod csr_spmv;
+pub mod merge_csr;
+pub mod method;
+pub mod sched;
+pub mod srvpack;
+pub mod timing;
+
+pub use method::{Method, MethodConfig, Prepared};
+pub use sched::Schedule;
+pub use srvpack::SrvPack;

@@ -1,0 +1,199 @@
+//! Merge-based CSR SpMV (Merrill & Garland, SC'16) — a load-balanced
+//! CSR kernel that splits *nonzeros + rows* evenly across threads
+//! instead of whole rows, so a single hub row can never serialize a
+//! thread.
+//!
+//! This method is NOT part of the paper's 29-configuration space; it
+//! exists as the worked example of WISE's extensibility (paper
+//! Section 7): `examples/extend_wise.rs` and the catalog-extension API
+//! can add it as a 30th configuration without touching the existing
+//! models.
+//!
+//! The algorithm views SpMV as a merge of two sorted lists — the row
+//! end-offsets `row_ptr[1..]` and the nonzero indices `0..nnz` — and
+//! assigns each thread an equal slice of the merged path. A thread's
+//! slice may start or end mid-row; partial sums are handed to a serial
+//! fix-up pass.
+
+use crate::sched::DisjointWriter;
+use wise_matrix::Csr;
+
+/// Finds the merge-path split point for `diagonal`: the `(row, nz)`
+/// pair with `row + nz == diagonal` where the path crosses.
+fn merge_path_search(diagonal: usize, row_ends: &[usize], nnz: usize) -> (usize, usize) {
+    let mut lo = diagonal.saturating_sub(nnz);
+    let mut hi = diagonal.min(row_ends.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // Consume row boundary `mid` before nonzero `diagonal - mid - 1`?
+        if row_ends[mid] < diagonal - mid {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, diagonal - lo)
+}
+
+/// Merge-based parallel CSR SpMV: `y = A x`.
+///
+/// Work per thread is `(nnz + nrows) / nthreads` items regardless of
+/// the row-length distribution — perfect static load balance by
+/// construction.
+pub fn merge_spmv(m: &Csr, x: &[f64], y: &mut [f64], nthreads: usize) {
+    assert_eq!(x.len(), m.ncols(), "x length must equal ncols");
+    assert_eq!(y.len(), m.nrows(), "y length must equal nrows");
+    let nrows = m.nrows();
+    let nnz = m.nnz();
+    if nrows == 0 {
+        return;
+    }
+    let row_ends = &m.row_ptr()[1..];
+    let vals = m.vals();
+    let cols = m.col_idx();
+    let nthreads = nthreads.max(1).min(nrows + nnz);
+    let total = nrows + nnz;
+
+    // Per-thread carry-out: (row the thread ended inside, partial sum).
+    let mut carries: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); nthreads];
+    {
+        let ywriter = DisjointWriter::new(&mut *y);
+        let carrywriter = DisjointWriter::new(&mut carries);
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let ywriter = &ywriter;
+                let carrywriter = &carrywriter;
+                let run = move || {
+                    let d0 = t * total / nthreads;
+                    let d1 = (t + 1) * total / nthreads;
+                    let (mut row, mut k) = merge_path_search(d0, row_ends, nnz);
+                    let (row_end, k_end) = merge_path_search(d1, row_ends, nnz);
+                    let mut acc = 0.0f64;
+                    // Full rows owned by this thread.
+                    while row < row_end {
+                        while k < row_ends[row] {
+                            acc += vals[k] * x[cols[k] as usize];
+                            k += 1;
+                        }
+                        // SAFETY: each full row is completed by exactly
+                        // one thread (merge-path slices are disjoint).
+                        unsafe { ywriter.write(row, acc) };
+                        acc = 0.0;
+                        row += 1;
+                    }
+                    // Partial tail of the row this slice ends inside.
+                    while k < k_end {
+                        acc += vals[k] * x[cols[k] as usize];
+                        k += 1;
+                    }
+                    // SAFETY: slot `t` is written only by thread `t`.
+                    unsafe {
+                        carrywriter
+                            .write(t, if row < nrows { (row, acc) } else { (usize::MAX, 0.0) })
+                    };
+                };
+                if nthreads == 1 {
+                    run();
+                } else {
+                    s.spawn(run);
+                }
+            }
+        });
+    }
+
+    // Serial fix-up: rows split across threads were written by the
+    // completing thread; add every carry-out into its row.
+    for &(row, partial) in &carries {
+        if row != usize::MAX {
+            y[row] += partial;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wise_gen::RmatParams;
+
+    fn check(m: &Csr, nthreads: usize, tag: &str) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<f64> = (0..m.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x, &mut want);
+        let mut got = vec![f64::NAN; m.nrows()];
+        merge_spmv(m, &x, &mut got, nthreads);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                "{tag} t={nthreads} row {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_path_search_basics() {
+        // 3 rows with ends [2, 2, 5] (middle row empty), nnz = 5.
+        let row_ends = [2usize, 2, 5];
+        assert_eq!(merge_path_search(0, &row_ends, 5), (0, 0));
+        // Full path consumes 3 rows + 5 nnz = 8 items.
+        assert_eq!(merge_path_search(8, &row_ends, 5), (3, 5));
+        // Monotone non-decreasing components.
+        let mut prev = (0, 0);
+        for d in 0..=8 {
+            let p = merge_path_search(d, &row_ends, 5);
+            assert!(p.0 >= prev.0 && p.1 >= prev.1, "d={d}");
+            assert_eq!(p.0 + p.1, d);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_thread_counts() {
+        let m = RmatParams::HIGH_SKEW.generate_shuffled(10, 8, 3);
+        for t in [1, 2, 3, 8, 24] {
+            check(&m, t, "hs");
+        }
+    }
+
+    #[test]
+    fn hub_rows_are_split_across_threads() {
+        // One giant row + many tiny rows: the hub is shared, so every
+        // thread boundary inside it must still give the exact result.
+        let n = 64usize;
+        let mut row_ptr = vec![0usize];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for c in 0..n as u32 {
+            cols.push(c);
+            vals.push(1.0);
+        }
+        row_ptr.push(cols.len());
+        for r in 1..n {
+            cols.push((r % n) as u32);
+            vals.push(2.0);
+            row_ptr.push(cols.len());
+        }
+        let m = Csr::try_new(n, n, row_ptr, cols, vals).unwrap();
+        for t in [2, 5, 16] {
+            check(&m, t, "hub");
+        }
+    }
+
+    #[test]
+    fn empty_rows_and_empty_matrix() {
+        check(&Csr::zero(10, 10), 4, "zero");
+        let m = Csr::try_new(5, 5, vec![0, 0, 3, 3, 3, 3], vec![0, 2, 4], vec![1.0, 2.0, 3.0])
+            .unwrap();
+        check(&m, 3, "gaps");
+    }
+
+    #[test]
+    fn single_row_single_thread() {
+        let m = Csr::try_new(1, 4, vec![0, 4], vec![0, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        check(&m, 1, "single");
+        check(&m, 7, "single-many-threads");
+    }
+}

@@ -1,0 +1,298 @@
+//! The `{method, parameter}` configuration space (paper Table 1 and
+//! Section 4.3) and a uniform prepare/execute interface over it.
+//!
+//! WISE trains one performance model per configuration; the paper's
+//! parameter choices (c ∈ {4, 8}, σ ∈ {2^9, 2^12, 2^14}, T ∈ {0.7, 0.8,
+//! 0.9}, plus scheduling) yield exactly 29 configurations, reproduced
+//! by [`MethodConfig::catalog`].
+
+use crate::csr_spmv::CsrSpmv;
+use crate::sched::Schedule;
+use crate::srvpack::{SpmvWorkspace, SrvPack};
+use serde::{Deserialize, Serialize};
+use wise_matrix::Csr;
+
+/// The six SpMV methods of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    Csr,
+    SellPack,
+    SellCSigma,
+    SellCR,
+    Lav1Seg,
+    Lav,
+}
+
+impl Method {
+    /// All methods, cheapest preprocessing first (the tie-break order of
+    /// Section 4.4: CSR, SELLPACK, Sell-c-σ, Sell-c-R, LAV-1Seg, LAV).
+    pub const ALL: [Method; 6] = [
+        Method::Csr,
+        Method::SellPack,
+        Method::SellCSigma,
+        Method::SellCR,
+        Method::Lav1Seg,
+        Method::Lav,
+    ];
+
+    /// Position in the preprocessing-cost order (lower = cheaper).
+    pub fn preproc_rank(&self) -> u8 {
+        match self {
+            Method::Csr => 0,
+            Method::SellPack => 1,
+            Method::SellCSigma => 2,
+            Method::SellCR => 3,
+            Method::Lav1Seg => 4,
+            Method::Lav => 5,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Csr => "CSR",
+            Method::SellPack => "SELLPACK",
+            Method::SellCSigma => "Sell-c-s",
+            Method::SellCR => "Sell-c-R",
+            Method::Lav1Seg => "LAV-1Seg",
+            Method::Lav => "LAV",
+        }
+    }
+}
+
+/// The chunk heights evaluated (vector widths of the paper's machine).
+pub const C_VALUES: [usize; 2] = [4, 8];
+/// The σ window sizes evaluated (L1-resident to L2-resident).
+pub const SIGMA_VALUES: [usize; 3] = [512, 4096, 16384];
+/// The LAV dense-segment fractions evaluated.
+pub const T_VALUES: [f64; 3] = [0.7, 0.8, 0.9];
+
+/// One fully parameterized SpMV configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodConfig {
+    pub method: Method,
+    pub schedule: Schedule,
+    /// Chunk height; 0 for CSR (not packed).
+    pub c: usize,
+    /// σ window; 0 unless `method == SellCSigma`.
+    pub sigma: usize,
+    /// LAV dense fraction; 0.0 unless `method == Lav`.
+    pub t: f64,
+}
+
+impl MethodConfig {
+    pub fn csr(schedule: Schedule) -> Self {
+        MethodConfig { method: Method::Csr, schedule, c: 0, sigma: 0, t: 0.0 }
+    }
+
+    pub fn sellpack(c: usize, schedule: Schedule) -> Self {
+        MethodConfig { method: Method::SellPack, schedule, c, sigma: 0, t: 0.0 }
+    }
+
+    pub fn sell_c_sigma(c: usize, sigma: usize, schedule: Schedule) -> Self {
+        MethodConfig { method: Method::SellCSigma, schedule, c, sigma, t: 0.0 }
+    }
+
+    pub fn sell_c_r(c: usize) -> Self {
+        MethodConfig { method: Method::SellCR, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0 }
+    }
+
+    pub fn lav_1seg(c: usize) -> Self {
+        MethodConfig { method: Method::Lav1Seg, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0 }
+    }
+
+    pub fn lav(c: usize, t: f64) -> Self {
+        MethodConfig { method: Method::Lav, schedule: Schedule::Dyn, c, sigma: 0, t }
+    }
+
+    /// The paper's 29 configurations, in preprocessing-cost order
+    /// (method rank, then smaller parameters first):
+    ///
+    /// * CSR × {Dyn, St, StCont}                       → 3
+    /// * SELLPACK × c ∈ {4,8} × {StCont, Dyn}          → 4
+    /// * Sell-c-σ × c × σ ∈ {2^9,2^12,2^14} × sched    → 12
+    /// * Sell-c-R × c (Dyn only)                       → 2
+    /// * LAV-1Seg × c (Dyn only)                       → 2
+    /// * LAV × c × T ∈ {0.7,0.8,0.9} (Dyn only)        → 6
+    pub fn catalog() -> Vec<MethodConfig> {
+        let mut v = Vec::with_capacity(29);
+        for s in [Schedule::Dyn, Schedule::St, Schedule::StCont] {
+            v.push(MethodConfig::csr(s));
+        }
+        for &c in &C_VALUES {
+            for s in [Schedule::StCont, Schedule::Dyn] {
+                v.push(MethodConfig::sellpack(c, s));
+            }
+        }
+        for &c in &C_VALUES {
+            for &sigma in &SIGMA_VALUES {
+                for s in [Schedule::StCont, Schedule::Dyn] {
+                    v.push(MethodConfig::sell_c_sigma(c, sigma, s));
+                }
+            }
+        }
+        for &c in &C_VALUES {
+            v.push(MethodConfig::sell_c_r(c));
+        }
+        for &c in &C_VALUES {
+            v.push(MethodConfig::lav_1seg(c));
+        }
+        for &c in &C_VALUES {
+            for &t in &T_VALUES {
+                v.push(MethodConfig::lav(c, t));
+            }
+        }
+        v
+    }
+
+    /// Stable human-readable label, used in reports and model files.
+    pub fn label(&self) -> String {
+        match self.method {
+            Method::Csr => format!("CSR-{}", self.schedule.name()),
+            Method::SellPack => format!("SELLPACK-c{}-{}", self.c, self.schedule.name()),
+            Method::SellCSigma => {
+                format!("Sell-c-s-c{}-s{}-{}", self.c, self.sigma, self.schedule.name())
+            }
+            Method::SellCR => format!("Sell-c-R-c{}", self.c),
+            Method::Lav1Seg => format!("LAV-1Seg-c{}", self.c),
+            Method::Lav => format!("LAV-c{}-T{}", self.c, (self.t * 100.0).round() as u32),
+        }
+    }
+
+    /// Total order used for preprocessing-cost tie-breaking
+    /// (Section 4.4): method rank first, then smaller parameters.
+    pub fn preproc_key(&self) -> (u8, usize, usize, u64) {
+        (
+            self.method.preproc_rank(),
+            self.c,
+            self.sigma,
+            (self.t * 1000.0) as u64,
+        )
+    }
+
+    /// Converts the matrix into this configuration's executable form.
+    /// For CSR this is free (the matrix is already CSR).
+    pub fn prepare<'m>(&self, m: &'m Csr) -> Prepared<'m> {
+        match self.method {
+            Method::Csr => Prepared::Csr(CsrSpmv::new(m, self.schedule)),
+            Method::SellPack => {
+                Prepared::Pack(Box::new(SrvPack::sellpack(m, self.c)), self.schedule)
+            }
+            Method::SellCSigma => Prepared::Pack(
+                Box::new(SrvPack::sell_c_sigma(m, self.c, self.sigma)),
+                self.schedule,
+            ),
+            Method::SellCR => Prepared::Pack(Box::new(SrvPack::sell_c_r(m, self.c)), self.schedule),
+            Method::Lav1Seg => {
+                Prepared::Pack(Box::new(SrvPack::lav_1seg(m, self.c)), self.schedule)
+            }
+            Method::Lav => Prepared::Pack(Box::new(SrvPack::lav(m, self.c, self.t)), self.schedule),
+        }
+    }
+}
+
+/// An executable SpMV: a prepared matrix plus its scheduling policy.
+#[derive(Debug)]
+pub enum Prepared<'m> {
+    /// CSR needs no conversion; borrows the source matrix.
+    Csr(CsrSpmv<'m>),
+    /// A packed SRVPack matrix (boxed: it owns large buffers).
+    Pack(Box<SrvPack>, Schedule),
+}
+
+impl Prepared<'_> {
+    /// `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64], nthreads: usize, ws: &mut SpmvWorkspace) {
+        match self {
+            Prepared::Csr(k) => k.spmv(x, y, nthreads),
+            Prepared::Pack(p, sched) => p.spmv(x, y, nthreads, *sched, ws),
+        }
+    }
+
+    /// Stored entries including any padding (CSR has none).
+    pub fn nnz_padded(&self) -> usize {
+        match self {
+            Prepared::Csr(_) => 0,
+            Prepared::Pack(p, _) => p.nnz_padded(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wise_gen::RmatParams;
+
+    #[test]
+    fn catalog_has_29_unique_configs() {
+        let cat = MethodConfig::catalog();
+        assert_eq!(cat.len(), 29);
+        let mut labels: Vec<_> = cat.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 29);
+    }
+
+    #[test]
+    fn catalog_counts_per_method() {
+        let cat = MethodConfig::catalog();
+        let count = |m: Method| cat.iter().filter(|c| c.method == m).count();
+        assert_eq!(count(Method::Csr), 3);
+        assert_eq!(count(Method::SellPack), 4);
+        assert_eq!(count(Method::SellCSigma), 12);
+        assert_eq!(count(Method::SellCR), 2);
+        assert_eq!(count(Method::Lav1Seg), 2);
+        assert_eq!(count(Method::Lav), 6);
+    }
+
+    #[test]
+    fn preproc_keys_are_ordered_like_catalog_methods() {
+        let cat = MethodConfig::catalog();
+        for w in cat.windows(2) {
+            assert!(
+                w[0].method.preproc_rank() <= w[1].method.preproc_rank(),
+                "catalog must be cheapest-first"
+            );
+        }
+        // Within LAV, smaller T sorts first.
+        assert!(MethodConfig::lav(4, 0.7).preproc_key() < MethodConfig::lav(4, 0.9).preproc_key());
+        // Across methods, CSR cheapest, LAV most expensive.
+        assert!(
+            MethodConfig::csr(Schedule::Dyn).preproc_key() < MethodConfig::lav(4, 0.7).preproc_key()
+        );
+    }
+
+    #[test]
+    fn every_config_computes_correct_spmv() {
+        let m = RmatParams::MED_SKEW.generate(9, 8, 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f64> = (0..m.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x, &mut want);
+        let mut ws = SpmvWorkspace::default();
+        for cfg in MethodConfig::catalog() {
+            let prep = cfg.prepare(&m);
+            let mut got = vec![0.0; m.nrows()];
+            prep.spmv(&x, &mut got, 2, &mut ws);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                    "{} row {i}: {g} vs {w}",
+                    cfg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(MethodConfig::csr(Schedule::StCont).label(), "CSR-StCont");
+        assert_eq!(MethodConfig::sellpack(8, Schedule::Dyn).label(), "SELLPACK-c8-Dyn");
+        assert_eq!(
+            MethodConfig::sell_c_sigma(4, 4096, Schedule::StCont).label(),
+            "Sell-c-s-c4-s4096-StCont"
+        );
+        assert_eq!(MethodConfig::lav(8, 0.8).label(), "LAV-c8-T80");
+    }
+}

@@ -1,0 +1,728 @@
+//! Segmented Reordered Vector Packing — the paper's unified matrix
+//! format (Appendix A) from which all five vectorized SpMV methods are
+//! executed by a single kernel.
+//!
+//! The format composes three orthogonal transformations:
+//!
+//! * **Column Frequency Sorting (CFS)** — relabel columns by descending
+//!   nonzero count so hot input-vector entries cluster in cache lines;
+//! * **Segmentation** — split the (CFS-ordered) columns into a *dense*
+//!   segment holding a fraction `T` of the nonzeros and a *sparse*
+//!   remainder, so each segment's slice of the input vector fits in the
+//!   LLC;
+//! * **Row reordering + chunk packing** — within each segment, order
+//!   rows (identity for SELLPACK, σ-window sort for Sell-c-σ, global
+//!   Row Frequency Sorting for Sell-c-R/LAV), group `c` consecutive
+//!   rows into a chunk, and pad every row of a chunk to the chunk's
+//!   maximum length so one vector instruction processes `c` rows.
+//!
+//! | Method     | CFS | Segments | Row order      |
+//! |------------|-----|----------|----------------|
+//! | SELLPACK   | no  | 1        | original       |
+//! | Sell-c-σ   | no  | 1        | σ-window sort  |
+//! | Sell-c-R   | no  | 1        | global (RFS)   |
+//! | LAV-1Seg   | yes | 1        | global (RFS)   |
+//! | LAV        | yes | 2 (T)    | global (RFS)   |
+
+use crate::sched::{parallel_for_chunks, DisjointWriter, Schedule};
+use serde::{Deserialize, Serialize};
+use wise_matrix::{Csr, Permutation};
+
+/// Row-reordering policy applied within each segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SigmaSpec {
+    /// Keep original row order (SELLPACK).
+    None,
+    /// Stable sort by descending row length within windows of σ rows
+    /// (Sell-c-σ).
+    Window(usize),
+    /// Stable global sort by descending row length — Row Frequency
+    /// Sorting (Sell-c-R and the LAV family). Rows with no nonzeros in
+    /// the segment are dropped.
+    Full,
+}
+
+/// Column segmentation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SegmentSpec {
+    /// A single segment spanning all columns.
+    One,
+    /// Two segments: the dense one holds the smallest prefix of
+    /// (CFS-ordered) columns covering at least fraction `T` of the
+    /// nonzeros; the sparse one holds the rest.
+    DenseFraction(f64),
+}
+
+/// Full packing configuration (one per method; see module table).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackConfig {
+    /// Chunk height = vector width (the paper uses 4 and 8).
+    pub c: usize,
+    pub sigma: SigmaSpec,
+    /// Apply Column Frequency Sorting first.
+    pub cfs: bool,
+    pub segments: SegmentSpec,
+}
+
+/// One packed column segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Original row ids in pack order (chunk-major). Rows dropped by
+    /// RFS (zero nonzeros in this segment) are absent.
+    row_order: Vec<u32>,
+    /// Per-chunk offsets in *column steps*: chunk `k` spans
+    /// `offsets[k]..offsets[k+1]` steps, each step holding `c` lanes.
+    offsets: Vec<usize>,
+    /// Column ids, `c` lanes per step; padding lanes hold column 0.
+    col_ids: Vec<u32>,
+    /// Values, `c` lanes per step; padding lanes hold 0.0.
+    vals: Vec<f64>,
+    /// Real (unpadded) nonzeros in this segment.
+    nnz_real: usize,
+    /// Half-open range of (post-CFS) column ids this segment covers.
+    col_range: (usize, usize),
+}
+
+impl Segment {
+    #[inline]
+    pub fn nchunks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Width (in column steps) of chunk `k`.
+    #[inline]
+    pub fn chunk_width(&self, k: usize) -> usize {
+        self.offsets[k + 1] - self.offsets[k]
+    }
+
+    /// Rows (original ids) written by chunk `k`.
+    #[inline]
+    pub fn chunk_rows(&self, k: usize, c: usize) -> &[u32] {
+        let lo = k * c;
+        let hi = ((k + 1) * c).min(self.row_order.len());
+        &self.row_order[lo..hi]
+    }
+
+    pub fn row_order(&self) -> &[u32] {
+        &self.row_order
+    }
+
+    pub fn nnz_real(&self) -> usize {
+        self.nnz_real
+    }
+
+    /// Total stored entries including padding.
+    pub fn nnz_padded(&self, c: usize) -> usize {
+        self.offsets.last().copied().unwrap_or(0) * c
+    }
+
+    pub fn col_range(&self) -> (usize, usize) {
+        self.col_range
+    }
+
+    pub fn col_ids(&self) -> &[u32] {
+        &self.col_ids
+    }
+}
+
+/// A matrix packed in SRVPack form, ready for vectorized SpMV.
+///
+/// ```
+/// use wise_kernels::{SrvPack, Schedule};
+/// use wise_kernels::srvpack::SpmvWorkspace;
+/// let m = wise_matrix::Csr::identity(16);
+/// let pack = SrvPack::lav(&m, 4, 0.8);
+/// let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+/// let mut y = vec![0.0; 16];
+/// pack.spmv(&x, &mut y, 2, Schedule::Dyn, &mut SpmvWorkspace::default());
+/// assert_eq!(y, x); // identity matrix
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SrvPack {
+    nrows: usize,
+    ncols: usize,
+    config: PackConfig,
+    /// CFS permutation (`new -> old`), if CFS was applied. The kernel
+    /// gathers the input vector through it per call.
+    col_perm: Option<Permutation>,
+    segments: Vec<Segment>,
+}
+
+/// Reusable scratch buffers for [`SrvPack::spmv`] so iterative callers
+/// (the dominant SpMV use case) pay no per-call allocation.
+#[derive(Debug, Default)]
+pub struct SpmvWorkspace {
+    xperm: Vec<f64>,
+}
+
+impl SrvPack {
+    // ---- Method constructors (Table 1) ------------------------------
+
+    /// Sliced ELLPACK: chunks of `c` consecutive rows, no reordering.
+    pub fn sellpack(m: &Csr, c: usize) -> SrvPack {
+        Self::build(m, PackConfig { c, sigma: SigmaSpec::None, cfs: false, segments: SegmentSpec::One })
+    }
+
+    /// Sell-c-σ: rows sorted by length within σ-row windows.
+    pub fn sell_c_sigma(m: &Csr, c: usize, sigma: usize) -> SrvPack {
+        Self::build(
+            m,
+            PackConfig { c, sigma: SigmaSpec::Window(sigma), cfs: false, segments: SegmentSpec::One },
+        )
+    }
+
+    /// Sell-c-R: global Row Frequency Sorting (σ = number of rows).
+    pub fn sell_c_r(m: &Csr, c: usize) -> SrvPack {
+        Self::build(m, PackConfig { c, sigma: SigmaSpec::Full, cfs: false, segments: SegmentSpec::One })
+    }
+
+    /// LAV with a single segment: CFS then RFS.
+    pub fn lav_1seg(m: &Csr, c: usize) -> SrvPack {
+        Self::build(m, PackConfig { c, sigma: SigmaSpec::Full, cfs: true, segments: SegmentSpec::One })
+    }
+
+    /// Full LAV: CFS, dense/sparse segmentation at fraction `t`, RFS per
+    /// segment.
+    pub fn lav(m: &Csr, c: usize, t: f64) -> SrvPack {
+        Self::build(
+            m,
+            PackConfig { c, sigma: SigmaSpec::Full, cfs: true, segments: SegmentSpec::DenseFraction(t) },
+        )
+    }
+
+    // ---- Generic builder ---------------------------------------------
+
+    /// Packs `m` per `config`. Cost is O(nnz + rows·log σ-window); this
+    /// is the preprocessing the selection heuristic charges for.
+    pub fn build(m: &Csr, config: PackConfig) -> SrvPack {
+        assert!(config.c >= 1, "chunk height c must be >= 1");
+        if let SegmentSpec::DenseFraction(t) = config.segments {
+            assert!((0.0..=1.0).contains(&t), "T must be a fraction, got {t}");
+            assert!(config.cfs, "segmentation requires CFS (LAV applies CFS first)");
+        }
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+
+        // 1. CFS: old -> new column relabeling.
+        let (col_perm, old_to_new) = if config.cfs {
+            let perm = Permutation::sort_desc_by_key(&m.nnz_per_col());
+            let inv = perm.inverse();
+            (Some(perm), Some(inv))
+        } else {
+            (None, None)
+        };
+
+        // 2. Segment boundaries in the (possibly relabeled) column space.
+        let boundaries: Vec<usize> = match config.segments {
+            SegmentSpec::One => vec![0, ncols],
+            SegmentSpec::DenseFraction(t) => {
+                let counts = m.nnz_per_col();
+                let perm = col_perm.as_ref().expect("checked above");
+                let total = m.nnz();
+                let target = (t * total as f64).ceil() as usize;
+                let mut cum = 0usize;
+                let mut split = ncols;
+                for new_c in 0..ncols {
+                    cum += counts[perm.apply(new_c)];
+                    if cum >= target {
+                        split = new_c + 1;
+                        break;
+                    }
+                }
+                if split >= ncols || total == 0 {
+                    vec![0, ncols] // dense segment swallowed everything
+                } else {
+                    vec![0, split, ncols]
+                }
+            }
+        };
+
+        // 3. Build each segment.
+        let nseg = boundaries.len() - 1;
+        let mut segments = Vec::with_capacity(nseg);
+        let mut seg_cols: Vec<(u32, f64)> = Vec::new(); // scratch
+        for s in 0..nseg {
+            let (lo, hi) = (boundaries[s], boundaries[s + 1]);
+
+            // Row lengths within this segment.
+            let mut lens = vec![0usize; nrows];
+            if nseg == 1 && old_to_new.is_none() {
+                for (r, len) in lens.iter_mut().enumerate() {
+                    *len = m.row_nnz(r);
+                }
+            } else {
+                #[allow(clippy::needless_range_loop)]
+                for r in 0..nrows {
+                    for &c in m.row_cols(r) {
+                        let nc = match &old_to_new {
+                            Some(p) => p.apply(c as usize),
+                            None => c as usize,
+                        };
+                        if nc >= lo && nc < hi {
+                            lens[r] += 1;
+                        }
+                    }
+                }
+            }
+
+            // Row order.
+            let row_order: Vec<u32> = match config.sigma {
+                SigmaSpec::None => (0..nrows as u32).collect(),
+                SigmaSpec::Window(w) => {
+                    let w = w.max(1);
+                    let mut order: Vec<u32> = (0..nrows as u32).collect();
+                    for win in order.chunks_mut(w) {
+                        win.sort_by(|&a, &b| {
+                            lens[b as usize].cmp(&lens[a as usize]).then(a.cmp(&b))
+                        });
+                    }
+                    order
+                }
+                SigmaSpec::Full => {
+                    let mut order: Vec<u32> = (0..nrows as u32).collect();
+                    order.sort_by(|&a, &b| {
+                        lens[b as usize].cmp(&lens[a as usize]).then(a.cmp(&b))
+                    });
+                    // Drop trailing zero-length rows: they produce no
+                    // output in this segment.
+                    while let Some(&last) = order.last() {
+                        if lens[last as usize] == 0 {
+                            order.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    order
+                }
+            };
+
+            // Pack chunk-major.
+            let c = config.c;
+            let nchunks = row_order.len().div_ceil(c);
+            let mut offsets = Vec::with_capacity(nchunks + 1);
+            offsets.push(0usize);
+            let mut col_ids: Vec<u32> = Vec::new();
+            let mut vals: Vec<f64> = Vec::new();
+            let mut nnz_real = 0usize;
+            let mut chunk_start = 0usize;
+            while chunk_start < row_order.len() {
+                let chunk_rows = &row_order[chunk_start..(chunk_start + c).min(row_order.len())];
+                let width = chunk_rows.iter().map(|&r| lens[r as usize]).max().unwrap_or(0);
+                let base = col_ids.len();
+                col_ids.resize(base + width * c, 0u32);
+                vals.resize(base + width * c, 0.0f64);
+                for (lane, &r) in chunk_rows.iter().enumerate() {
+                    seg_cols.clear();
+                    for (cc, v) in m.row(r as usize) {
+                        let nc = match &old_to_new {
+                            Some(p) => p.apply(cc as usize),
+                            None => cc as usize,
+                        };
+                        if nc >= lo && nc < hi {
+                            seg_cols.push((nc as u32, v));
+                        }
+                    }
+                    nnz_real += seg_cols.len();
+                    for (j, &(nc, v)) in seg_cols.iter().enumerate() {
+                        col_ids[base + j * c + lane] = nc;
+                        vals[base + j * c + lane] = v;
+                    }
+                }
+                offsets.push(offsets.last().unwrap() + width);
+                chunk_start += c;
+            }
+            segments.push(Segment {
+                row_order,
+                offsets,
+                col_ids,
+                vals,
+                nnz_real,
+                col_range: (lo, hi),
+            });
+        }
+
+        SrvPack { nrows, ncols, config, col_perm, segments }
+    }
+
+    // ---- Accessors ----------------------------------------------------
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn config(&self) -> &PackConfig {
+        &self.config
+    }
+
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    pub fn col_perm(&self) -> Option<&Permutation> {
+        self.col_perm.as_ref()
+    }
+
+    /// Real nonzeros across segments (equals the source matrix's nnz).
+    pub fn nnz_real(&self) -> usize {
+        self.segments.iter().map(|s| s.nnz_real).sum()
+    }
+
+    /// Stored entries including padding — the vectorization overhead the
+    /// paper's zero-padding-minimization methods fight.
+    pub fn nnz_padded(&self) -> usize {
+        self.segments.iter().map(|s| s.nnz_padded(self.config.c)).sum()
+    }
+
+    /// Padding ratio `padded / real` (1.0 = no padding). Returns 1.0 for
+    /// empty matrices.
+    pub fn padding_ratio(&self) -> f64 {
+        let real = self.nnz_real();
+        if real == 0 {
+            1.0
+        } else {
+            self.nnz_padded() as f64 / real as f64
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| {
+                s.vals.len() * 8 + s.col_ids.len() * 4 + s.row_order.len() * 4 + s.offsets.len() * 8
+            })
+            .sum::<usize>()
+            + self.col_perm.as_ref().map_or(0, |p| p.len() * 4)
+    }
+
+    // ---- Kernel --------------------------------------------------------
+
+    /// `y = A x` with `nthreads` workers under `schedule`.
+    ///
+    /// Segments run sequentially (dense first, as in LAV, so its slice
+    /// of the input vector is LLC-resident while processed); chunks
+    /// within a segment run in parallel. `ws` carries the CFS-gathered
+    /// input vector between calls.
+    pub fn spmv(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        nthreads: usize,
+        schedule: Schedule,
+        ws: &mut SpmvWorkspace,
+    ) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        let xeff: &[f64] = match &self.col_perm {
+            Some(perm) => {
+                ws.xperm.resize(self.ncols, 0.0);
+                // Parallel gather: the permutation pass is bandwidth-
+                // bound and LAV performs it every iteration, so it must
+                // scale with the kernel itself.
+                const GATHER_CHUNK: usize = 4096;
+                let nchunks = self.ncols.div_ceil(GATHER_CHUNK);
+                let writer = DisjointWriter::new(&mut ws.xperm);
+                let map = perm.as_slice();
+                parallel_for_chunks(nchunks, nthreads, Schedule::StCont, 1, |chunk| {
+                    let lo = chunk * GATHER_CHUNK;
+                    let hi = (lo + GATHER_CHUNK).min(map.len());
+                    for i in lo..hi {
+                        // SAFETY: chunk index ranges are disjoint.
+                        unsafe { writer.write(i, x[map[i] as usize]) };
+                    }
+                });
+                &ws.xperm
+            }
+            None => x,
+        };
+        y.fill(0.0);
+        let c = self.config.c;
+        // Dynamic scheduling grabs one chunk at a time: under RFS the
+        // widest chunks cluster at the front, and coarse grabs would
+        // hand them all to one thread. Static policies keep CSR-like
+        // granularity to bound the round-robin bookkeeping.
+        let grain = match schedule {
+            Schedule::Dyn => 1,
+            _ => (crate::csr_spmv::DEFAULT_ROWS_PER_CHUNK / c).max(1),
+        };
+        for seg in &self.segments {
+            let writer = DisjointWriter::new(&mut *y);
+            let body = |chunk: usize| match c {
+                4 => Self::chunk_kernel::<4>(seg, xeff, &writer, chunk),
+                8 => Self::chunk_kernel::<8>(seg, xeff, &writer, chunk),
+                _ => Self::chunk_kernel_dyn(seg, c, xeff, &writer, chunk),
+            };
+            parallel_for_chunks(seg.nchunks(), nthreads, schedule, grain, body);
+        }
+    }
+
+    /// Fixed-width chunk kernel: the `[f64; C]` accumulator maps to one
+    /// vector register and the inner loop autovectorizes to the padded
+    /// multiply-adds the paper issues with `#pragma omp simd`.
+    #[inline]
+    fn chunk_kernel<const C: usize>(
+        seg: &Segment,
+        x: &[f64],
+        writer: &DisjointWriter<f64>,
+        chunk: usize,
+    ) {
+        let w0 = seg.offsets[chunk];
+        let w1 = seg.offsets[chunk + 1];
+        let vals = &seg.vals[w0 * C..w1 * C];
+        let cols = &seg.col_ids[w0 * C..w1 * C];
+        let mut acc = [0.0f64; C];
+        for (vrow, crow) in vals.chunks_exact(C).zip(cols.chunks_exact(C)) {
+            for l in 0..C {
+                acc[l] += vrow[l] * x[crow[l] as usize];
+            }
+        }
+        let rows = seg.chunk_rows(chunk, C);
+        for (l, &r) in rows.iter().enumerate() {
+            // SAFETY: rows are unique within a segment and segments are
+            // processed sequentially.
+            unsafe { writer.add(r as usize, acc[l]) };
+        }
+    }
+
+    /// Runtime-width fallback for non-{4,8} chunk heights.
+    fn chunk_kernel_dyn(
+        seg: &Segment,
+        c: usize,
+        x: &[f64],
+        writer: &DisjointWriter<f64>,
+        chunk: usize,
+    ) {
+        let w0 = seg.offsets[chunk];
+        let w1 = seg.offsets[chunk + 1];
+        let vals = &seg.vals[w0 * c..w1 * c];
+        let cols = &seg.col_ids[w0 * c..w1 * c];
+        let mut acc = vec![0.0f64; c];
+        for (vrow, crow) in vals.chunks_exact(c).zip(cols.chunks_exact(c)) {
+            for l in 0..c {
+                acc[l] += vrow[l] * x[crow[l] as usize];
+            }
+        }
+        let rows = seg.chunk_rows(chunk, c);
+        for (l, &r) in rows.iter().enumerate() {
+            // SAFETY: as in `chunk_kernel`.
+            unsafe { writer.add(r as usize, acc[l]) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wise_gen::{suite, RmatParams};
+
+    fn random_x(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn assert_matches_reference(m: &Csr, pack: &SrvPack, nthreads: usize, tag: &str) {
+        let x = random_x(m.ncols(), 7);
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x, &mut want);
+        let mut ws = SpmvWorkspace::default();
+        for sched in Schedule::ALL {
+            let mut got = vec![1e9; m.nrows()];
+            pack.spmv(&x, &mut got, nthreads, sched, &mut ws);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g - w).abs() <= 1e-9 * (1.0 + w.abs()),
+                    "{tag} {sched:?} row {i}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    fn fig1a() -> Csr {
+        // Same example as the paper's Figure 1a (see wise-matrix tests).
+        let rows: Vec<Vec<u32>> = vec![
+            vec![0, 3],
+            vec![1, 2, 4],
+            vec![2, 3],
+            vec![3, 4],
+            vec![0],
+            vec![2, 3],
+            vec![0, 1, 2],
+            vec![3, 7],
+        ];
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        let mut v = 1.0;
+        for r in rows {
+            for c in r {
+                col_idx.push(c);
+                vals.push(v);
+                v += 1.0;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::try_new(8, 8, row_ptr, col_idx, vals).unwrap()
+    }
+
+    #[test]
+    fn sellpack_fig1_layout() {
+        // Figure 1b: c=2 chunks of consecutive rows padded to the
+        // longer row of each pair.
+        let m = fig1a();
+        let p = SrvPack::sellpack(&m, 2);
+        assert_eq!(p.segments().len(), 1);
+        let seg = &p.segments()[0];
+        assert_eq!(seg.nchunks(), 4);
+        // Chunk widths: max(2,3)=3, max(2,2)=2, max(1,2)=2, max(3,2)=3.
+        let widths: Vec<_> = (0..4).map(|k| seg.chunk_width(k)).collect();
+        assert_eq!(widths, vec![3, 2, 2, 3]);
+        assert_eq!(p.nnz_real(), 17);
+        assert_eq!(p.nnz_padded(), (3 + 2 + 2 + 3) * 2);
+    }
+
+    #[test]
+    fn sell_c_sigma_reduces_padding() {
+        // Skewed matrix: σ-sorting must not increase padding.
+        let m = RmatParams::HIGH_SKEW.generate(10, 8, 3);
+        let plain = SrvPack::sellpack(&m, 8);
+        let sorted = SrvPack::sell_c_sigma(&m, 8, 512);
+        let full = SrvPack::sell_c_r(&m, 8);
+        assert!(sorted.nnz_padded() <= plain.nnz_padded());
+        assert!(full.nnz_padded() <= sorted.nnz_padded());
+        assert_eq!(full.nnz_real(), m.nnz());
+    }
+
+    #[test]
+    fn lav_fig1_dense_segment() {
+        // Figure 1f: T=0.7 puts CFS columns {0,3,2} in the dense segment.
+        // Column nnz of fig1a: c0:3 c1:2 c2:4 c3:5 c4:2 c7:1 -> CFS
+        // order c3,c2,c0,... cum 5,9,12 of 17; target ceil(0.7*17)=12 ->
+        // split after 3 columns.
+        let m = fig1a();
+        let p = SrvPack::lav(&m, 2, 0.7);
+        assert_eq!(p.segments().len(), 2);
+        let dense = &p.segments()[0];
+        assert_eq!(dense.col_range(), (0, 3));
+        assert_eq!(dense.nnz_real(), 12);
+        let sparse = &p.segments()[1];
+        assert_eq!(sparse.nnz_real(), 5);
+        // CFS perm maps new 0,1,2 to old 3,2,0.
+        let perm = p.col_perm().unwrap();
+        assert_eq!(perm.apply(0), 3);
+        assert_eq!(perm.apply(1), 2);
+        assert_eq!(perm.apply(2), 0);
+    }
+
+    #[test]
+    fn all_methods_match_reference_on_random_matrices() {
+        for (i, m) in [
+            RmatParams::HIGH_SKEW.generate(9, 8, 1),
+            RmatParams::LOW_LOC.generate(9, 4, 2),
+            suite::stencil_2d(23, 23),
+            suite::banded(517, 9, 0.5, 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for c in [4usize, 8] {
+                assert_matches_reference(m, &SrvPack::sellpack(m, c), 3, &format!("sellpack{i}"));
+                assert_matches_reference(
+                    m,
+                    &SrvPack::sell_c_sigma(m, c, 64),
+                    3,
+                    &format!("sigma{i}"),
+                );
+                assert_matches_reference(m, &SrvPack::sell_c_r(m, c), 3, &format!("scr{i}"));
+                assert_matches_reference(m, &SrvPack::lav_1seg(m, c), 3, &format!("lav1{i}"));
+                assert_matches_reference(m, &SrvPack::lav(m, c, 0.7), 3, &format!("lav{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_chunk_height_works() {
+        let m = RmatParams::MED_SKEW.generate(8, 6, 9);
+        assert_matches_reference(&m, &SrvPack::sellpack(&m, 3), 2, "c3");
+        assert_matches_reference(&m, &SrvPack::lav(&m, 5, 0.8), 2, "c5");
+    }
+
+    #[test]
+    fn rfs_orders_rows_descending() {
+        let m = RmatParams::HIGH_SKEW.generate(9, 8, 4);
+        let p = SrvPack::sell_c_r(&m, 8);
+        let seg = &p.segments()[0];
+        let lens: Vec<usize> = seg.row_order().iter().map(|&r| m.row_nnz(r as usize)).collect();
+        for w in lens.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Dropped rows are exactly the empty ones.
+        let nonempty = (0..m.nrows()).filter(|&r| m.row_nnz(r) > 0).count();
+        assert_eq!(seg.row_order().len(), nonempty);
+    }
+
+    #[test]
+    fn lav_segments_partition_nonzeros() {
+        let m = RmatParams::HIGH_SKEW.generate(10, 16, 5);
+        for t in [0.7, 0.8, 0.9] {
+            let p = SrvPack::lav(&m, 8, t);
+            assert_eq!(p.nnz_real(), m.nnz(), "T={t}");
+            if p.segments().len() == 2 {
+                let dense_frac = p.segments()[0].nnz_real() as f64 / m.nnz() as f64;
+                assert!(dense_frac >= t, "dense fraction {dense_frac} < {t}");
+                // Minimality: removing the last dense column must drop below T.
+                let (lo, hi) = p.segments()[0].col_range();
+                assert!(lo == 0 && hi >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csr::zero(6, 6);
+        let p = SrvPack::lav(&m, 4, 0.7);
+        let x = vec![1.0; 6];
+        let mut y = vec![5.0; 6];
+        p.spmv(&x, &mut y, 2, Schedule::Dyn, &mut SpmvWorkspace::default());
+        assert_eq!(y, vec![0.0; 6]);
+        assert_eq!(p.padding_ratio(), 1.0);
+    }
+
+    #[test]
+    fn single_row_matrix() {
+        let m = Csr::try_new(1, 3, vec![0, 2], vec![0, 2], vec![2.0, 3.0]).unwrap();
+        assert_matches_reference(&m, &SrvPack::sellpack(&m, 8), 2, "1row");
+    }
+
+    #[test]
+    fn workspace_reuse_is_correct() {
+        let m = RmatParams::HIGH_SKEW.generate(8, 8, 11);
+        let p = SrvPack::lav(&m, 8, 0.8);
+        let mut ws = SpmvWorkspace::default();
+        let x1 = random_x(m.ncols(), 1);
+        let x2 = random_x(m.ncols(), 2);
+        let mut y1 = vec![0.0; m.nrows()];
+        let mut y2 = vec![0.0; m.nrows()];
+        p.spmv(&x1, &mut y1, 2, Schedule::Dyn, &mut ws);
+        p.spmv(&x2, &mut y2, 2, Schedule::Dyn, &mut ws); // reuses xperm
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x2, &mut want);
+        for (g, w) in y2.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn padding_ratio_exact_for_uniform_rows() {
+        // All rows same length -> no padding regardless of method.
+        let m = suite::banded(128, 2, 1.0, 0); // interior rows length 5
+        let p = SrvPack::sell_c_r(&m, 4);
+        // Only boundary rows differ; ratio stays close to 1.
+        assert!(p.padding_ratio() < 1.05, "ratio={}", p.padding_ratio());
+    }
+}

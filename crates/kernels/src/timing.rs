@@ -1,0 +1,60 @@
+//! Robust wall-clock measurement helpers.
+//!
+//! SpMV iterations on small matrices run in microseconds, so single
+//! measurements are hopelessly noisy. [`measure_median`] runs a warmup
+//! then reports the median of repeated timed runs — the estimator the
+//! bench harness uses when operating in wall-clock (`--measured`) mode.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` `warmup` times untimed, then `iters` timed runs, returning
+/// the median duration. `iters` of 0 is treated as 1.
+pub fn measure_median(mut f: impl FnMut(), warmup: usize, iters: usize) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let iters = iters.max(1);
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times a single invocation (used for one-shot preprocessing costs).
+pub fn measure_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_warmup_plus_iters() {
+        let calls = AtomicUsize::new(0);
+        let d = measure_median(|| { calls.fetch_add(1, Ordering::Relaxed); }, 3, 5);
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_iters_still_measures_once() {
+        let calls = AtomicUsize::new(0);
+        measure_median(|| { calls.fetch_add(1, Ordering::Relaxed); }, 0, 0);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn measure_once_returns_value() {
+        let (v, d) = measure_once(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d < Duration::from_secs(1));
+    }
+}

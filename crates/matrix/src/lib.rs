@@ -1,0 +1,75 @@
+//! Sparse-matrix substrate for the WISE reproduction.
+//!
+//! This crate provides the storage formats every other crate in the
+//! workspace builds on:
+//!
+//! * [`Csr`] — Compressed Sparse Row, the baseline format of the paper
+//!   (Section 2.1). All SpMV methods start from a CSR matrix.
+//! * [`Coo`] — coordinate triplets, the natural output of the matrix
+//!   generators and of Matrix Market files; convertible to CSR.
+//! * [`Permutation`] — bijective index maps used by the reordering
+//!   transformations (RFS row sorting, CFS column sorting).
+//! * [`io`] — Matrix Market reading/writing so external matrices (e.g.
+//!   actual SuiteSparse downloads) can be plugged into the pipeline.
+//!
+//! Conventions: row pointers are `usize`, column indices are `u32`
+//! (the paper caps matrices at 2^26 rows/columns), values are `f64`.
+//! Column indices within each CSR row are kept sorted; every constructor
+//! either sorts or verifies.
+
+pub mod coo;
+pub mod csr;
+pub mod io;
+pub mod perm;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use perm::Permutation;
+
+/// Errors produced by matrix construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// A column index was >= the declared number of columns.
+    ColumnOutOfBounds { row: usize, col: u32, ncols: usize },
+    /// A row index was >= the declared number of rows.
+    RowOutOfBounds { row: usize, nrows: usize },
+    /// `row_ptr` is not monotonically non-decreasing or has wrong length.
+    MalformedRowPtr(String),
+    /// Column indices within a row are not strictly increasing.
+    UnsortedRow { row: usize },
+    /// A Matrix Market file could not be parsed.
+    Parse(String),
+    /// An I/O error (stringified; `std::io::Error` is not `Clone`).
+    Io(String),
+    /// A permutation was not a bijection on `0..n`.
+    InvalidPermutation(String),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::ColumnOutOfBounds { row, col, ncols } => {
+                write!(f, "column {col} out of bounds (ncols={ncols}) in row {row}")
+            }
+            MatrixError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row {row} out of bounds (nrows={nrows})")
+            }
+            MatrixError::MalformedRowPtr(s) => write!(f, "malformed row_ptr: {s}"),
+            MatrixError::UnsortedRow { row } => write!(f, "row {row} has unsorted column indices"),
+            MatrixError::Parse(s) => write!(f, "parse error: {s}"),
+            MatrixError::Io(s) => write!(f, "io error: {s}"),
+            MatrixError::InvalidPermutation(s) => write!(f, "invalid permutation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, MatrixError>;

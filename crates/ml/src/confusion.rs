@@ -1,0 +1,180 @@
+//! Confusion matrices and the paper's accuracy readings (Section 6.2,
+//! Figure 10).
+
+use serde::{Deserialize, Serialize};
+
+/// An `n_classes x n_classes` confusion matrix; rows are true classes,
+/// columns predicted (as in Figure 10 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// Row-major counts.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    pub fn new(n_classes: usize) -> ConfusionMatrix {
+        ConfusionMatrix { n_classes, counts: vec![0; n_classes * n_classes] }
+    }
+
+    /// Builds directly from label pairs.
+    pub fn from_pairs(n_classes: usize, pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut m = Self::new(n_classes);
+        for (t, p) in pairs {
+            m.record(t, p);
+        }
+        m
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records one `(true, predicted)` observation.
+    pub fn record(&mut self, truth: u32, predicted: u32) {
+        assert!((truth as usize) < self.n_classes && (predicted as usize) < self.n_classes);
+        self.counts[truth as usize * self.n_classes + predicted as usize] += 1;
+    }
+
+    /// Merges another matrix (used to combine the k folds of CV).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.n_classes + predicted]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact-match accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.n_classes).map(|i| self.get(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Fraction of *misclassified* samples within `dist` classes of the
+    /// truth — the paper reports ≥89% of misses at distance 1.
+    pub fn misses_within(&self, dist: usize) -> f64 {
+        let total = self.total();
+        let diag: u64 = (0..self.n_classes).map(|i| self.get(i, i)).sum();
+        let misses = total - diag;
+        if misses == 0 {
+            return 1.0;
+        }
+        let mut near = 0u64;
+        for t in 0..self.n_classes {
+            for p in 0..self.n_classes {
+                if t != p && t.abs_diff(p) <= dist {
+                    near += self.get(t, p);
+                }
+            }
+        }
+        near as f64 / misses as f64
+    }
+
+    /// Mass above the diagonal (speedup over-estimated, the less
+    /// desirable direction per the paper) vs below.
+    pub fn over_under(&self) -> (u64, u64) {
+        let mut over = 0;
+        let mut under = 0;
+        for t in 0..self.n_classes {
+            for p in 0..self.n_classes {
+                use std::cmp::Ordering;
+                match p.cmp(&t) {
+                    Ordering::Greater => over += self.get(t, p),
+                    Ordering::Less => under += self.get(t, p),
+                    Ordering::Equal => {}
+                }
+            }
+        }
+        (over, under)
+    }
+
+    /// ASCII rendering in the layout of Figure 10.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("true\\pred");
+        for p in 0..self.n_classes {
+            s.push_str(&format!("{p:>7}"));
+        }
+        s.push('\n');
+        for t in 0..self.n_classes {
+            s.push_str(&format!("{t:>9}"));
+            for p in 0..self.n_classes {
+                s.push_str(&format!("{:>7}", self.get(t, p)));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_accuracy() {
+        let m = ConfusionMatrix::from_pairs(3, [(0, 0), (1, 1), (2, 2), (0, 1)]);
+        assert_eq!(m.total(), 4);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_within_distance() {
+        // Misses: (0,1) d=1, (0,2) d=2, (2,1) d=1 -> 2/3 within 1.
+        let m = ConfusionMatrix::from_pairs(3, [(0, 0), (0, 1), (0, 2), (2, 1)]);
+        assert!((m.misses_within(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.misses_within(2), 1.0);
+    }
+
+    #[test]
+    fn all_correct_means_within_is_one() {
+        let m = ConfusionMatrix::from_pairs(2, [(0, 0), (1, 1)]);
+        assert_eq!(m.misses_within(1), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn over_under_split() {
+        let m = ConfusionMatrix::from_pairs(3, [(0, 2), (2, 0), (1, 2), (1, 1)]);
+        let (over, under) = m.over_under();
+        assert_eq!(over, 2);
+        assert_eq!(under, 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::from_pairs(2, [(0, 0)]);
+        let b = ConfusionMatrix::from_pairs(2, [(0, 0), (1, 0)]);
+        a.merge(&b);
+        assert_eq!(a.get(0, 0), 2);
+        assert_eq!(a.get(1, 0), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let m = ConfusionMatrix::from_pairs(2, [(0, 1), (0, 1), (0, 1)]);
+        let s = m.render();
+        assert!(s.contains('3'), "{s}");
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.misses_within(1), 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Feature-matrix storage and cross-validation splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense feature matrix with integer class labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major `n_samples x n_features`.
+    features: Vec<f64>,
+    labels: Vec<u32>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset; every row must have `n_features` entries and
+    /// labels must be `< n_classes`.
+    pub fn new(rows: Vec<Vec<f64>>, labels: Vec<u32>, n_classes: usize) -> Dataset {
+        assert_eq!(rows.len(), labels.len(), "rows and labels must align");
+        let n_features = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut features = Vec::with_capacity(rows.len() * n_features);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), n_features, "row {i} has wrong feature count");
+            features.extend_from_slice(r);
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            assert!((l as usize) < n_classes, "label {l} at sample {i} >= n_classes {n_classes}");
+        }
+        Dataset { features, labels, n_features, n_classes }
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row of sample `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    #[inline]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The sub-dataset at `indices` (copies rows).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.n_features);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset { features, labels, n_features: self.n_features, n_classes: self.n_classes }
+    }
+}
+
+/// Seeded k-fold split: returns `(train_indices, test_indices)` per
+/// fold. Indices are shuffled deterministically; folds are disjoint and
+/// jointly cover `0..n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= k, "need at least k samples");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test: Vec<usize> = order[lo..hi].to_vec();
+        let train: Vec<usize> =
+            order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]],
+            vec![0, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[1.0, 0.0]);
+        assert_eq!(d.label(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn rejects_out_of_range_label() {
+        Dataset::new(vec![vec![0.0]], vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong feature count")]
+    fn rejects_ragged_rows() {
+        Dataset::new(vec![vec![0.0], vec![1.0, 2.0]], vec![0, 0], 1);
+    }
+
+    #[test]
+    fn subset_copies_rows() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[2.0, 2.0]);
+        assert_eq!(s.label(1), 0);
+    }
+
+    #[test]
+    fn kfold_partitions() {
+        let folds = kfold_indices(103, 10, 42);
+        assert_eq!(folds.len(), 10);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..103).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 103);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        assert_eq!(kfold_indices(50, 5, 7), kfold_indices(50, 5, 7));
+        assert_ne!(kfold_indices(50, 5, 7), kfold_indices(50, 5, 8));
+    }
+}

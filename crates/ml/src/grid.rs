@@ -1,0 +1,112 @@
+//! Hyperparameter grid sweeps (paper Table 4) and cross-validated
+//! evaluation helpers.
+
+use crate::confusion::ConfusionMatrix;
+use crate::dataset::{kfold_indices, Dataset};
+use crate::tree::{DecisionTree, TreeParams};
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table 4 axes.
+pub const DEPTH_GRID: [usize; 4] = [5, 10, 15, 20];
+pub const CCP_GRID: [f64; 6] = [0.0, 0.001, 0.005, 0.01, 0.05, 0.1];
+
+/// One cell of a grid sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    pub max_depth: usize,
+    pub ccp_alpha: f64,
+    pub score: f64,
+}
+
+/// Runs `eval` for every `(depth, ccp)` combination of Table 4 and
+/// returns the grid row-major (depth-major, ccp-minor).
+pub fn sweep_table4(mut eval: impl FnMut(TreeParams) -> f64) -> Vec<GridCell> {
+    let mut out = Vec::with_capacity(DEPTH_GRID.len() * CCP_GRID.len());
+    for &d in &DEPTH_GRID {
+        for &ccp in &CCP_GRID {
+            let params = TreeParams { max_depth: d, ccp_alpha: ccp, ..Default::default() };
+            out.push(GridCell { max_depth: d, ccp_alpha: ccp, score: eval(params) });
+        }
+    }
+    out
+}
+
+/// K-fold cross-validated predictions for one tree configuration:
+/// returns `(true, predicted)` pairs covering every sample exactly once,
+/// plus the combined confusion matrix — the construction behind
+/// Figure 10.
+pub fn cross_val_confusion(
+    data: &Dataset,
+    params: TreeParams,
+    k: usize,
+    seed: u64,
+) -> (Vec<(u32, u32)>, ConfusionMatrix) {
+    let folds = kfold_indices(data.len(), k, seed);
+    let mut pairs = vec![(0u32, 0u32); data.len()];
+    let mut cm = ConfusionMatrix::new(data.n_classes());
+    for (train_idx, test_idx) in folds {
+        let train = data.subset(&train_idx);
+        let tree = DecisionTree::fit(&train, params);
+        for &i in &test_idx {
+            let truth = data.label(i);
+            let pred = tree.predict(data.row(i));
+            pairs[i] = (truth, pred);
+            cm.record(truth, pred);
+        }
+    }
+    (pairs, cm)
+}
+
+/// Out-of-fold predictions only (when the caller aggregates its own
+/// metric, e.g. the end-to-end speedup of Table 4).
+pub fn cross_val_predictions(data: &Dataset, params: TreeParams, k: usize, seed: u64) -> Vec<u32> {
+    cross_val_confusion(data, params, k, seed)
+        .0
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        // Cleanly separable three-class problem.
+        let rows: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let labels: Vec<u32> = (0..90).map(|i| (i / 30) as u32).collect();
+        Dataset::new(rows, labels, 3)
+    }
+
+    #[test]
+    fn table4_grid_shape() {
+        let cells = sweep_table4(|p| p.max_depth as f64 + p.ccp_alpha);
+        assert_eq!(cells.len(), 24);
+        assert_eq!(cells[0].max_depth, 5);
+        assert_eq!(cells[0].ccp_alpha, 0.0);
+        assert_eq!(cells[23].max_depth, 20);
+        assert!((cells[23].ccp_alpha - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_val_covers_every_sample() {
+        let d = dataset();
+        let (pairs, cm) = cross_val_confusion(&d, TreeParams::default(), 10, 1);
+        assert_eq!(pairs.len(), d.len());
+        assert_eq!(cm.total(), d.len() as u64);
+        // Separable data: held-out accuracy should be high.
+        assert!(cm.accuracy() > 0.9, "accuracy {}", cm.accuracy());
+        // Truth labels recorded faithfully.
+        for (i, &(t, _)) in pairs.iter().enumerate() {
+            assert_eq!(t, d.label(i));
+        }
+    }
+
+    #[test]
+    fn cross_val_deterministic() {
+        let d = dataset();
+        let a = cross_val_predictions(&d, TreeParams::default(), 5, 3);
+        let b = cross_val_predictions(&d, TreeParams::default(), 5, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+//! Machine-learning substrate for the WISE reproduction.
+//!
+//! The paper trains one decision-tree classifier per `{method,
+//! parameter}` configuration (29 trees), with Gini split criterion,
+//! maximum depth 15, and minimal cost-complexity pruning at
+//! `ccp_alpha = 0.005` (Section 4.3, Table 4). No ML crates are
+//! available offline, so the trees are implemented here from scratch:
+//!
+//! * [`tree`] — CART classification trees (Gini impurity, midpoint
+//!   thresholds, deterministic tie-breaking) plus sklearn-style minimal
+//!   cost-complexity pruning;
+//! * [`dataset`] — feature-matrix/label storage and seeded k-fold
+//!   splitting (the paper uses 10-fold cross-validation);
+//! * [`confusion`] — confusion matrices with the paper's two accuracy
+//!   readings (exact and within-one-class distance);
+//! * [`grid`] — the hyperparameter grid sweep of Table 4.
+
+pub mod confusion;
+pub mod forest;
+pub mod dataset;
+pub mod grid;
+pub mod tree;
+
+pub use confusion::ConfusionMatrix;
+pub use forest::{ForestParams, RandomForest};
+pub use dataset::{kfold_indices, Dataset};
+pub use tree::{DecisionTree, TreeParams};

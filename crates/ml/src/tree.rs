@@ -1,0 +1,546 @@
+//! CART classification trees with Gini splits and minimal
+//! cost-complexity pruning (paper Section 4.3).
+//!
+//! Matches the sklearn configuration the paper uses: Gini impurity
+//! split criterion, `max_depth = 15`, `ccp_alpha = 0.005` by default.
+//! Fitting is fully deterministic — features are scanned in order and
+//! the first best split wins — so trained models are reproducible
+//! artifacts.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters (paper defaults from Table 4's chosen cell).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples on each side of a split.
+    pub min_samples_leaf: usize,
+    /// Minimal cost-complexity pruning threshold.
+    pub ccp_alpha: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 15, min_samples_split: 2, min_samples_leaf: 1, ccp_alpha: 0.005 }
+    }
+}
+
+/// One tree node. Leaves have `feature == u32::MAX`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Node {
+    /// Split feature index, or `u32::MAX` for a leaf.
+    feature: u32,
+    /// Split threshold: `x[feature] <= threshold` goes left.
+    threshold: f64,
+    left: u32,
+    right: u32,
+    /// Majority class at this node.
+    class: u32,
+    /// Training samples that reached this node.
+    n_samples: u32,
+    /// Misclassified training fraction if this node were a leaf,
+    /// weighted by n_samples/n_total (the R(t) of pruning).
+    node_risk: f64,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.feature == u32::MAX
+    }
+}
+
+/// A trained classification tree.
+///
+/// ```
+/// use wise_ml::{Dataset, DecisionTree, TreeParams};
+/// let data = Dataset::new(
+///     vec![vec![0.1], vec![0.2], vec![0.8], vec![0.9]],
+///     vec![0, 0, 1, 1],
+///     2,
+/// );
+/// let tree = DecisionTree::fit(&data, TreeParams::default());
+/// assert_eq!(tree.predict(&[0.05]), 0);
+/// assert_eq!(tree.predict(&[0.95]), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+    params: TreeParams,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data` with `params`, then applies cost-complexity
+    /// pruning at `params.ccp_alpha`.
+    pub fn fit(data: &Dataset, params: TreeParams) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: data.n_features(),
+            n_classes: data.n_classes(),
+            params,
+        };
+        let indices: Vec<u32> = (0..data.len() as u32).collect();
+        tree.build(data, indices, 0);
+        tree.prune(params.ccp_alpha);
+        tree
+    }
+
+    /// Recursively builds the subtree for `indices`; returns its node id.
+    fn build(&mut self, data: &Dataset, indices: Vec<u32>, depth: usize) -> u32 {
+        let counts = class_counts(data, &indices, self.n_classes);
+        let (majority, majority_n) = argmax(&counts);
+        let n = indices.len();
+        let node_risk = (n - majority_n) as f64 / data.len() as f64;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            feature: u32::MAX,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            class: majority as u32,
+            n_samples: n as u32,
+            node_risk,
+        });
+
+        let pure = majority_n == n;
+        if pure || depth >= self.params.max_depth || n < self.params.min_samples_split {
+            return id;
+        }
+        let Some((feature, threshold)) = self.best_split(data, &indices, &counts) else {
+            return id;
+        };
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+            indices.into_iter().partition(|&i| data.row(i as usize)[feature] <= threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+        let left = self.build(data, left_idx, depth + 1);
+        let right = self.build(data, right_idx, depth + 1);
+        let node = &mut self.nodes[id as usize];
+        node.feature = feature as u32;
+        node.threshold = threshold;
+        node.left = left;
+        node.right = right;
+        id
+    }
+
+    /// Exhaustive best Gini split over all features; `None` if no split
+    /// satisfies the leaf-size constraint or improves impurity.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        indices: &[u32],
+        parent_counts: &[usize],
+    ) -> Option<(usize, f64)> {
+        let n = indices.len() as f64;
+        let parent_gini = gini_from_counts(parent_counts, indices.len());
+        let min_leaf = self.params.min_samples_leaf;
+        let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+
+        let mut sorted: Vec<(f64, u32)> = Vec::with_capacity(indices.len());
+        for feature in 0..self.n_features {
+            sorted.clear();
+            sorted.extend(
+                indices.iter().map(|&i| (data.row(i as usize)[feature], data.label(i as usize))),
+            );
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut left_n = 0usize;
+            for w in 0..sorted.len() - 1 {
+                let (v, label) = sorted[w];
+                left_counts[label as usize] += 1;
+                left_n += 1;
+                let v_next = sorted[w + 1].0;
+                if v == v_next {
+                    continue; // can't split between equal values
+                }
+                let right_n = sorted.len() - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                // Weighted child Gini. Like sklearn, a split is
+                // acceptable even at zero impurity decrease (ties with
+                // the parent); recursion still terminates because both
+                // children are strictly smaller. Among candidates the
+                // first strictly-best split wins (deterministic).
+                let gl = gini_incremental(&left_counts, left_n);
+                let gr = gini_remainder(parent_counts, &left_counts, right_n);
+                let weighted = (left_n as f64 * gl + right_n as f64 * gr) / n;
+                let bar = best.map_or(parent_gini + 1e-12, |(b, _, _)| b);
+                if weighted < bar {
+                    let threshold = v + (v_next - v) / 2.0;
+                    best = Some((weighted, feature, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Minimal cost-complexity pruning: repeatedly collapse the internal
+    /// node with the weakest link strength
+    /// `g(t) = (R(t) - R(T_t)) / (|leaves(T_t)| - 1)`
+    /// while `g(t) <= alpha` (Breiman et al.; sklearn's `ccp_alpha`).
+    fn prune(&mut self, alpha: f64) {
+        if alpha <= 0.0 {
+            return;
+        }
+        loop {
+            // Subtree risk and leaf count per node.
+            let (risk, leaves) = self.subtree_stats();
+            let mut weakest: Option<(f64, usize)> = None;
+            for (i, node) in self.nodes.iter().enumerate() {
+                if node.is_leaf() || !self.reachable(i) {
+                    continue;
+                }
+                let nl = leaves[i];
+                if nl <= 1 {
+                    continue;
+                }
+                let g = (node.node_risk - risk[i]) / (nl as f64 - 1.0);
+                if weakest.is_none_or(|(wg, _)| g < wg) {
+                    weakest = Some((g, i));
+                }
+            }
+            match weakest {
+                Some((g, i)) if g <= alpha => {
+                    let node = &mut self.nodes[i];
+                    node.feature = u32::MAX;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// `(R(T_t), |leaves(T_t)|)` for every node (children processed
+    /// before parents because children always have larger ids).
+    fn subtree_stats(&self) -> (Vec<f64>, Vec<usize>) {
+        let n = self.nodes.len();
+        let mut risk = vec![0.0f64; n];
+        let mut leaves = vec![0usize; n];
+        for i in (0..n).rev() {
+            let node = &self.nodes[i];
+            if node.is_leaf() {
+                risk[i] = node.node_risk;
+                leaves[i] = 1;
+            } else {
+                risk[i] = risk[node.left as usize] + risk[node.right as usize];
+                leaves[i] = leaves[node.left as usize] + leaves[node.right as usize];
+            }
+        }
+        (risk, leaves)
+    }
+
+    /// Whether node `i` is still reachable from the root (pruning turns
+    /// ancestors into leaves without removing descendants).
+    fn reachable(&self, target: usize) -> bool {
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if i == target {
+                return true;
+            }
+            let node = &self.nodes[i];
+            if !node.is_leaf() {
+                stack.push(node.left as usize);
+                stack.push(node.right as usize);
+            }
+        }
+        false
+    }
+
+    /// Predicts the class of one feature row.
+    pub fn predict(&self, row: &[f64]) -> u32 {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.is_leaf() {
+                return node.class;
+            }
+            i = if row[node.feature as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Per-feature importance: normalized training-error decrease
+    /// contributed by splits on each feature (the order-consistent
+    /// analogue of sklearn's `feature_importances_`). Reveals which of
+    /// the Table 2 features actually drive each performance model.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut importances = vec![0.0f64; self.n_features];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i];
+            if node.is_leaf() {
+                continue;
+            }
+            let l = &self.nodes[node.left as usize];
+            let r = &self.nodes[node.right as usize];
+            // node_risk is already weighted by n_samples / n_total, so
+            // this is the (sample-weighted) error decrease of the split.
+            let decrease = (node.node_risk - l.node_risk - r.node_risk).max(0.0);
+            importances[node.feature as usize] += decrease;
+            stack.push(node.left as usize);
+            stack.push(node.right as usize);
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut importances {
+                *v /= total;
+            }
+        }
+        importances
+    }
+
+    /// Number of reachable nodes.
+    pub fn n_nodes(&self) -> usize {
+        let mut count = 0;
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            count += 1;
+            let node = &self.nodes[i];
+            if !node.is_leaf() {
+                stack.push(node.left as usize);
+                stack.push(node.right as usize);
+            }
+        }
+        count
+    }
+
+    /// Maximum depth of the reachable tree (root = depth 0).
+    pub fn depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((i, d)) = stack.pop() {
+            max = max.max(d);
+            let node = &self.nodes[i];
+            if !node.is_leaf() {
+                stack.push((node.left as usize, d + 1));
+                stack.push((node.right as usize, d + 1));
+            }
+        }
+        max
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+}
+
+fn class_counts(data: &Dataset, indices: &[u32], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &i in indices {
+        counts[data.label(i as usize) as usize] += 1;
+    }
+    counts
+}
+
+fn argmax(counts: &[usize]) -> (usize, usize) {
+    let mut best = (0usize, 0usize);
+    for (c, &n) in counts.iter().enumerate() {
+        if n > best.1 {
+            best = (c, n);
+        }
+    }
+    best
+}
+
+fn gini_from_counts(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / nf).powi(2)).sum::<f64>()
+}
+
+fn gini_incremental(left_counts: &[usize], left_n: usize) -> f64 {
+    gini_from_counts(left_counts, left_n)
+}
+
+fn gini_remainder(parent: &[usize], left: &[usize], right_n: usize) -> f64 {
+    if right_n == 0 {
+        return 0.0;
+    }
+    let nf = right_n as f64;
+    let mut acc = 0.0;
+    for (p, l) in parent.iter().zip(left.iter()) {
+        let r = (p - l) as f64 / nf;
+        acc += r * r;
+    }
+    1.0 - acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn axis_dataset() -> Dataset {
+        // Class = (x > 0.5) as label, y irrelevant.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 40.0, ((i * 7) % 13) as f64])
+            .collect();
+        let labels: Vec<u32> = (0..40).map(|i| u32::from(i as f64 / 40.0 > 0.5)).collect();
+        Dataset::new(rows, labels, 2)
+    }
+
+    #[test]
+    fn fits_axis_aligned_split_perfectly() {
+        let d = axis_dataset();
+        let t = DecisionTree::fit(&d, TreeParams { ccp_alpha: 0.0, ..Default::default() });
+        assert_eq!(t.predict_all(&d), d.labels());
+        // One split suffices.
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // XOR labels force depth 2; cap at 1 first.
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
+            .collect();
+        let labels: Vec<u32> = (0..32).map(|i| ((i % 2) ^ ((i / 2) % 2)) as u32).collect();
+        let d = Dataset::new(rows, labels, 2);
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams { max_depth: 1, ccp_alpha: 0.0, ..Default::default() },
+        );
+        assert!(t.depth() <= 1);
+        // Depth 2 solves XOR exactly.
+        let t2 = DecisionTree::fit(
+            &d,
+            TreeParams { max_depth: 4, ccp_alpha: 0.0, ..Default::default() },
+        );
+        assert_eq!(t2.predict_all(&d), d.labels());
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let d = axis_dataset();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams { min_samples_leaf: 25, ccp_alpha: 0.0, ..Default::default() },
+        );
+        // No split can leave 25 on both sides of 40 samples.
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn pruning_shrinks_tree_monotonically() {
+        // Noisy labels produce an overgrown tree that pruning collapses.
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64).sin(), (i as f64).cos()]).collect();
+        let labels: Vec<u32> = (0..200).map(|i| ((i * 2654435761usize) >> 7) as u32 % 3).collect();
+        let d = Dataset::new(rows, labels, 3);
+        let mut prev_nodes = usize::MAX;
+        for alpha in [0.0, 0.001, 0.01, 0.1] {
+            let t = DecisionTree::fit(
+                &d,
+                TreeParams { max_depth: 20, ccp_alpha: alpha, ..Default::default() },
+            );
+            assert!(t.n_nodes() <= prev_nodes, "alpha={alpha}: {} > {prev_nodes}", t.n_nodes());
+            prev_nodes = t.n_nodes();
+        }
+        // Heavy pruning reaches (near) a stump.
+        assert!(prev_nodes <= 3, "alpha=0.1 left {prev_nodes} nodes");
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let d = Dataset::new(vec![vec![1.0, 1.0]; 10], vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let t = DecisionTree::fit(&d, TreeParams { ccp_alpha: 0.0, ..Default::default() });
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[1.0, 1.0]), 0); // majority tie -> lowest class
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let d = axis_dataset();
+        let p = TreeParams::default();
+        assert_eq!(DecisionTree::fit(&d, p), DecisionTree::fit(&d, p));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = axis_dataset();
+        let t = DecisionTree::fit(&d, TreeParams::default());
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(t.predict_all(&d), t2.predict_all(&d));
+    }
+
+    proptest! {
+        /// Predictions are always one of the trained classes, whatever
+        /// the data.
+        #[test]
+        fn predictions_in_class_range(
+            raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0u32..4), 5..60)
+        ) {
+            let rows: Vec<Vec<f64>> = raw.iter().map(|&(a, b, _)| vec![a, b]).collect();
+            let labels: Vec<u32> = raw.iter().map(|&(_, _, l)| l).collect();
+            let d = Dataset::new(rows, labels, 4);
+            let t = DecisionTree::fit(&d, TreeParams::default());
+            for i in 0..d.len() {
+                prop_assert!(t.predict(d.row(i)) < 4);
+            }
+            prop_assert!(t.predict(&[0.5, 0.5]) < 4);
+        }
+
+        /// With no depth cap, no pruning and unique feature values, the
+        /// tree memorizes the training set.
+        #[test]
+        fn memorizes_separable_data(labels in proptest::collection::vec(0u32..3, 4..40)) {
+            let rows: Vec<Vec<f64>> =
+                (0..labels.len()).map(|i| vec![i as f64]).collect();
+            let d = Dataset::new(rows, labels.clone(), 3);
+            let t = DecisionTree::fit(
+                &d,
+                TreeParams { max_depth: 64, ccp_alpha: 0.0, ..Default::default() },
+            );
+            prop_assert_eq!(t.predict_all(&d), labels);
+        }
+    }
+}
+
+#[cfg(test)]
+mod importance_tests {
+    use super::*;
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        // Feature 1 fully determines the label; feature 0 is noise.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![((i * 37) % 11) as f64, (i % 2) as f64])
+            .collect();
+        let labels: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
+        let d = Dataset::new(rows, labels, 2);
+        let t = DecisionTree::fit(&d, TreeParams { ccp_alpha: 0.0, ..Default::default() });
+        let imp = t.feature_importances();
+        assert_eq!(imp.len(), 2);
+        assert!(imp[1] > 0.9, "informative feature should dominate: {imp:?}");
+        let total: f64 = imp.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_leaf_has_zero_importances() {
+        let d = Dataset::new(vec![vec![1.0]; 5], vec![0; 5], 2);
+        let t = DecisionTree::fit(&d, TreeParams::default());
+        assert_eq!(t.feature_importances(), vec![0.0]);
+    }
+}

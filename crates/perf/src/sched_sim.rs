@@ -1,0 +1,137 @@
+//! Scheduling simulation: fold per-chunk costs into a parallel
+//! makespan under each of the paper's three policies.
+//!
+//! St and StCont use the *actual* assignment functions of the kernel
+//! crate, so the model and the implementation can never drift apart.
+//! Dyn is simulated with greedy list scheduling (earliest-free thread
+//! takes the next grab of `grain` chunks), which is exactly what the
+//! shared-counter loop in `wise_kernels::sched` converges to, plus a
+//! per-grab overhead charge.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wise_kernels::sched::static_assignment;
+use wise_kernels::Schedule;
+
+/// Total-order f64 wrapper for the scheduling heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Finish(f64);
+
+impl Eq for Finish {}
+impl PartialOrd for Finish {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Finish {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Parallel completion time of `chunk_costs` (seconds each) on
+/// `nthreads` workers under `schedule`.
+///
+/// `grain` is the number of consecutive chunks per scheduling grab (as
+/// in the executor); `dyn_grab_seconds` is charged once per grab under
+/// Dyn.
+pub fn makespan(
+    chunk_costs: &[f64],
+    nthreads: usize,
+    schedule: Schedule,
+    grain: usize,
+    dyn_grab_seconds: f64,
+) -> f64 {
+    let nthreads = nthreads.max(1);
+    let grain = grain.max(1);
+    if chunk_costs.is_empty() {
+        return 0.0;
+    }
+    match schedule {
+        Schedule::St | Schedule::StCont => {
+            let assign = static_assignment(chunk_costs.len(), nthreads, schedule, grain);
+            assign
+                .iter()
+                .map(|chunks| chunks.iter().map(|&i| chunk_costs[i]).sum::<f64>())
+                .fold(0.0f64, f64::max)
+        }
+        Schedule::Dyn => {
+            let mut heap: BinaryHeap<Reverse<Finish>> =
+                (0..nthreads).map(|_| Reverse(Finish(0.0))).collect();
+            let mut start = 0usize;
+            while start < chunk_costs.len() {
+                let end = (start + grain).min(chunk_costs.len());
+                let grab_cost: f64 = chunk_costs[start..end].iter().sum::<f64>() + dyn_grab_seconds;
+                let Reverse(Finish(t)) = heap.pop().expect("nthreads >= 1");
+                heap.push(Reverse(Finish(t + grab_cost)));
+                start = end;
+            }
+            heap.into_iter().map(|Reverse(Finish(t))| t).fold(0.0f64, f64::max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_chunks_balance_everywhere() {
+        let costs = vec![1.0; 64];
+        for sched in Schedule::ALL {
+            let t = makespan(&costs, 8, sched, 1, 0.0);
+            assert!((t - 8.0).abs() < 1e-9, "{sched:?}: {t}");
+        }
+    }
+
+    #[test]
+    fn skewed_chunks_hurt_static_contiguous() {
+        // All heavy work at the front: StCont gives it to one thread.
+        let mut costs = vec![0.01; 64];
+        for c in costs.iter_mut().take(16) {
+            *c = 1.0;
+        }
+        let stcont = makespan(&costs, 4, Schedule::StCont, 1, 0.0);
+        let dynamic = makespan(&costs, 4, Schedule::Dyn, 1, 0.0);
+        let st = makespan(&costs, 4, Schedule::St, 1, 0.0);
+        assert!(stcont > 15.0, "one thread eats all heavy chunks: {stcont}");
+        assert!(dynamic < stcont / 2.0, "dyn balances: {dynamic} vs {stcont}");
+        assert!(st < stcont / 2.0, "round-robin interleaves: {st}");
+    }
+
+    #[test]
+    fn dyn_charges_grab_overhead() {
+        let costs = vec![1.0; 16];
+        let free = makespan(&costs, 4, Schedule::Dyn, 1, 0.0);
+        let taxed = makespan(&costs, 4, Schedule::Dyn, 1, 0.5);
+        assert!((free - 4.0).abs() < 1e-9);
+        assert!((taxed - 6.0).abs() < 1e-9, "4 grabs/thread x 0.5s: {taxed}");
+        // Larger grain amortizes the overhead.
+        let coarse = makespan(&costs, 4, Schedule::Dyn, 4, 0.5);
+        assert!(coarse < taxed);
+    }
+
+    #[test]
+    fn single_thread_is_sum() {
+        let costs = vec![0.5, 1.5, 2.0];
+        for sched in Schedule::ALL {
+            assert!((makespan(&costs, 1, sched, 1, 0.0) - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(makespan(&[], 4, Schedule::Dyn, 1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn makespan_at_least_mean_load() {
+        let costs: Vec<f64> = (0..37).map(|i| (i % 5) as f64 * 0.3 + 0.1).collect();
+        let total: f64 = costs.iter().sum();
+        for sched in Schedule::ALL {
+            let t = makespan(&costs, 6, sched, 2, 0.0);
+            assert!(t >= total / 6.0 - 1e-9);
+            assert!(t <= total + 1e-9);
+        }
+    }
+}

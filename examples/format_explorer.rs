@@ -1,0 +1,68 @@
+//! Format explorer: for a chosen matrix, print its WISE features and
+//! the modeled execution time of all 29 `{method, parameter}`
+//! configurations, ranked — a view into *why* WISE picks what it picks.
+//!
+//! Usage:
+//!   cargo run --release -p wise-core --example format_explorer -- HS 12 16
+//!   cargo run --release -p wise-core --example format_explorer -- path/to/matrix.mtx
+//!
+//! The first form generates a recipe matrix (abbrev, log2 rows, degree);
+//! the second loads a Matrix Market file.
+
+use wise_features::{FeatureConfig, FeatureVector};
+use wise_gen::Recipe;
+use wise_matrix::Csr;
+use wise_perf::Estimator;
+
+fn load_matrix(args: &[String]) -> (String, Csr) {
+    match args {
+        [path] if path.ends_with(".mtx") => {
+            let m = wise_matrix::io::read_matrix_market(path).expect("readable .mtx file");
+            (path.clone(), m)
+        }
+        [abbrev, scale, degree] => {
+            let recipe = Recipe::ALL
+                .into_iter()
+                .find(|r| r.abbrev().eq_ignore_ascii_case(abbrev))
+                .unwrap_or_else(|| panic!("unknown recipe '{abbrev}' (HS MS LS LL ML HL rgg)"));
+            let s: u32 = scale.parse().expect("log2 rows");
+            let d: u32 = degree.parse().expect("avg degree");
+            (format!("{}_s{}_d{}", recipe.abbrev(), s, d), recipe.generate(s, d, 42))
+        }
+        [] => ("HS_s12_d16 (default)".into(), Recipe::HighSkew.generate(12, 16, 42)),
+        _ => panic!("usage: format_explorer [<recipe> <log2rows> <degree> | file.mtx]"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (name, m) = load_matrix(&args);
+    println!("matrix {name}: {} x {}, {} nonzeros", m.nrows(), m.ncols(), m.nnz());
+
+    // Key features.
+    let f = FeatureVector::extract(&m, &FeatureConfig::default());
+    println!("\nkey features:");
+    for key in ["mean_R", "gini_R", "p_R", "gini_C", "gini_T", "ne_T", "uniqC", "potReuseR"] {
+        println!("  {key:<12} = {:.4}", f.get(key).unwrap());
+    }
+
+    // Modeled times, all 29 configurations.
+    let est = Estimator::from_env(m.nrows());
+    let mut times = est.time_catalog(&m);
+    let best_csr = times
+        .iter()
+        .filter(|(c, _)| c.method == wise_kernels::Method::Csr)
+        .map(|&(_, t)| t)
+        .fold(f64::MAX, f64::min);
+    times.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("\nall 29 configurations, fastest first (times from the machine model):");
+    println!("{:<28} {:>12} {:>10} {:>8}", "config", "seconds", "vs bestCSR", "padding");
+    for (cfg, t) in &times {
+        let prep = cfg.prepare(&m);
+        let pad = match prep.nnz_padded() {
+            0 => "-".to_string(),
+            p => format!("{:.2}x", p as f64 / m.nnz() as f64),
+        };
+        println!("{:<28} {:>12.3e} {:>9.2}x {:>8}", cfg.label(), t, best_csr / t, pad);
+    }
+}

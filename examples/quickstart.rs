@@ -1,0 +1,43 @@
+//! Quickstart: train WISE on a small corpus, then let it pick and run
+//! the best SpMV method for a new matrix.
+//!
+//! Run with: `cargo run --release -p wise-core --example quickstart`
+
+use wise_core::pipeline::{TrainOptions, Wise};
+use wise_gen::{Corpus, CorpusScale, RmatParams};
+
+fn main() {
+    // 1. Train. The corpus scale and the label backend (deterministic
+    //    machine model by default, wall clock with WISE_MEASURED=1) are
+    //    the only knobs.
+    let scale = CorpusScale::tiny();
+    println!("generating + labeling training corpus...");
+    let corpus = Corpus::full(&scale, 42);
+    let wise = Wise::train(&corpus, &TrainOptions::for_scale(&scale));
+    println!("trained {} models on {} matrices", wise.registry().catalog().len(), corpus.len());
+
+    // 2. A new matrix WISE has never seen: a skewed power-law graph.
+    let m = RmatParams::HIGH_SKEW.generate(10, 16, 2024);
+    println!("\nnew matrix: {}x{}, {} nonzeros", m.nrows(), m.ncols(), m.nnz());
+
+    // 3. Select: features -> 29 class predictions -> best config.
+    let choice = wise.select(&m);
+    println!("WISE selected: {}", choice.config.label());
+    println!(
+        "predicted class: {} (representative speedup {:.2}x over best CSR)",
+        choice.predictions[choice.index],
+        choice.predictions[choice.index].representative_speedup()
+    );
+
+    // 4. Convert once, iterate many times (the SpMV usage pattern).
+    let prepared = wise.prepare(&m, &choice);
+    let mut ws = wise_kernels::srvpack::SpmvWorkspace::default();
+    let mut x = vec![1.0 / m.ncols() as f64; m.ncols()];
+    let mut y = vec![0.0; m.nrows()];
+    for _ in 0..10 {
+        prepared.spmv(&x, &mut y, wise_kernels::sched::default_threads(), &mut ws);
+        std::mem::swap(&mut x, &mut y);
+    }
+    let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    println!("\nran 10 SpMV iterations; |x|_2 = {norm:.3e}");
+}

@@ -1,0 +1,91 @@
+//! Statistical quality of the trained models: cross-validated accuracy
+//! well above chance, near-miss structure, and feature relevance —
+//! the Section 6.2 claims at test scale.
+
+use wise_core::evaluate::evaluate_cv;
+use wise_core::labels::label_corpus;
+use wise_features::FeatureConfig;
+use wise_gen::{Corpus, CorpusScale};
+use wise_ml::TreeParams;
+use wise_perf::Estimator;
+
+fn labels() -> wise_core::labels::CorpusLabels {
+    let scale = CorpusScale::tiny();
+    let corpus = Corpus::full(&scale, 33);
+    let est = Estimator::model_for_rows(1 << 10);
+    label_corpus(&corpus, &est, &FeatureConfig::default())
+}
+
+#[test]
+fn cv_accuracy_is_far_above_chance() {
+    let l = labels();
+    let ev = evaluate_cv(&l, TreeParams::default(), 5, 11);
+    let mean_acc: f64 =
+        ev.confusions.iter().map(|c| c.accuracy()).sum::<f64>() / ev.confusions.len() as f64;
+    // Chance over 7 classes is ~14%; even the tiny corpus should clear
+    // 45% easily (the paper reaches 83-92% at full scale).
+    assert!(mean_acc > 0.45, "mean CV accuracy {mean_acc:.3}");
+}
+
+#[test]
+fn misclassifications_cluster_near_the_truth() {
+    let l = labels();
+    let ev = evaluate_cv(&l, TreeParams::default(), 5, 11);
+    // Pool misses across all 29 models (single models may have few).
+    let mut near = 0.0;
+    let mut total = 0.0;
+    for cm in &ev.confusions {
+        let misses = cm.total() as f64 * (1.0 - cm.accuracy());
+        near += cm.misses_within(1) * misses;
+        total += misses;
+    }
+    if total > 0.0 {
+        let frac = near / total;
+        assert!(
+            frac > 0.5,
+            "only {frac:.2} of misses within one class (paper: ~0.9)"
+        );
+    }
+}
+
+#[test]
+fn deeper_trees_do_not_hurt_end_to_end_speedup() {
+    // Table 4's structural claim: D=15 is no worse than D=5.
+    let l = labels();
+    let shallow = evaluate_cv(
+        &l,
+        TreeParams { max_depth: 3, ..Default::default() },
+        5,
+        11,
+    );
+    let deep = evaluate_cv(
+        &l,
+        TreeParams { max_depth: 15, ..Default::default() },
+        5,
+        11,
+    );
+    assert!(
+        deep.mean_wise_speedup() >= shallow.mean_wise_speedup() * 0.95,
+        "deep {:.3} vs shallow {:.3}",
+        deep.mean_wise_speedup(),
+        shallow.mean_wise_speedup()
+    );
+}
+
+#[test]
+fn extreme_pruning_degrades_gracefully_not_catastrophically() {
+    let l = labels();
+    let pruned = evaluate_cv(
+        &l,
+        TreeParams { ccp_alpha: 0.2, ..Default::default() },
+        5,
+        11,
+    );
+    // Even a forest of stumps must stay >= 1.0x: the selection rule
+    // falls back to CSR on ties, never below the baseline family.
+    assert!(
+        pruned.mean_wise_speedup() > 0.8,
+        "stump speedup {:.3}",
+        pruned.mean_wise_speedup()
+    );
+}

@@ -1,0 +1,200 @@
+//! "Shape" tests: the qualitative findings of the paper's Section 3
+//! analysis, reproduced end to end through our generators, kernels and
+//! machine model. These are the claims EXPERIMENTS.md tracks.
+
+use wise_core::labels::MatrixLabels;
+use wise_features::FeatureConfig;
+use wise_gen::{suite, Recipe, RmatParams};
+use wise_kernels::method::{Method, MethodConfig};
+use wise_kernels::Schedule;
+use wise_matrix::Csr;
+use wise_perf::Estimator;
+
+fn label(m: &Csr, max_rows_scale: u32) -> MatrixLabels {
+    let est = Estimator::model_for_rows(1usize << max_rows_scale);
+    MatrixLabels::compute("m", m, &est, &FeatureConfig::default())
+}
+
+fn seconds_of(l: &MatrixLabels, pred: impl Fn(&MethodConfig) -> bool) -> f64 {
+    MethodConfig::catalog()
+        .iter()
+        .zip(&l.seconds)
+        .filter(|(c, _)| pred(c))
+        .map(|(_, &t)| t)
+        .fold(f64::MAX, f64::min)
+}
+
+/// Insight (1)/(4): the fastest method differs across matrix classes —
+/// one method does not win everywhere.
+#[test]
+fn no_single_method_wins_everywhere() {
+    let scale = 12;
+    let winners: std::collections::HashSet<Method> = [
+        RmatParams::HIGH_SKEW.generate(scale, 32, 1),
+        RmatParams::HIGH_LOC.generate(scale, 8, 2),
+        suite::stencil_2d(64, 64),
+        RmatParams::LOW_LOC.generate(scale, 64, 3),
+        suite::road_like(4096, 4),
+    ]
+    .iter()
+    .map(|m| {
+        let l = label(m, scale);
+        MethodConfig::catalog()[l.oracle_index()].method
+    })
+    .collect();
+    assert!(
+        winners.len() >= 2,
+        "expected diverse winners across classes, got {winners:?}"
+    );
+}
+
+/// Insight (3): scheduling choice matters most under skew (Fig. 3).
+#[test]
+fn scheduling_gap_grows_with_skew() {
+    let skewed = RmatParams::HIGH_SKEW.generate_shuffled(12, 16, 7);
+    let balanced = suite::stencil_2d(64, 64);
+    let gap = |m: &Csr| {
+        let l = label(m, 12);
+        let best = l.best_csr_seconds;
+        let worst = seconds_of(&l, |c| c.method == Method::Csr && c.schedule == Schedule::StCont)
+            .max(seconds_of(&l, |c| c.method == Method::Csr && c.schedule == Schedule::St));
+        worst / best
+    };
+    let skew_gap = gap(&skewed);
+    let flat_gap = gap(&balanced);
+    assert!(
+        skew_gap > flat_gap,
+        "skewed gap {skew_gap:.2} should exceed balanced gap {flat_gap:.2}"
+    );
+}
+
+/// Fig. 5 shape: under high skew with dense rows, the LAV family beats
+/// padding-heavy SELLPACK.
+#[test]
+fn lav_family_beats_sellpack_under_high_skew() {
+    let m = RmatParams::HIGH_SKEW.generate_shuffled(13, 32, 9);
+    let l = label(&m, 13);
+    let lav = seconds_of(&l, |c| matches!(c.method, Method::Lav | Method::Lav1Seg));
+    let sellpack = seconds_of(&l, |c| c.method == Method::SellPack);
+    assert!(
+        lav < sellpack,
+        "LAV {lav:.3e} should beat SELLPACK {sellpack:.3e} under skew"
+    );
+}
+
+/// Fig. 6 shape: on high-locality matrices, segmentation buys nothing —
+/// the sigma family is at least competitive with full LAV.
+#[test]
+fn segmentation_unnecessary_for_high_locality() {
+    let m = RmatParams::HIGH_LOC.generate(13, 16, 4);
+    let l = label(&m, 13);
+    let sigma = seconds_of(&l, |c| {
+        matches!(c.method, Method::SellCSigma | Method::SellPack | Method::Csr)
+    });
+    let lav = seconds_of(&l, |c| c.method == Method::Lav);
+    assert!(
+        sigma <= lav * 1.1,
+        "sigma family {sigma:.3e} should be competitive with LAV {lav:.3e} on HighLoc"
+    );
+}
+
+/// Fig. 7/11 corpus shape: suite matrices are row-balanced, skew
+/// recipes ordered HS < MS < LS in p-ratio.
+#[test]
+fn corpus_p_ratio_ordering_matches_paper() {
+    let cfg = FeatureConfig::default();
+    let p_of = |m: &Csr| {
+        wise_features::FeatureVector::extract(m, &cfg).get("p_R").unwrap()
+    };
+    let hs = p_of(&Recipe::HighSkew.generate(12, 16, 1));
+    let ms = p_of(&Recipe::MedSkew.generate(12, 16, 1));
+    let ls = p_of(&Recipe::LowSkew.generate(12, 16, 1));
+    let stencil = p_of(&suite::stencil_2d(64, 64));
+    assert!(hs < ms && ms < ls && ls < stencil, "{hs} {ms} {ls} {stencil}");
+    assert!(stencil > 0.4);
+}
+
+/// Section 4.4 shape: WISE preprocessing (features + one conversion) is
+/// far cheaper than inspector-executor preprocessing (all conversions +
+/// all trials).
+#[test]
+fn wise_preprocessing_is_cheaper_than_ie() {
+    let m = RmatParams::MED_SKEW.generate(12, 16, 3);
+    let l = label(&m, 12);
+    let ie: f64 = l.preprocessing_seconds.iter().sum::<f64>() + l.cold_seconds.iter().sum::<f64>();
+    let wise_worst = l.feature_extraction_seconds
+        + l.preprocessing_seconds.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        wise_worst < ie / 2.0,
+        "WISE {wise_worst:.3e} should be <50% of IE {ie:.3e} (paper Section 6.4)"
+    );
+}
+
+/// Table 1 guidance: "the higher the nonzero skew in the matrix is, the
+/// higher the chosen T should be" — among LAV configs, HighSkew should
+/// prefer a T at least as large as LowSkew's.
+#[test]
+fn best_lav_t_grows_with_skew() {
+    let best_t = |m: &Csr| {
+        let l = label(m, 14);
+        MethodConfig::catalog()
+            .iter()
+            .zip(&l.seconds)
+            .filter(|(c, _)| c.method == Method::Lav && c.c == 8)
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c.t)
+            .unwrap()
+    };
+    let hs = best_t(&RmatParams::HIGH_SKEW.generate_shuffled(14, 32, 21));
+    let ls = best_t(&RmatParams::LOW_SKEW.generate_shuffled(14, 32, 21));
+    assert!(hs >= ls, "HighSkew best T {hs} should be >= LowSkew best T {ls}");
+}
+
+/// Fig. 2's premise: within the matrices a method wins, its speedup over
+/// best CSR still varies — the magnitude matters, not just the winner.
+#[test]
+fn winning_method_speedups_vary() {
+    use wise_gen::{Corpus, CorpusScale};
+    let corpus = Corpus::random(&CorpusScale::tiny(), 17);
+    let est = Estimator::model_for_rows(1 << 10);
+    let mut per_method: std::collections::HashMap<Method, Vec<f64>> = Default::default();
+    for lm in &corpus.matrices {
+        let l = MatrixLabels::compute(&lm.name, &lm.matrix, &est, &FeatureConfig::default());
+        let oi = l.oracle_index();
+        let method = MethodConfig::catalog()[oi].method;
+        per_method.entry(method).or_default().push(l.best_csr_seconds / l.seconds[oi]);
+    }
+    // At least one method wins over several matrices with a nontrivial
+    // spread of speedups.
+    let spread = per_method
+        .values()
+        .filter(|v| v.len() >= 5)
+        .map(|v| {
+            let max = v.iter().fold(0.0f64, |a, &b| a.max(b));
+            let min = v.iter().fold(f64::MAX, |a, &b| a.min(b));
+            max - min
+        })
+        .fold(0.0f64, f64::max);
+    assert!(spread > 0.02, "winner speedups should vary, spread={spread}");
+}
+
+/// The preprocessing-cost tie-break ranks reflect real modeled
+/// conversion costs: LAV costs more to build than SELLPACK, which costs
+/// more than CSR (free).
+#[test]
+fn preproc_rank_order_matches_modeled_costs() {
+    let m = RmatParams::MED_SKEW.generate(12, 16, 31);
+    let l = label(&m, 12);
+    let catalog = MethodConfig::catalog();
+    let cost_of = |method: Method| {
+        catalog
+            .iter()
+            .zip(&l.preprocessing_seconds)
+            .filter(|(c, _)| c.method == method)
+            .map(|(_, &t)| t)
+            .fold(f64::MAX, f64::min)
+    };
+    assert_eq!(cost_of(Method::Csr), 0.0);
+    assert!(cost_of(Method::SellPack) < cost_of(Method::SellCR));
+    assert!(cost_of(Method::SellCR) < cost_of(Method::Lav));
+}
