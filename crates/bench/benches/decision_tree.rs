@@ -5,9 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use wise_ml::{Dataset, DecisionTree, TreeParams};
 
 fn synthetic_dataset(n: usize, f: usize) -> Dataset {
-    let rows: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..f).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..f).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect()).collect();
     let labels: Vec<u32> = (0..n).map(|i| ((i * 31 + i / 13) % 7) as u32).collect();
     Dataset::new(rows, labels, 7)
 }

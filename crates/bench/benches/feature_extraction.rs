@@ -1,20 +1,60 @@
 //! Criterion benchmark of WISE feature extraction — the per-matrix cost
 //! a deployed WISE pays before prediction (half of Fig. 13c's
 //! overhead).
+//!
+//! Three axes:
+//! * `extract/2^s` — the fused engine at its defaults (thread count
+//!   resolved from the machine), scales 2^11 / 2^13 / 2^16;
+//! * `extract_threads/2^13 tN` — thread sweep (1 / 2 / all) of the
+//!   fused engine at the reference scale, with a reused scratch;
+//! * `extract_reference/2^13` — the kept naive multi-pass extractor,
+//!   the before/after baseline for the engine rewrite.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use wise_features::{FeatureConfig, FeatureVector};
+use wise_features::{FeatureConfig, FeatureScratch, FeatureVector};
 use wise_gen::RmatParams;
+use wise_kernels::sched::default_threads;
 
 fn bench_features(c: &mut Criterion) {
     let mut group = c.benchmark_group("feature_extraction");
-    for scale in [11u32, 13] {
+    for scale in [11u32, 13, 16] {
         let m = RmatParams::MED_SKEW.generate(scale, 16, 3);
         group.throughput(Throughput::Elements(m.nnz() as u64));
         group.bench_with_input(BenchmarkId::new("extract", format!("2^{scale}")), &m, |b, m| {
             b.iter(|| FeatureVector::extract(m, &FeatureConfig::default()));
         });
     }
+    group.finish();
+
+    // Thread sweep at the reference scale, allocation-free inner loop.
+    let m = RmatParams::MED_SKEW.generate(13, 16, 3);
+    let mut group = c.benchmark_group("feature_extraction_threads");
+    group.throughput(Throughput::Elements(m.nnz() as u64));
+    let mut sweep = vec![1usize, 2];
+    let all = default_threads();
+    if !sweep.contains(&all) {
+        sweep.push(all);
+    }
+    for threads in sweep {
+        let cfg = FeatureConfig { threads, ..FeatureConfig::default() };
+        group.bench_with_input(
+            BenchmarkId::new("extract", format!("2^13 t{threads}")),
+            &m,
+            |b, m| {
+                let mut scratch = FeatureScratch::new();
+                b.iter(|| FeatureVector::extract_with(m, &cfg, &mut scratch));
+            },
+        );
+    }
+    group.finish();
+
+    // The seed implementation, kept as the parity oracle: benchmark it
+    // so the fused engine's speedup stays visible in CI history.
+    let mut group = c.benchmark_group("feature_extraction_reference");
+    group.throughput(Throughput::Elements(m.nnz() as u64));
+    group.bench_with_input(BenchmarkId::new("extract_reference", "2^13"), &m, |b, m| {
+        b.iter(|| FeatureVector::extract_reference(m, &FeatureConfig::default()));
+    });
     group.finish();
 }
 

@@ -31,13 +31,9 @@ fn bench_methods(c: &mut Criterion) {
         for cfg in &configs {
             let prep = cfg.prepare(m);
             let mut ws = SpmvWorkspace::default();
-            group.bench_with_input(
-                BenchmarkId::new(cfg.label(), name),
-                &prep,
-                |b, prep| {
-                    b.iter(|| prep.spmv(&x, &mut y, 1, &mut ws));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(cfg.label(), name), &prep, |b, prep| {
+                b.iter(|| prep.spmv(&x, &mut y, 1, &mut ws));
+            });
         }
     }
     group.finish();

@@ -14,7 +14,9 @@ use wise_ml::{Dataset, TreeParams};
 fn group_indices(group: &str) -> Vec<usize> {
     let names = FeatureVector::names();
     let is_size = |n: &str| matches!(n, "n_rows" | "n_cols" | "nnz");
-    let is_skew = |n: &str| n.ends_with("_R") && !n.ends_with("uniqR") || n.ends_with("_C") && !n.ends_with("uniqC");
+    let is_skew = |n: &str| {
+        n.ends_with("_R") && !n.ends_with("uniqR") || n.ends_with("_C") && !n.ends_with("uniqC")
+    };
     names
         .iter()
         .enumerate()
@@ -54,10 +56,7 @@ fn main() {
         "== Ablation: feature groups vs end-to-end WISE speedup ({k}-fold CV, {} matrices) ==\n",
         labels.len()
     );
-    println!(
-        "{:<14} {:>9} {:>10} {:>12}",
-        "features", "#features", "mean acc", "mean speedup"
-    );
+    println!("{:<14} {:>9} {:>10} {:>12}", "features", "#features", "mean acc", "mean speedup");
 
     let mkl_index = labels.config_index(&wise_kernels::baseline::mkl_like_config().label());
     let mut rows = Vec::new();
@@ -71,8 +70,7 @@ fn main() {
         let mut acc_sum = 0.0;
         let mut preds_per_cfg: Vec<Vec<u32>> = Vec::with_capacity(labels.catalog.len());
         for cfg_idx in 0..labels.catalog.len() {
-            let y: Vec<u32> =
-                labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
+            let y: Vec<u32> = labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
             let ds = Dataset::new(subset_rows.clone(), y, N_CLASSES);
             let (pairs, cm) = cross_val_confusion(&ds, params, k, ctx.seed);
             acc_sum += cm.accuracy();

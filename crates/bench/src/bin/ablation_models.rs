@@ -46,18 +46,14 @@ fn main() {
     let end_to_end = |preds_per_cfg: &[Vec<SpeedupClass>]| -> f64 {
         let mut total = 0.0;
         for (mi, ml) in labels.matrices.iter().enumerate() {
-            let preds: Vec<SpeedupClass> =
-                (0..n_cfg).map(|ci| preds_per_cfg[ci][mi]).collect();
+            let preds: Vec<SpeedupClass> = (0..n_cfg).map(|ci| preds_per_cfg[ci][mi]).collect();
             let choice = select_index(&labels.catalog, &preds);
             total += ml.seconds[mkl_index] / ml.seconds[choice];
         }
         total / labels.len() as f64
     };
 
-    println!(
-        "== Model ablation ({k}-fold CV, {} matrices) ==\n",
-        labels.len()
-    );
+    println!("== Model ablation ({k}-fold CV, {} matrices) ==\n", labels.len());
     let mut results: Vec<(String, f64)> = Vec::new();
 
     // (a) Single tree, 7 classes — the paper's configuration.
@@ -100,8 +96,7 @@ fn main() {
         let mut preds = vec![vec![SpeedupClass::C0; labels.len()]; n_cfg];
         #[allow(clippy::needless_range_loop)]
         for ci in 0..n_cfg {
-            let y: Vec<u32> =
-                labels.matrices.iter().map(|m| coarse(m.classes[ci])).collect();
+            let y: Vec<u32> = labels.matrices.iter().map(|m| coarse(m.classes[ci])).collect();
             let ds = Dataset::new(rows.clone(), y, 3);
             let (pairs, _) = cross_val_confusion(&ds, TreeParams::default(), k, ctx.seed);
             for (i, (_, p)) in pairs.into_iter().enumerate() {
@@ -113,9 +108,8 @@ fn main() {
 
     // Reference points.
     {
-        let perfect: Vec<Vec<SpeedupClass>> = (0..n_cfg)
-            .map(|ci| labels.matrices.iter().map(|m| m.classes[ci]).collect())
-            .collect();
+        let perfect: Vec<Vec<SpeedupClass>> =
+            (0..n_cfg).map(|ci| labels.matrices.iter().map(|m| m.classes[ci]).collect()).collect();
         results.push(("perfect classes (bound)".into(), end_to_end(&perfect)));
         let oracle: f64 = labels
             .matrices

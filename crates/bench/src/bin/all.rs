@@ -5,21 +5,17 @@
 use std::process::Command;
 
 const TARGETS: [&str; 14] = [
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10",
-    "fig11", "fig12", "fig13", "ie",
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11",
+    "fig12", "fig13", "ie",
 ];
 
 fn main() {
     // table4 is far more expensive (24 full CV evaluations); include it
     // only when asked.
     let with_table4 = std::env::args().any(|a| a == "--with-table4");
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    let results_dir =
-        std::env::var("WISE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
+    let results_dir = std::env::var("WISE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
     std::fs::create_dir_all(&results_dir).expect("results dir");
 
     let mut targets: Vec<&str> = TARGETS.to_vec();
@@ -38,8 +34,7 @@ fn main() {
             eprintln!("{stderr}");
             panic!("{t} failed with {}", out.status);
         }
-        std::fs::write(format!("{results_dir}/{t}.txt"), stdout.as_bytes())
-            .expect("write report");
+        std::fs::write(format!("{results_dir}/{t}.txt"), stdout.as_bytes()).expect("write report");
     }
     println!("\nAll reports written under {results_dir}/");
 }

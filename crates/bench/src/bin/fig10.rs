@@ -22,10 +22,7 @@ fn main() {
         "LAV-1Seg-c8",
         "LAV-c8-T80",
     ];
-    println!(
-        "== Figure 10: confusion matrices, {k}-fold CV over {} matrices ==\n",
-        labels.len()
-    );
+    println!("== Figure 10: confusion matrices, {k}-fold CV over {} matrices ==\n", labels.len());
     for label in representative {
         let i = labels.config_index(label);
         let cm = &ev.confusions[i];
@@ -47,12 +44,7 @@ fn main() {
         let cm = &ev.confusions[i];
         accs.push(cm.accuracy());
         within.push(cm.misses_within(1));
-        rows.push(format!(
-            "{},{:.4},{:.4}",
-            cfg.label(),
-            cm.accuracy(),
-            cm.misses_within(1)
-        ));
+        rows.push(format!("{},{:.4},{:.4}", cfg.label(), cm.accuracy(), cm.misses_within(1)));
         println!(
             "{:<28} accuracy {:>5.1}%   misses within 1 class {:>5.1}%",
             cfg.label(),

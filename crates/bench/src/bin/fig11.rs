@@ -26,8 +26,7 @@ fn main() {
             rows.push(format!("{},{p:.4}", recipe.abbrev()));
         }
     }
-    let all: Vec<f64> =
-        labels.matrices.iter().map(|m| m.features.get("p_R").unwrap()).collect();
+    let all: Vec<f64> = labels.matrices.iter().map(|m| m.features.get("p_R").unwrap()).collect();
     let bins = histogram_bins(&all, 0.0, 0.5, 5);
     println!("\n{}", render_histogram("combined", &bins));
     println!("(paper: HS~0.1, MS~0.2, LS~0.3, LL/ML/HL/rgg~0.4-0.5)");

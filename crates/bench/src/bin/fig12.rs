@@ -35,8 +35,7 @@ fn main() {
     println!("{}", summarize("random", &mu_r));
     println!("{}", summarize("suite ", &mu_s));
 
-    let mut rows: Vec<String> =
-        mu_r.iter().map(|v| format!("random,{v:.3}")).collect();
+    let mut rows: Vec<String> = mu_r.iter().map(|v| format!("random,{v:.3}")).collect();
     rows.extend(mu_s.iter().map(|v| format!("suite,{v:.3}")));
     ctx.write_csv("fig12_mean_nnz_per_row.csv", "corpus,mean_R", &rows);
 }

@@ -20,8 +20,13 @@ fn main() {
         per_winner.entry(method_name(fastest_method(&labels, mi))).or_default().push(mi);
     }
 
-    println!("== Figure 2: vectorized-method speedup over best CSR (suite corpus, {} matrices) ==", labels.len());
-    println!("   matrices grouped by their fastest method; speedup = t_bestCSR / t_bestConfigOfMethod\n");
+    println!(
+        "== Figure 2: vectorized-method speedup over best CSR (suite corpus, {} matrices) ==",
+        labels.len()
+    );
+    println!(
+        "   matrices grouped by their fastest method; speedup = t_bestCSR / t_bestConfigOfMethod\n"
+    );
 
     for (winner, group) in &per_winner {
         println!("-- fastest method: {winner} ({} matrices) --", group.len());

@@ -31,22 +31,15 @@ fn main() {
     for (mi, ml) in labels.matrices.iter().enumerate() {
         let best = best_csr_seconds(&labels, mi);
         let rel: Vec<f64> = scheds.iter().map(|&(_, i)| best / ml.seconds[i]).collect();
-        let winner = rel
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let winner =
+            rel.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         best_counts[winner] += 1;
         let mkl = best / mkl_seconds(&labels, mi);
         for (k, &r) in rel.iter().enumerate() {
             per_sched[k].push(r);
         }
         per_sched[3].push(mkl);
-        rows.push(format!(
-            "{},{:.4},{:.4},{:.4},{:.4}",
-            ml.name, rel[0], rel[1], rel[2], mkl
-        ));
+        rows.push(format!("{},{:.4},{:.4},{:.4},{:.4}", ml.name, rel[0], rel[1], rel[2], mkl));
     }
 
     for (k, (name, _)) in scheds.iter().enumerate() {

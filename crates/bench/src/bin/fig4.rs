@@ -19,8 +19,7 @@ fn main() {
     for mi in 0..labels.len() {
         *counts.get_mut(method_name(fastest_method(&labels, mi))).unwrap() += 1;
     }
-    let bins: Vec<(String, usize)> =
-        counts.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let bins: Vec<(String, usize)> = counts.iter().map(|(k, v)| (k.to_string(), *v)).collect();
     println!(
         "{}",
         render_histogram(

@@ -9,9 +9,5 @@
 use wise_bench::sweep::print_sweep_figure;
 
 fn main() {
-    print_sweep_figure(
-        "Figure 6",
-        &[wise_gen::Recipe::LowLoc, wise_gen::Recipe::HighLoc],
-        "fig6",
-    );
+    print_sweep_figure("Figure 6", &[wise_gen::Recipe::LowLoc, wise_gen::Recipe::HighLoc], "fig6");
 }

@@ -29,11 +29,7 @@ fn main() {
         labels.len(),
         100.0 * above as f64 / labels.len() as f64
     );
-    let rows: Vec<String> = labels
-        .matrices
-        .iter()
-        .zip(&p_ratios)
-        .map(|(m, p)| format!("{},{p:.4}", m.name))
-        .collect();
+    let rows: Vec<String> =
+        labels.matrices.iter().zip(&p_ratios).map(|(m, p)| format!("{},{p:.4}", m.name)).collect();
     ctx.write_csv("fig7_p_ratio_suite.csv", "matrix,p_ratio_rows", &rows);
 }

@@ -37,10 +37,8 @@ fn main() {
     let mut machine = MachineModel::scaled_for_rows(1 << 13);
     machine.threads = nthreads;
 
-    let probes: Vec<(&wise_matrix::Csr, MethodConfig)> = matrices
-        .iter()
-        .flat_map(|(_, m)| configs.iter().map(move |c| (m, *c)))
-        .collect();
+    let probes: Vec<(&wise_matrix::Csr, MethodConfig)> =
+        matrices.iter().flat_map(|(_, m)| configs.iter().map(move |c| (m, *c))).collect();
     println!(
         "validating the cost model against wall clock: {} probes on {} thread(s)\n",
         probes.len(),
@@ -53,18 +51,10 @@ fn main() {
     let rho = spearman(&modeled, &measured);
 
     println!("{:<14} {:<26} {:>12} {:>12}", "matrix", "config", "modeled*a", "measured");
-    for ((mi, cfg), &(mo, me)) in matrices
-        .iter()
-        .flat_map(|(n, _)| configs.iter().map(move |c| (n, c)))
-        .zip(&report.probes)
+    for ((mi, cfg), &(mo, me)) in
+        matrices.iter().flat_map(|(n, _)| configs.iter().map(move |c| (n, c))).zip(&report.probes)
     {
-        println!(
-            "{:<14} {:<26} {:>11.3e}s {:>11.3e}s",
-            mi,
-            cfg.label(),
-            mo * report.alpha,
-            me
-        );
+        println!("{:<14} {:<26} {:>11.3e}s {:>11.3e}s", mi, cfg.label(), mo * report.alpha, me);
     }
     println!("\nSpearman rank correlation (model vs measured): {rho:.3}");
     println!(

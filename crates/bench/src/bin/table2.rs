@@ -6,9 +6,8 @@ use wise_features::FeatureVector;
 fn main() {
     let names = FeatureVector::names();
     println!("== Table 2: WISE matrix features ({} total) ==\n", names.len());
-    let group = |prefix: &str| -> Vec<&String> {
-        names.iter().filter(|n| n.ends_with(prefix)).collect()
-    };
+    let group =
+        |prefix: &str| -> Vec<&String> { names.iter().filter(|n| n.ends_with(prefix)).collect() };
     println!("Matrix size:      n_rows n_cols nnz");
     for dist in ["R", "C", "T", "RB", "CB"] {
         let stats: Vec<String> = group(&format!("_{dist}"))
@@ -17,12 +16,8 @@ fn main() {
             .collect();
         println!("{dist:>4} distribution: {}", stats.join(" "));
     }
-    let locality: Vec<&String> = names
-        .iter()
-        .filter(|n| {
-            n.contains("uniq") || n.contains("potReuse")
-        })
-        .collect();
+    let locality: Vec<&String> =
+        names.iter().filter(|n| n.contains("uniq") || n.contains("potReuse")).collect();
     println!("Locality layout:  {} metrics:", locality.len());
     for chunk in locality.chunks(6) {
         println!(

@@ -43,8 +43,7 @@ impl BenchContext {
     /// `WISE_SEED` (default 42), `WISE_MEASURED`, `WISE_RESULTS_DIR`
     /// (default `results/`).
     pub fn from_env() -> BenchContext {
-        let scale_name =
-            std::env::var("WISE_SCALE").unwrap_or_else(|_| "quick".to_string());
+        let scale_name = std::env::var("WISE_SCALE").unwrap_or_else(|_| "quick".to_string());
         let scale = match scale_name.as_str() {
             "tiny" => CorpusScale::tiny(),
             "quick" => CorpusScale::quick(),
@@ -185,13 +184,8 @@ pub fn mkl_seconds(labels: &CorpusLabels, mi: usize) -> f64 {
 }
 
 /// The five vectorized methods of Fig. 2, in the paper's order.
-pub const VECTORIZED: [Method; 5] = [
-    Method::SellPack,
-    Method::SellCSigma,
-    Method::SellCR,
-    Method::Lav1Seg,
-    Method::Lav,
-];
+pub const VECTORIZED: [Method; 5] =
+    [Method::SellPack, Method::SellCSigma, Method::SellCR, Method::Lav1Seg, Method::Lav];
 
 /// Display name for a method (paper spelling).
 pub fn method_name(m: Method) -> &'static str {

@@ -1,8 +1,6 @@
 //! Shared implementation of the Figure 5/6 sweep grids.
 
-use crate::{
-    fastest_method, method_code, render_sweep_grid, BenchContext,
-};
+use crate::{fastest_method, method_code, render_sweep_grid, BenchContext};
 use wise_core::labels::CorpusLabels;
 use wise_gen::Recipe;
 
@@ -44,9 +42,7 @@ pub fn print_sweep_figure(figure: &str, recipes: &[Recipe], csv_stem: &str) {
             &row_scales,
             &degrees,
             |rs, d| {
-                grid.get(&(rs, d))
-                    .map(|&(_, s)| format!("{s:.2}"))
-                    .unwrap_or_else(|| ".".into())
+                grid.get(&(rs, d)).map(|&(_, s)| format!("{s:.2}")).unwrap_or_else(|| ".".into())
             },
         );
         println!("{speedup}");

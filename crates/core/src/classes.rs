@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 
 /// A predicted/observed speedup class. Ordering: `C0 < C1 < ... < C6`,
 /// i.e. *greater is faster*.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SpeedupClass {
     C0,
     C1,

@@ -142,11 +142,7 @@ pub fn evaluate_cv(
 
     // Transpose to per-matrix prediction vectors.
     let predictions: Vec<Vec<SpeedupClass>> = (0..labels.len())
-        .map(|mi| {
-            (0..n_cfg)
-                .map(|ci| SpeedupClass::from_index(per_cfg[ci].0[mi].1))
-                .collect()
-        })
+        .map(|mi| (0..n_cfg).map(|ci| SpeedupClass::from_index(per_cfg[ci].0[mi].1)).collect())
         .collect();
 
     let mkl_index = labels.config_index(&mkl_like_config().label());
@@ -165,8 +161,8 @@ pub fn evaluate_cv(
                 .min_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("non-empty catalog");
-            let ie_preproc_seconds = ml.preprocessing_seconds.iter().sum::<f64>()
-                + ml.cold_seconds.iter().sum::<f64>();
+            let ie_preproc_seconds =
+                ml.preprocessing_seconds.iter().sum::<f64>() + ml.cold_seconds.iter().sum::<f64>();
             EvalOutcome {
                 name: ml.name.clone(),
                 wise_index,
@@ -242,7 +238,12 @@ mod tests {
 
     fn labeled() -> CorpusLabels {
         let corpus = Corpus::full(&CorpusScale::tiny(), 21);
-        label_corpus(&corpus, &Estimator::model_for_rows(1 << 10), &FeatureConfig::default())
+        // `threads: 0` lets extraction resolve its own worker count, but
+        // the labeling loop overrides it to 1 (outer-parallel /
+        // inner-serial — see `label_corpus_with`); evaluation results
+        // are identical for any setting.
+        let cfg = FeatureConfig { threads: 0, ..FeatureConfig::default() };
+        label_corpus(&corpus, &Estimator::model_for_rows(1 << 10), &cfg)
     }
 
     #[test]

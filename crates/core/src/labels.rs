@@ -10,7 +10,7 @@
 use crate::classes::SpeedupClass;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use wise_features::{FeatureConfig, FeatureVector};
+use wise_features::{FeatureConfig, FeatureScratch, FeatureVector};
 use wise_gen::Corpus;
 use wise_kernels::method::{Method, MethodConfig};
 use wise_matrix::Csr;
@@ -61,6 +61,27 @@ impl MatrixLabels {
         feature_config: &FeatureConfig,
         catalog: &[MethodConfig],
     ) -> MatrixLabels {
+        Self::compute_scoped(
+            name,
+            m,
+            estimator,
+            feature_config,
+            catalog,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`Self::compute_with`] reusing a caller-owned extraction
+    /// workspace, so labeling many matrices on one thread stays
+    /// allocation-lean.
+    pub fn compute_scoped(
+        name: &str,
+        m: &Csr,
+        estimator: &Estimator,
+        feature_config: &FeatureConfig,
+        catalog: &[MethodConfig],
+        scratch: &mut FeatureScratch,
+    ) -> MatrixLabels {
         assert!(
             catalog.iter().any(|c| c.method == Method::Csr),
             "catalog must include a CSR configuration (the speedup-class baseline)"
@@ -86,7 +107,7 @@ impl MatrixLabels {
             seconds,
             best_csr_seconds,
             classes,
-            features: FeatureVector::extract(m, feature_config),
+            features: FeatureVector::extract_with(m, feature_config, scratch),
             preprocessing_seconds,
             cold_seconds,
             feature_extraction_seconds: estimator.feature_extraction_seconds(m),
@@ -139,11 +160,21 @@ pub fn label_corpus_with(
         catalog.iter().any(|c| c.method == Method::Csr),
         "catalog must include a CSR configuration (the speedup-class baseline)"
     );
+    // Outer-parallel / inner-serial: rayon already spreads the corpus
+    // across every core here, so the per-matrix feature extraction is
+    // pinned to one thread — nested extraction parallelism would only
+    // oversubscribe the machine. Features are bit-identical for any
+    // thread count, so this is purely a scheduling decision. Each rayon
+    // worker keeps one `FeatureScratch`, so extraction stops allocating
+    // once the workspace has grown to the largest matrix.
+    let serial = FeatureConfig { threads: 1, ..*feature_config };
     let matrices: Vec<MatrixLabels> = corpus
         .matrices
         .par_iter()
-        .map(|lm| {
-            MatrixLabels::compute_with(&lm.name, &lm.matrix, estimator, feature_config, &catalog)
+        .map_init(FeatureScratch::new, |scratch, lm| {
+            MatrixLabels::compute_scoped(
+                &lm.name, &lm.matrix, estimator, &serial, &catalog, scratch,
+            )
         })
         .collect();
     CorpusLabels { catalog, matrices }

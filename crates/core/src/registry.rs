@@ -61,10 +61,7 @@ impl ModelRegistry {
     /// Predicts the speedup class of every configuration for a feature
     /// vector, in catalog order.
     pub fn predict(&self, features: &FeatureVector) -> Vec<SpeedupClass> {
-        self.trees
-            .iter()
-            .map(|t| SpeedupClass::from_index(t.predict(features.values())))
-            .collect()
+        self.trees.iter().map(|t| SpeedupClass::from_index(t.predict(features.values()))).collect()
     }
 
     /// Serializes to pretty JSON at `path`.

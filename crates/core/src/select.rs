@@ -137,10 +137,8 @@ mod amortized_tests {
 
     fn two_config_setup() -> (Vec<MethodConfig>, Vec<SpeedupClass>, Vec<f64>) {
         // CSR at parity (free) vs LAV at >2x speedup (expensive to build).
-        let catalog = vec![
-            MethodConfig::csr(wise_kernels::Schedule::Dyn),
-            MethodConfig::lav(8, 0.8),
-        ];
+        let catalog =
+            vec![MethodConfig::csr(wise_kernels::Schedule::Dyn), MethodConfig::lav(8, 0.8)];
         let predictions = vec![SpeedupClass::C1, SpeedupClass::C6];
         let preproc = vec![0.0, 50.0]; // LAV conversion = 50 baseline units
         (catalog, predictions, preproc)
@@ -177,8 +175,7 @@ mod amortized_tests {
         let preds: Vec<SpeedupClass> =
             (0..cat.len()).map(|i| SpeedupClass::from_index((i % 7) as u32)).collect();
         let preproc = vec![1.0; cat.len()];
-        let amortized =
-            select_index_amortized(&cat, &preds, &preproc, 1.0, u64::MAX / 2);
+        let amortized = select_index_amortized(&cat, &preds, &preproc, 1.0, u64::MAX / 2);
         let plain = select_index(&cat, &preds);
         assert_eq!(preds[amortized], preds[plain], "same class tier at n -> inf");
     }

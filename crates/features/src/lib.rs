@@ -12,15 +12,24 @@
 //! * [`stats`] — mean/σ/σ²/min/max/Gini/p-ratio/ne over a distribution;
 //! * [`tiling`] — the K×K logical tile grid and T/RB/CB distributions;
 //! * [`locality`] — uniqR/uniqC, GrX_* grouped uniques, potReuse*;
+//! * [`engine`] — the fused, parallel single-pass extraction engine and
+//!   its reusable [`FeatureScratch`] workspace;
 //! * [`FeatureVector`] — the assembled, fixed-order feature vector fed
 //!   to the decision trees.
+//!
+//! Extraction ([`FeatureVector::extract`]) runs in O(nnz + K) with one
+//! fused sweep per orientation, parallelized over row-block-aligned
+//! chunks; [`FeatureVector::extract_reference`] keeps the naive
+//! multi-pass implementation as the parity oracle.
 
+pub mod engine;
 pub mod locality;
 pub mod stats;
 pub mod tiling;
 
 mod vector;
 
+pub use engine::FeatureScratch;
 pub use stats::SummaryStats;
-pub use tiling::TileGrid;
+pub use tiling::{TileGeometry, TileGrid};
 pub use vector::{FeatureConfig, FeatureVector};

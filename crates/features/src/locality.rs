@@ -71,42 +71,60 @@ fn incidence_counts(m: &Csr, tile_h: usize, tile_w: usize, k: usize) -> [usize; 
     counts
 }
 
-/// Computes all locality metrics. `mt` must be the transpose of `m`
-/// (callers typically already have it for the C distribution).
+impl LocalityMetrics {
+    /// Assembles the 24 metrics from one distinct-`(group, tile)`
+    /// incidence array per orientation (index 0 = single rows/columns,
+    /// indices 1.. follow [`GROUP_XS`]). Shared by the reference path
+    /// ([`locality_metrics`]) and the fused extraction engine, so both
+    /// produce bit-identical features from equal counts.
+    pub fn from_incidence(
+        row_side: [usize; 6],
+        col_side: [usize; 6],
+        nrows: usize,
+        ncols: usize,
+        nnz: usize,
+    ) -> LocalityMetrics {
+        let nnz = nnz as f64;
+        let ngroups = |n: usize, x: usize| n.div_ceil(x).max(1) as f64;
+        let safe_div = |a: usize, b: f64| if b > 0.0 { a as f64 / b } else { 0.0 };
+
+        let mut gr_uniq_r = [0.0; 5];
+        let mut gr_uniq_c = [0.0; 5];
+        let mut gr_pot_reuse_r = [0.0; 5];
+        let mut gr_pot_reuse_c = [0.0; 5];
+        for (i, &x) in GROUP_XS.iter().enumerate() {
+            gr_uniq_r[i] = safe_div(row_side[i + 1], nnz);
+            gr_uniq_c[i] = safe_div(col_side[i + 1], nnz);
+            gr_pot_reuse_r[i] = row_side[i + 1] as f64 / ngroups(nrows, x);
+            gr_pot_reuse_c[i] = col_side[i + 1] as f64 / ngroups(ncols, x);
+        }
+        LocalityMetrics {
+            uniq_r: safe_div(row_side[0], nnz),
+            uniq_c: safe_div(col_side[0], nnz),
+            gr_uniq_r,
+            gr_uniq_c,
+            pot_reuse_r: row_side[0] as f64 / nrows.max(1) as f64,
+            pot_reuse_c: col_side[0] as f64 / ncols.max(1) as f64,
+            gr_pot_reuse_r,
+            gr_pot_reuse_c,
+        }
+    }
+}
+
+/// Computes all locality metrics with the serial reference sweeps.
+/// `mt` must be the transpose of `m` (callers typically already have it
+/// for the C distribution). The production extraction path computes the
+/// same incidence counts inside its fused sweep; this function is the
+/// independently-testable oracle.
 pub fn locality_metrics(m: &Csr, mt: &Csr, grid: &TileGrid) -> LocalityMetrics {
     debug_assert_eq!(mt.nrows(), m.ncols());
     debug_assert_eq!(mt.nnz(), m.nnz());
-    let nnz = m.nnz() as f64;
     let k = grid.k();
-
     let row_side = incidence_counts(m, grid.tile_h(), grid.tile_w(), k);
     // Column orientation: scan the transpose; its "rows" are original
     // columns, so tile height/width swap.
     let col_side = incidence_counts(mt, grid.tile_w(), grid.tile_h(), k);
-
-    let ngroups = |n: usize, x: usize| n.div_ceil(x).max(1) as f64;
-    let safe_div = |a: usize, b: f64| if b > 0.0 { a as f64 / b } else { 0.0 };
-
-    let mut gr_uniq_r = [0.0; 5];
-    let mut gr_uniq_c = [0.0; 5];
-    let mut gr_pot_reuse_r = [0.0; 5];
-    let mut gr_pot_reuse_c = [0.0; 5];
-    for (i, &x) in GROUP_XS.iter().enumerate() {
-        gr_uniq_r[i] = safe_div(row_side[i + 1], nnz);
-        gr_uniq_c[i] = safe_div(col_side[i + 1], nnz);
-        gr_pot_reuse_r[i] = row_side[i + 1] as f64 / ngroups(m.nrows(), x);
-        gr_pot_reuse_c[i] = col_side[i + 1] as f64 / ngroups(m.ncols(), x);
-    }
-    LocalityMetrics {
-        uniq_r: safe_div(row_side[0], nnz),
-        uniq_c: safe_div(col_side[0], nnz),
-        gr_uniq_r,
-        gr_uniq_c,
-        pot_reuse_r: row_side[0] as f64 / m.nrows().max(1) as f64,
-        pot_reuse_c: col_side[0] as f64 / m.ncols().max(1) as f64,
-        gr_pot_reuse_r,
-        gr_pot_reuse_c,
-    }
+    LocalityMetrics::from_incidence(row_side, col_side, m.nrows(), m.ncols(), m.nnz())
 }
 
 #[cfg(test)]

@@ -30,10 +30,17 @@ pub struct SummaryStats {
 impl SummaryStats {
     /// Statistics of a dense distribution (every bucket materialized).
     pub fn from_counts(counts: &[usize]) -> SummaryStats {
-        let mut sorted: Vec<usize> = counts.iter().copied().filter(|&v| v > 0).collect();
-        sorted.sort_unstable();
-        let has_empty_bucket = sorted.len() < counts.len();
-        Self::from_sorted_nonzero(&sorted, counts.len(), has_empty_bucket)
+        Self::from_counts_with(counts, &mut Vec::new())
+    }
+
+    /// [`Self::from_counts`] with a caller-owned sort buffer, so
+    /// repeated statistics over a corpus avoid per-call allocation.
+    pub fn from_counts_with(counts: &[usize], buf: &mut Vec<usize>) -> SummaryStats {
+        buf.clear();
+        buf.extend(counts.iter().copied().filter(|&v| v > 0));
+        buf.sort_unstable();
+        let has_empty_bucket = buf.len() < counts.len();
+        Self::from_sorted_nonzero(buf, counts.len(), has_empty_bucket)
     }
 
     /// Statistics of a sparsely-stored distribution: `nonzero` holds
@@ -41,16 +48,26 @@ impl SummaryStats {
     /// implicit zeros (used for the T distribution, where K² buckets
     /// would be too many to materialize).
     pub fn from_sparse(nonzero: &[usize], total_buckets: usize) -> SummaryStats {
+        Self::from_sparse_with(nonzero, total_buckets, &mut Vec::new())
+    }
+
+    /// [`Self::from_sparse`] with a caller-owned sort buffer.
+    pub fn from_sparse_with(
+        nonzero: &[usize],
+        total_buckets: usize,
+        buf: &mut Vec<usize>,
+    ) -> SummaryStats {
         assert!(
             nonzero.len() <= total_buckets,
             "more non-empty buckets ({}) than buckets ({})",
             nonzero.len(),
             total_buckets
         );
-        let mut sorted: Vec<usize> = nonzero.iter().copied().filter(|&v| v > 0).collect();
-        sorted.sort_unstable();
-        let has_empty = sorted.len() < total_buckets;
-        Self::from_sorted_nonzero(&sorted, total_buckets, has_empty)
+        buf.clear();
+        buf.extend(nonzero.iter().copied().filter(|&v| v > 0));
+        buf.sort_unstable();
+        let has_empty = buf.len() < total_buckets;
+        Self::from_sorted_nonzero(buf, total_buckets, has_empty)
     }
 
     /// Core computation over ascending-sorted non-empty values plus an
@@ -86,11 +103,8 @@ impl SummaryStats {
             0.0
         } else {
             let z = n_buckets - sorted.len(); // zero buckets, lowest ranks
-            let weighted: f64 = sorted
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (z + i + 1) as f64 * v as f64)
-                .sum();
+            let weighted: f64 =
+                sorted.iter().enumerate().map(|(i, &v)| (z + i + 1) as f64 * v as f64).sum();
             (2.0 * weighted / (n * total as f64) - (n + 1.0) / n).clamp(0.0, 1.0)
         };
 

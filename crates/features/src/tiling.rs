@@ -8,7 +8,37 @@
 
 use wise_matrix::Csr;
 
+/// Tile-grid geometry: the clamped grid dimension and tile extents,
+/// without any per-matrix distributions. The single source of truth for
+/// the clamping rule shared by [`TileGrid`] (the reference path) and
+/// the fused extraction engine (`crate::engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGeometry {
+    /// Grid dimension actually used (after clamping to the matrix).
+    pub k: usize,
+    /// Rows per tile.
+    pub tile_h: usize,
+    /// Columns per tile.
+    pub tile_w: usize,
+}
+
+impl TileGeometry {
+    /// Geometry for an `nrows x ncols` matrix with grid dimension
+    /// `min(k_max, nrows, ncols)` (at least 1).
+    pub fn for_matrix(nrows: usize, ncols: usize, k_max: usize) -> TileGeometry {
+        let k = k_max.min(nrows.max(1)).min(ncols.max(1)).max(1);
+        TileGeometry { k, tile_h: nrows.div_ceil(k).max(1), tile_w: ncols.div_ceil(k).max(1) }
+    }
+}
+
 /// Tile-grid geometry plus the T/RB/CB nonzero distributions.
+///
+/// This is the *reference* tiling pass: simple, serial, and
+/// O(nnz log nnz) because of the tile-id sort. The production
+/// extraction path (`FeatureVector::extract`) computes the same
+/// distributions in a fused O(nnz + K) sweep; `TileGrid` is kept as
+/// the independently-testable oracle the parity suite compares
+/// against.
 #[derive(Debug, Clone)]
 pub struct TileGrid {
     /// Grid dimension actually used (after clamping to the matrix).
@@ -30,9 +60,8 @@ impl TileGrid {
     /// least 1) and computes all three block distributions in
     /// O(nnz log nnz).
     pub fn new(m: &Csr, k_max: usize) -> TileGrid {
-        let k = k_max.min(m.nrows().max(1)).min(m.ncols().max(1)).max(1);
-        let tile_h = m.nrows().div_ceil(k).max(1);
-        let tile_w = m.ncols().div_ceil(k).max(1);
+        let TileGeometry { k, tile_h, tile_w } =
+            TileGeometry::for_matrix(m.nrows(), m.ncols(), k_max);
 
         let mut row_block_counts = vec![0usize; k];
         let mut col_block_counts = vec![0usize; k];
@@ -149,6 +178,17 @@ mod tests {
         // A bandwidth-2 matrix in 32-wide tiles touches only diagonal
         // and immediately adjacent tiles.
         assert!(g.n_nonempty_tiles() <= 3 * g.k());
+    }
+
+    #[test]
+    fn geometry_matches_grid() {
+        for (nr, nc, k_max) in [(16, 16, 4), (5, 5, 2048), (2, 100, 2048), (0, 0, 8), (300, 7, 16)]
+        {
+            let m = Csr::zero(nr, nc);
+            let g = TileGrid::new(&m, k_max);
+            let geo = TileGeometry::for_matrix(nr, nc, k_max);
+            assert_eq!((geo.k, geo.tile_h, geo.tile_w), (g.k(), g.tile_h(), g.tile_w()));
+        }
     }
 
     #[test]

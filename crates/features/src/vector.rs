@@ -1,11 +1,14 @@
 //! Assembly of the fixed-order feature vector fed to the decision
 //! trees (the full Table 2).
 
-use crate::locality::{locality_metrics, GROUP_XS};
+use crate::engine::{self, FeatureScratch};
+use crate::locality::{locality_metrics, LocalityMetrics, GROUP_XS};
 use crate::stats::SummaryStats;
-use crate::tiling::TileGrid;
+use crate::tiling::{TileGeometry, TileGrid};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::OnceLock;
+use wise_kernels::sched::default_threads;
 use wise_matrix::Csr;
 
 /// Feature-extraction configuration.
@@ -15,11 +18,29 @@ pub struct FeatureConfig {
     /// and 2^20+-row matrices); the grid is clamped to the matrix
     /// dimensions either way.
     pub k_max: usize,
+    /// Worker threads for the fused extraction sweeps: 0 (the default)
+    /// resolves to [`default_threads`] at extraction time. Callers that
+    /// already parallelize *across* matrices (e.g. the rayon labeling
+    /// loop in `wise-core`) should pin this to 1 to avoid
+    /// oversubscription; the result is bit-identical either way.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { k_max: 2048 }
+        FeatureConfig { k_max: 2048, threads: 0 }
+    }
+}
+
+impl FeatureConfig {
+    /// The worker-thread count extraction will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -68,6 +89,35 @@ fn build_names() -> Vec<String> {
     names
 }
 
+/// The shared final assembly: both extraction paths push the same
+/// statistics in the same fixed order, so parity between them is purely
+/// a question of equal counts.
+fn assemble(
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    dists: [SummaryStats; 5], // R, C, T, RB, CB
+    loc: &LocalityMetrics,
+) -> Vec<f64> {
+    let mut values = Vec::with_capacity(N_FEATURES);
+    values.push(nrows as f64);
+    values.push(ncols as f64);
+    values.push(nnz as f64);
+    for s in dists {
+        values.extend_from_slice(&[s.mean, s.std, s.var, s.gini, s.p_ratio, s.min, s.max, s.ne]);
+    }
+    values.push(loc.uniq_r);
+    values.push(loc.uniq_c);
+    values.extend_from_slice(&loc.gr_uniq_r);
+    values.extend_from_slice(&loc.gr_uniq_c);
+    values.push(loc.pot_reuse_r);
+    values.push(loc.pot_reuse_c);
+    values.extend_from_slice(&loc.gr_pot_reuse_r);
+    values.extend_from_slice(&loc.gr_pot_reuse_c);
+    debug_assert_eq!(values.len(), N_FEATURES);
+    values
+}
+
 impl FeatureVector {
     /// The feature names, in vector order.
     pub fn names() -> &'static [String] {
@@ -75,10 +125,103 @@ impl FeatureVector {
         NAMES.get_or_init(build_names)
     }
 
-    /// Extracts all features from `m`. Runs in O(nnz log nnz); this is
-    /// the feature-calculation half of WISE's preprocessing overhead
-    /// (Fig. 13c).
+    /// Name → vector-index map (built once; [`Self::get`] is O(1)).
+    fn index_map() -> &'static HashMap<&'static str, usize> {
+        static MAP: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+        MAP.get_or_init(|| Self::names().iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect())
+    }
+
+    /// Vector index of a feature name, if it exists.
+    pub fn name_index(name: &str) -> Option<usize> {
+        Self::index_map().get(name).copied()
+    }
+
+    /// Extracts all features from `m` with the fused parallel engine —
+    /// O(nnz + K) work split over `cfg.threads` workers. This is the
+    /// feature-calculation half of WISE's preprocessing overhead
+    /// (Fig. 13c). Allocates a fresh workspace; hot loops extracting
+    /// from many matrices should reuse one via [`Self::extract_with`].
     pub fn extract(m: &Csr, cfg: &FeatureConfig) -> FeatureVector {
+        Self::extract_with(m, cfg, &mut FeatureScratch::new())
+    }
+
+    /// [`Self::extract`] with a caller-owned [`FeatureScratch`], making
+    /// repeated extractions allocation-free once the workspace has
+    /// grown to the largest matrix seen.
+    pub fn extract_with(
+        m: &Csr,
+        cfg: &FeatureConfig,
+        scratch: &mut FeatureScratch,
+    ) -> FeatureVector {
+        let geo = TileGeometry::for_matrix(m.nrows(), m.ncols(), cfg.k_max);
+        let threads = cfg.resolved_threads();
+
+        // Fused row-major sweep: T, RB, CB and row-side incidence in
+        // one pass over the CSR arrays.
+        let (row_inc, t_stats, rb_stats, cb_stats) = {
+            let side = engine::fused_sweep(
+                &mut scratch.workers,
+                m.row_ptr(),
+                m.col_idx(),
+                m.nrows(),
+                geo,
+                true,
+                threads,
+            );
+            let t = SummaryStats::from_sparse_with(
+                side.tile_counts,
+                geo.k * geo.k,
+                &mut scratch.stat_buf,
+            );
+            let rb = SummaryStats::from_counts_with(side.row_block_counts, &mut scratch.stat_buf);
+            let cb = SummaryStats::from_counts_with(side.col_block_counts, &mut scratch.stat_buf);
+            (side.incidence, t, rb, cb)
+        };
+
+        // R distribution straight from row-pointer differences — no
+        // per-row materialization pass.
+        scratch.counts_buf.clear();
+        scratch.counts_buf.extend(m.row_ptr().windows(2).map(|w| w[1] - w[0]));
+        let r_stats = SummaryStats::from_counts_with(&scratch.counts_buf, &mut scratch.stat_buf);
+
+        // Values-free pattern transpose: the C distribution falls out of
+        // its row pointers, and the mirrored sweep yields the
+        // column-side incidence levels.
+        m.transpose_pattern_into(&mut scratch.t_row_ptr, &mut scratch.t_col_idx);
+        scratch.counts_buf.clear();
+        scratch.counts_buf.extend(scratch.t_row_ptr.windows(2).map(|w| w[1] - w[0]));
+        let c_stats = SummaryStats::from_counts_with(&scratch.counts_buf, &mut scratch.stat_buf);
+
+        let mirrored = TileGeometry { k: geo.k, tile_h: geo.tile_w, tile_w: geo.tile_h };
+        let col_inc = engine::fused_sweep(
+            &mut scratch.workers,
+            &scratch.t_row_ptr,
+            &scratch.t_col_idx,
+            m.ncols(),
+            mirrored,
+            false,
+            threads,
+        )
+        .incidence;
+
+        let loc = LocalityMetrics::from_incidence(row_inc, col_inc, m.nrows(), m.ncols(), m.nnz());
+        FeatureVector {
+            values: assemble(
+                m.nrows(),
+                m.ncols(),
+                m.nnz(),
+                [r_stats, c_stats, t_stats, rb_stats, cb_stats],
+                &loc,
+            ),
+        }
+    }
+
+    /// The naive multi-pass reference extractor: full value-carrying
+    /// transpose, sort-based [`TileGrid`], separate per-distribution
+    /// passes. Kept as the oracle the parity test suite compares
+    /// [`Self::extract`] against feature-by-feature (results are
+    /// exactly equal); not used on any production path.
+    pub fn extract_reference(m: &Csr, cfg: &FeatureConfig) -> FeatureVector {
         let grid = TileGrid::new(m, cfg.k_max);
         let mt = m.transpose();
 
@@ -89,23 +232,15 @@ impl FeatureVector {
         let cb_stats = SummaryStats::from_counts(grid.col_block_counts());
         let loc = locality_metrics(m, &mt, &grid);
 
-        let mut values = Vec::with_capacity(N_FEATURES);
-        values.push(m.nrows() as f64);
-        values.push(m.ncols() as f64);
-        values.push(m.nnz() as f64);
-        for s in [r_stats, c_stats, t_stats, rb_stats, cb_stats] {
-            values.extend_from_slice(&[s.mean, s.std, s.var, s.gini, s.p_ratio, s.min, s.max, s.ne]);
+        FeatureVector {
+            values: assemble(
+                m.nrows(),
+                m.ncols(),
+                m.nnz(),
+                [r_stats, c_stats, t_stats, rb_stats, cb_stats],
+                &loc,
+            ),
         }
-        values.push(loc.uniq_r);
-        values.push(loc.uniq_c);
-        values.extend_from_slice(&loc.gr_uniq_r);
-        values.extend_from_slice(&loc.gr_uniq_c);
-        values.push(loc.pot_reuse_r);
-        values.push(loc.pot_reuse_c);
-        values.extend_from_slice(&loc.gr_pot_reuse_r);
-        values.extend_from_slice(&loc.gr_pot_reuse_c);
-        debug_assert_eq!(values.len(), N_FEATURES);
-        FeatureVector { values }
     }
 
     pub fn values(&self) -> &[f64] {
@@ -120,9 +255,9 @@ impl FeatureVector {
         self.values.is_empty()
     }
 
-    /// Looks a feature up by name.
+    /// Looks a feature up by name (O(1) via a lazily built name map).
     pub fn get(&self, name: &str) -> Option<f64> {
-        Self::names().iter().position(|n| n == name).map(|i| self.values[i])
+        Self::name_index(name).map(|i| self.values[i])
     }
 
     /// Builds a vector directly from values (model deserialization).
@@ -148,6 +283,14 @@ mod tests {
     }
 
     #[test]
+    fn name_index_matches_position() {
+        for (i, n) in FeatureVector::names().iter().enumerate() {
+            assert_eq!(FeatureVector::name_index(n), Some(i));
+        }
+        assert_eq!(FeatureVector::name_index("bogus"), None);
+    }
+
+    #[test]
     fn extract_sizes_and_lookup() {
         let m = RmatParams::LOW_LOC.generate(8, 4, 1);
         let f = FeatureVector::extract(&m, &FeatureConfig::default());
@@ -159,6 +302,43 @@ mod tests {
         // Mean nonzeros per row must equal nnz / nrows.
         let mean_r = f.get("mean_R").unwrap();
         assert!((mean_r - m.nnz() as f64 / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_matches_reference_across_threads() {
+        let cfg1 = FeatureConfig { k_max: 16, threads: 1 };
+        let mut scratch = FeatureScratch::new();
+        for m in [
+            RmatParams::MED_SKEW.generate(9, 8, 3),
+            suite::banded(512, 4, 1.0, 0),
+            wise_matrix::Csr::zero(10, 10),
+        ] {
+            let want = FeatureVector::extract_reference(&m, &cfg1);
+            for threads in [1usize, 2, 7] {
+                let cfg = FeatureConfig { k_max: 16, threads };
+                let got = FeatureVector::extract_with(&m, &cfg, &mut scratch);
+                assert_eq!(got, want, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // Interleave matrices of very different shapes through one
+        // scratch; results must match fresh extractions.
+        let mut scratch = FeatureScratch::new();
+        let cfg = FeatureConfig::default();
+        let ms = [
+            RmatParams::HIGH_SKEW.generate(9, 8, 2),
+            suite::stencil_2d(10, 10),
+            wise_matrix::Csr::identity(3),
+            RmatParams::LOW_LOC.generate(8, 4, 1),
+        ];
+        for m in &ms {
+            let fresh = FeatureVector::extract(m, &cfg);
+            let reused = FeatureVector::extract_with(m, &cfg, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]
@@ -218,6 +398,14 @@ mod tests {
         let f = FeatureVector::extract(&m, &FeatureConfig::default());
         let g = FeatureVector::from_values(f.values().to_vec());
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn config_deserializes_without_threads_field() {
+        // Models saved before the threads knob existed must still load.
+        let cfg: FeatureConfig = serde_json::from_str(r#"{"k_max": 512}"#).unwrap();
+        assert_eq!(cfg, FeatureConfig { k_max: 512, threads: 0 });
+        assert!(cfg.resolved_threads() >= 1);
     }
 
     #[test]

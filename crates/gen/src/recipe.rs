@@ -87,8 +87,9 @@ impl Recipe {
                 .rmat_params()
                 .expect("locality recipes are RMAT")
                 .generate(scale, avg_degree, seed),
-            Recipe::Rgg => RggParams { n: 1usize << scale, avg_degree: avg_degree as f64 }
-                .generate(seed),
+            Recipe::Rgg => {
+                RggParams { n: 1usize << scale, avg_degree: avg_degree as f64 }.generate(seed)
+            }
         }
     }
 }
@@ -136,11 +137,7 @@ impl CorpusScale {
 
     /// Tiny scale for unit/integration tests.
     pub fn tiny() -> Self {
-        CorpusScale {
-            row_scales: vec![8, 9, 10],
-            degrees: vec![4, 16],
-            max_nnz: 1 << 16,
-        }
+        CorpusScale { row_scales: vec![8, 9, 10], degrees: vec![4, 16], max_nnz: 1 << 16 }
     }
 
     /// The paper's scale (needs a large-memory server).
@@ -226,10 +223,8 @@ impl Corpus {
         }
         // 2D stencils: side ~ 2^(s/2) so n ~ 2^s. Integer division can
         // collapse adjacent scales to the same side, so dedupe.
-        let mut sides2d: Vec<usize> = [lo, mid, hi]
-            .iter()
-            .map(|&s| ((1usize << s) as f64).sqrt().round() as usize)
-            .collect();
+        let mut sides2d: Vec<usize> =
+            [lo, mid, hi].iter().map(|&s| ((1usize << s) as f64).sqrt().round() as usize).collect();
         sides2d.dedup();
         for side in sides2d {
             if side * side * 5 > budget {
@@ -241,10 +236,8 @@ impl Corpus {
             ));
         }
         // 3D stencils: side ~ 2^(s/3).
-        let mut sides3d: Vec<usize> = [lo, mid, hi]
-            .iter()
-            .map(|&s| ((1usize << s) as f64).cbrt().round() as usize)
-            .collect();
+        let mut sides3d: Vec<usize> =
+            [lo, mid, hi].iter().map(|&s| ((1usize << s) as f64).cbrt().round() as usize).collect();
         sides3d.dedup();
         for side in sides3d {
             if side.pow(3) * 7 > budget {
@@ -306,11 +299,7 @@ impl Corpus {
 
         let matrices = fams
             .into_par_iter()
-            .map(|(name, thunk)| LabeledMatrix {
-                name,
-                group: MatrixGroup::Suite,
-                matrix: thunk(),
-            })
+            .map(|(name, thunk)| LabeledMatrix { name, group: MatrixGroup::Suite, matrix: thunk() })
             .collect();
         Corpus { matrices }
     }

@@ -48,9 +48,7 @@ impl RggParams {
         pts.sort_by(|&p, &q| {
             let (px, py) = cell_of(p);
             let (qx, qy) = cell_of(q);
-            (py, px)
-                .cmp(&(qy, qx))
-                .then(p.partial_cmp(&q).unwrap_or(std::cmp::Ordering::Equal))
+            (py, px).cmp(&(qy, qx)).then(p.partial_cmp(&q).unwrap_or(std::cmp::Ordering::Equal))
         });
 
         let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
@@ -104,10 +102,7 @@ mod tests {
     fn degree_close_to_target() {
         let m = RggParams { n: 4000, avg_degree: 12.0 }.generate(11);
         let avg = m.nnz() as f64 / m.nrows() as f64;
-        assert!(
-            (avg - 12.0).abs() < 4.0,
-            "expected avg degree near 12, got {avg}"
-        );
+        assert!((avg - 12.0).abs() < 4.0, "expected avg degree near 12, got {avg}");
     }
 
     #[test]

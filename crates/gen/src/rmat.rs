@@ -43,11 +43,7 @@ impl RmatParams {
     /// Checks the probabilities are a distribution (within tolerance).
     pub fn validate(&self) -> bool {
         let s = self.a + self.b + self.c + self.d;
-        (s - 1.0).abs() < 1e-9
-            && self.a >= 0.0
-            && self.b >= 0.0
-            && self.c >= 0.0
-            && self.d >= 0.0
+        (s - 1.0).abs() < 1e-9 && self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0
     }
 
     /// Samples one cell of a `2^scale x 2^scale` matrix.

@@ -72,11 +72,8 @@ impl InspectorExecutor {
         let mut preprocessing = Duration::ZERO;
         for (i, cfg) in self.candidates.iter().enumerate() {
             let (prep, conv_time) = measure_once(|| cfg.prepare(m));
-            let trial = measure_median(
-                || prep.spmv(x, &mut y, nthreads, &mut ws),
-                0,
-                self.trial_iters,
-            );
+            let trial =
+                measure_median(|| prep.spmv(x, &mut y, nthreads, &mut ws), 0, self.trial_iters);
             preprocessing += conv_time + trial * self.trial_iters as u32;
             trials.push((*cfg, trial));
             if best.is_none_or(|(_, t)| trial < t) {
@@ -88,10 +85,7 @@ impl InspectorExecutor {
         // Re-prepare the winner (the trial Prepared values were dropped
         // as we went to bound peak memory, like a real IE would).
         let prep = choice.prepare(m);
-        (
-            prep,
-            InspectorReport { choice, trials, preprocessing },
-        )
+        (prep, InspectorReport { choice, trials, preprocessing })
     }
 }
 

@@ -96,9 +96,7 @@ mod tests {
         m.spmv_reference(&x, &mut want);
         for sched in Schedule::ALL {
             let mut got = vec![0.0; m.nrows()];
-            CsrSpmv::new(m, sched)
-                .with_rows_per_chunk(7)
-                .spmv(&x, &mut got, nthreads);
+            CsrSpmv::new(m, sched).with_rows_per_chunk(7).spmv(&x, &mut got, nthreads);
             for (g, w) in got.iter().zip(&want) {
                 assert!(
                     (g - w).abs() <= 1e-9 * (1.0 + w.abs()),

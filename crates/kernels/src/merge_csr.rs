@@ -184,15 +184,14 @@ mod tests {
     #[test]
     fn empty_rows_and_empty_matrix() {
         check(&Csr::zero(10, 10), 4, "zero");
-        let m = Csr::try_new(5, 5, vec![0, 0, 3, 3, 3, 3], vec![0, 2, 4], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let m =
+            Csr::try_new(5, 5, vec![0, 0, 3, 3, 3, 3], vec![0, 2, 4], vec![1.0, 2.0, 3.0]).unwrap();
         check(&m, 3, "gaps");
     }
 
     #[test]
     fn single_row_single_thread() {
-        let m = Csr::try_new(1, 4, vec![0, 4], vec![0, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap();
+        let m = Csr::try_new(1, 4, vec![0, 4], vec![0, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         check(&m, 1, "single");
         check(&m, 7, "single-many-threads");
     }

@@ -161,12 +161,7 @@ impl MethodConfig {
     /// Total order used for preprocessing-cost tie-breaking
     /// (Section 4.4): method rank first, then smaller parameters.
     pub fn preproc_key(&self) -> (u8, usize, usize, u64) {
-        (
-            self.method.preproc_rank(),
-            self.c,
-            self.sigma,
-            (self.t * 1000.0) as u64,
-        )
+        (self.method.preproc_rank(), self.c, self.sigma, (self.t * 1000.0) as u64)
     }
 
     /// Converts the matrix into this configuration's executable form.
@@ -259,7 +254,8 @@ mod tests {
         assert!(MethodConfig::lav(4, 0.7).preproc_key() < MethodConfig::lav(4, 0.9).preproc_key());
         // Across methods, CSR cheapest, LAV most expensive.
         assert!(
-            MethodConfig::csr(Schedule::Dyn).preproc_key() < MethodConfig::lav(4, 0.7).preproc_key()
+            MethodConfig::csr(Schedule::Dyn).preproc_key()
+                < MethodConfig::lav(4, 0.7).preproc_key()
         );
     }
 

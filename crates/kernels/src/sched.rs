@@ -254,7 +254,9 @@ mod tests {
     #[test]
     fn every_schedule_covers_every_chunk_exactly_once() {
         for sched in Schedule::ALL {
-            for &(n, t, g) in &[(1usize, 1usize, 1usize), (7, 3, 1), (100, 4, 8), (64, 8, 16), (5, 8, 2)] {
+            for &(n, t, g) in
+                &[(1usize, 1usize, 1usize), (7, 3, 1), (100, 4, 8), (64, 8, 16), (5, 8, 2)]
+            {
                 covers_all(sched, n, t, g);
             }
         }

@@ -160,25 +160,39 @@ impl SrvPack {
 
     /// Sliced ELLPACK: chunks of `c` consecutive rows, no reordering.
     pub fn sellpack(m: &Csr, c: usize) -> SrvPack {
-        Self::build(m, PackConfig { c, sigma: SigmaSpec::None, cfs: false, segments: SegmentSpec::One })
+        Self::build(
+            m,
+            PackConfig { c, sigma: SigmaSpec::None, cfs: false, segments: SegmentSpec::One },
+        )
     }
 
     /// Sell-c-σ: rows sorted by length within σ-row windows.
     pub fn sell_c_sigma(m: &Csr, c: usize, sigma: usize) -> SrvPack {
         Self::build(
             m,
-            PackConfig { c, sigma: SigmaSpec::Window(sigma), cfs: false, segments: SegmentSpec::One },
+            PackConfig {
+                c,
+                sigma: SigmaSpec::Window(sigma),
+                cfs: false,
+                segments: SegmentSpec::One,
+            },
         )
     }
 
     /// Sell-c-R: global Row Frequency Sorting (σ = number of rows).
     pub fn sell_c_r(m: &Csr, c: usize) -> SrvPack {
-        Self::build(m, PackConfig { c, sigma: SigmaSpec::Full, cfs: false, segments: SegmentSpec::One })
+        Self::build(
+            m,
+            PackConfig { c, sigma: SigmaSpec::Full, cfs: false, segments: SegmentSpec::One },
+        )
     }
 
     /// LAV with a single segment: CFS then RFS.
     pub fn lav_1seg(m: &Csr, c: usize) -> SrvPack {
-        Self::build(m, PackConfig { c, sigma: SigmaSpec::Full, cfs: true, segments: SegmentSpec::One })
+        Self::build(
+            m,
+            PackConfig { c, sigma: SigmaSpec::Full, cfs: true, segments: SegmentSpec::One },
+        )
     }
 
     /// Full LAV: CFS, dense/sparse segmentation at fraction `t`, RFS per
@@ -186,7 +200,12 @@ impl SrvPack {
     pub fn lav(m: &Csr, c: usize, t: f64) -> SrvPack {
         Self::build(
             m,
-            PackConfig { c, sigma: SigmaSpec::Full, cfs: true, segments: SegmentSpec::DenseFraction(t) },
+            PackConfig {
+                c,
+                sigma: SigmaSpec::Full,
+                cfs: true,
+                segments: SegmentSpec::DenseFraction(t),
+            },
         )
     }
 
@@ -280,9 +299,7 @@ impl SrvPack {
                 }
                 SigmaSpec::Full => {
                     let mut order: Vec<u32> = (0..nrows as u32).collect();
-                    order.sort_by(|&a, &b| {
-                        lens[b as usize].cmp(&lens[a as usize]).then(a.cmp(&b))
-                    });
+                    order.sort_by(|&a, &b| lens[b as usize].cmp(&lens[a as usize]).then(a.cmp(&b)));
                     // Drop trailing zero-length rows: they produce no
                     // output in this segment.
                     while let Some(&last) = order.last() {

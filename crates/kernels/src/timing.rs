@@ -39,7 +39,13 @@ mod tests {
     #[test]
     fn runs_warmup_plus_iters() {
         let calls = AtomicUsize::new(0);
-        let d = measure_median(|| { calls.fetch_add(1, Ordering::Relaxed); }, 3, 5);
+        let d = measure_median(
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+            3,
+            5,
+        );
         assert_eq!(calls.load(Ordering::Relaxed), 8);
         assert!(d < Duration::from_secs(1));
     }
@@ -47,7 +53,13 @@ mod tests {
     #[test]
     fn zero_iters_still_measures_once() {
         let calls = AtomicUsize::new(0);
-        measure_median(|| { calls.fetch_add(1, Ordering::Relaxed); }, 0, 0);
+        measure_median(
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+            0,
+            0,
+        );
         assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 

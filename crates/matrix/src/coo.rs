@@ -152,11 +152,7 @@ impl Coo {
 
     /// Iterator over stored triplets.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
-        self.rows
-            .iter()
-            .zip(self.cols.iter())
-            .zip(self.vals.iter())
-            .map(|((&r, &c), &v)| (r, c, v))
+        self.rows.iter().zip(self.cols.iter()).zip(self.vals.iter()).map(|((&r, &c), &v)| (r, c, v))
     }
 }
 

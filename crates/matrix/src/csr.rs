@@ -65,9 +65,7 @@ impl Csr {
         }
         for r in 0..nrows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(MatrixError::MalformedRowPtr(format!(
-                    "row_ptr decreases at row {r}"
-                )));
+                return Err(MatrixError::MalformedRowPtr(format!("row_ptr decreases at row {r}")));
             }
             let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in cols.windows(2) {
@@ -109,13 +107,7 @@ impl Csr {
 
     /// An `nrows x ncols` matrix with no nonzeros.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
-        Csr {
-            nrows,
-            ncols,
-            row_ptr: vec![0; nrows + 1],
-            col_idx: Vec::new(),
-            vals: Vec::new(),
-        }
+        Csr { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), vals: Vec::new() }
     }
 
     /// The identity matrix of dimension `n` (all diagonal values 1.0).
@@ -256,13 +248,54 @@ impl Csr {
                 next[c as usize] += 1;
             }
         }
-        Csr {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            row_ptr,
-            col_idx,
-            vals,
+        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals }
+    }
+
+    /// Values-free transpose of the sparsity pattern, written into
+    /// caller-owned buffers (counting sort, O(nnz + nrows + ncols)).
+    ///
+    /// After the call `row_ptr` has `ncols + 1` entries and `col_idx`
+    /// holds the row indices of every nonzero grouped by column, each
+    /// group sorted ascending — exactly the `row_ptr`/`col_idx` pair of
+    /// [`Csr::transpose`], without materializing the values array.
+    /// Analysis passes that only need the transposed *pattern* (e.g.
+    /// column-side feature extraction) use this to halve the transpose
+    /// memory traffic; reusing the buffers across matrices makes
+    /// repeated calls allocation-free once capacity is reached.
+    pub fn transpose_pattern_into(&self, row_ptr: &mut Vec<usize>, col_idx: &mut Vec<u32>) {
+        row_ptr.clear();
+        row_ptr.resize(self.ncols + 1, 0);
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
         }
+        for i in 0..self.ncols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        col_idx.clear();
+        col_idx.resize(self.nnz(), 0);
+        // Scatter using `row_ptr[c]` itself as the write cursor for
+        // column c (scanning rows in order keeps each group sorted);
+        // afterwards `row_ptr[c]` holds the *end* of column c, i.e. the
+        // array shifted left by one, which the backward pass undoes.
+        for r in 0..self.nrows {
+            for &c in self.row_cols(r) {
+                col_idx[row_ptr[c as usize]] = r as u32;
+                row_ptr[c as usize] += 1;
+            }
+        }
+        for i in (1..=self.ncols).rev() {
+            row_ptr[i] = row_ptr[i - 1];
+        }
+        row_ptr[0] = 0;
+    }
+
+    /// Values-free pattern transpose into freshly allocated buffers.
+    /// See [`Csr::transpose_pattern_into`].
+    pub fn transpose_pattern(&self) -> (Vec<usize>, Vec<u32>) {
+        let mut row_ptr = Vec::new();
+        let mut col_idx = Vec::new();
+        self.transpose_pattern_into(&mut row_ptr, &mut col_idx);
+        (row_ptr, col_idx)
     }
 
     /// Reference sequential SpMV: `y = A x`. The ground truth every
@@ -300,13 +333,7 @@ impl Csr {
             vals.extend_from_slice(self.row_vals(old_r));
             row_ptr.push(col_idx.len());
         }
-        Ok(Csr {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            row_ptr,
-            col_idx,
-            vals,
-        })
+        Ok(Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, vals })
     }
 
     /// Returns a new matrix with columns relabeled: column `j` of `self`
@@ -338,13 +365,7 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(Csr {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            row_ptr,
-            col_idx,
-            vals,
-        })
+        Ok(Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, vals })
     }
 
     /// Approximate heap footprint in bytes (vals + col_idx + row_ptr).
@@ -488,6 +509,40 @@ mod tests {
                 assert_eq!(d[r * 8 + c], td[c * 8 + r]);
             }
         }
+    }
+
+    #[test]
+    fn transpose_pattern_matches_transpose() {
+        for m in [fig1a(), Csr::identity(7), Csr::zero(4, 9)] {
+            let t = m.transpose();
+            let (rp, ci) = m.transpose_pattern();
+            assert_eq!(rp, t.row_ptr());
+            assert_eq!(ci, t.col_idx());
+        }
+        // Rectangular, including an empty column and an empty row.
+        let wide = Csr::try_new(2, 100, vec![0, 1, 3], vec![5, 0, 99], vec![1.0; 3]).unwrap();
+        let t = wide.transpose();
+        let (rp, ci) = wide.transpose_pattern();
+        assert_eq!(rp, t.row_ptr());
+        assert_eq!(ci, t.col_idx());
+    }
+
+    #[test]
+    fn transpose_pattern_into_reuses_buffers() {
+        let m = fig1a();
+        let mut rp = Vec::new();
+        let mut ci = Vec::new();
+        m.transpose_pattern_into(&mut rp, &mut ci);
+        let (rp0, ci0) = (rp.clone(), ci.clone());
+        // Second call over the same matrix must not change the result
+        // (buffers are fully re-initialized, not appended to).
+        m.transpose_pattern_into(&mut rp, &mut ci);
+        assert_eq!(rp, rp0);
+        assert_eq!(ci, ci0);
+        // And a smaller matrix shrinks the logical contents.
+        Csr::identity(3).transpose_pattern_into(&mut rp, &mut ci);
+        assert_eq!(rp, vec![0, 1, 2, 3]);
+        assert_eq!(ci, vec![0, 1, 2]);
     }
 
     #[test]

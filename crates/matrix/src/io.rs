@@ -37,9 +37,7 @@ pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Csr> {
 pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<Csr> {
     let mut lines = BufReader::new(reader).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| MatrixError::Parse("empty file".into()))??;
+    let header = lines.next().ok_or_else(|| MatrixError::Parse("empty file".into()))??;
     let head: Vec<&str> = header.split_whitespace().collect();
     if head.len() < 5 || !head[0].starts_with("%%MatrixMarket") {
         return Err(MatrixError::Parse(format!("bad header line: {header}")));

@@ -44,9 +44,7 @@ impl Permutation {
     /// deterministic RFS/CFS used in LAV).
     pub fn sort_desc_by_key(keys: &[usize]) -> Self {
         let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
-        idx.sort_by(|&a, &b| {
-            keys[b as usize].cmp(&keys[a as usize]).then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| keys[b as usize].cmp(&keys[a as usize]).then(a.cmp(&b)));
         Permutation { map: idx }
     }
 
@@ -93,9 +91,7 @@ impl Permutation {
                 other.len()
             )));
         }
-        Ok(Permutation {
-            map: self.map.iter().map(|&mid| other.map[mid as usize]).collect(),
-        })
+        Ok(Permutation { map: self.map.iter().map(|&mid| other.map[mid as usize]).collect() })
     }
 
     /// Gathers `src` into a new vector: `out[new] = src[perm(new)]`.

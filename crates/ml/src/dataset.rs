@@ -89,8 +89,7 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
         let lo = f * n / k;
         let hi = (f + 1) * n / k;
         let test: Vec<usize> = order[lo..hi].to_vec();
-        let train: Vec<usize> =
-            order[..lo].iter().chain(order[hi..].iter()).copied().collect();
+        let train: Vec<usize> = order[..lo].iter().chain(order[hi..].iter()).copied().collect();
         folds.push((train, test));
     }
     folds
@@ -101,11 +100,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::new(
-            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]],
-            vec![0, 1, 1],
-            2,
-        )
+        Dataset::new(vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]], vec![0, 1, 1], 2)
     }
 
     #[test]

@@ -82,9 +82,8 @@ mod tests {
     fn noisy_dataset(seed: u64) -> Dataset {
         // Two informative features + label noise.
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..300)
-            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let labels: Vec<u32> = rows
             .iter()
             .map(|r| {
@@ -142,10 +141,7 @@ mod tests {
         };
         let tree_acc = acc(tree.predict_all(&test));
         let forest_acc = acc(forest.predict_all(&test));
-        assert!(
-            forest_acc >= tree_acc - 0.03,
-            "forest {forest_acc:.3} vs tree {tree_acc:.3}"
-        );
+        assert!(forest_acc >= tree_acc - 0.03, "forest {forest_acc:.3} vs tree {tree_acc:.3}");
     }
 
     #[test]
@@ -154,12 +150,8 @@ mod tests {
         let d = noisy_dataset(5);
         let f = RandomForest::fit(&d, ForestParams { n_trees: 1, ..Default::default() });
         let preds = f.predict_all(&d);
-        let agree = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / d.len() as f64;
+        let agree =
+            preds.iter().zip(d.labels()).filter(|(a, b)| a == b).count() as f64 / d.len() as f64;
         assert!(agree > 0.7, "bootstrap tree should still track labels: {agree}");
     }
 

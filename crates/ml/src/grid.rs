@@ -60,11 +60,7 @@ pub fn cross_val_confusion(
 /// Out-of-fold predictions only (when the caller aggregates its own
 /// metric, e.g. the end-to-end speedup of Table 4).
 pub fn cross_val_predictions(data: &Dataset, params: TreeParams, k: usize, seed: u64) -> Vec<u32> {
-    cross_val_confusion(data, params, k, seed)
-        .0
-        .into_iter()
-        .map(|(_, p)| p)
-        .collect()
+    cross_val_confusion(data, params, k, seed).0.into_iter().map(|(_, p)| p).collect()
 }
 
 #[cfg(test)]

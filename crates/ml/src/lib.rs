@@ -16,12 +16,12 @@
 //! * [`grid`] — the hyperparameter grid sweep of Table 4.
 
 pub mod confusion;
-pub mod forest;
 pub mod dataset;
+pub mod forest;
 pub mod grid;
 pub mod tree;
 
 pub use confusion::ConfusionMatrix;
-pub use forest::{ForestParams, RandomForest};
 pub use dataset::{kfold_indices, Dataset};
+pub use forest::{ForestParams, RandomForest};
 pub use tree::{DecisionTree, TreeParams};

@@ -391,9 +391,8 @@ mod tests {
 
     fn axis_dataset() -> Dataset {
         // Class = (x > 0.5) as label, y irrelevant.
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64 / 40.0, ((i * 7) % 13) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![i as f64 / 40.0, ((i * 7) % 13) as f64]).collect();
         let labels: Vec<u32> = (0..40).map(|i| u32::from(i as f64 / 40.0 > 0.5)).collect();
         Dataset::new(rows, labels, 2)
     }
@@ -411,9 +410,8 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         // XOR labels force depth 2; cap at 1 first.
-        let rows: Vec<Vec<f64>> = (0..32)
-            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..32).map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64]).collect();
         let labels: Vec<u32> = (0..32).map(|i| ((i % 2) ^ ((i / 2) % 2)) as u32).collect();
         let d = Dataset::new(rows, labels, 2);
         let t = DecisionTree::fit(
@@ -443,7 +441,8 @@ mod tests {
     #[test]
     fn pruning_shrinks_tree_monotonically() {
         // Noisy labels produce an overgrown tree that pruning collapses.
-        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64).sin(), (i as f64).cos()]).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i as f64).sin(), (i as f64).cos()]).collect();
         let labels: Vec<u32> = (0..200).map(|i| ((i * 2654435761usize) >> 7) as u32 % 3).collect();
         let d = Dataset::new(rows, labels, 3);
         let mut prev_nodes = usize::MAX;
@@ -524,9 +523,8 @@ mod importance_tests {
     #[test]
     fn importances_identify_the_informative_feature() {
         // Feature 1 fully determines the label; feature 0 is noise.
-        let rows: Vec<Vec<f64>> = (0..60)
-            .map(|i| vec![((i * 37) % 11) as f64, (i % 2) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![((i * 37) % 11) as f64, (i % 2) as f64]).collect();
         let labels: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
         let d = Dataset::new(rows, labels, 2);
         let t = DecisionTree::fit(&d, TreeParams { ccp_alpha: 0.0, ..Default::default() });

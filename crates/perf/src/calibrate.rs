@@ -82,10 +82,7 @@ pub fn calibrate_to_host(
         .sum::<f64>()
         / pairs.len() as f64)
         .sqrt();
-    (
-        scale_machine_time(machine, alpha),
-        CalibrationReport { alpha, probes: pairs, rms_rel_error },
-    )
+    (scale_machine_time(machine, alpha), CalibrationReport { alpha, probes: pairs, rms_rel_error })
 }
 
 #[cfg(test)]
@@ -140,11 +137,7 @@ mod tests {
         assert_eq!(report.probes.len(), 2);
         // After calibration the modeled times match measurements at
         // least in aggregate scale.
-        let total_modeled: f64 = report
-            .probes
-            .iter()
-            .map(|&(m, _)| m * report.alpha)
-            .sum();
+        let total_modeled: f64 = report.probes.iter().map(|&(m, _)| m * report.alpha).sum();
         let total_measured: f64 = report.probes.iter().map(|&(_, t)| t).sum();
         assert!(
             (total_modeled / total_measured - 1.0).abs() < 0.5,

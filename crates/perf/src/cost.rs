@@ -136,12 +136,8 @@ pub fn estimate_prepared_opts(
     let mut chunk_compute: Vec<f64> = Vec::new(); // cycles
     let mut chunk_stream_bytes: Vec<f64> = Vec::new(); // matrix + y
     let mut chunk_x_accesses: Vec<f64> = Vec::new();
-    let mut x_sim = SampledLru::new(
-        machine.l1_lines(),
-        machine.l2_lines(),
-        machine.llc_lines(),
-        sample_shift,
-    );
+    let mut x_sim =
+        SampledLru::new(machine.l1_lines(), machine.l2_lines(), machine.llc_lines(), sample_shift);
     if !cold {
         // Steady state: a first touch within this iteration was last
         // touched one iteration ago; classify it by footprint instead
@@ -184,17 +180,15 @@ pub fn estimate_prepared_opts(
             // Scattered-output penalty: RFS randomizes the y rows a
             // chunk writes; if y exceeds the LLC each write allocates a
             // full line.
-            let scattered = matches!(p.config().sigma, SigmaSpec::Full)
-                && m.nrows() * 8 > machine.llc_bytes;
-            let y_write_bytes =
-                if scattered { 8.0 * machine.scatter_write_factor } else { 8.0 };
+            let scattered =
+                matches!(p.config().sigma, SigmaSpec::Full) && m.nrows() * 8 > machine.llc_bytes;
+            let y_write_bytes = if scattered { 8.0 * machine.scatter_write_factor } else { 8.0 };
             for seg in p.segments() {
                 for chunk in 0..seg.nchunks() {
                     let w = seg.chunk_width(chunk);
                     let rows = seg.chunk_rows(chunk, c).len();
                     chunk_compute.push(w as f64 * machine.vector_cycles_per_step);
-                    chunk_stream_bytes
-                        .push((w * c) as f64 * 12.0 + rows as f64 * y_write_bytes);
+                    chunk_stream_bytes.push((w * c) as f64 * 12.0 + rows as f64 * y_write_bytes);
                     chunk_x_accesses.push((w * c) as f64);
                 }
                 // Feed the x stream in packed order.
@@ -238,9 +232,8 @@ pub fn estimate_prepared_opts(
         chunk_llc.push(llc);
         let compute = machine.cycles_to_seconds(chunk_compute[i]);
         compute_total += compute;
-        chunk_seconds.push(
-            compute + machine.dram_seconds_single(dram) + machine.llc_seconds_single(llc),
-        );
+        chunk_seconds
+            .push(compute + machine.dram_seconds_single(dram) + machine.llc_seconds_single(llc));
     }
 
     // ---- Parallel makespan, segment by segment (segments of LAV run
@@ -362,8 +355,8 @@ pub fn time_all_configs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wise_kernels::Schedule;
     use wise_gen::{suite, RmatParams};
+    use wise_kernels::Schedule;
 
     fn machine() -> MachineModel {
         MachineModel::scaled_for_rows(1 << 14)
@@ -399,10 +392,7 @@ mod tests {
             estimate_spmv_seconds(&m, &MethodConfig::csr(Schedule::Dyn), &mach, 0).seconds;
         let stcont =
             estimate_spmv_seconds(&m, &MethodConfig::csr(Schedule::StCont), &mach, 0).seconds;
-        assert!(
-            stcont > dynamic * 1.2,
-            "StCont {stcont} should trail Dyn {dynamic} under skew"
-        );
+        assert!(stcont > dynamic * 1.2, "StCont {stcont} should trail Dyn {dynamic} under skew");
     }
 
     #[test]

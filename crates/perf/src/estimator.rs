@@ -27,11 +27,7 @@ pub enum Estimator {
         sample_shift: Option<u32>,
     },
     /// Wall-clock measurement on the host.
-    Measured {
-        nthreads: usize,
-        warmup: usize,
-        iters: usize,
-    },
+    Measured { nthreads: usize, warmup: usize, iters: usize },
 }
 
 impl Estimator {
@@ -90,14 +86,12 @@ impl Estimator {
             Estimator::Model { machine, sample_shift } => {
                 let shift = sample_shift.unwrap_or_else(|| auto_sample_shift(m.nnz()));
                 let prepared = cfg.prepare(m);
-                let steady = crate::cost::estimate_prepared_opts(
-                    m, cfg, &prepared, machine, shift, false,
-                )
-                .seconds;
-                let cold = crate::cost::estimate_prepared_opts(
-                    m, cfg, &prepared, machine, shift, true,
-                )
-                .seconds;
+                let steady =
+                    crate::cost::estimate_prepared_opts(m, cfg, &prepared, machine, shift, false)
+                        .seconds;
+                let cold =
+                    crate::cost::estimate_prepared_opts(m, cfg, &prepared, machine, shift, true)
+                        .seconds;
                 (steady, cold)
             }
             Estimator::Measured { .. } => {
@@ -131,8 +125,7 @@ impl Estimator {
             Estimator::Model { machine, .. } => estimate_feature_extraction_seconds(m, machine),
             Estimator::Measured { .. } => {
                 let cfg = wise_features::FeatureConfig::default();
-                let (_f, d) =
-                    measure_once(|| wise_features::FeatureVector::extract(m, &cfg));
+                let (_f, d) = measure_once(|| wise_features::FeatureVector::extract(m, &cfg));
                 d.as_secs_f64()
             }
         }

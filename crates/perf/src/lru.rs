@@ -313,15 +313,12 @@ mod tests {
         let mut sd = StackDistance::new();
         let mut seen: Vec<u64> = Vec::new();
         for (i, &l) in stream.iter().enumerate() {
-            let want = stream[..i]
-                .iter()
-                .rposition(|&p| p == l)
-                .map(|prev| {
-                    let mut distinct: Vec<u64> = stream[prev + 1..i].to_vec();
-                    distinct.sort_unstable();
-                    distinct.dedup();
-                    distinct.len()
-                });
+            let want = stream[..i].iter().rposition(|&p| p == l).map(|prev| {
+                let mut distinct: Vec<u64> = stream[prev + 1..i].to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct.len()
+            });
             assert_eq!(sd.access(l), want, "at access {i}");
             seen.push(l);
         }
@@ -366,8 +363,9 @@ mod tests {
     fn sampling_is_unbiased_on_uniform_stream() {
         // Random-ish uniform stream over many lines: sampled DRAM-rate
         // should be within a few percent of exact.
-        let stream: Vec<u64> =
-            (0..200_000u64).map(|i| i.wrapping_mul(6364136223846793005).rotate_left(17) % 10_000).collect();
+        let stream: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(6364136223846793005).rotate_left(17) % 10_000)
+            .collect();
         let run = |shift: u32| -> f64 {
             let mut sim = SampledLru::new(8, 64, 1024, shift);
             for &l in &stream {
@@ -378,10 +376,7 @@ mod tests {
         };
         let exact = run(0);
         let sampled = run(4);
-        assert!(
-            (exact - sampled).abs() < 0.05,
-            "exact {exact} vs sampled {sampled}"
-        );
+        assert!((exact - sampled).abs() < 0.05, "exact {exact} vs sampled {sampled}");
     }
 
     #[test]

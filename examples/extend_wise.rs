@@ -43,10 +43,7 @@ fn main() {
             new_wins += 1;
         }
     }
-    println!(
-        "new configurations selected for {new_wins}/{} corpus matrices",
-        corpus.len()
-    );
+    println!("new configurations selected for {new_wins}/{} corpus matrices", corpus.len());
 
     // Run one of the new configs end to end to show it is executable.
     let m = wise_gen::RmatParams::HIGH_SKEW.generate_shuffled(10, 32, 7);
@@ -57,11 +54,7 @@ fn main() {
     wise.run_spmv(&m, &choice, &x, &mut y, 1);
     let mut want = vec![0.0; m.nrows()];
     m.spmv_reference(&x, &mut want);
-    let max_err = y
-        .iter()
-        .zip(&want)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = y.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max |error| vs reference: {max_err:.2e}");
     assert!(max_err < 1e-9);
 }

@@ -52,11 +52,8 @@ fn main() {
     at.spmv_reference(&hubs, &mut auth_ref);
     let mut auth_fast = vec![0.0; n];
     prep_at.spmv(&hubs, &mut auth_fast, threads, &mut ws);
-    let max_err = auth_ref
-        .iter()
-        .zip(&auth_fast)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        auth_ref.iter().zip(&auth_fast).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     assert!(max_err < 1e-9, "kernel mismatch: {max_err}");
 
     let mut top: Vec<(usize, f64)> = auth.iter().copied().enumerate().collect();

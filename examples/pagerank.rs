@@ -24,14 +24,8 @@ fn pagerank_matrix(adj: &Csr) -> Csr {
             vals.push(1.0 / outdeg[c as usize] as f64);
         }
     }
-    Csr::try_new(
-        t.nrows(),
-        t.ncols(),
-        t.row_ptr().to_vec(),
-        t.col_idx().to_vec(),
-        vals,
-    )
-    .expect("stochastic matrix is valid")
+    Csr::try_new(t.nrows(), t.ncols(), t.row_ptr().to_vec(), t.col_idx().to_vec(), vals)
+        .expect("stochastic matrix is valid")
 }
 
 fn pagerank(p: &MethodConfig, m: &Csr, iters: usize, threads: usize) -> (Vec<f64>, f64) {

@@ -64,10 +64,7 @@ fn wise_beats_mkl_baseline_on_average_under_the_model() {
     let labels = label_corpus(&corpus, &opts.estimator, &opts.feature_config);
     let ev = wise_core::evaluate::evaluate_cv(&labels, opts.tree_params, 5, 7);
     let speedup = ev.mean_wise_speedup();
-    assert!(
-        speedup > 1.0,
-        "WISE should beat the fixed baseline on average, got {speedup:.3}x"
-    );
+    assert!(speedup > 1.0, "WISE should beat the fixed baseline on average, got {speedup:.3}x");
     // And stay within a sane distance of its oracle.
     assert!(ev.mean_oracle_speedup() / speedup < 2.0);
 }
@@ -78,10 +75,8 @@ fn selection_is_deterministic_across_training_runs() {
     let corpus = Corpus::full(&scale, 5);
     let a = Wise::train(&corpus, &options(&scale));
     let b = Wise::train(&corpus, &options(&scale));
-    for m in [
-        RmatParams::MED_SKEW.generate(9, 8, 2001),
-        RmatParams::LOW_SKEW.generate(9, 4, 2002),
-    ] {
+    for m in [RmatParams::MED_SKEW.generate(9, 8, 2001), RmatParams::LOW_SKEW.generate(9, 4, 2002)]
+    {
         assert_eq!(a.select(&m).config.label(), b.select(&m).config.label());
     }
 }

@@ -41,10 +41,7 @@ fn misclassifications_cluster_near_the_truth() {
     }
     if total > 0.0 {
         let frac = near / total;
-        assert!(
-            frac > 0.5,
-            "only {frac:.2} of misses within one class (paper: ~0.9)"
-        );
+        assert!(frac > 0.5, "only {frac:.2} of misses within one class (paper: ~0.9)");
     }
 }
 
@@ -52,18 +49,8 @@ fn misclassifications_cluster_near_the_truth() {
 fn deeper_trees_do_not_hurt_end_to_end_speedup() {
     // Table 4's structural claim: D=15 is no worse than D=5.
     let l = labels();
-    let shallow = evaluate_cv(
-        &l,
-        TreeParams { max_depth: 3, ..Default::default() },
-        5,
-        11,
-    );
-    let deep = evaluate_cv(
-        &l,
-        TreeParams { max_depth: 15, ..Default::default() },
-        5,
-        11,
-    );
+    let shallow = evaluate_cv(&l, TreeParams { max_depth: 3, ..Default::default() }, 5, 11);
+    let deep = evaluate_cv(&l, TreeParams { max_depth: 15, ..Default::default() }, 5, 11);
     assert!(
         deep.mean_wise_speedup() >= shallow.mean_wise_speedup() * 0.95,
         "deep {:.3} vs shallow {:.3}",
@@ -75,17 +62,8 @@ fn deeper_trees_do_not_hurt_end_to_end_speedup() {
 #[test]
 fn extreme_pruning_degrades_gracefully_not_catastrophically() {
     let l = labels();
-    let pruned = evaluate_cv(
-        &l,
-        TreeParams { ccp_alpha: 0.2, ..Default::default() },
-        5,
-        11,
-    );
+    let pruned = evaluate_cv(&l, TreeParams { ccp_alpha: 0.2, ..Default::default() }, 5, 11);
     // Even a forest of stumps must stay >= 1.0x: the selection rule
     // falls back to CSR on ties, never below the baseline family.
-    assert!(
-        pruned.mean_wise_speedup() > 0.8,
-        "stump speedup {:.3}",
-        pruned.mean_wise_speedup()
-    );
+    assert!(pruned.mean_wise_speedup() > 0.8, "stump speedup {:.3}", pruned.mean_wise_speedup());
 }

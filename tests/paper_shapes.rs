@@ -42,10 +42,7 @@ fn no_single_method_wins_everywhere() {
         MethodConfig::catalog()[l.oracle_index()].method
     })
     .collect();
-    assert!(
-        winners.len() >= 2,
-        "expected diverse winners across classes, got {winners:?}"
-    );
+    assert!(winners.len() >= 2, "expected diverse winners across classes, got {winners:?}");
 }
 
 /// Insight (3): scheduling choice matters most under skew (Fig. 3).
@@ -76,10 +73,7 @@ fn lav_family_beats_sellpack_under_high_skew() {
     let l = label(&m, 13);
     let lav = seconds_of(&l, |c| matches!(c.method, Method::Lav | Method::Lav1Seg));
     let sellpack = seconds_of(&l, |c| c.method == Method::SellPack);
-    assert!(
-        lav < sellpack,
-        "LAV {lav:.3e} should beat SELLPACK {sellpack:.3e} under skew"
-    );
+    assert!(lav < sellpack, "LAV {lav:.3e} should beat SELLPACK {sellpack:.3e} under skew");
 }
 
 /// Fig. 6 shape: on high-locality matrices, segmentation buys nothing —
@@ -88,9 +82,8 @@ fn lav_family_beats_sellpack_under_high_skew() {
 fn segmentation_unnecessary_for_high_locality() {
     let m = RmatParams::HIGH_LOC.generate(13, 16, 4);
     let l = label(&m, 13);
-    let sigma = seconds_of(&l, |c| {
-        matches!(c.method, Method::SellCSigma | Method::SellPack | Method::Csr)
-    });
+    let sigma =
+        seconds_of(&l, |c| matches!(c.method, Method::SellCSigma | Method::SellPack | Method::Csr));
     let lav = seconds_of(&l, |c| c.method == Method::Lav);
     assert!(
         sigma <= lav * 1.1,
@@ -103,9 +96,7 @@ fn segmentation_unnecessary_for_high_locality() {
 #[test]
 fn corpus_p_ratio_ordering_matches_paper() {
     let cfg = FeatureConfig::default();
-    let p_of = |m: &Csr| {
-        wise_features::FeatureVector::extract(m, &cfg).get("p_R").unwrap()
-    };
+    let p_of = |m: &Csr| wise_features::FeatureVector::extract(m, &cfg).get("p_R").unwrap();
     let hs = p_of(&Recipe::HighSkew.generate(12, 16, 1));
     let ms = p_of(&Recipe::MedSkew.generate(12, 16, 1));
     let ls = p_of(&Recipe::LowSkew.generate(12, 16, 1));
