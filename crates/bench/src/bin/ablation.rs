@@ -32,6 +32,7 @@ fn group_indices(group: &str) -> Vec<usize> {
 }
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.full_labels();
     let k = 10.min(labels.len());

@@ -35,6 +35,7 @@ fn coarse_to_class(b: u32) -> SpeedupClass {
 }
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.full_labels();
     let k = 10.min(labels.len());

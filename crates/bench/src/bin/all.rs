@@ -10,6 +10,7 @@ const TARGETS: [&str; 14] = [
 ];
 
 fn main() {
+    let _trace = wise_bench::report::init();
     // table4 is far more expensive (24 full CV evaluations); include it
     // only when asked.
     let with_table4 = std::env::args().any(|a| a == "--with-table4");
@@ -23,7 +24,7 @@ fn main() {
         targets.push("table4");
     }
     for t in targets {
-        println!("\n=================== {t} ===================");
+        wise_bench::report::section(t);
         let out = Command::new(exe_dir.join(t)).output().unwrap_or_else(|e| {
             panic!("failed to run {t}: {e}; build with `cargo build --release -p wise-bench --bins` first")
         });
@@ -36,5 +37,5 @@ fn main() {
         }
         std::fs::write(format!("{results_dir}/{t}.txt"), stdout.as_bytes()).expect("write report");
     }
-    println!("\nAll reports written under {results_dir}/");
+    wise_bench::report::progress(format_args!("all reports written under {results_dir}/"));
 }

@@ -25,6 +25,7 @@ fn top_features(importances: &[f64], k: usize) -> Vec<(String, f64)> {
 }
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.full_labels();
     let registry = ModelRegistry::train(&labels, TreeParams::default());

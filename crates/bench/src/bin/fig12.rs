@@ -8,6 +8,7 @@
 use wise_bench::*;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let random = ctx.random_labels();
     let suite = ctx.suite_labels();

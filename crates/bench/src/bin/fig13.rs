@@ -11,6 +11,7 @@ use wise_core::evaluate::evaluate_cv;
 use wise_ml::TreeParams;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.full_labels();
     let k = 10.min(labels.len());

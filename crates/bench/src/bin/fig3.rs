@@ -10,6 +10,7 @@ use wise_kernels::method::MethodConfig;
 use wise_kernels::Schedule;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.suite_labels();
 

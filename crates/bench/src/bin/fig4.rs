@@ -9,6 +9,7 @@ use wise_bench::*;
 use wise_kernels::Method;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.suite_labels();
 

@@ -10,6 +10,7 @@
 use wise_bench::sweep::print_sweep_figure;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     print_sweep_figure(
         "Figure 5",
         &[wise_gen::Recipe::LowSkew, wise_gen::Recipe::HighSkew],

@@ -9,5 +9,6 @@
 use wise_bench::sweep::print_sweep_figure;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     print_sweep_figure("Figure 6", &[wise_gen::Recipe::LowLoc, wise_gen::Recipe::HighLoc], "fig6");
 }

@@ -8,6 +8,7 @@
 use wise_bench::*;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let ctx = BenchContext::from_env();
     let labels = ctx.suite_labels();
     let p_ratios: Vec<f64> = labels

@@ -16,6 +16,7 @@ use wise_perf::calibrate::{calibrate_to_host, spearman};
 use wise_perf::MachineModel;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let nthreads = default_threads();
     let matrices = vec![
         ("HS_s13_d16", RmatParams::HIGH_SKEW.generate_shuffled(13, 16, 1)),

@@ -4,6 +4,7 @@
 use wise_kernels::method::MethodConfig;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let catalog = MethodConfig::catalog();
     println!("== Table 1: SpMV methods and parameters ({} configurations) ==\n", catalog.len());
     println!("{:<28} {:<10} {:>3} {:>7} {:>5}", "config", "method", "c", "sigma", "T");

@@ -4,6 +4,7 @@
 use wise_features::FeatureVector;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     let names = FeatureVector::names();
     println!("== Table 2: WISE matrix features ({} total) ==\n", names.len());
     let group =

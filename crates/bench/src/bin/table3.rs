@@ -3,6 +3,7 @@
 use wise_gen::Recipe;
 
 fn main() {
+    let _trace = wise_bench::report::init();
     println!("== Table 3: parameters for the RMAT/RGG matrices ==\n");
     println!("{:<10} {:<6} parameters", "recipe", "abbr");
     for r in Recipe::ALL {

@@ -12,6 +12,7 @@
 //!   and CSV writers, so each figure produces both a human-readable
 //!   report and a machine-readable artifact.
 
+pub mod report;
 pub mod sweep;
 
 /// Bumped whenever label semantics change (cost model, generators,
@@ -91,18 +92,21 @@ impl BenchContext {
     fn cached_labels(&self, what: &str, corpus: impl FnOnce() -> Corpus) -> CorpusLabels {
         let path = self.cache_path(what);
         if let Some(labels) = read_json::<CorpusLabels>(&path) {
-            eprintln!("[wise-bench] reusing cached labels {}", path.display());
+            report::progress(format_args!("reusing cached labels {}", path.display()));
             return labels;
         }
-        eprintln!("[wise-bench] computing {what} corpus labels (cache: {})", path.display());
+        report::progress(format_args!(
+            "computing {what} corpus labels (cache: {})",
+            path.display()
+        ));
         let corpus = corpus();
         let t0 = std::time::Instant::now();
         let labels = label_corpus(&corpus, &self.estimator, &self.feature_config);
-        eprintln!(
-            "[wise-bench] labeled {} matrices in {:.1}s",
+        report::progress(format_args!(
+            "labeled {} matrices in {:.1}s",
             labels.len(),
             t0.elapsed().as_secs_f64()
-        );
+        ));
         write_json(&path, &labels);
         labels
     }
@@ -133,7 +137,7 @@ impl BenchContext {
             body.push('\n');
         }
         std::fs::write(&path, body).expect("write csv");
-        println!("\n[artifact] {}", path.display());
+        report::artifact(path.display());
     }
 }
 

@@ -1,0 +1,105 @@
+//! Shared progress/artifact reporting and trace-session management for
+//! the harness binaries.
+//!
+//! Every bin starts `main` with
+//!
+//! ```ignore
+//! let _trace = wise_bench::report::init();
+//! ```
+//!
+//! which parses the common `--trace-out <path>` flag (forcing tracing on
+//! when present) and, on drop, flushes the recorded events to a Chrome
+//! trace + `perf_summary.json` and prints the human-readable run report.
+//! Progress lines go through [`progress`] / [`section`] / [`artifact`]
+//! so they share one format (and stdout stays reserved for the figure
+//! content the bins exist to print).
+
+use std::fmt::Display;
+use std::path::PathBuf;
+
+/// A progress note on stderr: `[wise-bench] {msg}`. Stderr so piping a
+/// bin's stdout to a file captures only the figure/table content.
+pub fn progress(msg: impl Display) {
+    eprintln!("[wise-bench] {msg}");
+}
+
+/// A section banner on stdout (used between sub-runs, e.g. by `all`).
+pub fn section(title: impl Display) {
+    println!("\n=================== {title} ===================");
+}
+
+/// Reports a file artifact written by the run.
+pub fn artifact(path: impl Display) {
+    println!("\n[artifact] {path}");
+}
+
+/// Scans argv for `--trace-out <path>` / `--trace-out=<path>` without
+/// disturbing a bin's own flags.
+fn trace_out_from_args() -> Option<PathBuf> {
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            out = args.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            out = Some(PathBuf::from(p));
+        }
+    }
+    out
+}
+
+/// RAII handle for a bin's trace session; created by [`init`], flushes
+/// exporters on drop (i.e. at the end of `main`).
+pub struct TraceSession {
+    trace_out: Option<PathBuf>,
+}
+
+/// Starts the trace session for a harness binary. `--trace-out <path>`
+/// turns tracing on even without `WISE_TRACE=1`; `WISE_TRACE=1` alone
+/// still records and prints the run report, just without the JSON
+/// artifacts.
+pub fn init() -> TraceSession {
+    let trace_out = trace_out_from_args();
+    if trace_out.is_some() {
+        wise_trace::set_enabled(true);
+    }
+    TraceSession { trace_out }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if !wise_trace::enabled() {
+            return;
+        }
+        let events = wise_trace::take_events();
+        if events.is_empty() {
+            return;
+        }
+        if let Some(path) = &self.trace_out {
+            match wise_trace::write_trace_files(&events, path) {
+                Ok(summary_path) => {
+                    artifact(path.display());
+                    artifact(summary_path.display());
+                }
+                Err(e) => progress(format_args!("failed to write trace files: {e}")),
+            }
+        }
+        let summary = wise_trace::Summary::from_events(&events);
+        eprint!("{}", wise_trace::run_report(&summary));
+        let dropped = wise_trace::dropped_events();
+        if dropped > 0 {
+            progress(format_args!("trace ring overflowed: {dropped} events dropped"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trace_out_parsing_handles_both_spellings() {
+        // Can't inject argv into std::env::args; exercise the strip
+        // logic directly instead.
+        assert_eq!("--trace-out=/tmp/t.json".strip_prefix("--trace-out="), Some("/tmp/t.json"));
+        assert_eq!("--trace-out".strip_prefix("--trace-out="), None);
+    }
+}

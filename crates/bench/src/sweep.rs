@@ -1,6 +1,6 @@
 //! Shared implementation of the Figure 5/6 sweep grids.
 
-use crate::{fastest_method, method_code, render_sweep_grid, BenchContext};
+use crate::{fastest_method, method_code, render_sweep_grid, report, BenchContext};
 use wise_core::labels::CorpusLabels;
 use wise_gen::Recipe;
 
@@ -18,6 +18,7 @@ fn parse_name(name: &str) -> Option<(&str, u32, u32)> {
 pub fn print_sweep_figure(figure: &str, recipes: &[Recipe], csv_stem: &str) {
     let ctx = BenchContext::from_env();
     let labels = ctx.random_labels();
+    report::progress(format_args!("rendering {figure} grids for {} recipes", recipes.len()));
 
     println!("legend: {}", legend());
     let mut rows: Vec<String> = Vec::new();

@@ -82,6 +82,7 @@ impl MatrixLabels {
         catalog: &[MethodConfig],
         scratch: &mut FeatureScratch,
     ) -> MatrixLabels {
+        let _span = wise_trace::span("label.matrix");
         assert!(
             catalog.iter().any(|c| c.method == Method::Csr),
             "catalog must include a CSR configuration (the speedup-class baseline)"
@@ -156,6 +157,8 @@ pub fn label_corpus_with(
     feature_config: &FeatureConfig,
     catalog: Vec<MethodConfig>,
 ) -> CorpusLabels {
+    let _span = wise_trace::span("label.corpus");
+    wise_trace::counter("label.corpus.matrices", corpus.len() as u64);
     assert!(
         catalog.iter().any(|c| c.method == Method::Csr),
         "catalog must include a CSR configuration (the speedup-class baseline)"

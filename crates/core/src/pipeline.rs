@@ -8,6 +8,7 @@ use crate::registry::ModelRegistry;
 use crate::select::select_index;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::time::Instant;
 use wise_features::{FeatureConfig, FeatureVector};
 use wise_gen::{Corpus, CorpusScale};
 use wise_kernels::method::{MethodConfig, Prepared};
@@ -39,6 +40,31 @@ impl TrainOptions {
     }
 }
 
+/// Wall-clock breakdown of the stages that produced a [`Choice`].
+/// Always measured (a handful of `Instant` reads per selection), so
+/// callers can report selection overhead without enabling tracing; the
+/// same stages also appear as `select.*` spans in the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceTiming {
+    /// Seconds extracting the feature vector (0.0 when the caller
+    /// passed pre-extracted features).
+    pub feature_extraction_s: f64,
+    /// Seconds running the per-configuration class predictions.
+    pub predict_s: f64,
+    /// Seconds in the selection heuristic (including, for
+    /// [`Wise::select_for_iterations`], the preprocessing-cost
+    /// estimates the amortized pick needs).
+    pub select_s: f64,
+}
+
+impl ChoiceTiming {
+    /// Total selection-side overhead in seconds (the cost a caller pays
+    /// before the first SpMV, excluding format conversion).
+    pub fn total_s(&self) -> f64 {
+        self.feature_extraction_s + self.predict_s + self.select_s
+    }
+}
+
 /// The outcome of WISE's selection step for one matrix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Choice {
@@ -50,6 +76,10 @@ pub struct Choice {
     pub predictions: Vec<SpeedupClass>,
     /// Features extracted for the prediction.
     pub features: FeatureVector,
+    /// Per-stage timing breakdown of this selection (absent in
+    /// pre-observability serialized choices; defaults to zeros).
+    #[serde(default)]
+    pub timing: ChoiceTiming,
 }
 
 /// A trained WISE instance.
@@ -92,16 +122,35 @@ impl Wise {
     /// Runs steps 1–3 of Figure 8: extract features, predict classes,
     /// select the best configuration.
     pub fn select(&self, m: &Csr) -> Choice {
+        let _span = wise_trace::span("pipeline.select");
+        let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
-        self.select_from_features(features)
+        let feature_extraction_s = t0.elapsed().as_secs_f64();
+        let mut choice = self.select_from_features(features);
+        choice.timing.feature_extraction_s = feature_extraction_s;
+        choice
     }
 
     /// Selection from pre-extracted features (used when the caller
     /// already paid for extraction).
     pub fn select_from_features(&self, features: FeatureVector) -> Choice {
-        let predictions = self.registry.predict(&features);
-        let index = select_index(self.registry.catalog(), &predictions);
-        Choice { config: self.registry.catalog()[index], index, predictions, features }
+        let t0 = Instant::now();
+        let predictions = {
+            let _predict = wise_trace::span("select.predict");
+            self.registry.predict(&features)
+        };
+        let predict_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let index = {
+            let _pick = wise_trace::span("select.pick");
+            select_index(self.registry.catalog(), &predictions)
+        };
+        let timing = ChoiceTiming {
+            feature_extraction_s: 0.0,
+            predict_s,
+            select_s: t1.elapsed().as_secs_f64(),
+        };
+        Choice { config: self.registry.catalog()[index], index, predictions, features, timing }
     }
 
     /// Amortization-aware selection: minimizes conversion cost plus
@@ -115,8 +164,18 @@ impl Wise {
         estimator: &wise_perf::Estimator,
         n_iterations: u64,
     ) -> Choice {
+        let _span = wise_trace::span("pipeline.select");
+        let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
-        let predictions = self.registry.predict(&features);
+        let feature_extraction_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let predictions = {
+            let _predict = wise_trace::span("select.predict");
+            self.registry.predict(&features)
+        };
+        let predict_s = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        let _pick = wise_trace::span("select.pick");
         let catalog = self.registry.catalog();
         let preproc: Vec<f64> =
             catalog.iter().map(|cfg| estimator.preprocessing_seconds(m, cfg)).collect();
@@ -132,7 +191,9 @@ impl Wise {
             best_csr,
             n_iterations,
         );
-        Choice { config: catalog[index], index, predictions, features }
+        let timing =
+            ChoiceTiming { feature_extraction_s, predict_s, select_s: t2.elapsed().as_secs_f64() };
+        Choice { config: catalog[index], index, predictions, features, timing }
     }
 
     /// Steps 4–5 of Figure 8: converts `m` to the chosen format and
@@ -183,6 +244,25 @@ mod tests {
         let choice = wise.select(&m);
         assert_eq!(choice.predictions.len(), 29);
         assert_eq!(wise.registry().catalog()[choice.index].label(), choice.config.label());
+        // The breakdown is always measured, and extraction cannot be
+        // instantaneous.
+        assert!(choice.timing.feature_extraction_s > 0.0);
+        assert!(choice.timing.total_s() >= choice.timing.feature_extraction_s);
+    }
+
+    #[test]
+    fn choice_timing_survives_serde_and_defaults_when_absent() {
+        let (wise, _) = trained();
+        let m = wise_gen::RmatParams::LOW_LOC.generate(8, 4, 5);
+        let choice = wise.select(&m);
+        let json = serde_json::to_string(&choice).unwrap();
+        let back: Choice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.timing, choice.timing);
+        // Pre-observability payloads lack the field entirely.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        v.as_object_mut().unwrap().remove("timing");
+        let old: Choice = serde_json::from_value(v).unwrap();
+        assert_eq!(old.timing, ChoiceTiming::default());
     }
 
     #[test]

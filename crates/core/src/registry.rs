@@ -22,12 +22,15 @@ pub struct ModelRegistry {
 impl ModelRegistry {
     /// Trains every model on the labeled corpus.
     pub fn train(labels: &CorpusLabels, params: TreeParams) -> ModelRegistry {
+        let _span = wise_trace::span("train.registry");
+        wise_trace::counter("train.registry.models", labels.catalog.len() as u64);
         assert!(!labels.is_empty(), "cannot train on an empty corpus");
         let rows: Vec<Vec<f64>> =
             labels.matrices.iter().map(|m| m.features.values().to_vec()).collect();
         let trees: Vec<DecisionTree> = (0..labels.catalog.len())
             .into_par_iter()
             .map(|cfg_idx| {
+                let _tree = wise_trace::span("train.tree");
                 let y: Vec<u32> =
                     labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
                 let ds = Dataset::new(rows.clone(), y, N_CLASSES);

@@ -195,15 +195,20 @@ pub(crate) fn fused_sweep<'w>(
         workers.resize_with(n_chunks.max(1), Worker::default);
     }
     if n_chunks <= 1 {
+        let _chunk = wise_trace::span("features.chunk_sweep");
         workers[0].sweep(row_ptr, col_idx, 0, nrows, geo, want_tiles);
     } else {
         let active = &mut workers[..n_chunks];
         std::thread::scope(|s| {
             for (t, w) in active.iter_mut().enumerate() {
                 let (lo, hi) = (t * chunk_rows, ((t + 1) * chunk_rows).min(nrows));
-                s.spawn(move || w.sweep(row_ptr, col_idx, lo, hi, geo, want_tiles));
+                s.spawn(move || {
+                    let _chunk = wise_trace::span("features.chunk_sweep");
+                    w.sweep(row_ptr, col_idx, lo, hi, geo, want_tiles)
+                });
             }
         });
+        let _merge = wise_trace::span("features.chunk_merge");
         let (head, rest) = workers.split_at_mut(1);
         let w0 = &mut head[0];
         for w in &rest[..n_chunks - 1] {

@@ -153,12 +153,15 @@ impl FeatureVector {
         cfg: &FeatureConfig,
         scratch: &mut FeatureScratch,
     ) -> FeatureVector {
+        let _span = wise_trace::span("features.extract");
+        wise_trace::counter("features.nnz", m.nnz() as u64);
         let geo = TileGeometry::for_matrix(m.nrows(), m.ncols(), cfg.k_max);
         let threads = cfg.resolved_threads();
 
         // Fused row-major sweep: T, RB, CB and row-side incidence in
         // one pass over the CSR arrays.
         let (row_inc, t_stats, rb_stats, cb_stats) = {
+            let _sweep = wise_trace::span("features.sweep_rows");
             let side = engine::fused_sweep(
                 &mut scratch.workers,
                 m.row_ptr(),
@@ -187,12 +190,16 @@ impl FeatureVector {
         // Values-free pattern transpose: the C distribution falls out of
         // its row pointers, and the mirrored sweep yields the
         // column-side incidence levels.
-        m.transpose_pattern_into(&mut scratch.t_row_ptr, &mut scratch.t_col_idx);
+        {
+            let _t = wise_trace::span("features.transpose");
+            m.transpose_pattern_into(&mut scratch.t_row_ptr, &mut scratch.t_col_idx);
+        }
         scratch.counts_buf.clear();
         scratch.counts_buf.extend(scratch.t_row_ptr.windows(2).map(|w| w[1] - w[0]));
         let c_stats = SummaryStats::from_counts_with(&scratch.counts_buf, &mut scratch.stat_buf);
 
         let mirrored = TileGeometry { k: geo.k, tile_h: geo.tile_w, tile_w: geo.tile_h };
+        let _sweep = wise_trace::span("features.sweep_cols");
         let col_inc = engine::fused_sweep(
             &mut scratch.workers,
             &scratch.t_row_ptr,
@@ -203,6 +210,7 @@ impl FeatureVector {
             threads,
         )
         .incidence;
+        drop(_sweep);
 
         let loc = LocalityMetrics::from_incidence(row_inc, col_inc, m.nrows(), m.ncols(), m.nnz());
         FeatureVector {

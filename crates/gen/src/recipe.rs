@@ -163,6 +163,7 @@ impl Corpus {
     /// each configuration derives its seed from `base_seed` and its own
     /// coordinates, independent of sweep order.
     pub fn random(scale: &CorpusScale, base_seed: u64) -> Corpus {
+        let _span = wise_trace::span("gen.corpus.random");
         let mut configs = Vec::new();
         for (ri, &recipe) in Recipe::ALL.iter().enumerate() {
             for &s in &scale.row_scales {
@@ -195,6 +196,7 @@ impl Corpus {
     /// sizes are derived from the sweep's row-scale range so quick and
     /// paper scales produce proportionate matrices.
     pub fn suite(scale: &CorpusScale, base_seed: u64) -> Corpus {
+        let _span = wise_trace::span("gen.corpus.suite");
         let lo = *scale.row_scales.iter().min().expect("empty row_scales");
         let hi = *scale.row_scales.iter().max().expect("empty row_scales");
         let mid = (lo + hi) / 2;

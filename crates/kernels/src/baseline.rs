@@ -73,7 +73,8 @@ impl InspectorExecutor {
         for (i, cfg) in self.candidates.iter().enumerate() {
             let (prep, conv_time) = measure_once(|| cfg.prepare(m));
             let trial =
-                measure_median(|| prep.spmv(x, &mut y, nthreads, &mut ws), 0, self.trial_iters);
+                measure_median(|| prep.spmv(x, &mut y, nthreads, &mut ws), 0, self.trial_iters)
+                    .median;
             preprocessing += conv_time + trial * self.trial_iters as u32;
             trials.push((*cfg, trial));
             if best.is_none_or(|(_, t)| trial < t) {

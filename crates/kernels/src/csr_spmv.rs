@@ -48,6 +48,11 @@ impl<'a> CsrSpmv<'a> {
         self.matrix.nrows().div_ceil(self.rows_per_chunk)
     }
 
+    /// Stored nonzeros (CSR stores no padding).
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
     /// `y = A x` with `nthreads` workers.
     pub fn spmv(&self, x: &[f64], y: &mut [f64], nthreads: usize) {
         let m = self.matrix;

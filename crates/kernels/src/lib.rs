@@ -16,7 +16,13 @@
 //!   see DESIGN.md for the substitution argument);
 //! * [`merge_csr`] — a merge-path load-balanced CSR kernel, the worked
 //!   example for extending WISE beyond the paper's 29 configurations;
-//! * [`timing`] — robust wall-clock measurement helpers.
+//! * [`timing`] — robust wall-clock measurement helpers reporting the
+//!   full sample spread ([`timing::Samples`]).
+//!
+//! Format conversion and every `Prepared::spmv` call are traced via
+//! [`wise_trace`] spans (`kernel.convert`, `kernel.spmv`) with
+//! nnz/bytes-moved counters; with `WISE_TRACE` unset the
+//! instrumentation costs one relaxed atomic load per call.
 //!
 //! Every kernel computes exactly `y = A x` and is tested against
 //! [`wise_matrix::Csr::spmv_reference`].

@@ -167,7 +167,9 @@ impl MethodConfig {
     /// Converts the matrix into this configuration's executable form.
     /// For CSR this is free (the matrix is already CSR).
     pub fn prepare<'m>(&self, m: &'m Csr) -> Prepared<'m> {
-        match self.method {
+        let _span = wise_trace::span("kernel.convert");
+        wise_trace::counter("kernel.convert.nnz", m.nnz() as u64);
+        let prepared = match self.method {
             Method::Csr => Prepared::Csr(CsrSpmv::new(m, self.schedule)),
             Method::SellPack => {
                 Prepared::Pack(Box::new(SrvPack::sellpack(m, self.c)), self.schedule)
@@ -181,7 +183,9 @@ impl MethodConfig {
                 Prepared::Pack(Box::new(SrvPack::lav_1seg(m, self.c)), self.schedule)
             }
             Method::Lav => Prepared::Pack(Box::new(SrvPack::lav(m, self.c, self.t)), self.schedule),
-        }
+        };
+        wise_trace::counter("kernel.convert.nnz_padded", prepared.nnz_padded() as u64);
+        prepared
     }
 }
 
@@ -197,10 +201,24 @@ pub enum Prepared<'m> {
 impl Prepared<'_> {
     /// `y = A x`.
     pub fn spmv(&self, x: &[f64], y: &mut [f64], nthreads: usize, ws: &mut SpmvWorkspace) {
-        match self {
-            Prepared::Csr(k) => k.spmv(x, y, nthreads),
-            Prepared::Pack(p, sched) => p.spmv(x, y, nthreads, *sched, ws),
-        }
+        let _span = wise_trace::span("kernel.spmv");
+        let stored = match self {
+            Prepared::Csr(k) => {
+                k.spmv(x, y, nthreads);
+                k.nnz()
+            }
+            Prepared::Pack(p, sched) => {
+                p.spmv(x, y, nthreads, *sched, ws);
+                p.nnz_padded()
+            }
+        };
+        // Lower-bound traffic estimate: stored entries (value + index)
+        // plus one streaming pass over x and y.
+        wise_trace::counter("kernel.spmv.nnz", stored as u64);
+        wise_trace::counter(
+            "kernel.spmv.bytes_est",
+            (stored * 12 + (x.len() + y.len()) * 8) as u64,
+        );
     }
 
     /// Stored entries including any padding (CSR has none).

@@ -2,14 +2,62 @@
 //!
 //! SpMV iterations on small matrices run in microseconds, so single
 //! measurements are hopelessly noisy. [`measure_median`] runs a warmup
-//! then reports the median of repeated timed runs — the estimator the
-//! bench harness uses when operating in wall-clock (`--measured`) mode.
+//! then repeated timed runs and reports the full sample spread as a
+//! [`Samples`] summary — the estimator the bench harness uses when
+//! operating in wall-clock (`--measured`) mode. Every timed iteration
+//! is also recorded into the `timing.measure_median` trace histogram
+//! (when `wise-trace` is enabled), so measured runs leave their noise
+//! profile in the emitted `perf_summary.json` instead of discarding it.
 
 use std::time::{Duration, Instant};
 
+/// The spread of one [`measure_median`] run: order statistics over the
+/// timed iterations, not just the median.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Samples {
+    /// The median timed iteration (the headline estimate).
+    pub median: Duration,
+    pub min: Duration,
+    /// 50th percentile; equals `median` (kept for symmetry with `p95`).
+    pub p50: Duration,
+    pub p95: Duration,
+    pub max: Duration,
+    /// Timed iterations taken (after warmup).
+    pub iters: usize,
+}
+
+impl Samples {
+    /// Summarizes a set of raw durations (need not be sorted).
+    pub fn from_durations(mut samples: Vec<Duration>) -> Samples {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_unstable();
+        let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+        Samples {
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: samples[samples.len() - 1],
+            iters: samples.len(),
+        }
+    }
+
+    /// Relative spread `(p95 - min) / median` — a quick noise gauge.
+    pub fn relative_spread(&self) -> f64 {
+        let median = self.median.as_secs_f64();
+        if median == 0.0 {
+            0.0
+        } else {
+            (self.p95.as_secs_f64() - self.min.as_secs_f64()) / median
+        }
+    }
+}
+
 /// Runs `f` `warmup` times untimed, then `iters` timed runs, returning
-/// the median duration. `iters` of 0 is treated as 1.
-pub fn measure_median(mut f: impl FnMut(), warmup: usize, iters: usize) -> Duration {
+/// the sample summary (median, min/p50/p95/max, count). `iters` of 0 is
+/// treated as 1. Each timed run is recorded into the
+/// `timing.measure_median` trace histogram when tracing is enabled.
+pub fn measure_median(mut f: impl FnMut(), warmup: usize, iters: usize) -> Samples {
     for _ in 0..warmup {
         f();
     }
@@ -18,10 +66,11 @@ pub fn measure_median(mut f: impl FnMut(), warmup: usize, iters: usize) -> Durat
     for _ in 0..iters {
         let t0 = Instant::now();
         f();
-        samples.push(t0.elapsed());
+        let d = t0.elapsed();
+        wise_trace::observe_ns("timing.measure_median", d.as_nanos() as u64);
+        samples.push(d);
     }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+    Samples::from_durations(samples)
 }
 
 /// Times a single invocation (used for one-shot preprocessing costs).
@@ -39,7 +88,7 @@ mod tests {
     #[test]
     fn runs_warmup_plus_iters() {
         let calls = AtomicUsize::new(0);
-        let d = measure_median(
+        let s = measure_median(
             || {
                 calls.fetch_add(1, Ordering::Relaxed);
             },
@@ -47,13 +96,14 @@ mod tests {
             5,
         );
         assert_eq!(calls.load(Ordering::Relaxed), 8);
-        assert!(d < Duration::from_secs(1));
+        assert_eq!(s.iters, 5);
+        assert!(s.median < Duration::from_secs(1));
     }
 
     #[test]
     fn zero_iters_still_measures_once() {
         let calls = AtomicUsize::new(0);
-        measure_median(
+        let s = measure_median(
             || {
                 calls.fetch_add(1, Ordering::Relaxed);
             },
@@ -61,6 +111,40 @@ mod tests {
             0,
         );
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(s.iters, 1);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn samples_order_statistics() {
+        let ms = Duration::from_millis;
+        let s = Samples::from_durations(vec![ms(5), ms(1), ms(3), ms(2), ms(4)]);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.median, ms(3));
+        assert_eq!(s.p50, ms(3));
+        assert_eq!(s.p95, ms(5)); // round(4 * 0.95) = 4 -> last sample
+        assert_eq!(s.max, ms(5));
+        assert_eq!(s.iters, 5);
+        assert!((s.relative_spread() - (0.005 - 0.001) / 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_ordering_invariants() {
+        let s = measure_median(
+            || {
+                std::hint::black_box((0..100).sum::<u64>());
+            },
+            1,
+            9,
+        );
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert!(s.min <= s.median && s.median <= s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        Samples::from_durations(vec![]);
     }
 
     #[test]

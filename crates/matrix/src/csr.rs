@@ -229,6 +229,7 @@ impl Csr {
     /// pass; output rows are sorted because input rows are scanned in
     /// order.
     pub fn transpose(&self) -> Csr {
+        let _span = wise_trace::span("matrix.transpose");
         let mut counts = vec![0usize; self.ncols + 1];
         for &c in &self.col_idx {
             counts[c as usize + 1] += 1;
@@ -263,6 +264,7 @@ impl Csr {
     /// memory traffic; reusing the buffers across matrices makes
     /// repeated calls allocation-free once capacity is reached.
     pub fn transpose_pattern_into(&self, row_ptr: &mut Vec<usize>, col_idx: &mut Vec<u32>) {
+        let _span = wise_trace::span("matrix.transpose_pattern");
         row_ptr.clear();
         row_ptr.resize(self.ncols + 1, 0);
         for &c in &self.col_idx {

@@ -77,6 +77,7 @@ impl DecisionTree {
     /// Fits a tree on `data` with `params`, then applies cost-complexity
     /// pruning at `params.ccp_alpha`.
     pub fn fit(data: &Dataset, params: TreeParams) -> DecisionTree {
+        let _span = wise_trace::span("ml.fit");
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let mut tree = DecisionTree {
             nodes: Vec::new(),

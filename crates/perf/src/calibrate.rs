@@ -68,8 +68,9 @@ pub fn calibrate_to_host(
         let x = vec![1.0f64; m.ncols()];
         let mut y = vec![0.0f64; m.nrows()];
         let mut ws = SpmvWorkspace::default();
-        let measured =
-            measure_median(|| prep.spmv(&x, &mut y, nthreads, &mut ws), 1, iters).as_secs_f64();
+        let measured = measure_median(|| prep.spmv(&x, &mut y, nthreads, &mut ws), 1, iters)
+            .median
+            .as_secs_f64();
         pairs.push((modeled, measured));
     }
     let alpha = fit_time_scale(&pairs);

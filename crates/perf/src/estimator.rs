@@ -61,6 +61,7 @@ impl Estimator {
 
     /// Seconds for one SpMV of `cfg` on `m`.
     pub fn spmv_seconds(&self, m: &Csr, cfg: &MethodConfig) -> f64 {
+        let _span = wise_trace::span("estimate.spmv");
         match self {
             Estimator::Model { machine, sample_shift } => {
                 let shift = sample_shift.unwrap_or_else(|| auto_sample_shift(m.nnz()));
@@ -72,6 +73,7 @@ impl Estimator {
                 let mut y = vec![0.0f64; m.nrows()];
                 let mut ws = SpmvWorkspace::default();
                 measure_median(|| prep.spmv(&x, &mut y, *nthreads, &mut ws), *warmup, *iters)
+                    .median
                     .as_secs_f64()
             }
         }
@@ -82,6 +84,7 @@ impl Estimator {
     /// generation calls this for all 29 configurations per matrix, so
     /// the saved conversions halve labeling time).
     pub fn spmv_seconds_pair(&self, m: &Csr, cfg: &MethodConfig) -> (f64, f64) {
+        let _span = wise_trace::span("estimate.spmv_pair");
         match self {
             Estimator::Model { machine, sample_shift } => {
                 let shift = sample_shift.unwrap_or_else(|| auto_sample_shift(m.nnz()));
@@ -114,13 +117,16 @@ impl Estimator {
                 let mut y = vec![0.0f64; m.nrows()];
                 let mut ws = SpmvWorkspace::default();
                 // No warmup: genuinely cold-ish single run.
-                measure_median(|| prep.spmv(&x, &mut y, *nthreads, &mut ws), 0, 1).as_secs_f64()
+                measure_median(|| prep.spmv(&x, &mut y, *nthreads, &mut ws), 0, 1)
+                    .median
+                    .as_secs_f64()
             }
         }
     }
 
     /// Seconds to extract the WISE feature vector from `m`.
     pub fn feature_extraction_seconds(&self, m: &Csr) -> f64 {
+        let _span = wise_trace::span("estimate.features");
         match self {
             Estimator::Model { machine, .. } => estimate_feature_extraction_seconds(m, machine),
             Estimator::Measured { .. } => {
@@ -133,6 +139,7 @@ impl Estimator {
 
     /// Seconds of preprocessing (format conversion) for `cfg` on `m`.
     pub fn preprocessing_seconds(&self, m: &Csr, cfg: &MethodConfig) -> f64 {
+        let _span = wise_trace::span("estimate.preproc");
         match self {
             Estimator::Model { machine, .. } => estimate_preprocessing_seconds(m, cfg, machine),
             Estimator::Measured { .. } => {

@@ -1,0 +1,79 @@
+//! CI validator for emitted trace artifacts.
+//!
+//! Usage: `check_trace <trace.json> [<perf_summary.json>] [--require
+//! stage1,stage2,...]`
+//!
+//! Checks that the Chrome trace parses as JSON with balanced,
+//! properly-nested begin/end events, and that the perf summary (if
+//! given) parses and contains every required stage with a non-zero
+//! count. The default required set is the end-to-end WISE pipeline:
+//! feature extraction, labeling, training, selection, format conversion
+//! and SpMV.
+
+use wise_trace::export::{json, validate_chrome_trace};
+
+const DEFAULT_REQUIRED: &[&str] = &[
+    "features.extract",
+    "label.corpus",
+    "train.registry",
+    "pipeline.select",
+    "kernel.convert",
+    "kernel.spmv",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_trace: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut required: Vec<String> = DEFAULT_REQUIRED.iter().map(|s| s.to_string()).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--require" {
+            let list = it.next().unwrap_or_else(|| fail("--require needs a comma-separated list"));
+            required = list.split(',').map(|s| s.trim().to_string()).collect();
+        } else {
+            paths.push(a);
+        }
+    }
+    let [trace_path, rest @ ..] = paths.as_slice() else {
+        fail("usage: check_trace <trace.json> [<perf_summary.json>] [--require a,b,...]");
+    };
+
+    let trace_text = std::fs::read_to_string(trace_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {trace_path}: {e}")));
+    match validate_chrome_trace(&trace_text) {
+        Ok(0) => fail("trace is valid JSON but contains no complete spans"),
+        Ok(spans) => println!("check_trace: {trace_path}: OK ({spans} balanced spans)"),
+        Err(e) => fail(&format!("{trace_path}: {e}")),
+    }
+
+    if let [summary_path] = rest {
+        let summary_text = std::fs::read_to_string(summary_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {summary_path}: {e}")));
+        let doc =
+            json::parse(&summary_text).unwrap_or_else(|e| fail(&format!("{summary_path}: {e}")));
+        let stages = doc
+            .get("stages")
+            .and_then(|v| v.as_object())
+            .unwrap_or_else(|| fail(&format!("{summary_path}: missing stages object")));
+        for name in &required {
+            let count = stages
+                .get(name.as_str())
+                .and_then(|s| s.get("count"))
+                .and_then(|c| c.as_f64())
+                .unwrap_or(0.0);
+            if count < 1.0 {
+                fail(&format!("{summary_path}: required stage '{name}' missing or empty"));
+            }
+        }
+        println!(
+            "check_trace: {summary_path}: OK ({} stages, all {} required present)",
+            stages.len(),
+            required.len()
+        );
+    }
+}

@@ -1,0 +1,533 @@
+//! Exporters: Chrome trace-event JSON, the human-readable run report,
+//! and the machine-readable `perf_summary.json`.
+//!
+//! The Chrome format is the subset understood by Perfetto and
+//! `chrome://tracing`: an object with a `traceEvents` array of `B`/`E`
+//! duration events, `C` counter events and `i` instant events, with
+//! timestamps in *microseconds*. JSON is emitted by hand — this crate
+//! is zero-dependency — and [`json`] provides a small parser so the
+//! `check_trace` validator (and tests) can verify emitted files without
+//! serde.
+
+use crate::span::{Event, Phase};
+use crate::Summary;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Escapes `s` into a JSON string literal body.
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microsecond timestamp with nanosecond precision kept as decimals.
+fn us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+/// Renders a flushed event stream as Chrome trace-event JSON. Spans
+/// become `B`/`E` pairs, counters become `C` events (chartable as
+/// counter tracks in Perfetto), duration samples become `i` instant
+/// events carrying their nanosecond value in `args`.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, e.name);
+        let _ =
+            write!(out, "\",\"cat\":\"wise\",\"pid\":1,\"tid\":{},\"ts\":{}", e.tid, us(e.ts_ns));
+        match e.phase {
+            Phase::Begin => out.push_str(",\"ph\":\"B\"}"),
+            Phase::End => out.push_str(",\"ph\":\"E\"}"),
+            Phase::Counter => {
+                out.push_str(",\"ph\":\"C\",\"args\":{\"");
+                escape_into(&mut out, e.name);
+                let _ = write!(out, "\":{}}}}}", e.value);
+            }
+            Phase::Sample => {
+                let _ = write!(out, ",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"ns\":{}}}}}", e.value);
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders `perf_summary.json`: stage → `{count, p50, p95, min, max,
+/// total}` (nanoseconds) plus summed counters — the artifact BENCH
+/// trajectories diff across PRs.
+pub fn perf_summary_json(summary: &Summary) -> String {
+    let mut out = String::from("{\"stages\":{");
+    let mut first = true;
+    for (name, st) in &summary.stages {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            "\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{},\"total_ns\":{}}}",
+            st.count, st.p50_ns, st.p95_ns, st.min_ns, st.max_ns, st.total_ns
+        );
+    }
+    out.push_str("},\"counters\":{");
+    let mut first = true;
+    for (name, value) in &summary.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        escape_into(&mut out, name);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("}}");
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders the human-readable run report: one line per stage
+/// (count/total/p50/p95/max plus a log2 spark-line), then the counters.
+pub fn run_report(summary: &Summary) -> String {
+    let mut out = String::from("== wise-trace run report ==\n");
+    if summary.stages.is_empty() && summary.counters.is_empty() {
+        out.push_str("(no events recorded)\n");
+        return out;
+    }
+    let name_w = summary.stages.keys().map(|n| n.len()).max().unwrap_or(5).max("stage".len());
+    let _ = writeln!(
+        out,
+        "{:<name_w$} {:>7} {:>9} {:>9} {:>9} {:>9}  log2-spread",
+        "stage", "count", "total", "p50", "p95", "max"
+    );
+    for (name, st) in &summary.stages {
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>7} {:>9} {:>9} {:>9} {:>9}  {}",
+            name,
+            st.count,
+            fmt_ns(st.total_ns),
+            fmt_ns(st.p50_ns),
+            fmt_ns(st.p95_ns),
+            fmt_ns(st.max_ns),
+            st.hist.sparkline()
+        );
+    }
+    if !summary.counters.is_empty() {
+        out.push_str("-- counters --\n");
+        for (name, value) in &summary.counters {
+            let _ = writeln!(out, "{name:<name_w$} {value}");
+        }
+    }
+    out
+}
+
+/// Writes the Chrome trace to `trace_path` and `perf_summary.json` next
+/// to it (same directory), returning the summary path. The conventional
+/// call is at the end of a run, after the traced work has completed.
+pub fn write_trace_files(
+    events: &[Event],
+    trace_path: &Path,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::write(trace_path, chrome_trace_json(events))?;
+    let summary = Summary::from_events(events);
+    let summary_path = trace_path.parent().unwrap_or(Path::new(".")).join("perf_summary.json");
+    std::fs::write(&summary_path, perf_summary_json(&summary))?;
+    Ok(summary_path)
+}
+
+pub mod json {
+    //! A minimal JSON parser — just enough to validate this crate's own
+    //! exports (and any well-formed JSON) without external
+    //! dependencies. Numbers are parsed as `f64`.
+
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// Member of an object, if this is an object that has it.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?.get(key)
+        }
+    }
+
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected byte at {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut map = std::collections::BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                map.insert(key, self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                // Surrogate pairs are not emitted by our
+                                // exporters; map lone surrogates to the
+                                // replacement character.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is &str, so
+                        // boundaries are valid).
+                        let rest = &self.bytes[self.pos..];
+                        let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                        let ch = s.chars().next().unwrap();
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            text.parse::<f64>().map(Value::Number).map_err(|e| format!("bad number: {e}"))
+        }
+    }
+}
+
+/// Validates a Chrome trace document: parses it, checks `traceEvents`
+/// exists, and checks every `B` has a matching same-name `E` per tid
+/// (properly nested). Returns the number of complete spans.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text)?;
+    let events =
+        doc.get("traceEvents").and_then(|v| v.as_array()).ok_or("missing traceEvents array")?;
+    let mut stacks: std::collections::HashMap<i64, Vec<String>> = std::collections::HashMap::new();
+    let mut spans = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(|v| v.as_str()).ok_or(format!("event {i}: no ph"))?;
+        let name = e.get("name").and_then(|v| v.as_str()).ok_or(format!("event {i}: no name"))?;
+        let tid = e.get("tid").and_then(|v| v.as_f64()).ok_or(format!("event {i}: no tid"))? as i64;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let top = stacks.entry(tid).or_default().pop();
+                match top {
+                    Some(open) if open == name => spans += 1,
+                    Some(open) => {
+                        return Err(format!("event {i}: E '{name}' closes '{open}' on tid {tid}"))
+                    }
+                    None => return Err(format!("event {i}: E '{name}' with empty stack")),
+                }
+            }
+            "C" | "i" | "M" | "X" => {}
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: {} unclosed span(s): {:?}", stack.len(), stack));
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, phase: Phase, ts_ns: u64, tid: u64, value: u64) -> Event {
+        Event { name, phase, ts_ns, tid, value }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            ev("pipeline.select", Phase::Begin, 1_000, 1, 0),
+            ev("features.extract", Phase::Begin, 2_000, 1, 0),
+            ev("features.nnz", Phase::Counter, 2_500, 1, 4096),
+            ev("features.extract", Phase::End, 9_000, 1, 7_000),
+            ev("timing.measure_median", Phase::Sample, 9_500, 2, 1_234),
+            ev("pipeline.select", Phase::End, 10_000, 1, 9_000),
+        ]
+    }
+
+    #[test]
+    fn chrome_json_parses_and_balances() {
+        let text = chrome_trace_json(&sample_events());
+        let spans = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(spans, 2);
+        // Microsecond timestamps with ns decimals survive.
+        assert!(text.contains("\"ts\":2.500"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let text = chrome_trace_json(&[]);
+        assert_eq!(validate_chrome_trace(&text), Ok(0));
+    }
+
+    #[test]
+    fn validator_catches_unbalanced() {
+        let events = vec![ev("a", Phase::Begin, 0, 1, 0)];
+        let text = chrome_trace_json(&events);
+        assert!(validate_chrome_trace(&text).is_err());
+        let crossed = vec![
+            ev("a", Phase::Begin, 0, 1, 0),
+            ev("b", Phase::Begin, 1, 1, 0),
+            ev("a", Phase::End, 2, 1, 2),
+        ];
+        assert!(validate_chrome_trace(&chrome_trace_json(&crossed)).is_err());
+    }
+
+    #[test]
+    fn perf_summary_shape() {
+        let summary = Summary::from_events(&sample_events());
+        let text = perf_summary_json(&summary);
+        let doc = json::parse(&text).expect("parses");
+        let stages = doc.get("stages").unwrap().as_object().unwrap();
+        assert!(stages.contains_key("features.extract"));
+        assert!(stages.contains_key("pipeline.select"));
+        assert!(stages.contains_key("timing.measure_median"));
+        let fe = stages["features.extract"].as_object().unwrap();
+        assert_eq!(fe["count"].as_f64(), Some(1.0));
+        assert_eq!(fe["p50_ns"].as_f64(), Some(7_000.0));
+        let counters = doc.get("counters").unwrap().as_object().unwrap();
+        assert_eq!(counters["features.nnz"].as_f64(), Some(4096.0));
+    }
+
+    #[test]
+    fn run_report_lists_stages_and_counters() {
+        let summary = Summary::from_events(&sample_events());
+        let report = run_report(&summary);
+        assert!(report.contains("features.extract"));
+        assert!(report.contains("-- counters --"));
+        assert!(report.contains("features.nnz"));
+        assert!(run_report(&Summary::default()).contains("no events"));
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = json::parse(r#"{"a\n\"b":[1,-2.5e2,true,null,{"x":"A"}]}"#).unwrap();
+        let arr = v.get("a\n\"b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-250.0));
+        assert_eq!(arr[4].get("x").unwrap().as_str(), Some("A"));
+        assert!(json::parse("{},").is_err());
+        assert!(json::parse(r#"{"unterminated"#).is_err());
+    }
+
+    #[test]
+    fn write_trace_files_emits_both_artifacts() {
+        let dir = std::env::temp_dir().join("wise_trace_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let summary_path = write_trace_files(&sample_events(), &trace_path).unwrap();
+        assert_eq!(summary_path, dir.join("perf_summary.json"));
+        let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(validate_chrome_trace(&trace_text).is_ok());
+        let summary_text = std::fs::read_to_string(&summary_path).unwrap();
+        assert!(json::parse(&summary_text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

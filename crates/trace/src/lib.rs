@@ -1,0 +1,190 @@
+//! `wise-trace` — zero-dependency observability for the WISE pipeline.
+//!
+//! Every performance claim WISE makes is an *end-to-end* claim: feature
+//! extraction, format conversion and the SpMV win must be accounted for
+//! together (paper §4.4, Figs. 10–13). This crate gives the whole
+//! workspace one shared way to do that accounting:
+//!
+//! * [`span`] — hierarchical RAII spans recorded into per-thread
+//!   buffers (no shared lock on the hot path; buffers merge at flush);
+//! * [`counter`] / [`observe_ns`] — monotonic counters and duration
+//!   samples, aggregated into log2-bucketed histograms
+//!   ([`metrics::Hist`]);
+//! * [`export`] — a human-readable run report, Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`), and a machine-
+//!   readable `perf_summary.json` (stage → `{p50, p95, count}`) so
+//!   benchmark trajectories can be diffed across PRs.
+//!
+//! # Cost when disabled
+//!
+//! Tracing is off unless `WISE_TRACE` is set (to anything but `0` or
+//! the empty string) or the process calls [`set_enabled`]`(true)`. When
+//! off, [`span`], [`counter`] and [`observe_ns`] each cost exactly one
+//! relaxed atomic load and perform **no allocation** — cheap enough to
+//! leave in SpMV inner loops and the fused feature-extraction sweep.
+//!
+//! # Quick use
+//!
+//! ```
+//! wise_trace::set_enabled(true);
+//! {
+//!     let _outer = wise_trace::span("demo.outer");
+//!     let _inner = wise_trace::span("demo.inner");
+//!     wise_trace::counter("demo.nnz", 1234);
+//! }
+//! let events = wise_trace::take_events();
+//! assert!(events.len() >= 5); // 2 begins + 2 ends + 1 counter
+//! let summary = wise_trace::Summary::from_events(&events);
+//! assert_eq!(summary.counters["demo.nnz"], 1234);
+//! wise_trace::set_enabled(false);
+//! ```
+//!
+//! # Span taxonomy
+//!
+//! Names are dotted `area.step` strings; the conventional areas used
+//! across the workspace are `matrix.*`, `gen.*`, `features.*`,
+//! `kernel.*`, `estimate.*`, `label.*`, `train.*`, `select.*` and
+//! `pipeline.*` (see DESIGN.md §10 for the full table).
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::{chrome_trace_json, perf_summary_json, run_report, write_trace_files};
+pub use metrics::Hist;
+pub use span::{
+    build_forest, counter, dropped_events, observe_ns, span, take_events, Event, Phase, Span,
+    SpanNode,
+};
+pub use summary::{StageStats, Summary};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Whether tracing is currently on. One relaxed atomic load on every
+/// call after the first (the first call reads `WISE_TRACE` from the
+/// environment).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("WISE_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the `WISE_TRACE` environment gate (used by `--trace-out`
+/// flags and tests).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+mod summary {
+    use crate::metrics::Hist;
+    use crate::span::{Event, Phase};
+    use std::collections::BTreeMap;
+
+    /// Aggregated statistics of one span/sample stage.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct StageStats {
+        /// Completed spans / recorded samples.
+        pub count: u64,
+        /// Sum of all durations, nanoseconds.
+        pub total_ns: u64,
+        pub min_ns: u64,
+        pub p50_ns: u64,
+        pub p95_ns: u64,
+        pub max_ns: u64,
+        /// Log2-bucketed duration histogram (for the run report).
+        pub hist: Hist,
+    }
+
+    /// Everything the exporters need, aggregated from a flushed event
+    /// stream: per-stage duration statistics (from span ends and
+    /// duration samples) and summed counters.
+    #[derive(Debug, Clone, Default)]
+    pub struct Summary {
+        /// Stage name → duration statistics, name-sorted.
+        pub stages: BTreeMap<String, StageStats>,
+        /// Counter name → summed value, name-sorted.
+        pub counters: BTreeMap<String, u64>,
+    }
+
+    impl Summary {
+        /// Aggregates a flushed event stream ([`crate::take_events`]).
+        pub fn from_events(events: &[Event]) -> Summary {
+            let mut durations: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+            let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+            for e in events {
+                match e.phase {
+                    Phase::End | Phase::Sample => {
+                        durations.entry(e.name).or_default().push(e.value)
+                    }
+                    Phase::Counter => *counters.entry(e.name.to_string()).or_insert(0) += e.value,
+                    Phase::Begin => {}
+                }
+            }
+            let stages = durations
+                .into_iter()
+                .map(|(name, mut ds)| {
+                    ds.sort_unstable();
+                    let pct = |p: f64| ds[((ds.len() - 1) as f64 * p).round() as usize];
+                    let mut hist = Hist::default();
+                    for &d in &ds {
+                        hist.observe(d);
+                    }
+                    let stats = StageStats {
+                        count: ds.len() as u64,
+                        total_ns: ds.iter().sum(),
+                        min_ns: ds[0],
+                        p50_ns: pct(0.50),
+                        p95_ns: pct(0.95),
+                        max_ns: ds[ds.len() - 1],
+                        hist,
+                    };
+                    (name.to_string(), stats)
+                })
+                .collect();
+            Summary { stages, counters }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles_are_exact() {
+        let mk = |value| Event { name: "s", phase: Phase::Sample, ts_ns: 0, tid: 0, value };
+        let events: Vec<Event> = (1..=100).map(mk).collect();
+        let s = Summary::from_events(&events);
+        let st = &s.stages["s"];
+        assert_eq!(st.count, 100);
+        assert_eq!(st.min_ns, 1);
+        assert_eq!(st.max_ns, 100);
+        assert_eq!(st.p50_ns, 51); // index round(99 * 0.5) = 50 -> value 51
+        assert_eq!(st.p95_ns, 95); // index round(99 * 0.95) = 94 -> value 95
+        assert_eq!(st.total_ns, 5050);
+    }
+
+    #[test]
+    fn summary_sums_counters() {
+        let mk = |value| Event { name: "c", phase: Phase::Counter, ts_ns: 0, tid: 0, value };
+        let s = Summary::from_events(&[mk(3), mk(4)]);
+        assert_eq!(s.counters["c"], 7);
+        assert!(s.stages.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Log2-bucketed histograms for duration/size distributions.
+//!
+//! A [`Hist`] trades exactness for a fixed 64-slot footprint: a value
+//! `v` lands in bucket `⌊log2 v⌋ + 1` (bucket 0 holds zeros), so the
+//! whole `u64` range is covered and quantiles are accurate to within a
+//! factor of two — plenty for the run report's at-a-glance spread,
+//! while exact percentiles in [`crate::Summary`] come from the retained
+//! samples.
+
+/// A fixed-size log2-bucketed histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// `buckets[0]` counts zeros; `buckets[b]` counts values with
+    /// `⌊log2 v⌋ = b - 1`, i.e. `v ∈ [2^(b-1), 2^b)`.
+    buckets: [u64; 65],
+    count: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { buckets: [0; 65], count: 0 }
+    }
+}
+
+impl Hist {
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Lower bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or 0 for an empty histogram. Accurate to a
+    /// factor of two by construction.
+    pub fn quantile_lower_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+            }
+        }
+        unreachable!("rank < count")
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
+            .collect()
+    }
+
+    /// A compact spark-line over the occupied bucket range ("▁▃▇" per
+    /// bucket), for the run report.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 5] = ['_', '.', ':', '|', '#'];
+        let occupied: Vec<usize> =
+            (0..self.buckets.len()).filter(|&b| self.buckets[b] > 0).collect();
+        let (Some(&lo), Some(&hi)) = (occupied.first(), occupied.last()) else {
+            return String::new();
+        };
+        let max = self.buckets[lo..=hi].iter().copied().max().unwrap_or(1).max(1);
+        (lo..=hi)
+            .map(|b| {
+                let c = self.buckets[b];
+                if c == 0 {
+                    GLYPHS[0]
+                } else {
+                    GLYPHS[1 + (c * (GLYPHS.len() as u64 - 2) / max) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Hist::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        let buckets = h.nonzero_buckets();
+        // 0 -> bucket 0; 1 -> [1,2); 2,3 -> [2,4); 4,7 -> [4,8);
+        // 8 -> [8,16); MAX -> [2^63, ..).
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_factor_of_two_bounds() {
+        let mut h = Hist::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile_lower_bound(0.5);
+        assert!(p50 <= 500 && 500 < p50 * 2, "p50 bound {p50}");
+        let p95 = h.quantile_lower_bound(0.95);
+        assert!(p95 <= 950 && 950 < p95 * 2, "p95 bound {p95}");
+        assert_eq!(h.quantile_lower_bound(0.0), 1);
+        assert_eq!(h.quantile_lower_bound(1.0), 512);
+    }
+
+    #[test]
+    fn empty_hist_is_quiet() {
+        let h = Hist::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_lower_bound(0.5), 0);
+        assert_eq!(h.sparkline(), "");
+    }
+
+    #[test]
+    fn sparkline_spans_occupied_range() {
+        let mut h = Hist::default();
+        h.observe(1);
+        h.observe(1);
+        h.observe(8);
+        // Buckets 1..=4 -> four glyphs, gaps rendered as '_'.
+        assert_eq!(h.sparkline().chars().count(), 4);
+        assert!(h.sparkline().contains('_'));
+    }
+}

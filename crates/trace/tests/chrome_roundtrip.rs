@@ -1,0 +1,59 @@
+//! The Chrome trace-event export must be real JSON: round-trip it
+//! through `serde_json` (an independent parser) and re-check event
+//! balance on the parsed form. Runs as its own process because it owns
+//! the global enable flag.
+
+use wise_trace::{chrome_trace_json, span, take_events};
+
+fn recorded_events() -> Vec<wise_trace::Event> {
+    wise_trace::set_enabled(true);
+    let _ = take_events();
+    {
+        let _a = span("rt.outer");
+        wise_trace::counter("rt.nnz", 12345);
+        {
+            let _b = span("rt.inner \"quoted\\name\"");
+            wise_trace::observe_ns("rt.sample", 777);
+        }
+    }
+    let events = take_events();
+    wise_trace::set_enabled(false);
+    events
+}
+
+#[test]
+fn chrome_export_roundtrips_through_serde_json() {
+    let events = recorded_events();
+    let text = chrome_trace_json(&events);
+
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("serde_json parses export");
+    let trace_events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert_eq!(trace_events.len(), events.len());
+
+    // Balance check on the serde-parsed form: per-tid stacks of B/E.
+    let mut stacks: std::collections::HashMap<i64, Vec<String>> = Default::default();
+    let mut spans = 0;
+    for e in trace_events {
+        let tid = e["tid"].as_i64().expect("numeric tid");
+        let name = e["name"].as_str().expect("string name").to_string();
+        assert!(e["ts"].as_f64().expect("numeric ts") >= 0.0);
+        match e["ph"].as_str().expect("string ph") {
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                assert_eq!(stacks.get_mut(&tid).and_then(Vec::pop), Some(name));
+                spans += 1;
+            }
+            "C" => assert!(e["args"].is_object()),
+            "i" => assert!(e["args"]["ns"].is_u64()),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(stacks.values().all(Vec::is_empty), "unbalanced spans: {stacks:?}");
+    assert_eq!(spans, 2);
+
+    // Escaped name survives the round trip verbatim.
+    assert!(trace_events.iter().any(|e| e["name"].as_str() == Some("rt.inner \"quoted\\name\"")));
+
+    // Our own validator agrees with serde_json.
+    assert_eq!(wise_trace::export::validate_chrome_trace(&text), Ok(2));
+}

@@ -1,0 +1,64 @@
+//! Span nesting across worker threads must reconstruct into a
+//! well-formed parent/child forest: every thread's events balance, and
+//! positional nesting survives the merge. Runs as its own process
+//! because it owns the global enable flag.
+
+use wise_trace::{build_forest, span, take_events, Phase};
+
+#[test]
+fn threaded_spans_form_a_well_formed_forest() {
+    wise_trace::set_enabled(true);
+    let _ = take_events(); // start from a clean slate
+
+    {
+        let _root = span("test.root");
+        // The same fan-out shape the feature engine uses: a parent span
+        // on the calling thread, one worker span per scoped thread
+        // (rayon-style data-parallel workers).
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _w = span("test.worker");
+                    let _inner = span("test.worker.inner");
+                    std::hint::black_box(0);
+                });
+            }
+        });
+        let _merge = span("test.merge");
+    }
+
+    let events = take_events();
+    wise_trace::set_enabled(false);
+
+    // Every Begin has a matching End.
+    let begins = events.iter().filter(|e| e.phase == Phase::Begin).count();
+    let ends = events.iter().filter(|e| e.phase == Phase::End).count();
+    assert_eq!(begins, ends);
+    assert_eq!(begins, 1 + 4 * 2 + 1);
+
+    // build_forest panics on malformed streams; on success, check shape.
+    let forest = build_forest(&events);
+    // Roots: test.root on the main thread plus one test.worker per
+    // scoped thread (worker threads have no cross-thread parent link;
+    // each thread's stack is independent).
+    let roots: Vec<&str> = forest.iter().map(|n| n.name).collect();
+    assert_eq!(roots.iter().filter(|n| **n == "test.root").count(), 1);
+    assert_eq!(roots.iter().filter(|n| **n == "test.worker").count(), 4);
+    for worker in forest.iter().filter(|n| n.name == "test.worker") {
+        assert_eq!(worker.children.len(), 1);
+        assert_eq!(worker.children[0].name, "test.worker.inner");
+        assert!(worker.children[0].duration_ns <= worker.duration_ns);
+        assert!(worker.children[0].start_ns >= worker.start_ns);
+    }
+    let root = forest.iter().find(|n| n.name == "test.root").unwrap();
+    assert_eq!(root.children.len(), 1, "merge span is the root's only same-thread child");
+    assert_eq!(root.children[0].name, "test.merge");
+
+    // Worker tids are distinct from the root's tid and from each other.
+    let mut tids: Vec<u64> =
+        forest.iter().filter(|n| n.name == "test.worker").map(|n| n.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 4, "each scoped thread records under its own tid");
+    assert!(tids.iter().all(|&t| t != root.tid));
+}

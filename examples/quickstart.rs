@@ -2,25 +2,53 @@
 //! the best SpMV method for a new matrix.
 //!
 //! Run with: `cargo run --release -p wise-core --example quickstart`
+//!
+//! Pass `WISE_TRACE=1` to collect a trace of every pipeline stage, and
+//! `-- --trace-out trace.json` to additionally write Chrome trace JSON
+//! (open in Perfetto / `chrome://tracing`) plus a machine-readable
+//! `perf_summary.json` next to it.
 
 use wise_core::pipeline::{TrainOptions, Wise};
 use wise_gen::{Corpus, CorpusScale, RmatParams};
 
+fn trace_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(Into::into);
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
 fn main() {
+    // `--trace-out` implies tracing even without WISE_TRACE=1.
+    let trace_out = trace_out_path();
+    if trace_out.is_some() {
+        wise_trace::set_enabled(true);
+    }
+
     // 1. Train. The corpus scale and the label backend (deterministic
     //    machine model by default, wall clock with WISE_MEASURED=1) are
-    //    the only knobs.
+    //    the only knobs. Labeling and training record `label.*` /
+    //    `train.*` spans; the wrapping span groups them in the trace.
     let scale = CorpusScale::tiny();
     println!("generating + labeling training corpus...");
-    let corpus = Corpus::full(&scale, 42);
-    let wise = Wise::train(&corpus, &TrainOptions::for_scale(&scale));
-    println!("trained {} models on {} matrices", wise.registry().catalog().len(), corpus.len());
+    let (wise, corpus_len) = {
+        let _train = wise_trace::span("pipeline.train");
+        let corpus = Corpus::full(&scale, 42);
+        (Wise::train(&corpus, &TrainOptions::for_scale(&scale)), corpus.len())
+    };
+    println!("trained {} models on {} matrices", wise.registry().catalog().len(), corpus_len);
 
     // 2. A new matrix WISE has never seen: a skewed power-law graph.
     let m = RmatParams::HIGH_SKEW.generate(10, 16, 2024);
     println!("\nnew matrix: {}x{}, {} nonzeros", m.nrows(), m.ncols(), m.nnz());
 
-    // 3. Select: features -> 29 class predictions -> best config.
+    // 3. Select: features -> 29 class predictions -> best config. The
+    //    per-stage cost is always measured (choice.timing), traced or not.
     let choice = wise.select(&m);
     println!("WISE selected: {}", choice.config.label());
     println!(
@@ -28,16 +56,39 @@ fn main() {
         choice.predictions[choice.index],
         choice.predictions[choice.index].representative_speedup()
     );
+    println!(
+        "selection cost: extract {:.1}us + predict {:.1}us + pick {:.1}us",
+        choice.timing.feature_extraction_s * 1e6,
+        choice.timing.predict_s * 1e6,
+        choice.timing.select_s * 1e6
+    );
 
     // 4. Convert once, iterate many times (the SpMV usage pattern).
+    //    `prepare` records kernel.convert; each spmv records kernel.spmv.
     let prepared = wise.prepare(&m, &choice);
     let mut ws = wise_kernels::srvpack::SpmvWorkspace::default();
     let mut x = vec![1.0 / m.ncols() as f64; m.ncols()];
     let mut y = vec![0.0; m.nrows()];
-    for _ in 0..10 {
-        prepared.spmv(&x, &mut y, wise_kernels::sched::default_threads(), &mut ws);
-        std::mem::swap(&mut x, &mut y);
+    {
+        let _iterate = wise_trace::span("pipeline.iterate");
+        for _ in 0..10 {
+            prepared.spmv(&x, &mut y, wise_kernels::sched::default_threads(), &mut ws);
+            std::mem::swap(&mut x, &mut y);
+        }
     }
     let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
     println!("\nran 10 SpMV iterations; |x|_2 = {norm:.3e}");
+
+    // 5. Flush the trace: run report on stderr, JSON artifacts if asked.
+    if wise_trace::enabled() {
+        let events = wise_trace::take_events();
+        if let Some(path) = &trace_out {
+            let summary_path =
+                wise_trace::write_trace_files(&events, path).expect("write trace files");
+            println!("\n[artifact] {}", path.display());
+            println!("[artifact] {}", summary_path.display());
+        }
+        let summary = wise_trace::Summary::from_events(&events);
+        eprint!("{}", wise_trace::run_report(&summary));
+    }
 }
