@@ -17,6 +17,14 @@ fn bench_tree(c: &mut Criterion) {
     c.bench_function("tree_fit_1500x67", |b| {
         b.iter(|| DecisionTree::fit(&ds, TreeParams::default()))
     });
+    c.bench_function("tree_fit_reference_1500x67", |b| {
+        b.iter(|| DecisionTree::fit_reference(&ds, TreeParams::default()))
+    });
+    // Amortized path: presort once, fit many label views (the registry).
+    let presort = wise_ml::Presort::for_dataset(&ds);
+    c.bench_function("tree_fit_presorted_1500x67", |b| {
+        b.iter(|| DecisionTree::fit_with(&ds, &presort, TreeParams::default()))
+    });
     let tree = DecisionTree::fit(&ds, TreeParams::default());
     let row: Vec<f64> = ds.row(7).to_vec();
     c.bench_function("tree_predict_single", |b| b.iter(|| tree.predict(&row)));

@@ -3,12 +3,13 @@
 //! or the full Table 2 set — testing the paper's claim that skew *and*
 //! locality features both matter.
 
+use std::sync::Arc;
 use wise_bench::*;
 use wise_core::classes::N_CLASSES;
 use wise_core::select::select_index;
 use wise_features::FeatureVector;
-use wise_ml::grid::cross_val_confusion;
-use wise_ml::{Dataset, TreeParams};
+use wise_ml::grid::{cross_val_confusion_planned, FoldPlan};
+use wise_ml::{Dataset, FeatureMatrix, TreeParams};
 
 /// Returns the feature indices of one named group.
 fn group_indices(group: &str) -> Vec<usize> {
@@ -62,18 +63,23 @@ fn main() {
     let mkl_index = labels.config_index(&wise_kernels::baseline::mkl_like_config().label());
     let mut rows = Vec::new();
     for (name, idxs) in &variants {
-        // Per-config CV predictions restricted to the feature subset.
+        // One subset matrix per variant; the 29 per-config datasets are
+        // label views over it and share one fold plan (presorts built
+        // once per fold, not per configuration).
         let subset_rows: Vec<Vec<f64>> = labels
             .matrices
             .iter()
             .map(|m| idxs.iter().map(|&i| m.features.values()[i]).collect())
             .collect();
+        let matrix = Arc::new(FeatureMatrix::from_rows(subset_rows));
+        let base_rows: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+        let plan = FoldPlan::build(&matrix, &base_rows, k, ctx.seed);
         let mut acc_sum = 0.0;
         let mut preds_per_cfg: Vec<Vec<u32>> = Vec::with_capacity(labels.catalog.len());
         for cfg_idx in 0..labels.catalog.len() {
             let y: Vec<u32> = labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
-            let ds = Dataset::new(subset_rows.clone(), y, N_CLASSES);
-            let (pairs, cm) = cross_val_confusion(&ds, params, k, ctx.seed);
+            let ds = Dataset::from_matrix(Arc::clone(&matrix), y, N_CLASSES);
+            let (pairs, cm) = cross_val_confusion_planned(&plan, &ds, params);
             acc_sum += cm.accuracy();
             preds_per_cfg.push(pairs.into_iter().map(|(_, p)| p).collect());
         }

@@ -8,11 +8,12 @@
 //! speedup because the selection heuristic can no longer distinguish a
 //! 1.1x from a 2x configuration.
 
+use std::sync::Arc;
 use wise_bench::*;
 use wise_core::classes::{SpeedupClass, N_CLASSES};
 use wise_core::select::select_index;
-use wise_ml::grid::cross_val_confusion;
-use wise_ml::{kfold_indices, Dataset, ForestParams, RandomForest, TreeParams};
+use wise_ml::grid::{cross_val_confusion_planned, FoldPlan};
+use wise_ml::{kfold_indices, Dataset, FeatureMatrix, ForestParams, RandomForest, TreeParams};
 
 /// Maps a 7-class label onto a coarse 3-class scheme:
 /// 0 = slowdown (C0), 1 = parity (C1), 2 = any speedup (C2..C6).
@@ -41,8 +42,14 @@ fn main() {
     let k = 10.min(labels.len());
     let n_cfg = labels.catalog.len();
     let mkl_index = labels.config_index(&wise_kernels::baseline::mkl_like_config().label());
-    let rows: Vec<Vec<f64>> =
-        labels.matrices.iter().map(|m| m.features.values().to_vec()).collect();
+    // One feature matrix shared by every variant's datasets; one fold
+    // plan (split + per-fold presorts) shared by every tree CV run.
+    let matrix = Arc::new(FeatureMatrix::from_row_slices(
+        labels.matrices.len(),
+        labels.matrices.iter().map(|m| m.features.values()),
+    ));
+    let base_rows: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+    let plan = FoldPlan::build(&matrix, &base_rows, k, ctx.seed);
 
     let end_to_end = |preds_per_cfg: &[Vec<SpeedupClass>]| -> f64 {
         let mut total = 0.0;
@@ -62,8 +69,8 @@ fn main() {
         let mut preds = Vec::with_capacity(n_cfg);
         for ci in 0..n_cfg {
             let y: Vec<u32> = labels.matrices.iter().map(|m| m.classes[ci].index()).collect();
-            let ds = Dataset::new(rows.clone(), y, N_CLASSES);
-            let (pairs, _) = cross_val_confusion(&ds, TreeParams::default(), k, ctx.seed);
+            let ds = Dataset::from_matrix(Arc::clone(&matrix), y, N_CLASSES);
+            let (pairs, _) = cross_val_confusion_planned(&plan, &ds, TreeParams::default());
             preds.push(
                 pairs.into_iter().map(|(_, p)| SpeedupClass::from_index(p)).collect::<Vec<_>>(),
             );
@@ -78,7 +85,7 @@ fn main() {
         #[allow(clippy::needless_range_loop)]
         for ci in 0..n_cfg {
             let y: Vec<u32> = labels.matrices.iter().map(|m| m.classes[ci].index()).collect();
-            let ds = Dataset::new(rows.clone(), y, N_CLASSES);
+            let ds = Dataset::from_matrix(Arc::clone(&matrix), y, N_CLASSES);
             for (train_idx, test_idx) in &folds {
                 let forest = RandomForest::fit(
                     &ds.subset(train_idx),
@@ -98,8 +105,8 @@ fn main() {
         #[allow(clippy::needless_range_loop)]
         for ci in 0..n_cfg {
             let y: Vec<u32> = labels.matrices.iter().map(|m| coarse(m.classes[ci])).collect();
-            let ds = Dataset::new(rows.clone(), y, 3);
-            let (pairs, _) = cross_val_confusion(&ds, TreeParams::default(), k, ctx.seed);
+            let ds = Dataset::from_matrix(Arc::clone(&matrix), y, 3);
+            let (pairs, _) = cross_val_confusion_planned(&plan, &ds, TreeParams::default());
             for (i, (_, p)) in pairs.into_iter().enumerate() {
                 preds[ci][i] = coarse_to_class(p);
             }

@@ -2,13 +2,16 @@
 //! decision-tree (max depth D, pruning ccp_alpha) combination, 10-fold
 //! CV end to end.
 //!
+//! The 24 grid cells run in parallel against one shared [`CvPlan`]: the
+//! fold split and the per-fold presorted columnar layer are built once
+//! and reused by every cell and every per-configuration model.
+//!
 //! The paper's reading: ccp must stay below 0.05 and D at 10+; the
 //! chosen cell is D=15, ccp=0.005.
 
 use wise_bench::*;
-use wise_core::evaluate::evaluate_cv;
-use wise_ml::grid::{CCP_GRID, DEPTH_GRID};
-use wise_ml::TreeParams;
+use wise_core::evaluate::{evaluate_cv_planned, CvPlan};
+use wise_ml::grid::{sweep_table4, CCP_GRID, DEPTH_GRID};
 
 fn main() {
     let _trace = wise_bench::report::init();
@@ -20,20 +23,22 @@ fn main() {
         "== Table 4: mean WISE speedup over MKL vs tree hyperparameters ({k}-fold CV, {} matrices) ==\n",
         labels.len()
     );
+    let plan = CvPlan::build(&labels, k, ctx.seed);
+    let cells =
+        sweep_table4(|params| evaluate_cv_planned(&labels, &plan, params).mean_wise_speedup());
+
     print!("{:>6} |", "D\\ccp");
     for ccp in CCP_GRID {
         print!(" {ccp:>6}");
     }
     println!();
     let mut rows = Vec::new();
-    for d in DEPTH_GRID {
+    for (di, d) in DEPTH_GRID.iter().enumerate() {
         print!("{d:>6} |");
-        for ccp in CCP_GRID {
-            let params = TreeParams { max_depth: d, ccp_alpha: ccp, ..Default::default() };
-            let ev = evaluate_cv(&labels, params, k, ctx.seed);
-            let s = ev.mean_wise_speedup();
-            print!(" {s:>6.2}");
-            rows.push(format!("{d},{ccp},{s:.4}"));
+        for (ci, _) in CCP_GRID.iter().enumerate() {
+            let cell = &cells[di * CCP_GRID.len() + ci];
+            print!(" {:>6.2}", cell.score);
+            rows.push(format!("{},{},{:.4}", cell.max_depth, cell.ccp_alpha, cell.score));
         }
         println!();
     }

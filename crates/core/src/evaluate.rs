@@ -13,9 +13,10 @@ use crate::registry::ModelRegistry;
 use crate::select::select_index;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use wise_kernels::baseline::mkl_like_config;
-use wise_ml::grid::cross_val_confusion;
-use wise_ml::{ConfusionMatrix, TreeParams};
+use wise_ml::grid::cross_val_confusion_planned;
+use wise_ml::{ConfusionMatrix, FeatureMatrix, FoldPlan, TreeParams};
 
 /// Per-matrix outcome of the end-to-end evaluation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,22 +121,65 @@ fn mean(it: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// The reusable, label-independent half of a cross-validated
+/// evaluation: the corpus feature matrix plus the [`FoldPlan`] (fold
+/// split + per-fold presorted columnar layer). Build once per
+/// `(corpus, k, seed)` and evaluate any number of tree configurations
+/// against it — the Table 4 sweep reuses one plan for all 24 cells, so
+/// each fold's feature columns are sorted exactly once for the whole
+/// grid.
+#[derive(Debug, Clone)]
+pub struct CvPlan {
+    matrix: Arc<FeatureMatrix>,
+    plan: FoldPlan,
+}
+
+impl CvPlan {
+    /// Builds the matrix and fold presorts for `labels`.
+    pub fn build(labels: &CorpusLabels, k: usize, seed: u64) -> CvPlan {
+        assert!(labels.len() >= k, "need at least k matrices for k-fold CV");
+        let matrix = ModelRegistry::feature_matrix(labels);
+        let base_rows: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+        let plan = FoldPlan::build(&matrix, &base_rows, k, seed);
+        CvPlan { matrix, plan }
+    }
+
+    pub fn matrix(&self) -> &Arc<FeatureMatrix> {
+        &self.matrix
+    }
+
+    pub fn fold_plan(&self) -> &FoldPlan {
+        &self.plan
+    }
+}
+
 /// Runs the full cross-validated evaluation on a labeled corpus.
+/// Builds a fresh [`CvPlan`]; when sweeping tree configurations (e.g.
+/// Table 4), build the plan once and call [`evaluate_cv_planned`].
 pub fn evaluate_cv(
     labels: &CorpusLabels,
     tree_params: TreeParams,
     k: usize,
     seed: u64,
 ) -> CvEvaluation {
-    assert!(labels.len() >= k, "need at least k matrices for k-fold CV");
+    evaluate_cv_planned(labels, &CvPlan::build(labels, k, seed), tree_params)
+}
+
+/// [`evaluate_cv`] against a prebuilt [`CvPlan`] (shared matrix and
+/// fold presorts; no per-call sorting).
+pub fn evaluate_cv_planned(
+    labels: &CorpusLabels,
+    plan: &CvPlan,
+    tree_params: TreeParams,
+) -> CvEvaluation {
     let n_cfg = labels.catalog.len();
 
     // Out-of-fold predictions + confusion per configuration.
     let per_cfg: Vec<(Vec<(u32, u32)>, ConfusionMatrix)> = (0..n_cfg)
         .into_par_iter()
         .map(|cfg_idx| {
-            let ds = ModelRegistry::dataset_for(labels, cfg_idx);
-            cross_val_confusion(&ds, tree_params, k, seed)
+            let ds = ModelRegistry::dataset_for_matrix(&plan.matrix, labels, cfg_idx);
+            cross_val_confusion_planned(&plan.plan, &ds, tree_params)
         })
         .collect();
     let confusions: Vec<ConfusionMatrix> = per_cfg.iter().map(|(_, c)| c.clone()).collect();
@@ -297,6 +341,28 @@ mod tests {
         // And every confusion matrix is diagonal.
         for c in &perfect.confusions {
             assert_eq!(c.accuracy(), 1.0);
+        }
+    }
+
+    #[test]
+    fn planned_evaluation_matches_unplanned_across_params() {
+        // One CvPlan reused for several grid cells must reproduce the
+        // from-scratch evaluation exactly — the Table 4 fast path.
+        let labels = labeled();
+        let plan = CvPlan::build(&labels, 5, 3);
+        for params in [
+            TreeParams::default(),
+            TreeParams { max_depth: 5, ccp_alpha: 0.0, ..Default::default() },
+            TreeParams { max_depth: 20, ccp_alpha: 0.05, ..Default::default() },
+        ] {
+            let fresh = evaluate_cv(&labels, params, 5, 3);
+            let planned = evaluate_cv_planned(&labels, &plan, params);
+            assert_eq!(planned.predictions, fresh.predictions);
+            assert_eq!(planned.confusions, fresh.confusions);
+            assert_eq!(
+                planned.outcomes.iter().map(|o| o.wise_index).collect::<Vec<_>>(),
+                fresh.outcomes.iter().map(|o| o.wise_index).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -6,9 +6,10 @@ use crate::labels::CorpusLabels;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Arc;
 use wise_features::FeatureVector;
 use wise_kernels::method::MethodConfig;
-use wise_ml::{Dataset, DecisionTree, TreeParams};
+use wise_ml::{Dataset, DecisionTree, FeatureMatrix, Presort, TreeParams};
 
 /// The trained per-configuration performance models.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -20,33 +21,57 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Trains every model on the labeled corpus.
+    /// Trains every model on the labeled corpus. All 29 datasets are
+    /// label views over one shared [`FeatureMatrix`], and the columnar
+    /// presort layer is built once and reused by every fit (the sort
+    /// order depends only on feature values, not labels).
     pub fn train(labels: &CorpusLabels, params: TreeParams) -> ModelRegistry {
         let _span = wise_trace::span("train.registry");
         wise_trace::counter("train.registry.models", labels.catalog.len() as u64);
         assert!(!labels.is_empty(), "cannot train on an empty corpus");
-        let rows: Vec<Vec<f64>> =
-            labels.matrices.iter().map(|m| m.features.values().to_vec()).collect();
+        let matrix = Self::feature_matrix(labels);
+        let base_rows: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+        let presort = Presort::build(&matrix, &base_rows);
         let trees: Vec<DecisionTree> = (0..labels.catalog.len())
             .into_par_iter()
             .map(|cfg_idx| {
                 let _tree = wise_trace::span("train.tree");
                 let y: Vec<u32> =
                     labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
-                let ds = Dataset::new(rows.clone(), y, N_CLASSES);
-                DecisionTree::fit(&ds, params)
+                let ds = Dataset::from_matrix(Arc::clone(&matrix), y, N_CLASSES);
+                DecisionTree::fit_with(&ds, &presort, params)
             })
             .collect();
         ModelRegistry { catalog: labels.catalog.clone(), trees, params }
     }
 
-    /// Builds the per-configuration training dataset (exposed for
-    /// cross-validation in the evaluation harness).
-    pub fn dataset_for(labels: &CorpusLabels, cfg_idx: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> =
-            labels.matrices.iter().map(|m| m.features.values().to_vec()).collect();
+    /// The corpus' feature matrix (one row per labeled matrix), built
+    /// once and shared by every per-configuration dataset view.
+    pub fn feature_matrix(labels: &CorpusLabels) -> Arc<FeatureMatrix> {
+        Arc::new(FeatureMatrix::from_row_slices(
+            labels.matrices.len(),
+            labels.matrices.iter().map(|m| m.features.values()),
+        ))
+    }
+
+    /// The per-configuration training dataset as a label view over
+    /// `matrix` (from [`Self::feature_matrix`]; no feature copies).
+    pub fn dataset_for_matrix(
+        matrix: &Arc<FeatureMatrix>,
+        labels: &CorpusLabels,
+        cfg_idx: usize,
+    ) -> Dataset {
         let y: Vec<u32> = labels.matrices.iter().map(|m| m.classes[cfg_idx].index()).collect();
-        Dataset::new(rows, y, N_CLASSES)
+        Dataset::from_matrix(Arc::clone(matrix), y, N_CLASSES)
+    }
+
+    /// Builds the per-configuration training dataset (exposed for
+    /// cross-validation in the evaluation harness). Builds a fresh
+    /// matrix; when iterating over configurations, build the matrix
+    /// once with [`Self::feature_matrix`] and use
+    /// [`Self::dataset_for_matrix`].
+    pub fn dataset_for(labels: &CorpusLabels, cfg_idx: usize) -> Dataset {
+        Self::dataset_for_matrix(&Self::feature_matrix(labels), labels, cfg_idx)
     }
 
     pub fn catalog(&self) -> &[MethodConfig] {

@@ -1,35 +1,135 @@
 //! Feature-matrix storage and cross-validation splits.
+//!
+//! Storage is split from labeling so the whole training pyramid can
+//! share one copy of the feature corpus: a [`FeatureMatrix`] holds the
+//! numbers (in both row-major and feature-major layout, behind an
+//! `Arc`), while a [`Dataset`] is a cheap *view* — row indices plus
+//! labels — over it. The 29 per-configuration datasets, every k-fold
+//! train subset and every bootstrap resample all alias the same
+//! matrix; building one costs `O(n_samples)` index/label copies, never
+//! a feature copy.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// A dense feature matrix with integer class labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Dataset {
-    /// Row-major `n_samples x n_features`.
-    features: Vec<f64>,
-    labels: Vec<u32>,
+/// An immutable dense feature matrix, stored in both orientations:
+/// row-major (for prediction, which walks one sample's features) and
+/// feature-major (for training, which scans one feature across all
+/// samples). Shared between datasets via `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    /// Row-major `n_rows x n_features`.
+    rows: Vec<f64>,
+    /// Feature-major `n_features x n_rows` (the columnar mirror).
+    cols: Vec<f64>,
+    n_rows: usize,
     n_features: usize,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from per-sample rows; every row must have the
+    /// same length.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        Self::from_row_slices(rows.len(), rows.iter().map(|r| r.as_slice()))
+    }
+
+    /// Builds a matrix from an iterator of row slices (avoids the
+    /// intermediate `Vec<Vec<f64>>` when rows already live elsewhere,
+    /// e.g. in `CorpusLabels`).
+    pub fn from_row_slices<'a>(
+        size_hint: usize,
+        rows: impl Iterator<Item = &'a [f64]>,
+    ) -> FeatureMatrix {
+        let mut flat = Vec::new();
+        let mut n_features = 0usize;
+        let mut n_rows = 0usize;
+        for (i, r) in rows.enumerate() {
+            if i == 0 {
+                n_features = r.len();
+                flat.reserve(size_hint * n_features);
+            }
+            assert_eq!(r.len(), n_features, "row {i} has wrong feature count");
+            flat.extend_from_slice(r);
+            n_rows += 1;
+        }
+        let mut cols = vec![0.0f64; flat.len()];
+        for r in 0..n_rows {
+            for f in 0..n_features {
+                cols[f * n_rows + r] = flat[r * n_features + f];
+            }
+        }
+        FeatureMatrix { rows: flat, cols, n_rows, n_features }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature row `r` (row-major slice).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.rows[r * self.n_features..(r + 1) * self.n_features]
+    }
+
+    /// Feature column `f` across all rows (feature-major slice).
+    #[inline]
+    pub fn column(&self, f: usize) -> &[f64] {
+        &self.cols[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+}
+
+/// A labeled view over a shared [`FeatureMatrix`]: row indices (which
+/// may repeat, e.g. bootstrap resamples) plus one label per view
+/// position. All constructors are `O(n_samples)`; the feature numbers
+/// are never copied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    matrix: Arc<FeatureMatrix>,
+    /// Matrix row behind each sample of the view.
+    indices: Vec<u32>,
+    labels: Vec<u32>,
     n_classes: usize,
 }
 
 impl Dataset {
-    /// Builds a dataset; every row must have `n_features` entries and
-    /// labels must be `< n_classes`.
+    /// Builds a dataset owning a fresh matrix; every row must have
+    /// `n_features` entries and labels must be `< n_classes`.
     pub fn new(rows: Vec<Vec<f64>>, labels: Vec<u32>, n_classes: usize) -> Dataset {
         assert_eq!(rows.len(), labels.len(), "rows and labels must align");
-        let n_features = rows.first().map(|r| r.len()).unwrap_or(0);
-        let mut features = Vec::with_capacity(rows.len() * n_features);
-        for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), n_features, "row {i} has wrong feature count");
-            features.extend_from_slice(r);
+        let matrix = Arc::new(FeatureMatrix::from_rows(rows));
+        Self::from_matrix(matrix, labels, n_classes)
+    }
+
+    /// A view covering every row of `matrix`, in order, with one label
+    /// per row.
+    pub fn from_matrix(matrix: Arc<FeatureMatrix>, labels: Vec<u32>, n_classes: usize) -> Dataset {
+        assert_eq!(matrix.n_rows(), labels.len(), "rows and labels must align");
+        let indices: Vec<u32> = (0..matrix.n_rows() as u32).collect();
+        Self::from_matrix_rows(matrix, indices, labels, n_classes)
+    }
+
+    /// A view over selected `matrix` rows (repeats allowed) with one
+    /// label per view position.
+    pub fn from_matrix_rows(
+        matrix: Arc<FeatureMatrix>,
+        indices: Vec<u32>,
+        labels: Vec<u32>,
+        n_classes: usize,
+    ) -> Dataset {
+        assert_eq!(indices.len(), labels.len(), "indices and labels must align");
+        for (i, &r) in indices.iter().enumerate() {
+            assert!((r as usize) < matrix.n_rows(), "row {r} at sample {i} out of matrix bounds");
         }
         for (i, &l) in labels.iter().enumerate() {
             assert!((l as usize) < n_classes, "label {l} at sample {i} >= n_classes {n_classes}");
         }
-        Dataset { features, labels, n_features, n_classes }
+        Dataset { matrix, indices, labels, n_classes }
     }
 
     pub fn len(&self) -> usize {
@@ -41,17 +141,33 @@ impl Dataset {
     }
 
     pub fn n_features(&self) -> usize {
-        self.n_features
+        self.matrix.n_features()
     }
 
     pub fn n_classes(&self) -> usize {
         self.n_classes
     }
 
+    /// The shared feature matrix behind this view.
+    pub fn matrix(&self) -> &Arc<FeatureMatrix> {
+        &self.matrix
+    }
+
+    /// Matrix row indices behind each view position.
+    pub fn row_indices(&self) -> &[u32] {
+        &self.indices
+    }
+
     /// Feature row of sample `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.features[i * self.n_features..(i + 1) * self.n_features]
+        self.matrix.row(self.indices[i] as usize)
+    }
+
+    /// Value of feature `f` for sample `i` (columnar access path).
+    #[inline]
+    pub fn feature_value(&self, f: usize, i: usize) -> f64 {
+        self.matrix.column(f)[self.indices[i] as usize]
     }
 
     #[inline]
@@ -63,15 +179,17 @@ impl Dataset {
         &self.labels
     }
 
-    /// The sub-dataset at `indices` (copies rows).
+    /// The sub-dataset at `indices` — a new view over the same shared
+    /// matrix (no feature copies; repeated indices allowed).
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let mut features = Vec::with_capacity(indices.len() * self.n_features);
-        let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
-            features.extend_from_slice(self.row(i));
-            labels.push(self.labels[i]);
+        let rows: Vec<u32> = indices.iter().map(|&i| self.indices[i]).collect();
+        let labels: Vec<u32> = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            matrix: Arc::clone(&self.matrix),
+            indices: rows,
+            labels,
+            n_classes: self.n_classes,
         }
-        Dataset { features, labels, n_features: self.n_features, n_classes: self.n_classes }
     }
 }
 
@@ -113,6 +231,18 @@ mod tests {
     }
 
     #[test]
+    fn columnar_mirror_matches_rows() {
+        let d = toy();
+        for f in 0..d.n_features() {
+            for i in 0..d.len() {
+                assert_eq!(d.feature_value(f, i), d.row(i)[f]);
+            }
+        }
+        assert_eq!(d.matrix().column(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(d.matrix().column(1), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
     #[should_panic(expected = "label")]
     fn rejects_out_of_range_label() {
         Dataset::new(vec![vec![0.0]], vec![5], 2);
@@ -125,12 +255,39 @@ mod tests {
     }
 
     #[test]
-    fn subset_copies_rows() {
+    fn subset_is_a_view_sharing_the_matrix() {
         let d = toy();
         let s = d.subset(&[2, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.row(0), &[2.0, 2.0]);
         assert_eq!(s.label(1), 0);
+        // Same allocation, not a copy.
+        assert!(Arc::ptr_eq(s.matrix(), d.matrix()));
+        // Views of views stay anchored to the base matrix.
+        let ss = s.subset(&[1]);
+        assert!(Arc::ptr_eq(ss.matrix(), d.matrix()));
+        assert_eq!(ss.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn subset_allows_repeats() {
+        let d = toy();
+        let s = d.subset(&[1, 1, 1]);
+        assert_eq!(s.len(), 3);
+        for i in 0..3 {
+            assert_eq!(s.row(i), &[1.0, 0.0]);
+            assert_eq!(s.label(i), 1);
+        }
+    }
+
+    #[test]
+    fn shared_matrix_views_differ_only_in_labels() {
+        let m = Arc::new(FeatureMatrix::from_rows(vec![vec![1.0], vec![2.0]]));
+        let a = Dataset::from_matrix(Arc::clone(&m), vec![0, 1], 2);
+        let b = Dataset::from_matrix(Arc::clone(&m), vec![1, 0], 2);
+        assert!(Arc::ptr_eq(a.matrix(), b.matrix()));
+        assert_eq!(a.row(0), b.row(0));
+        assert_ne!(a.labels(), b.labels());
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct RandomForest {
 
 impl RandomForest {
     /// Fits `params.n_trees` trees, each on a bootstrap resample.
+    /// Resamples are index views over the shared feature matrix (no
+    /// feature copies); each tree presorts its own view, since the
+    /// bootstrap changes the value multiset.
     pub fn fit(data: &Dataset, params: ForestParams) -> RandomForest {
         assert!(params.n_trees >= 1, "forest needs at least one tree");
         assert!(!data.is_empty(), "cannot fit on an empty dataset");

@@ -8,20 +8,30 @@
 //!
 //! * [`tree`] — CART classification trees (Gini impurity, midpoint
 //!   thresholds, deterministic tie-breaking) plus sklearn-style minimal
-//!   cost-complexity pruning;
-//! * [`dataset`] — feature-matrix/label storage and seeded k-fold
-//!   splitting (the paper uses 10-fold cross-validation);
+//!   cost-complexity pruning; training runs the presorted columnar
+//!   engine of [`presort`] (the node-local re-sorting trainer survives
+//!   as `fit_reference`, the parity oracle);
+//! * [`presort`] — the per-fit sorted-order layer (sort each feature
+//!   column once, stable-partition the orders down the tree), shareable
+//!   across every fit over the same `(matrix, row set)`;
+//! * [`dataset`] — the shared columnar [`FeatureMatrix`], label views
+//!   over it, and seeded k-fold splitting (the paper uses 10-fold
+//!   cross-validation);
 //! * [`confusion`] — confusion matrices with the paper's two accuracy
 //!   readings (exact and within-one-class distance);
-//! * [`grid`] — the hyperparameter grid sweep of Table 4.
+//! * [`grid`] — the hyperparameter grid sweep of Table 4 and
+//!   fold-plan-backed cross-validation helpers.
 
 pub mod confusion;
 pub mod dataset;
 pub mod forest;
 pub mod grid;
+pub mod presort;
 pub mod tree;
 
 pub use confusion::ConfusionMatrix;
-pub use dataset::{kfold_indices, Dataset};
+pub use dataset::{kfold_indices, Dataset, FeatureMatrix};
 pub use forest::{ForestParams, RandomForest};
+pub use grid::FoldPlan;
+pub use presort::Presort;
 pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,683 @@
+//! The presorted, columnar tree-training engine.
+//!
+//! The reference trainer ([`crate::DecisionTree::fit_reference`])
+//! re-sorts every feature column at every node — `O(depth * n_features
+//! * n log n)` per fit. This engine sorts each feature column **once
+//! per fit** ([`Presort::build`]) and threads the sorted order down the
+//! tree by *stable partition* of per-feature arrays (the sklearn
+//! presort strategy): when a node splits, each feature's sorted
+//! segment is partitioned into the left block followed by the right
+//! block, preserving relative (= sorted) order, so children inherit
+//! sorted segments for free and per-node split search is
+//! `O(n_features * n)` with incremental Gini class counts.
+//!
+//! Three further measures keep the constant factor down:
+//!
+//! - Each feature's **values and labels ride along** the sorted order
+//!   in lockstep arrays, so the split scan's memory traffic is fully
+//!   sequential (no gathers through the order indices).
+//! - A candidate **screen** built from exact integer class statistics
+//!   skips the per-class floating-point Gini loops for candidates that
+//!   provably cannot beat the current best (see `scan_feature`).
+//! - Partitions are **skipped for terminal children**: when neither
+//!   child can split again (depth cap, split floor, or purity — all
+//!   checkable before partitioning), the segments are dead.
+//!
+//! # Determinism / parity with the reference
+//!
+//! The engine evaluates exactly the candidate splits the reference
+//! evaluates — boundaries between *distinct* values in sorted order —
+//! with the same floating-point expressions in the same order, and
+//! picks the winner by the same first-strictly-best rule. Candidate
+//! statistics at a distinct-value boundary count *all* samples up to
+//! that value, so they are independent of how ties are ordered, which
+//! is why the partitioned orders (whose tie order can differ from the
+//! reference's re-sorts) still produce bit-identical trees. Split
+//! search parallelizes across features for large nodes; each feature's
+//! scan is independent and results merge in feature order with the same
+//! strict-improvement rule, so the winner is identical for every
+//! thread count. `tests/tree_parity.rs` pins `fit == fit_reference`
+//! across a seeded sweep of shapes and hyperparameters.
+
+use crate::dataset::{Dataset, FeatureMatrix};
+use crate::tree::{argmax, gini_from_counts, gini_incremental, gini_remainder, Node, TreeParams};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Node size at and above which split search fans out across features.
+/// Below it the rayon dispatch overhead outweighs the scan.
+const PARALLEL_SPLIT_CUTOFF: usize = 2048;
+
+/// Work size (`n_features * n_samples`) above which [`Presort::build`]
+/// sorts feature columns in parallel.
+const PARALLEL_BUILD_CUTOFF: usize = 1 << 14;
+
+/// The per-fit (label-independent) presort layer: for every feature,
+/// the sample order sorted by that feature's value and the values
+/// themselves in that sorted order.
+///
+/// A `Presort` depends only on the feature values behind a dataset view
+/// — not its labels — so one build can be shared by every fit over the
+/// same `(matrix, row set)`: the 29 per-configuration models of the
+/// registry, and all 24 Table 4 grid cells of one cross-validation
+/// fold. [`crate::DecisionTree::fit_with`] takes it by reference and
+/// copies only the index and value arrays (`O(n_features * n)`
+/// memcpy), never re-sorting.
+#[derive(Debug, Clone)]
+pub struct Presort {
+    matrix: Arc<FeatureMatrix>,
+    /// The view (matrix rows per sample position) this was built for.
+    indices: Vec<u32>,
+    /// Feature-major `n_features x n`: sample positions sorted by the
+    /// feature's value (stable: ties keep view-position order).
+    order: Vec<u32>,
+    /// Feature-major `n_features x n`: the view's values **in sorted
+    /// order** (`sorted_vals[f*n + w]` is the value behind
+    /// `order[f*n + w]`), so split scans read values sequentially.
+    sorted_vals: Vec<f64>,
+    n: usize,
+    n_features: usize,
+}
+
+impl Presort {
+    /// Sorts every feature column of the view `(matrix, indices)` once.
+    pub fn build(matrix: &Arc<FeatureMatrix>, indices: &[u32]) -> Presort {
+        let _span = wise_trace::span("train.presort");
+        let n = indices.len();
+        let n_features = matrix.n_features();
+        let mut sorted_vals = vec![0.0f64; n_features * n];
+        let mut order = vec![0u32; n_features * n];
+        let sort_one = |f: usize, vals: &mut [f64], ord: &mut [u32]| {
+            let col = matrix.column(f);
+            // Monotone key: orders exactly like `f64::total_cmp`, but
+            // the sign-magnitude transform is paid once per element
+            // instead of once per comparison. Unstable sort + position
+            // tie-break == stable sort by value (key ties are
+            // bit-identical values), and pdqsort on integer pairs
+            // beats the stable merge sort measurably.
+            let mut pairs: Vec<(u64, u32)> = indices
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    let b = col[r as usize].to_bits();
+                    let key = if b >> 63 == 1 { !b } else { b ^ (1u64 << 63) };
+                    (key, i as u32)
+                })
+                .collect();
+            pairs.sort_unstable();
+            for ((v, o), (key, i)) in vals.iter_mut().zip(ord.iter_mut()).zip(pairs) {
+                let b = if key >> 63 == 1 { key ^ (1u64 << 63) } else { !key };
+                *v = f64::from_bits(b);
+                *o = i;
+            }
+        };
+        if n > 0 {
+            if n_features * n >= PARALLEL_BUILD_CUTOFF {
+                sorted_vals
+                    .par_chunks_mut(n)
+                    .zip(order.par_chunks_mut(n))
+                    .enumerate()
+                    .for_each(|(f, (vals, ord))| sort_one(f, vals, ord));
+            } else {
+                for (f, (vals, ord)) in
+                    sorted_vals.chunks_mut(n).zip(order.chunks_mut(n)).enumerate()
+                {
+                    sort_one(f, vals, ord);
+                }
+            }
+        }
+        let (matrix, indices) = (Arc::clone(matrix), indices.to_vec());
+        Presort { matrix, indices, order, sorted_vals, n, n_features }
+    }
+
+    /// Presort for an existing dataset view.
+    pub fn for_dataset(data: &Dataset) -> Presort {
+        Self::build(data.matrix(), data.row_indices())
+    }
+
+    pub fn n_samples(&self) -> usize {
+        self.n
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Whether this presort was built for exactly `data`'s view.
+    pub fn matches(&self, data: &Dataset) -> bool {
+        Arc::ptr_eq(&self.matrix, data.matrix()) && self.indices == data.row_indices()
+    }
+}
+
+/// Grows the (unpruned) node vector for `data` using `presort`.
+/// Node ids, fields and recursion order mirror the reference builder
+/// exactly.
+pub(crate) fn grow(data: &Dataset, presort: &Presort, params: TreeParams) -> Vec<Node> {
+    // Real assert: the unchecked indexing below relies on the presorted
+    // orders being permutations of this view's positions.
+    assert!(presort.matches(data), "presort was built for a different dataset view");
+    let n = data.len();
+    let labels = data.labels();
+    let order = presort.order.clone();
+    // Per-fit label mirror of the orders (labels are per-fit state, so
+    // this can't live in the shared, label-independent `Presort`).
+    let lab: Vec<u32> = order.iter().map(|&s| labels[s as usize]).collect();
+    let mut state = BuildState {
+        labels,
+        order,
+        lab,
+        vals: presort.sorted_vals.clone(),
+        active: (0..n as u32).collect(),
+        scratch: vec![0u32; n],
+        scratch_lab: vec![0u32; n],
+        scratch_vals: vec![0.0f64; n],
+        on_left: vec![false; n],
+        counts_buf: Vec::new(),
+        scratch_counts: Vec::new(),
+        n,
+        n_features: presort.n_features,
+        n_classes: data.n_classes(),
+        params,
+        nodes: Vec::new(),
+    };
+    state.build(0, n, 0);
+    state.nodes
+}
+
+struct BuildState<'a> {
+    /// Label per view position.
+    labels: &'a [u32],
+    /// Working copy of the presorted orders; partitioned in place as
+    /// the tree grows. `order[f*n + lo .. f*n + hi]` is the node's
+    /// sample set sorted by feature `f`.
+    order: Vec<u32>,
+    /// The labels behind `order`, kept in lockstep by every partition
+    /// (`lab[f*n + w]` is the label of sample `order[f*n + w]`).
+    /// Together with `vals` this makes the split scan's memory traffic
+    /// fully sequential — no gathering through the order indices.
+    lab: Vec<u32>,
+    /// The values behind `order`, kept in lockstep by every partition
+    /// (`vals[f*n + w]` is feature `f`'s value of sample
+    /// `order[f*n + w]`).
+    vals: Vec<f64>,
+    /// The node's samples in reference insertion order (the exact
+    /// order the reference builder's `indices` vector would hold);
+    /// only used for class counting, so any order would do.
+    active: Vec<u32>,
+    scratch: Vec<u32>,
+    scratch_lab: Vec<u32>,
+    scratch_vals: Vec<f64>,
+    on_left: Vec<bool>,
+    /// Reused per-node class-count buffer (one tree can have thousands
+    /// of nodes; a fresh allocation per node is measurable).
+    counts_buf: Vec<usize>,
+    /// Second reused count buffer, for the left-child purity check.
+    scratch_counts: Vec<usize>,
+    n: usize,
+    n_features: usize,
+    n_classes: usize,
+    params: TreeParams,
+    nodes: Vec<Node>,
+}
+
+impl BuildState<'_> {
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> u32 {
+        let n_node = hi - lo;
+        let mut counts = std::mem::take(&mut self.counts_buf);
+        counts.clear();
+        counts.resize(self.n_classes, 0);
+        for &s in &self.active[lo..hi] {
+            counts[self.labels[s as usize] as usize] += 1;
+        }
+        let (majority, majority_n) = argmax(&counts);
+        let node_risk = (n_node - majority_n) as f64 / self.n as f64;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            feature: u32::MAX,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            class: majority as u32,
+            n_samples: n_node as u32,
+            node_risk,
+        });
+
+        let pure = majority_n == n_node;
+        if pure || depth >= self.params.max_depth || n_node < self.params.min_samples_split {
+            self.counts_buf = counts;
+            return id;
+        }
+        let split = self.best_split(lo, hi, &counts);
+        let Some((feature, threshold, left_n)) = split else {
+            self.counts_buf = counts;
+            return id;
+        };
+        debug_assert!(left_n > 0 && left_n < n_node);
+        let (n, nf) = (self.n, self.n_features);
+
+        // The chosen feature's segment is already partitioned (left is
+        // exactly its sorted prefix); mark membership from it, then
+        // stable-partition every other segment so children inherit
+        // sorted order. Children only read those segments if they can
+        // split again — when both are terminal by construction (the
+        // depth cap, a half below the split floor, or a pure half,
+        // counted cheaply from the chosen feature's label prefix) the
+        // partition is dead work and is skipped; `active` is always
+        // partitioned because the children's class counts come from it.
+        let right_n = n_node - left_n;
+        let min_split = self.params.min_samples_split;
+        let need_orders =
+            depth + 1 < self.params.max_depth && (left_n >= min_split || right_n >= min_split) && {
+                let mut left_major = 0usize;
+                let mut left_counts = std::mem::take(&mut self.scratch_counts);
+                left_counts.clear();
+                left_counts.resize(self.n_classes, 0);
+                for &l in &self.lab[feature * n + lo..feature * n + lo + left_n] {
+                    let c = left_counts[l as usize] + 1;
+                    left_counts[l as usize] = c;
+                    left_major = left_major.max(c);
+                }
+                let left_splittable = left_n >= min_split && left_major < left_n;
+                let right_splittable = right_n >= min_split
+                    && counts.iter().zip(left_counts.iter()).all(|(&p, &l)| p - l < right_n);
+                self.scratch_counts = left_counts;
+                left_splittable || right_splittable
+            };
+        self.counts_buf = counts;
+        for &s in &self.order[feature * n + lo..feature * n + lo + left_n] {
+            self.on_left[s as usize] = true;
+        }
+        if need_orders {
+            for f in 0..nf {
+                if f != feature {
+                    stable_partition_tracked(
+                        &mut self.order[f * n + lo..f * n + hi],
+                        &mut self.lab[f * n + lo..f * n + hi],
+                        &mut self.vals[f * n + lo..f * n + hi],
+                        &self.on_left,
+                        &mut self.scratch,
+                        &mut self.scratch_lab,
+                        &mut self.scratch_vals,
+                    );
+                }
+            }
+        }
+        stable_partition(&mut self.active[lo..hi], &self.on_left, &mut self.scratch);
+        for &s in &self.order[feature * n + lo..feature * n + lo + left_n] {
+            self.on_left[s as usize] = false;
+        }
+        #[cfg(debug_assertions)]
+        if need_orders {
+            self.assert_segments_sorted(lo, lo + left_n);
+            self.assert_segments_sorted(lo + left_n, hi);
+        }
+
+        let left = self.build(lo, lo + left_n, depth + 1);
+        let right = self.build(lo + left_n, hi, depth + 1);
+        let node = &mut self.nodes[id as usize];
+        node.feature = feature as u32;
+        node.threshold = threshold;
+        node.left = left;
+        node.right = right;
+        id
+    }
+
+    /// Best Gini split over all features for the node `[lo, hi)`;
+    /// returns `(feature, threshold, left_n)`. Bit-identical to the
+    /// reference's sequential scan: per-feature candidates are found
+    /// with the same strict-improvement rule, then merged in feature
+    /// order — so the winner is the first strictly-best split whatever
+    /// the number of threads.
+    fn best_split(&self, lo: usize, hi: usize, parent_counts: &[usize]) -> Option<SplitChoice> {
+        let t_split = wise_trace::enabled().then(Instant::now);
+        let n_node = hi - lo;
+        let parent_gini = gini_from_counts(parent_counts, n_node);
+        let bar0 = parent_gini + 1e-12;
+        let mut best: Option<(f64, SplitChoice)> = None;
+        if n_node >= PARALLEL_SPLIT_CUTOFF && self.n_features > 1 {
+            let scan = |f: usize| {
+                let mut counts = vec![0usize; self.n_classes];
+                self.scan_feature(f, lo, hi, parent_counts, n_node as f64, bar0, &mut counts)
+            };
+            let per_feature: Vec<Option<(f64, f64, usize)>> =
+                (0..self.n_features).into_par_iter().map(scan).collect();
+            for (f, cand) in per_feature.into_iter().enumerate() {
+                if let Some((impurity, threshold, left_n)) = cand {
+                    let bar = best.as_ref().map_or(bar0, |(b, _)| *b);
+                    if impurity < bar {
+                        best = Some((impurity, (f, threshold, left_n)));
+                    }
+                }
+            }
+        } else {
+            // Serial: one counts buffer for all features (the per-scan
+            // allocation shows up at this call frequency). The inline
+            // merge is the same feature-order strict-< rule.
+            let mut counts = vec![0usize; self.n_classes];
+            for f in 0..self.n_features {
+                counts.fill(0);
+                let cand =
+                    self.scan_feature(f, lo, hi, parent_counts, n_node as f64, bar0, &mut counts);
+                if let Some((impurity, threshold, left_n)) = cand {
+                    let bar = best.as_ref().map_or(bar0, |(b, _)| *b);
+                    if impurity < bar {
+                        best = Some((impurity, (f, threshold, left_n)));
+                    }
+                }
+            }
+        }
+        if let Some(t0) = t_split {
+            wise_trace::observe_ns("train.split", t0.elapsed().as_nanos() as u64);
+        }
+        best.map(|(_, choice)| choice)
+    }
+
+    /// One feature's split scan over its sorted segment: incremental
+    /// left-class counts (accumulated into the caller's zeroed
+    /// `left_counts` buffer), candidates only between distinct values,
+    /// first strictly-best candidate wins. Returns
+    /// `(impurity, threshold, left_n)`.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_feature(
+        &self,
+        f: usize,
+        lo: usize,
+        hi: usize,
+        parent_counts: &[usize],
+        n_node: f64,
+        bar0: f64,
+        left_counts: &mut [usize],
+    ) -> Option<(f64, f64, usize)> {
+        let vals = &self.vals[f * self.n + lo..f * self.n + hi];
+        let lab = &self.lab[f * self.n + lo..f * self.n + hi];
+        let min_leaf = self.params.min_samples_leaf;
+        let n_seg = vals.len();
+        let mut best: Option<(f64, f64, usize)> = None;
+        // Integer split statistics for the candidate screen: in exact
+        // arithmetic the weighted child Gini is
+        //   (n - sum_l/left_n - sum_r/right_n) / n
+        // with `sum_l = Σ left_c²` and `sum_r = Σ (parent_c - left_c)²
+        // = s_p - 2*pl + sum_l`. Both sides of the screening inequality
+        // below agree with the exact float evaluation to ~1e-13
+        // relative, so a 1e-9 margin can never screen out a candidate
+        // the exact rule would pick — those near the bar fall through
+        // to the bit-exact evaluation. This skips the expensive
+        // per-class Gini loops for the vast majority of candidates.
+        let s_p: u64 = parent_counts.iter().map(|&c| (c * c) as u64).sum();
+        let mut sum_l: u64 = 0;
+        let mut pl: u64 = 0;
+        let mut bar = bar0;
+        let mut c_bar = (bar + 1e-9) * n_node;
+        for w in 0..n_seg - 1 {
+            // SAFETY: `w + 1 < n_seg == vals.len() == lab.len()`; every
+            // label is validated `< n_classes == left_counts.len() ==
+            // parent_counts.len()` by the `Dataset` constructors. This
+            // loop runs once per element per feature per node — the
+            // bounds checks are measurable.
+            unsafe {
+                let l = *lab.get_unchecked(w) as usize;
+                let c = left_counts.get_unchecked_mut(l);
+                sum_l += (2 * *c + 1) as u64;
+                *c += 1;
+                pl += *parent_counts.get_unchecked(l) as u64;
+            }
+            let (v_cur, v_next) = unsafe { (*vals.get_unchecked(w), *vals.get_unchecked(w + 1)) };
+            if v_cur == v_next {
+                continue; // can't split between equal values
+            }
+            let left_n = w + 1;
+            let right_n = n_seg - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            // Screen: `weighted >= bar + 1e-9` (scaled by
+            // `n * left_n * right_n > 0`) can never be selected — skip
+            // the exact Gini evaluation.
+            let (ln_f, rn_f) = (left_n as f64, right_n as f64);
+            let sum_r = s_p + sum_l - 2 * pl;
+            let lr = ln_f * rn_f;
+            if n_node * lr - (sum_l as f64 * rn_f + sum_r as f64 * ln_f) >= c_bar * lr {
+                continue;
+            }
+            let gl = gini_incremental(left_counts, left_n);
+            let gr = gini_remainder(parent_counts, left_counts, right_n);
+            let weighted = (ln_f * gl + rn_f * gr) / n_node;
+            if weighted < bar {
+                let threshold = v_cur + (v_next - v_cur) / 2.0;
+                best = Some((weighted, threshold, left_n));
+                bar = weighted;
+                c_bar = (bar + 1e-9) * n_node;
+            }
+        }
+        best
+    }
+
+    /// Debug invariant: every feature segment of a node is sorted by
+    /// its feature's value (what stable partition must preserve).
+    #[cfg(debug_assertions)]
+    fn assert_segments_sorted(&self, lo: usize, hi: usize) {
+        for f in 0..self.n_features {
+            let vals = &self.vals[f * self.n + lo..f * self.n + hi];
+            debug_assert!(
+                vals.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+                "feature {f} segment [{lo}, {hi}) lost sorted order"
+            );
+        }
+    }
+}
+
+/// `(feature, threshold, left_n)` of a chosen split.
+type SplitChoice = (usize, f64, usize);
+
+/// Stable partition of `seg` by the `on_left` flag of each element:
+/// left block first, right block after, both preserving relative
+/// order. `scratch` must be at least `seg.len()` long.
+pub(crate) fn stable_partition(seg: &mut [u32], on_left: &[bool], scratch: &mut [u32]) {
+    assert!(scratch.len() >= seg.len(), "scratch shorter than the segment");
+    let mut w = 0usize;
+    let mut r = 0usize;
+    for i in 0..seg.len() {
+        // SAFETY: `i < seg.len()`, `w <= i`, `r <= i`, and `scratch` is
+        // asserted at least `seg.len()` long above. `on_left` stays
+        // checked — its coverage is the caller's contract.
+        unsafe {
+            let s = *seg.get_unchecked(i);
+            if on_left[s as usize] {
+                *seg.get_unchecked_mut(w) = s;
+                w += 1;
+            } else {
+                *scratch.get_unchecked_mut(r) = s;
+                r += 1;
+            }
+        }
+    }
+    seg[w..].copy_from_slice(&scratch[..r]);
+}
+
+/// [`stable_partition`] over an order segment and its label and value
+/// mirrors in lockstep: element `i` of `seg`, `lab` and `vals` moves to
+/// the same destination, so children keep contiguous sorted values and
+/// labels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stable_partition_tracked(
+    seg: &mut [u32],
+    lab: &mut [u32],
+    vals: &mut [f64],
+    on_left: &[bool],
+    scratch: &mut [u32],
+    scratch_lab: &mut [u32],
+    scratch_vals: &mut [f64],
+) {
+    let len = seg.len();
+    assert!(
+        lab.len() == len
+            && vals.len() == len
+            && scratch.len() >= len
+            && scratch_lab.len() >= len
+            && scratch_vals.len() >= len,
+        "tracked partition buffers shorter than the segment"
+    );
+    let mut w = 0usize;
+    let mut r = 0usize;
+    for i in 0..len {
+        // SAFETY: `i < len`, `w <= i`, `r <= i`, and all six buffers
+        // are asserted at least `len` long above. `on_left` stays
+        // checked — its coverage is the caller's contract.
+        unsafe {
+            let s = *seg.get_unchecked(i);
+            let l = *lab.get_unchecked(i);
+            let v = *vals.get_unchecked(i);
+            if on_left[s as usize] {
+                *seg.get_unchecked_mut(w) = s;
+                *lab.get_unchecked_mut(w) = l;
+                *vals.get_unchecked_mut(w) = v;
+                w += 1;
+            } else {
+                *scratch.get_unchecked_mut(r) = s;
+                *scratch_lab.get_unchecked_mut(r) = l;
+                *scratch_vals.get_unchecked_mut(r) = v;
+                r += 1;
+            }
+        }
+    }
+    seg[w..].copy_from_slice(&scratch[..r]);
+    lab[w..].copy_from_slice(&scratch_lab[..r]);
+    vals[w..].copy_from_slice(&scratch_vals[..r]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dataset(seed: u64, n: usize, f: usize, classes: usize) -> Dataset {
+        // Deterministic pseudo-random data with plenty of duplicate
+        // values (modulus far below n).
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..f)
+                    .map(|j| ((i as u64 * 2654435761 + j as u64 * 40503 + seed) % 17) as f64 / 17.0)
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<u32> =
+            (0..n).map(|i| ((i as u64 * 97 + seed) % classes as u64) as u32).collect();
+        Dataset::new(rows, labels, classes)
+    }
+
+    #[test]
+    fn presort_orders_every_feature() {
+        let d = dataset(3, 120, 5, 4);
+        let p = Presort::for_dataset(&d);
+        for f in 0..5 {
+            let seg = &p.order[f * 120..(f + 1) * 120];
+            for w in seg.windows(2) {
+                let (a, b) = (d.feature_value(f, w[0] as usize), d.feature_value(f, w[1] as usize));
+                assert!(a <= b, "feature {f}: {a} > {b}");
+                // Stable: ties keep view-position order.
+                if a == b {
+                    assert!(w[0] < w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presort_matches_only_its_view() {
+        let d = dataset(5, 40, 3, 2);
+        let p = Presort::for_dataset(&d);
+        assert!(p.matches(&d));
+        let s = d.subset(&[0, 2, 4]);
+        assert!(!p.matches(&s));
+        assert!(Presort::for_dataset(&s).matches(&s));
+    }
+
+    proptest! {
+        /// Stable partition keeps relative order inside both halves —
+        /// the invariant that lets children inherit sorted segments.
+        #[test]
+        fn stable_partition_preserves_relative_order(
+            flags in proptest::collection::vec(any::<bool>(), 1..200)
+        ) {
+            let n = flags.len();
+            let mut seg: Vec<u32> = (0..n as u32).collect();
+            let mut scratch = vec![0u32; n];
+            stable_partition(&mut seg, &flags, &mut scratch);
+            let n_left = flags.iter().filter(|&&b| b).count();
+            // Left block: exactly the flagged elements, ascending
+            // (ascending == original relative order here).
+            for w in seg[..n_left].windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &s in &seg[..n_left] {
+                prop_assert!(flags[s as usize]);
+            }
+            for w in seg[n_left..].windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &s in &seg[n_left..] {
+                prop_assert!(!flags[s as usize]);
+            }
+        }
+
+        /// The tracked partition moves the label and value mirrors to
+        /// exactly the same destinations as the order entries, and
+        /// orders the segment identically to the plain stable
+        /// partition.
+        #[test]
+        fn tracked_partition_moves_mirrors_in_lockstep(
+            flags in proptest::collection::vec(any::<bool>(), 1..150)
+        ) {
+            let n = flags.len();
+            let mut seg: Vec<u32> = (0..n as u32).collect();
+            let mut lab: Vec<u32> = (0..n as u32).map(|i| i * 7 % 5).collect();
+            let mut vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+            let (mut s1, mut s2) = (vec![0u32; n], vec![0u32; n]);
+            let mut s3 = vec![0.0f64; n];
+            stable_partition_tracked(
+                &mut seg, &mut lab, &mut vals, &flags, &mut s1, &mut s2, &mut s3,
+            );
+            for w in 0..n {
+                prop_assert_eq!(lab[w], seg[w] * 7 % 5);
+                prop_assert_eq!(vals[w], seg[w] as f64 * 0.5);
+            }
+            let mut plain: Vec<u32> = (0..n as u32).collect();
+            stable_partition(&mut plain, &flags, &mut s1);
+            prop_assert_eq!(seg, plain);
+        }
+
+        /// Presorted sorted order survives an arbitrary partition the
+        /// way the tree applies it (mark a value-prefix of one feature,
+        /// partition the rest): every feature segment stays sorted.
+        #[test]
+        fn partition_keeps_feature_segments_sorted(
+            seed in 0u64..500, split_at in 1usize..59
+        ) {
+            let n = 60;
+            let d = dataset(seed, n, 4, 3);
+            let p = Presort::for_dataset(&d);
+            let mut order = p.order.clone();
+            // Mark the first `split_at` samples of feature 0's order.
+            let mut on_left = vec![false; n];
+            for &s in &order[..split_at] {
+                on_left[s as usize] = true;
+            }
+            let mut scratch = vec![0u32; n];
+            for f in 1..4 {
+                stable_partition(&mut order[f * n..(f + 1) * n], &on_left, &mut scratch);
+            }
+            for f in 1..4 {
+                for half in [&order[f * n..f * n + split_at], &order[f * n + split_at..(f + 1) * n]] {
+                    for w in half.windows(2) {
+                        let (a, b) = (
+                            d.feature_value(f, w[0] as usize),
+                            d.feature_value(f, w[1] as usize),
+                        );
+                        prop_assert!(a.total_cmp(&b).is_le());
+                    }
+                }
+            }
+        }
+    }
+}

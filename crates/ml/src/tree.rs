@@ -6,8 +6,18 @@
 //! Fitting is fully deterministic — features are scanned in order and
 //! the first best split wins — so trained models are reproducible
 //! artifacts.
+//!
+//! [`DecisionTree::fit`] runs the presorted columnar engine
+//! ([`crate::presort`]): each feature column is sorted once per fit and
+//! the sorted order is threaded down the tree by stable partition, so
+//! split search is `O(n_features * n)` per node instead of
+//! `O(n_features * n log n)`. The original node-local re-sorting
+//! trainer is kept as [`DecisionTree::fit_reference`] — the parity
+//! oracle; `tests/tree_parity.rs` asserts the two produce bit-identical
+//! trees.
 
 use crate::dataset::Dataset;
+use crate::presort::Presort;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters (paper defaults from Table 4's chosen cell).
@@ -30,20 +40,20 @@ impl Default for TreeParams {
 
 /// One tree node. Leaves have `feature == u32::MAX`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Node {
+pub(crate) struct Node {
     /// Split feature index, or `u32::MAX` for a leaf.
-    feature: u32,
+    pub(crate) feature: u32,
     /// Split threshold: `x[feature] <= threshold` goes left.
-    threshold: f64,
-    left: u32,
-    right: u32,
+    pub(crate) threshold: f64,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
     /// Majority class at this node.
-    class: u32,
+    pub(crate) class: u32,
     /// Training samples that reached this node.
-    n_samples: u32,
+    pub(crate) n_samples: u32,
     /// Misclassified training fraction if this node were a leaf,
     /// weighted by n_samples/n_total (the R(t) of pruning).
-    node_risk: f64,
+    pub(crate) node_risk: f64,
 }
 
 impl Node {
@@ -75,8 +85,46 @@ pub struct DecisionTree {
 
 impl DecisionTree {
     /// Fits a tree on `data` with `params`, then applies cost-complexity
-    /// pruning at `params.ccp_alpha`.
+    /// pruning at `params.ccp_alpha`. Uses the presorted columnar
+    /// engine; the result is bit-identical to
+    /// [`DecisionTree::fit_reference`].
     pub fn fit(data: &Dataset, params: TreeParams) -> DecisionTree {
+        let _span = wise_trace::span("ml.fit");
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let presort = Presort::for_dataset(data);
+        Self::fit_presorted(data, &presort, params)
+    }
+
+    /// Fits with a prebuilt, shareable [`Presort`] (which is
+    /// label-independent, so one presort serves every fit over the same
+    /// `(matrix, row set)` — e.g. all 29 registry models, or all 24
+    /// Table 4 cells of one cross-validation fold). Panics if `presort`
+    /// was built for a different view.
+    pub fn fit_with(data: &Dataset, presort: &Presort, params: TreeParams) -> DecisionTree {
+        let _span = wise_trace::span("ml.fit");
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(presort.matches(data), "presort was built for a different dataset view");
+        Self::fit_presorted(data, presort, params)
+    }
+
+    fn fit_presorted(data: &Dataset, presort: &Presort, params: TreeParams) -> DecisionTree {
+        let nodes = crate::presort::grow(data, presort, params);
+        wise_trace::counter("train.tree.nodes", nodes.len() as u64);
+        let mut tree = DecisionTree {
+            nodes,
+            n_features: data.n_features(),
+            n_classes: data.n_classes(),
+            params,
+        };
+        tree.prune(params.ccp_alpha);
+        tree
+    }
+
+    /// The original exact trainer — re-sorts every feature column at
+    /// every node. Kept as the parity oracle for the presorted engine
+    /// (`tests/tree_parity.rs` asserts `fit == fit_reference`
+    /// bit-for-bit); prefer [`DecisionTree::fit`] everywhere else.
+    pub fn fit_reference(data: &Dataset, params: TreeParams) -> DecisionTree {
         let _span = wise_trace::span("ml.fit");
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let mut tree = DecisionTree {
@@ -350,7 +398,7 @@ fn class_counts(data: &Dataset, indices: &[u32], n_classes: usize) -> Vec<usize>
     counts
 }
 
-fn argmax(counts: &[usize]) -> (usize, usize) {
+pub(crate) fn argmax(counts: &[usize]) -> (usize, usize) {
     let mut best = (0usize, 0usize);
     for (c, &n) in counts.iter().enumerate() {
         if n > best.1 {
@@ -360,7 +408,7 @@ fn argmax(counts: &[usize]) -> (usize, usize) {
     best
 }
 
-fn gini_from_counts(counts: &[usize], n: usize) -> f64 {
+pub(crate) fn gini_from_counts(counts: &[usize], n: usize) -> f64 {
     if n == 0 {
         return 0.0;
     }
@@ -368,11 +416,11 @@ fn gini_from_counts(counts: &[usize], n: usize) -> f64 {
     1.0 - counts.iter().map(|&c| (c as f64 / nf).powi(2)).sum::<f64>()
 }
 
-fn gini_incremental(left_counts: &[usize], left_n: usize) -> f64 {
+pub(crate) fn gini_incremental(left_counts: &[usize], left_n: usize) -> f64 {
     gini_from_counts(left_counts, left_n)
 }
 
-fn gini_remainder(parent: &[usize], left: &[usize], right_n: usize) -> f64 {
+pub(crate) fn gini_remainder(parent: &[usize], left: &[usize], right_n: usize) -> f64 {
     if right_n == 0 {
         return 0.0;
     }
