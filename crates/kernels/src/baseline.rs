@@ -72,10 +72,13 @@ impl InspectorExecutor {
         let mut preprocessing = Duration::ZERO;
         for (i, cfg) in self.candidates.iter().enumerate() {
             let (prep, conv_time) = measure_once(|| cfg.prepare(m));
-            let trial =
-                measure_median(|| prep.spmv(x, &mut y, nthreads, &mut ws), 0, self.trial_iters)
-                    .median;
-            preprocessing += conv_time + trial * self.trial_iters as u32;
+            let samples =
+                measure_median(|| prep.spmv(x, &mut y, nthreads, &mut ws), 0, self.trial_iters);
+            let trial = samples.median;
+            // Charge what the trials actually cost (summed durations),
+            // not `median × iters` — with skewed samples the median
+            // misstates the real amortization bill.
+            preprocessing += conv_time + samples.total;
             trials.push((*cfg, trial));
             if best.is_none_or(|(_, t)| trial < t) {
                 best = Some((i, trial));

@@ -69,12 +69,24 @@ impl<'a> CsrSpmv<'a> {
             let row_lo = chunk * rows_per_chunk;
             let row_hi = (row_lo + rows_per_chunk).min(m.nrows());
             for r in row_lo..row_hi {
+                // SAFETY: r < nrows and row_ptr has nrows + 1 entries,
+                // monotone with row_ptr[nrows] == nnz == vals.len() ==
+                // col_idx.len(), and every col_idx < ncols == x.len() —
+                // the Csr invariants validated by `Csr::try_new`. The
+                // indexing-free gather is what lets this loop keep the
+                // memory pipeline full; the checked form re-tests x's
+                // bound per nonzero because the optimizer cannot prove
+                // the data-dependent column index in range.
+                let (k0, k1) =
+                    unsafe { (*row_ptr.get_unchecked(r), *row_ptr.get_unchecked(r + 1)) };
+                debug_assert!(k0 <= k1 && k1 <= vals.len());
                 let mut acc = 0.0f64;
-                for k in row_ptr[r]..row_ptr[r + 1] {
-                    // SAFETY-free: plain indexing; bounds guaranteed by
-                    // CSR invariants, and the optimizer elides checks in
-                    // this canonical loop shape.
-                    acc += vals[k] * x[col_idx[k] as usize];
+                for k in k0..k1 {
+                    unsafe {
+                        let c = *col_idx.get_unchecked(k) as usize;
+                        debug_assert!(c < x.len());
+                        acc += *vals.get_unchecked(k) * *x.get_unchecked(c);
+                    }
                 }
                 // SAFETY: chunk row ranges are disjoint by construction.
                 unsafe { writer.write(r, acc) };

@@ -4,7 +4,12 @@
 //! (Section 2 and Table 1):
 //!
 //! * [`sched`] — the three row-scheduling policies (Dyn, St, StCont) and
-//!   the scoped-thread executor that realizes them;
+//!   the executors that realize them (persistent pool by default, scoped
+//!   spawn threads as the parity oracle / `WISE_POOL=0` escape hatch);
+//! * [`pool`] — the lazily-initialized, process-wide persistent worker
+//!   pool: parked threads woken via an epoch-sequenced condvar handoff,
+//!   so repeated SpMV calls pay a microsecond-scale dispatch instead of
+//!   per-call OS thread creation (see DESIGN.md §12);
 //! * [`csr_spmv`] — parallel CSR SpMV under any scheduling policy;
 //! * [`srvpack`] — the unified Segmented Reordered Vector Packing format
 //!   (Appendix A) and its vectorized kernel, plus builders for
@@ -31,10 +36,12 @@ pub mod baseline;
 pub mod csr_spmv;
 pub mod merge_csr;
 pub mod method;
+pub mod pool;
 pub mod sched;
 pub mod srvpack;
 pub mod timing;
 
 pub use method::{Method, MethodConfig, Prepared};
-pub use sched::Schedule;
+pub use pool::WorkerPool;
+pub use sched::{Executor, Schedule};
 pub use srvpack::SrvPack;

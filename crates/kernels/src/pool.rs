@@ -1,0 +1,438 @@
+//! Persistent SpMV worker pool.
+//!
+//! Every labeling run times SpMV thousands of times (29 catalog
+//! configurations × many matrices × `measure_median` iterations), and
+//! the spawn executor in [`crate::sched`] used to pay a fresh
+//! `std::thread::scope` spawn+join per call — tens of microseconds that
+//! dominate small-matrix kernels and inflate every measured label. This
+//! module keeps the workers alive across calls: they park on a condvar
+//! and are woken by an epoch bump, so a dispatch costs one mutex
+//! round-trip per side instead of OS thread creation.
+//!
+//! # Protocol (epoch-sequenced handoff)
+//!
+//! Shared state is one mutex-guarded [`JobState`] plus two condvars:
+//!
+//! 1. **Publish** — the dispatcher stores the lifetime-erased job
+//!    reference, sets `remaining = nworkers`, increments `epoch`, and
+//!    `notify_all`s the work condvar.
+//! 2. **Pick up** — each worker sleeps until `epoch` differs from the
+//!    last value it saw, then snapshots the *current* job under the
+//!    lock. Workers whose index is `>= nworkers` just record the epoch
+//!    and go back to sleep; a worker that slept through an entire job
+//!    was by construction not a participant of it (the dispatcher does
+//!    not return while a participant has yet to run), so it can never
+//!    execute a stale job.
+//! 3. **Complete** — each participant runs the job body (wrapped in
+//!    `catch_unwind`), then decrements `remaining` under the lock; the
+//!    last one signals the done condvar. The dispatcher waits (short
+//!    spin on a mirror atomic, then condvar) until `remaining == 0`.
+//!
+//! # Safety of the lifetime-erased job
+//!
+//! [`WorkerPool::run`] transmutes `&'a (dyn Fn(usize) + Sync)` to
+//! `&'static` before publishing it. This is sound because `run` is a
+//! completion barrier: it does not return until every participating
+//! worker has decremented `remaining`, and workers touch the job
+//! reference only between pickup and their decrement. Non-participants
+//! never dereference it. The borrow therefore strictly outlives every
+//! use, exactly as in `std::thread::scope`.
+//!
+//! # Schedule preservation
+//!
+//! The pool does not decide *what* a worker runs — it only delivers a
+//! logical thread index `t ∈ 0..nworkers` to the job body. The
+//! chunk→thread assignment logic (Dyn / St / StCont, paper §2.1) lives
+//! in [`crate::sched::parallel_for_chunks`]'s shared per-thread loop,
+//! which is the same code the spawn executor runs, so scheduling
+//! semantics are identical by construction (and pinned by the
+//! `pool_parity` test suite).
+//!
+//! # Panics
+//!
+//! A panic inside a job body is caught on the worker, recorded, and
+//! re-thrown on the dispatching thread after the barrier completes; the
+//! worker itself survives and the pool keeps serving subsequent
+//! dispatches.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+thread_local! {
+    /// Logical executor-thread index of the current thread, if it is
+    /// running inside a pool worker or a spawn-executor thread.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The logical thread index the current thread is executing under, or
+/// `None` outside any executor (e.g. on the main thread, where the
+/// inline fallback of `parallel_for_chunks` runs).
+///
+/// Used by the parity suite to record chunk→thread assignments, and by
+/// `parallel_for_chunks` to detect (and reroute) nested parallelism so
+/// a pool worker never dispatches to its own pool.
+pub fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Runs `f` with [`current_worker_index`] set to `index` (used by the
+/// spawn executor, whose threads are born and die inside one call).
+pub(crate) fn with_worker_index<R>(index: usize, f: impl FnOnce() -> R) -> R {
+    WORKER_INDEX.with(|w| {
+        let prev = w.replace(Some(index));
+        let out = f();
+        w.set(prev);
+        out
+    })
+}
+
+/// A published job: the erased body plus how many workers participate.
+#[derive(Clone, Copy)]
+struct ErasedJob {
+    /// Lifetime-erased by [`WorkerPool::run`]; valid until every
+    /// participant has decremented `remaining` (see module docs).
+    body: &'static (dyn Fn(usize) + Sync),
+    nworkers: usize,
+}
+
+struct JobState {
+    /// Job sequence number; bumped at every publish. Workers detect
+    /// fresh work by comparing against the last epoch they saw.
+    epoch: u64,
+    /// The most recently published job. Never cleared: a worker only
+    /// reads it after observing a fresh epoch under the same lock, and
+    /// the dispatcher of that epoch's job is still inside `run`.
+    job: Option<ErasedJob>,
+    /// Participants of the current job that have not yet finished.
+    remaining: usize,
+    /// Whether any participant of the current job panicked.
+    panicked: bool,
+    /// Tells workers to exit (local pools only; set by `Drop`).
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    /// Signaled on publish and on shutdown.
+    work_cv: Condvar,
+    /// Signaled by the last participant of a job.
+    done_cv: Condvar,
+    /// Mirror of `state.epoch` for the workers' pre-lock spin.
+    epoch_hint: AtomicU64,
+    /// Mirror of `state.remaining` for the dispatcher's pre-wait spin.
+    remaining_hint: AtomicUsize,
+}
+
+/// Recovers the guard even if a mutex was poisoned. Pool state is
+/// always left consistent before any user code (which is what can
+/// panic) runs, so a poisoned lock carries no torn invariants.
+fn lock(m: &Mutex<JobState>) -> MutexGuard<'_, JobState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, JobState>) -> MutexGuard<'a, JobState> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Spin iterations before sleeping on a condvar. Zero on single-core
+/// hosts, where spinning only steals cycles from the thread being
+/// waited on.
+fn spin_budget() -> u32 {
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores > 1 {
+            512
+        } else {
+            0
+        }
+    })
+}
+
+/// A persistent pool of parked worker threads executing chunk-loop
+/// jobs. See the module docs for the protocol; almost all callers want
+/// the process-wide [`global`] instance, which `parallel_for_chunks`
+/// uses. Local instances (tests, benchmarks) shut their workers down on
+/// `Drop`.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    /// Serializes dispatches (one job in flight per pool) and owns the
+    /// worker handles for `Drop`. Lock order: `workers` before `state`.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned lazily on the first
+    /// `run` that needs them and the pool grows whenever a larger
+    /// `nworkers` is requested.
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            shared: std::sync::Arc::new(Shared {
+                state: Mutex::new(JobState {
+                    epoch: 0,
+                    job: None,
+                    remaining: 0,
+                    panicked: false,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                epoch_hint: AtomicU64::new(0),
+                remaining_hint: AtomicUsize::new(0),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of live worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Runs `body(t)` for every logical thread index `t` in
+    /// `0..nworkers`, in parallel on the pool's workers, and returns
+    /// once all of them have finished (completion barrier).
+    ///
+    /// `nworkers == 1` runs inline. Calls from inside a pool worker run
+    /// inline serially as well — dispatching to the own pool would
+    /// deadlock on the in-flight job (`parallel_for_chunks` reroutes
+    /// nested parallelism to the spawn executor before this can
+    /// happen).
+    ///
+    /// # Panics
+    /// Re-throws (as a new panic) if any participant's body panicked.
+    pub fn run(&self, nworkers: usize, body: &(dyn Fn(usize) + Sync)) {
+        assert!(nworkers >= 1, "need at least one worker");
+        if nworkers == 1 || current_worker_index().is_some() {
+            for t in 0..nworkers {
+                body(t);
+            }
+            return;
+        }
+        let t0 = wise_trace::enabled().then(Instant::now);
+
+        // One job in flight per pool; concurrent dispatchers queue here.
+        let mut handles = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        if handles.len() < nworkers {
+            self.grow(&mut handles, nworkers);
+        }
+
+        // SAFETY: lifetime erasure only. This function does not return
+        // until every participant has finished with `body` (completion
+        // barrier below), so the reference outlives all uses.
+        let body: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+
+        let panicked = {
+            let mut st = lock(&self.shared.state);
+            debug_assert_eq!(st.remaining, 0, "dispatch lock admitted overlapping jobs");
+            st.job = Some(ErasedJob { body, nworkers });
+            st.remaining = nworkers;
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.remaining_hint.store(nworkers, Ordering::Release);
+            self.shared.epoch_hint.store(st.epoch, Ordering::Release);
+            drop(st);
+            self.shared.work_cv.notify_all();
+
+            // Completion barrier: spin briefly on the mirror, then
+            // sleep. The final lock also synchronizes `panicked`.
+            for _ in 0..spin_budget() {
+                if self.shared.remaining_hint.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            let mut st = lock(&self.shared.state);
+            while st.remaining > 0 {
+                st = wait(&self.shared.done_cv, st);
+            }
+            st.panicked
+        };
+        drop(handles);
+
+        if let Some(t0) = t0 {
+            wise_trace::counter("pool.jobs", 1);
+            wise_trace::observe_ns("pool.dispatch", t0.elapsed().as_nanos() as u64);
+        }
+        if panicked {
+            panic!("a worker panicked inside a pooled job (original panic reported by the worker)");
+        }
+    }
+
+    /// Spawns workers `handles.len()..target`. Caller holds the
+    /// dispatch lock, so no job is in flight while the pool grows.
+    fn grow(&self, handles: &mut Vec<JoinHandle<()>>, target: usize) {
+        let _span = wise_trace::span("pool.start");
+        // Workers must skip every epoch published before they existed;
+        // snapshotting under the state lock makes that exact.
+        let epoch_at_spawn = lock(&self.shared.state).epoch;
+        for id in handles.len()..target {
+            let shared = std::sync::Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("wise-pool-{id}"))
+                .spawn(move || worker_loop(shared, id, epoch_at_spawn))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: std::sync::Arc<Shared>, id: usize, mut seen: u64) {
+    WORKER_INDEX.with(|w| w.set(Some(id)));
+    loop {
+        // Pre-lock spin: cheap wakeup when a job lands immediately.
+        for _ in 0..spin_budget() {
+            if shared.epoch_hint.load(Ordering::Acquire) != seen {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let job = {
+            let mut st = lock(&shared.state);
+            while st.epoch == seen && !st.shutdown {
+                st = wait(&shared.work_cv, st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.epoch;
+            st.job.expect("epoch advanced without a published job")
+        };
+        if id < job.nworkers {
+            // Participant: run our share, then report completion. The
+            // catch_unwind keeps the worker alive across body panics;
+            // the dispatcher re-throws after the barrier.
+            let ok = catch_unwind(AssertUnwindSafe(|| (job.body)(id))).is_ok();
+            let mut st = lock(&shared.state);
+            if !ok {
+                st.panicked = true;
+            }
+            st.remaining -= 1;
+            shared.remaining_hint.store(st.remaining, Ordering::Release);
+            if st.remaining == 0 {
+                drop(st);
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The process-wide pool used by `parallel_for_chunks`. Created empty
+/// on first use; grows to the largest `nthreads` ever requested and
+/// lives for the rest of the process (parked workers cost no CPU).
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn runs_every_worker_index_exactly_once() {
+        let pool = WorkerPool::new();
+        for &n in &[1usize, 2, 5, 8] {
+            let hits: Vec<TestCounter> = (0..n).map(|_| TestCounter::new(0)).collect();
+            pool.run(n, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            for (t, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "worker {t} of {n}");
+            }
+        }
+        assert!(pool.size() >= 8);
+    }
+
+    #[test]
+    fn grows_on_demand_and_reuses_workers() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.size(), 0);
+        pool.run(3, &|_| {});
+        assert_eq!(pool.size(), 3);
+        pool.run(2, &|_| {}); // smaller job: no shrink, no growth
+        assert_eq!(pool.size(), 3);
+        pool.run(6, &|_| {});
+        assert_eq!(pool.size(), 6);
+    }
+
+    #[test]
+    fn worker_index_visible_inside_job() {
+        let pool = WorkerPool::new();
+        let seen: Vec<TestCounter> = (0..4).map(|_| TestCounter::new(u64::MAX)).collect();
+        pool.run(4, &|t| {
+            seen[t].store(current_worker_index().expect("inside worker") as u64, Ordering::Relaxed);
+        });
+        for (t, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), t as u64);
+        }
+        assert_eq!(current_worker_index(), None, "main thread is not a worker");
+    }
+
+    #[test]
+    fn nested_run_from_worker_falls_back_inline() {
+        let pool = WorkerPool::new();
+        let total = TestCounter::new(0);
+        pool.run(2, &|_| {
+            // Calling into the same (or any) pool from a worker must
+            // not deadlock; it runs inline.
+            pool.run(3, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn survives_body_panics() {
+        let pool = WorkerPool::new();
+        for round in 0..3 {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(4, &|t| {
+                    if t == 2 {
+                        panic!("injected panic (round {round})");
+                    }
+                });
+            }));
+            assert!(err.is_err(), "panic must propagate to the dispatcher");
+            // The pool still works after the poisoned job.
+            let hits: Vec<TestCounter> = (0..4).map(|_| TestCounter::new(0)).collect();
+            pool.run(4, &|t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new();
+        pool.run(4, &|_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -13,12 +13,24 @@
 //!   (`schedule(static)`); zero overhead, best spatial locality, worst
 //!   balance under skew.
 //!
-//! The executor uses `std::thread::scope` rather than rayon because the
-//! assignment policy itself is the object of study — a work-stealing
-//! pool would blur Dyn/St/StCont distinctions.
+//! Two executors realize these policies, sharing one per-thread chunk
+//! loop ([`Executor`]):
+//!
+//! * **Pool** (default) — the persistent worker pool of [`crate::pool`];
+//!   a dispatch costs a condvar handoff instead of OS thread creation,
+//!   which matters enormously when SpMV is called in a timing loop.
+//! * **Spawn** — fresh `std::thread::scope` threads per call; the
+//!   original executor, kept as the parity oracle (`pool_parity` test
+//!   suite) and as an escape hatch (`WISE_POOL=0`).
+//!
+//! Neither executor is a work-stealing pool (rayon would blur the
+//! Dyn/St/StCont distinctions the paper studies): a logical thread `t`
+//! runs exactly the chunks the policy assigns to `t`, and because both
+//! executors call the *same* [`thread_chunk_loop`], their chunk→thread
+//! assignments are identical by construction.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// A chunk-to-thread scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,33 +57,110 @@ impl Schedule {
     }
 }
 
-/// Number of worker threads to use: the `WISE_THREADS` environment
-/// variable if set, otherwise `std::thread::available_parallelism()`.
-pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("WISE_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
+// ---------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------
+
+/// Why a `WISE_THREADS` value was rejected (see [`parse_wise_threads`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsEnvError {
+    /// Set but empty (or only whitespace).
+    Empty,
+    /// Parsed to zero — a zero-thread pool cannot make progress.
+    Zero,
+    /// Not a non-negative integer.
+    NotANumber(String),
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsEnvError::Empty => write!(f, "WISE_THREADS is set but empty"),
+            ThreadsEnvError::Zero => write!(f, "WISE_THREADS=0 is invalid (need >= 1)"),
+            ThreadsEnvError::NotANumber(v) => {
+                write!(f, "WISE_THREADS={v:?} is not a positive integer")
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
+
+/// Parses a raw `WISE_THREADS` value. `Ok(None)` means the variable is
+/// unset (use the hardware default); `Err` means it is set but
+/// malformed, which [`default_threads`] reports loudly instead of
+/// silently ignoring.
+pub fn parse_wise_threads(raw: Option<&str>) -> Result<Option<usize>, ThreadsEnvError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(ThreadsEnvError::Empty);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(ThreadsEnvError::Zero),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(ThreadsEnvError::NotANumber(trimmed.to_string())),
+    }
+}
+
+/// Number of worker threads to use: the `WISE_THREADS` environment
+/// variable if set, otherwise `std::thread::available_parallelism()`.
+///
+/// A malformed `WISE_THREADS` (empty, `0`, non-numeric) falls back to
+/// the hardware default *loudly*: one warning on stderr (per process)
+/// plus a `sched.threads_env_invalid` trace counter, so a typo in a
+/// benchmark script cannot silently change what was measured.
+pub fn default_threads() -> usize {
+    let hardware = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    match parse_wise_threads(std::env::var("WISE_THREADS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => hardware(),
+        Err(e) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("[wise-kernels] {e}; falling back to available_parallelism()");
+            });
+            wise_trace::counter("sched.threads_env_invalid", 1);
+            hardware()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disjoint output writer
+// ---------------------------------------------------------------------
 
 /// Shared mutable slice for disjoint-index parallel writes.
 ///
 /// Each chunk of an SpMV kernel writes a set of output rows disjoint
 /// from every other chunk's, so concurrent `write`s never alias. The
 /// type exists to express that contract where `&mut [f64]` cannot be
-/// shared across scoped threads.
+/// shared across threads.
+///
+/// # Why this is sound
+///
+/// * **No data race:** the contract on [`Self::write`]/[`Self::add`]
+///   requires that no index is targeted by two threads during the
+///   writer's lifetime. In the kernels this holds structurally — CSR
+///   chunks own disjoint row ranges (`chunk * rows_per_chunk ..`), and
+///   an SRVPack segment's `row_order` contains each row at most once,
+///   with segments processed sequentially under a full barrier
+///   (`parallel_for_chunks` returns only when every chunk finished).
+/// * **No reference aliasing:** `new` consumes the `&mut [T]` into a
+///   raw pointer; no Rust reference to any element exists between
+///   `new` and the writer's drop, so the writes cannot invalidate a
+///   live `&`/`&mut`. All accesses go through raw-pointer writes,
+///   which the disjointness contract makes race-free.
+/// * **No out-of-bounds:** both methods `debug_assert!(index < len)`
+///   and their contract requires it; callers derive indices from CSR /
+///   pack invariants validated at construction.
 pub struct DisjointWriter<'a, T> {
     ptr: *mut T,
     len: usize,
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: writes are only issued through `write`, whose contract
-// requires callers to target disjoint indices per thread.
+// SAFETY: writes are only issued through `write`/`add`, whose contract
+// requires callers to target disjoint indices per thread (see the
+// soundness notes on the type).
 unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
 unsafe impl<T: Send> Send for DisjointWriter<'_, T> {}
 
@@ -119,13 +208,143 @@ impl<'a, T> DisjointWriter<'a, T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------
+
+/// Which mechanism carries the per-thread chunk loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// The persistent worker pool ([`crate::pool`]); the default.
+    Pool,
+    /// Fresh scoped threads per call — the original executor, kept as
+    /// the parity oracle and the `WISE_POOL=0` escape hatch.
+    Spawn,
+}
+
+const EXEC_UNINIT: u8 = 0;
+const EXEC_POOL: u8 = 1;
+const EXEC_SPAWN: u8 = 2;
+
+/// Process-wide executor choice; resolved from `WISE_POOL` on first
+/// use, overridable via [`set_executor`].
+static EXECUTOR: AtomicU8 = AtomicU8::new(EXEC_UNINIT);
+
+/// The executor `parallel_for_chunks` currently routes through:
+/// [`Executor::Pool`] unless `WISE_POOL` is set to `0`, `off` or
+/// `spawn` (or [`set_executor`] said otherwise).
+pub fn executor() -> Executor {
+    match EXECUTOR.load(Ordering::Relaxed) {
+        EXEC_POOL => Executor::Pool,
+        EXEC_SPAWN => Executor::Spawn,
+        _ => {
+            let exec = match std::env::var("WISE_POOL").ok().as_deref().map(str::trim) {
+                Some("0") | Some("off") | Some("spawn") => Executor::Spawn,
+                _ => Executor::Pool,
+            };
+            set_executor(exec);
+            exec
+        }
+    }
+}
+
+/// Overrides the process-wide executor (benchmarks compare the two;
+/// tests pin one side).
+pub fn set_executor(executor: Executor) {
+    let v = match executor {
+        Executor::Pool => EXEC_POOL,
+        Executor::Spawn => EXEC_SPAWN,
+    };
+    EXECUTOR.store(v, Ordering::Relaxed);
+}
+
+/// The per-thread chunk loop shared *verbatim* by both executors, so
+/// their chunk→thread assignments cannot drift apart: logical thread
+/// `t` of `nthreads` executes exactly the chunks `schedule` assigns to
+/// `t` (for Dyn, whatever it wins from the shared `counter`).
+#[inline]
+fn thread_chunk_loop<F: Fn(usize) + Sync>(
+    t: usize,
+    nthreads: usize,
+    nchunks: usize,
+    schedule: Schedule,
+    grain: usize,
+    counter: &AtomicUsize,
+    body: &F,
+) {
+    match schedule {
+        Schedule::Dyn => loop {
+            let start = counter.fetch_add(grain, Ordering::Relaxed);
+            if start >= nchunks {
+                break;
+            }
+            for i in start..(start + grain).min(nchunks) {
+                body(i);
+            }
+        },
+        Schedule::St => {
+            // Blocks of `grain` chunks, dealt round-robin.
+            let mut block = t;
+            loop {
+                let start = block * grain;
+                if start >= nchunks {
+                    break;
+                }
+                for i in start..(start + grain).min(nchunks) {
+                    body(i);
+                }
+                block += nthreads;
+            }
+        }
+        Schedule::StCont => {
+            let lo = t * nchunks / nthreads;
+            let hi = (t + 1) * nchunks / nthreads;
+            for i in lo..hi {
+                body(i);
+            }
+        }
+    }
+}
+
 /// Runs `body(chunk_index)` for every chunk in `0..nchunks` across
-/// `nthreads` threads under the given policy.
+/// `nthreads` threads under the given policy, using the process-wide
+/// [`executor`] (the persistent pool by default).
 ///
 /// `grain` is the number of consecutive chunks a thread takes at once
 /// for Dyn/St (the paper's "K rows at a time" granularity knob, in
 /// units of chunks). StCont ignores `grain`.
+///
+/// Single-thread calls and tiny jobs (`nchunks <= grain`) run inline on
+/// the caller — no dispatch at all.
 pub fn parallel_for_chunks<F>(
+    nchunks: usize,
+    nthreads: usize,
+    schedule: Schedule,
+    grain: usize,
+    body: F,
+) where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunks_with(executor(), nchunks, nthreads, schedule, grain, body)
+}
+
+/// [`parallel_for_chunks`] on the spawn executor — the reference the
+/// parity suite compares the pool against.
+pub fn parallel_for_chunks_spawn<F>(
+    nchunks: usize,
+    nthreads: usize,
+    schedule: Schedule,
+    grain: usize,
+    body: F,
+) where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunks_with(Executor::Spawn, nchunks, nthreads, schedule, grain, body)
+}
+
+/// [`parallel_for_chunks`] with an explicit executor choice.
+pub fn parallel_for_chunks_with<F>(
+    executor: Executor,
     nchunks: usize,
     nthreads: usize,
     schedule: Schedule,
@@ -142,58 +361,27 @@ pub fn parallel_for_chunks<F>(
         return;
     }
     let nthreads = nthreads.min(nchunks);
-    match schedule {
-        Schedule::Dyn => {
-            let counter = AtomicUsize::new(0);
-            std::thread::scope(|s| {
-                for _ in 0..nthreads {
-                    s.spawn(|| loop {
-                        let start = counter.fetch_add(grain, Ordering::Relaxed);
-                        if start >= nchunks {
-                            break;
-                        }
-                        for i in start..(start + grain).min(nchunks) {
-                            body(i);
-                        }
-                    });
-                }
-            });
-        }
-        Schedule::St => {
-            std::thread::scope(|s| {
-                for t in 0..nthreads {
-                    let body = &body;
-                    s.spawn(move || {
-                        // Blocks of `grain` chunks, dealt round-robin.
-                        let mut block = t;
-                        loop {
-                            let start = block * grain;
-                            if start >= nchunks {
-                                break;
-                            }
-                            for i in start..(start + grain).min(nchunks) {
-                                body(i);
-                            }
-                            block += nthreads;
-                        }
-                    });
-                }
-            });
-        }
-        Schedule::StCont => {
-            std::thread::scope(|s| {
-                for t in 0..nthreads {
-                    let body = &body;
-                    s.spawn(move || {
-                        let lo = t * nchunks / nthreads;
-                        let hi = (t + 1) * nchunks / nthreads;
-                        for i in lo..hi {
-                            body(i);
-                        }
-                    });
-                }
-            });
-        }
+    let counter = AtomicUsize::new(0);
+    // Nested parallelism (a body that itself calls parallel_for_chunks)
+    // must not dispatch to the pool from inside a pool worker — that
+    // would wait on a job the pool cannot start. Reroute to spawn.
+    let use_pool = executor == Executor::Pool && crate::pool::current_worker_index().is_none();
+    if use_pool {
+        crate::pool::global().run(nthreads, &|t| {
+            thread_chunk_loop(t, nthreads, nchunks, schedule, grain, &counter, &body)
+        });
+    } else {
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let body = &body;
+                let counter = &counter;
+                s.spawn(move || {
+                    crate::pool::with_worker_index(t, || {
+                        thread_chunk_loop(t, nthreads, nchunks, schedule, grain, counter, body)
+                    })
+                });
+            }
+        });
     }
 }
 
@@ -241,23 +429,31 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
-    fn covers_all(schedule: Schedule, nchunks: usize, nthreads: usize, grain: usize) {
+    fn covers_all_with(
+        exec: Executor,
+        schedule: Schedule,
+        nchunks: usize,
+        nthreads: usize,
+        grain: usize,
+    ) {
         let hits: Vec<AtomicU64> = (0..nchunks).map(|_| AtomicU64::new(0)).collect();
-        parallel_for_chunks(nchunks, nthreads, schedule, grain, |i| {
+        parallel_for_chunks_with(exec, nchunks, nthreads, schedule, grain, |i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         for (i, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i} under {schedule:?}");
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i} under {schedule:?} ({exec:?})");
         }
     }
 
     #[test]
     fn every_schedule_covers_every_chunk_exactly_once() {
-        for sched in Schedule::ALL {
-            for &(n, t, g) in
-                &[(1usize, 1usize, 1usize), (7, 3, 1), (100, 4, 8), (64, 8, 16), (5, 8, 2)]
-            {
-                covers_all(sched, n, t, g);
+        for exec in [Executor::Pool, Executor::Spawn] {
+            for sched in Schedule::ALL {
+                for &(n, t, g) in
+                    &[(1usize, 1usize, 1usize), (7, 3, 1), (100, 4, 8), (64, 8, 16), (5, 8, 2)]
+                {
+                    covers_all_with(exec, sched, n, t, g);
+                }
             }
         }
     }
@@ -319,5 +515,43 @@ mod tests {
     fn default_threads_env_override() {
         // Can't set env safely in parallel tests; just check it returns >= 1.
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn wise_threads_parse_paths() {
+        assert_eq!(parse_wise_threads(None), Ok(None));
+        assert_eq!(parse_wise_threads(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_wise_threads(Some(" 16 ")), Ok(Some(16)));
+        assert_eq!(parse_wise_threads(Some("")), Err(ThreadsEnvError::Empty));
+        assert_eq!(parse_wise_threads(Some("   ")), Err(ThreadsEnvError::Empty));
+        assert_eq!(parse_wise_threads(Some("0")), Err(ThreadsEnvError::Zero));
+        assert_eq!(
+            parse_wise_threads(Some("four")),
+            Err(ThreadsEnvError::NotANumber("four".into()))
+        );
+        assert_eq!(parse_wise_threads(Some("-2")), Err(ThreadsEnvError::NotANumber("-2".into())));
+        // Error messages are self-describing.
+        assert!(ThreadsEnvError::Zero.to_string().contains("WISE_THREADS=0"));
+    }
+
+    #[test]
+    fn executors_produce_identical_static_assignments() {
+        // Spot-check here; the exhaustive version (incl. kernels) lives
+        // in tests/pool_parity.rs.
+        use std::sync::Mutex;
+        for exec in [Executor::Pool, Executor::Spawn] {
+            let owners = Mutex::new(vec![usize::MAX; 24]);
+            parallel_for_chunks_with(exec, 24, 3, Schedule::St, 2, |i| {
+                let t = crate::pool::current_worker_index().unwrap_or(0);
+                owners.lock().unwrap()[i] = t;
+            });
+            let owners = owners.into_inner().unwrap();
+            let want = static_assignment(24, 3, Schedule::St, 2);
+            for (t, chunks) in want.iter().enumerate() {
+                for &c in chunks {
+                    assert_eq!(owners[c], t, "chunk {c} ({exec:?})");
+                }
+            }
+        }
     }
 }

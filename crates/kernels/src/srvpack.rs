@@ -448,8 +448,16 @@ impl SrvPack {
                     let lo = chunk * GATHER_CHUNK;
                     let hi = (lo + GATHER_CHUNK).min(map.len());
                     for i in lo..hi {
-                        // SAFETY: chunk index ranges are disjoint.
-                        unsafe { writer.write(i, x[map[i] as usize]) };
+                        // SAFETY: i < map.len() by the loop bound, and a
+                        // Permutation's entries are a bijection on
+                        // 0..ncols (validated at construction), so
+                        // map[i] < ncols == x.len(). Chunk index ranges
+                        // are disjoint, satisfying the writer contract.
+                        unsafe {
+                            let src = *map.get_unchecked(i) as usize;
+                            debug_assert!(src < x.len());
+                            writer.write(i, *x.get_unchecked(src));
+                        }
                     }
                 });
                 &ws.xperm
@@ -494,7 +502,17 @@ impl SrvPack {
         let mut acc = [0.0f64; C];
         for (vrow, crow) in vals.chunks_exact(C).zip(cols.chunks_exact(C)) {
             for l in 0..C {
-                acc[l] += vrow[l] * x[crow[l] as usize];
+                // SAFETY: every stored column id is either a real
+                // (post-CFS) column in [0, ncols) or padding column 0,
+                // both < x.len() == ncols (`build` writes nothing
+                // else). Eliding the data-dependent x-bound check here
+                // is what lets the lane loop stay a pure gather +
+                // multiply-add.
+                unsafe {
+                    let c = *crow.get_unchecked(l) as usize;
+                    debug_assert!(c < x.len());
+                    acc[l] += *vrow.get_unchecked(l) * *x.get_unchecked(c);
+                }
             }
         }
         let rows = seg.chunk_rows(chunk, C);
@@ -520,7 +538,14 @@ impl SrvPack {
         let mut acc = vec![0.0f64; c];
         for (vrow, crow) in vals.chunks_exact(c).zip(cols.chunks_exact(c)) {
             for l in 0..c {
-                acc[l] += vrow[l] * x[crow[l] as usize];
+                // SAFETY: l < c == chunk row count of every exact
+                // chunk; column ids < ncols == x.len() as in
+                // `chunk_kernel`.
+                unsafe {
+                    let col = *crow.get_unchecked(l) as usize;
+                    debug_assert!(col < x.len());
+                    acc[l] += *vrow.get_unchecked(l) * *x.get_unchecked(col);
+                }
             }
         }
         let rows = seg.chunk_rows(chunk, c);

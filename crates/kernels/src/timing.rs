@@ -13,15 +13,26 @@ use std::time::{Duration, Instant};
 
 /// The spread of one [`measure_median`] run: order statistics over the
 /// timed iterations, not just the median.
+///
+/// All percentiles (including `median`) use one definition —
+/// *nearest-rank with rounding*: percentile `p` is the sorted sample at
+/// index `round((len - 1) · p)`, with ties rounding away from zero. For
+/// even-length samples the median is therefore the **upper** middle
+/// element (index `len / 2`), and `median == p50` by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Samples {
-    /// The median timed iteration (the headline estimate).
+    /// The median timed iteration (the headline estimate). Identical to
+    /// `p50` — both use the nearest-rank definition above.
     pub median: Duration,
     pub min: Duration,
     /// 50th percentile; equals `median` (kept for symmetry with `p95`).
     pub p50: Duration,
     pub p95: Duration,
     pub max: Duration,
+    /// Sum of every timed iteration — what the whole measurement
+    /// actually cost in wall-clock terms (the honest "preprocessing
+    /// spent" figure for trial-executing inspectors).
+    pub total: Duration,
     /// Timed iterations taken (after warmup).
     pub iters: usize,
 }
@@ -30,14 +41,18 @@ impl Samples {
     /// Summarizes a set of raw durations (need not be sorted).
     pub fn from_durations(mut samples: Vec<Duration>) -> Samples {
         assert!(!samples.is_empty(), "need at least one sample");
+        let total: Duration = samples.iter().sum();
         samples.sort_unstable();
+        // Nearest-rank with rounding (see the type docs); the single
+        // definition shared by every field so they cannot disagree.
         let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
         Samples {
-            median: samples[samples.len() / 2],
+            median: pct(0.50),
             min: samples[0],
             p50: pct(0.50),
             p95: pct(0.95),
             max: samples[samples.len() - 1],
+            total,
             iters: samples.len(),
         }
     }
@@ -124,6 +139,7 @@ mod tests {
         assert_eq!(s.p50, ms(3));
         assert_eq!(s.p95, ms(5)); // round(4 * 0.95) = 4 -> last sample
         assert_eq!(s.max, ms(5));
+        assert_eq!(s.total, ms(15));
         assert_eq!(s.iters, 5);
         assert!((s.relative_spread() - (0.005 - 0.001) / 0.003).abs() < 1e-9);
     }
@@ -145,6 +161,18 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_samples_rejected() {
         Samples::from_durations(vec![]);
+    }
+
+    #[test]
+    fn median_equals_p50_on_even_lengths() {
+        let ms = Duration::from_millis;
+        for len in [2usize, 4, 6, 10] {
+            let s = Samples::from_durations((1..=len as u64).map(ms).collect());
+            assert_eq!(s.median, s.p50, "len={len}");
+            // Upper middle element by the documented definition.
+            assert_eq!(s.median, ms(len as u64 / 2 + 1), "len={len}");
+            assert_eq!(s.total, ms((1..=len as u64).sum()), "len={len}");
+        }
     }
 
     #[test]

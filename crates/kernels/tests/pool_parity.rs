@@ -1,0 +1,181 @@
+//! Pool ↔ spawn executor parity suite.
+//!
+//! The persistent pool must be *observationally identical* to the
+//! original scoped-spawn executor: same chunk→thread assignments for
+//! the static schedules (pinned against `static_assignment`, the
+//! introspection helper `wise-perf` models with), exactly-once chunk
+//! coverage for Dyn, and bit-identical SpMV outputs for both kernel
+//! families across every schedule and ragged thread/chunk shapes.
+//! Plus lifecycle: a panic inside a job body must not wedge the pool.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wise_gen::{suite, RmatParams};
+use wise_kernels::pool::{self, WorkerPool};
+use wise_kernels::sched::{
+    parallel_for_chunks_with, set_executor, static_assignment, Executor, Schedule,
+};
+use wise_kernels::srvpack::SpmvWorkspace;
+use wise_kernels::MethodConfig;
+use wise_matrix::Csr;
+
+/// The thread counts the issue pins (1 = inline fallback, 16 >
+/// container cores, 3/7 ragged against chunk counts).
+const NTHREADS: [usize; 5] = [1, 2, 3, 7, 16];
+/// Ragged chunk counts: fewer than threads, prime-ish, non-multiples.
+const NCHUNKS: [usize; 6] = [1, 3, 5, 17, 63, 130];
+const GRAINS: [usize; 3] = [1, 2, 8];
+
+/// Runs a recording body under `exec` and returns (owner per chunk,
+/// effective thread count). Chunks run inline on the caller map to
+/// thread 0, matching `static_assignment` with one thread.
+fn record_assignment(
+    exec: Executor,
+    nchunks: usize,
+    nthreads: usize,
+    sched: Schedule,
+    grain: usize,
+) -> (Vec<usize>, usize) {
+    let owners = Mutex::new(vec![usize::MAX; nchunks]);
+    let hits: Vec<AtomicUsize> = (0..nchunks).map(|_| AtomicUsize::new(0)).collect();
+    parallel_for_chunks_with(exec, nchunks, nthreads, sched, grain, |i| {
+        let t = pool::current_worker_index().unwrap_or(0);
+        owners.lock().unwrap()[i] = t;
+        hits[i].fetch_add(1, Ordering::SeqCst);
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::SeqCst), 1, "chunk {i} ran {} times", h.load(Ordering::SeqCst));
+    }
+    // Mirror the executor's own clamping: inline when single-threaded
+    // or the whole job fits one grain, else cap threads at nchunks.
+    let effective =
+        if nthreads <= 1 || nchunks <= grain.max(1) { 1 } else { nthreads.min(nchunks) };
+    (owners.into_inner().unwrap(), effective)
+}
+
+#[test]
+fn static_assignments_match_spawn_and_model() {
+    for sched in [Schedule::St, Schedule::StCont] {
+        for &nthreads in &NTHREADS {
+            for &nchunks in &NCHUNKS {
+                for &grain in &GRAINS {
+                    let tag = format!("{sched:?} t={nthreads} n={nchunks} g={grain}");
+                    let (pool_owners, eff) =
+                        record_assignment(Executor::Pool, nchunks, nthreads, sched, grain);
+                    let (spawn_owners, eff2) =
+                        record_assignment(Executor::Spawn, nchunks, nthreads, sched, grain);
+                    assert_eq!(eff, eff2);
+                    // (a) pool and spawn executors place every chunk on
+                    // the same logical thread;
+                    assert_eq!(pool_owners, spawn_owners, "{tag}");
+                    // ...and both match the model's assignment function
+                    // (with the executors' thread clamping applied).
+                    let want = static_assignment(nchunks, eff, sched, grain);
+                    for (t, chunks) in want.iter().enumerate() {
+                        for &c in chunks {
+                            assert_eq!(pool_owners[c], t, "{tag} chunk {c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dyn_covers_every_chunk_exactly_once_on_both_executors() {
+    for exec in [Executor::Pool, Executor::Spawn] {
+        for &nthreads in &NTHREADS {
+            for &nchunks in &NCHUNKS {
+                for &grain in &GRAINS {
+                    // Coverage is asserted inside record_assignment;
+                    // Dyn's owner is timing-dependent by design.
+                    record_assignment(exec, nchunks, nthreads, Schedule::Dyn, grain);
+                }
+            }
+        }
+    }
+}
+
+fn random_x(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// (b) CSR and SRVPack results must be bit-identical pool vs. spawn:
+/// each chunk computes its outputs with the same instruction sequence
+/// regardless of which thread runs it, and rows are written by exactly
+/// one chunk (per segment, with segments sequential), so the executor
+/// cannot change a single bit.
+#[test]
+fn spmv_results_bit_identical_pool_vs_spawn() {
+    let matrices: Vec<(String, Csr)> = vec![
+        ("rmat9".into(), RmatParams::HIGH_SKEW.generate(9, 8, 42)),
+        ("stencil".into(), suite::stencil_2d(23, 23)),
+        ("banded".into(), suite::banded(517, 9, 0.5, 3)),
+    ];
+    let prev = wise_kernels::sched::executor();
+    for (name, m) in &matrices {
+        let x = random_x(m.ncols(), 7);
+        for cfg in MethodConfig::catalog() {
+            let prep = cfg.prepare(m);
+            for &nthreads in &NTHREADS {
+                let mut y_spawn = vec![f64::NAN; m.nrows()];
+                set_executor(Executor::Spawn);
+                prep.spmv(&x, &mut y_spawn, nthreads, &mut SpmvWorkspace::default());
+                let mut y_pool = vec![f64::NAN; m.nrows()];
+                set_executor(Executor::Pool);
+                prep.spmv(&x, &mut y_pool, nthreads, &mut SpmvWorkspace::default());
+                for (r, (a, b)) in y_spawn.iter().zip(&y_pool).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{name} {} t={nthreads} row {r}: spawn={a} pool={b}",
+                        cfg.label()
+                    );
+                }
+            }
+        }
+    }
+    set_executor(prev);
+}
+
+/// (c) A panicking job body must propagate to the dispatcher but leave
+/// the global pool serving subsequent dispatches.
+#[test]
+fn pool_survives_panicking_chunk_bodies() {
+    for round in 0..3 {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            parallel_for_chunks_with(Executor::Pool, 16, 4, Schedule::StCont, 1, |i| {
+                if i == 9 {
+                    panic!("injected chunk panic, round {round}");
+                }
+            });
+        }));
+        assert!(err.is_err(), "chunk panic must reach the caller");
+        // The very next dispatch must work.
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_chunks_with(Executor::Pool, 32, 4, Schedule::Dyn, 2, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1), "pool wedged after panic");
+    }
+}
+
+/// The pool resizes upward on demand and keeps old workers.
+#[test]
+fn local_pool_resizes_and_shuts_down() {
+    let pool = WorkerPool::new();
+    for &n in &[2usize, 3, 7, 16, 5] {
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|t| {
+            hits[t].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+    assert_eq!(pool.size(), 16, "grows to the high-water mark, never shrinks");
+    drop(pool); // joins workers; hanging here fails the test by timeout
+}
