@@ -18,6 +18,7 @@
 //! to capture `pool.dispatch` / `pool.jobs` / `kernel.spmv` for
 //! `check_trace`.
 
+use std::time::Duration;
 use wise_bench::*;
 use wise_gen::RmatParams;
 use wise_kernels::sched::{parallel_for_chunks_with, set_executor};
@@ -34,6 +35,9 @@ fn main() {
     println!("(host cores: {cores}; dispatch times are per parallel_for_chunks call)\n");
 
     let mut rows: Vec<String> = Vec::new();
+    // Honest wall-clock accounting: every `Samples.total` measured by
+    // this bin, summed per section and reported at the end.
+    let mut measured: [Duration; 2] = [Duration::ZERO; 2];
 
     // ---- 1. Dispatch-path overhead (near-empty body) ----------------
     let thread_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8, 16] };
@@ -55,6 +59,14 @@ fn main() {
                     iters,
                 );
                 per_exec[slot] = s.median.as_nanos() as f64;
+                measured[0] += s.total;
+                if exec == Executor::Pool {
+                    report::progress(format_args!(
+                        "dispatch {}/t{nthreads} pool: {}",
+                        sched.name(),
+                        report::samples_summary(&s)
+                    ));
+                }
             }
             let [spawn_ns, pool_ns] = per_exec;
             println!(
@@ -107,6 +119,14 @@ fn main() {
                         spmv_iters,
                     );
                     per_exec[slot] = s.median.as_secs_f64() * 1e6;
+                    measured[1] += s.total;
+                    if exec == Executor::Pool {
+                        report::progress(format_args!(
+                            "spmv {}/t{nthreads} pool: {}",
+                            cfg.label(),
+                            report::samples_summary(&s)
+                        ));
+                    }
                     outputs.push(y);
                 }
                 set_executor(Executor::Pool);
@@ -136,5 +156,10 @@ fn main() {
         }
     }
     println!("\n(outputs verified bit-identical per cell; see tests/pool_parity.rs)");
+    println!(
+        "(total measured wall-clock: dispatch {:.1}ms, spmv {:.1}ms)",
+        measured[0].as_secs_f64() * 1e3,
+        measured[1].as_secs_f64() * 1e3
+    );
     ctx.write_csv("spmv_exec.csv", "kind,config,threads,rows,spawn,pool,speedup", &rows);
 }

@@ -16,6 +16,7 @@
 
 use std::fmt::Display;
 use std::path::PathBuf;
+use wise_kernels::timing::Samples;
 
 /// A progress note on stderr: `[wise-bench] {msg}`. Stderr so piping a
 /// bin's stdout to a file captures only the figure/table content.
@@ -31,6 +32,21 @@ pub fn section(title: impl Display) {
 /// Reports a file artifact written by the run.
 pub fn artifact(path: impl Display) {
     println!("\n[artifact] {path}");
+}
+
+/// Formats a [`Samples`] measurement for artifact/report lines:
+/// median, min..p95 spread, *and the summed total* — the honest
+/// wall-clock cost of the whole measurement, which median × iters
+/// understates whenever the spread is skewed.
+pub fn samples_summary(s: &Samples) -> String {
+    format!(
+        "median={:.2}us min={:.2}us p95={:.2}us total={:.2}ms over {} iters",
+        s.median.as_secs_f64() * 1e6,
+        s.min.as_secs_f64() * 1e6,
+        s.p95.as_secs_f64() * 1e6,
+        s.total.as_secs_f64() * 1e3,
+        s.iters
+    )
 }
 
 /// Scans argv for `--trace-out <path>` / `--trace-out=<path>` without
@@ -59,11 +75,19 @@ pub struct TraceSession {
 /// still records and prints the run report, just without the JSON
 /// artifacts.
 pub fn init() -> TraceSession {
-    let trace_out = trace_out_from_args();
-    if trace_out.is_some() {
-        wise_trace::set_enabled(true);
+    TraceSession::with_path(trace_out_from_args())
+}
+
+impl TraceSession {
+    /// Builds a session with an explicit output path (bins that manage
+    /// their own flags, and the panic-flush test). Tracing is forced on
+    /// when a path is given, mirroring [`init`].
+    pub fn with_path(trace_out: Option<PathBuf>) -> TraceSession {
+        if trace_out.is_some() {
+            wise_trace::set_enabled(true);
+        }
+        TraceSession { trace_out }
     }
-    TraceSession { trace_out }
 }
 
 impl Drop for TraceSession {

@@ -1,0 +1,45 @@
+//! A panicking bin must still leave a loadable trace: `TraceSession`
+//! flushes from `Drop`, which runs during unwinding, and the exporter
+//! closes whatever spans the panic left open (`balanced_events`).
+
+use std::path::PathBuf;
+use wise_bench::report::TraceSession;
+use wise_trace::export::validate_chrome_trace;
+
+#[test]
+fn panicking_run_still_writes_a_valid_trace() {
+    // Unique directory: write_trace_files puts perf_summary.json next
+    // to the trace, so sharing temp_dir with other tests would race.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("wise_panic_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path: PathBuf = dir.join("t.json");
+    let _ = std::fs::remove_file(&trace_path);
+
+    wise_trace::set_enabled(true);
+    let result = std::panic::catch_unwind(|| {
+        let _session = TraceSession::with_path(Some(trace_path.clone()));
+        let _outer = wise_trace::span("panic_test.outer");
+        wise_trace::counter("panic_test.progress", 7);
+        // An *open* span at panic time: forget the guard so no End
+        // event is ever recorded for it.
+        std::mem::forget(wise_trace::span("panic_test.mid_flight"));
+        panic!("simulated mid-benchmark crash");
+        // _session drops during unwinding and must flush everything.
+    });
+    assert!(result.is_err(), "the closure must actually panic");
+
+    let text = std::fs::read_to_string(&trace_path)
+        .expect("TraceSession::drop should have written the trace during unwinding");
+    let n_events = validate_chrome_trace(&text).expect("emitted trace must validate");
+    assert!(n_events >= 4, "expected begin/end pairs for both spans, got {n_events} events");
+    // The span that was open at panic time is present and closed.
+    assert!(text.contains("panic_test.mid_flight"), "open span missing from trace:\n{text}");
+
+    let summary_path = dir.join("perf_summary.json");
+    let summary_text =
+        std::fs::read_to_string(&summary_path).expect("perf summary written alongside the trace");
+    assert!(summary_text.contains("panic_test.mid_flight"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -37,6 +37,7 @@
 
 pub mod classes;
 pub mod evaluate;
+pub mod explain;
 pub mod labels;
 pub mod pipeline;
 pub mod registry;
@@ -44,6 +45,7 @@ pub mod select;
 
 pub use classes::SpeedupClass;
 pub use evaluate::{evaluate_cv, CvEvaluation, EvalOutcome};
+pub use explain::explain_choice;
 pub use labels::{label_corpus, CorpusLabels, MatrixLabels};
 pub use pipeline::{TrainOptions, Wise};
 pub use registry::ModelRegistry;

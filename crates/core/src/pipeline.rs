@@ -80,6 +80,21 @@ pub struct Choice {
     /// pre-observability serialized choices; defaults to zeros).
     #[serde(default)]
     pub timing: ChoiceTiming,
+    /// Root-to-leaf decision path of every classifier vote, catalog
+    /// order — `decision_paths[index]` explains the winning prediction
+    /// (see [`crate::explain::explain_choice`]). Absent in
+    /// pre-explainability serialized choices; defaults to empty.
+    #[serde(default)]
+    pub decision_paths: Vec<wise_ml::DecisionPath>,
+}
+
+impl Choice {
+    /// The decision path of the winning classifier, when this choice
+    /// was produced by an explainability-aware selection (deserialized
+    /// pre-explainability choices return `None`).
+    pub fn winning_path(&self) -> Option<&wise_ml::DecisionPath> {
+        self.decision_paths.get(self.index)
+    }
 }
 
 /// A trained WISE instance.
@@ -135,9 +150,9 @@ impl Wise {
     /// already paid for extraction).
     pub fn select_from_features(&self, features: FeatureVector) -> Choice {
         let t0 = Instant::now();
-        let predictions = {
+        let (predictions, decision_paths) = {
             let _predict = wise_trace::span("select.predict");
-            self.registry.predict(&features)
+            self.registry.predict_explained(&features)
         };
         let predict_s = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
@@ -150,7 +165,14 @@ impl Wise {
             predict_s,
             select_s: t1.elapsed().as_secs_f64(),
         };
-        Choice { config: self.registry.catalog()[index], index, predictions, features, timing }
+        Choice {
+            config: self.registry.catalog()[index],
+            index,
+            predictions,
+            features,
+            timing,
+            decision_paths,
+        }
     }
 
     /// Amortization-aware selection: minimizes conversion cost plus
@@ -169,9 +191,9 @@ impl Wise {
         let features = FeatureVector::extract(m, &self.feature_config);
         let feature_extraction_s = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let predictions = {
+        let (predictions, decision_paths) = {
             let _predict = wise_trace::span("select.predict");
-            self.registry.predict(&features)
+            self.registry.predict_explained(&features)
         };
         let predict_s = t1.elapsed().as_secs_f64();
         let t2 = Instant::now();
@@ -193,7 +215,7 @@ impl Wise {
         );
         let timing =
             ChoiceTiming { feature_extraction_s, predict_s, select_s: t2.elapsed().as_secs_f64() };
-        Choice { config: catalog[index], index, predictions, features, timing }
+        Choice { config: catalog[index], index, predictions, features, timing, decision_paths }
     }
 
     /// Steps 4–5 of Figure 8: converts `m` to the chosen format and
@@ -263,6 +285,45 @@ mod tests {
         v.as_object_mut().unwrap().remove("timing");
         let old: Choice = serde_json::from_value(v).unwrap();
         assert_eq!(old.timing, ChoiceTiming::default());
+    }
+
+    #[test]
+    fn every_choice_carries_winning_decision_path() {
+        let (wise, _) = trained();
+        for (params, seed) in
+            [(wise_gen::RmatParams::HIGH_SKEW, 77), (wise_gen::RmatParams::LOW_LOC, 5)]
+        {
+            let m = params.generate(9, 8, seed);
+            let choice = wise.select(&m);
+            assert_eq!(choice.decision_paths.len(), choice.predictions.len());
+            let path = choice.winning_path().expect("winning path present");
+            // "Non-empty" in the explainability sense: the path always
+            // carries the leaf evidence, and its class is the winner's
+            // prediction.
+            assert!(path.leaf_samples > 0);
+            assert_eq!(path.leaf_class, choice.predictions[choice.index].index());
+            // Every vote is consistent with its own path.
+            for (pred, p) in choice.predictions.iter().zip(&choice.decision_paths) {
+                assert_eq!(pred.index(), p.leaf_class);
+            }
+        }
+    }
+
+    #[test]
+    fn decision_paths_survive_serde_and_default_when_absent() {
+        let (wise, _) = trained();
+        let m = wise_gen::RmatParams::LOW_LOC.generate(8, 4, 5);
+        let choice = wise.select(&m);
+        let json = serde_json::to_string(&choice).unwrap();
+        let back: Choice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.decision_paths, choice.decision_paths);
+        // A pre-PR Choice JSON has no decision_paths key at all.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        v.as_object_mut().unwrap().remove("decision_paths");
+        let old: Choice = serde_json::from_value(v).unwrap();
+        assert!(old.decision_paths.is_empty());
+        assert!(old.winning_path().is_none());
+        assert_eq!(old.index, choice.index);
     }
 
     #[test]

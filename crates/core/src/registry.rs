@@ -92,6 +92,20 @@ impl ModelRegistry {
         self.trees.iter().map(|t| SpeedupClass::from_index(t.predict(features.values()))).collect()
     }
 
+    /// [`ModelRegistry::predict`] plus the root-to-leaf decision path of
+    /// every classifier vote (catalog order), so selections can explain
+    /// themselves. Each path's `leaf_class` is the prediction; the two
+    /// vectors are index-aligned with the catalog.
+    pub fn predict_explained(
+        &self,
+        features: &FeatureVector,
+    ) -> (Vec<SpeedupClass>, Vec<wise_ml::DecisionPath>) {
+        let paths: Vec<wise_ml::DecisionPath> =
+            self.trees.iter().map(|t| t.decision_path(features.values())).collect();
+        let predictions = paths.iter().map(|p| SpeedupClass::from_index(p.leaf_class)).collect();
+        (predictions, paths)
+    }
+
     /// Serializes to pretty JSON at `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let json = serde_json::to_string(self).expect("registry serializes");
@@ -148,6 +162,22 @@ mod tests {
         }
         let acc = correct as f64 / total as f64;
         assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_explained_matches_predict() {
+        let labels = labeled();
+        let reg = ModelRegistry::train(&labels, TreeParams::default());
+        for m in labels.matrices.iter().take(4) {
+            let plain = reg.predict(&m.features);
+            let (preds, paths) = reg.predict_explained(&m.features);
+            assert_eq!(preds, plain);
+            assert_eq!(paths.len(), 29);
+            for (p, path) in preds.iter().zip(&paths) {
+                assert_eq!(p.index(), path.leaf_class);
+                assert!(path.leaf_samples > 0, "leaf must carry training support");
+            }
+        }
     }
 
     #[test]

@@ -213,8 +213,11 @@ impl Prepared<'_> {
             }
         };
         // Lower-bound traffic estimate: stored entries (value + index)
-        // plus one streaming pass over x and y.
+        // plus one streaming pass over x and y. Together with the
+        // kernel.spmv stage time, nnz and rows give the ledger its
+        // nnz/s and rows/s throughput figures.
         wise_trace::counter("kernel.spmv.nnz", stored as u64);
+        wise_trace::counter("kernel.spmv.rows", y.len() as u64);
         wise_trace::counter(
             "kernel.spmv.bytes_est",
             (stored * 12 + (x.len() + y.len()) * 8) as u64,

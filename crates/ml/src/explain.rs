@@ -1,0 +1,80 @@
+//! Decision-path explainability for trained trees.
+//!
+//! WISE's selection is a vote of 29 per-`{method, params}` classifiers;
+//! without explainability that vote is a black box — "SELL-8 won"
+//! carries no information about *which feature values* drove the
+//! prediction. [`DecisionPath`] captures the exact root-to-leaf walk of
+//! one prediction: at every internal node the feature index, the
+//! threshold, the row's value and the branch taken, ending at the leaf
+//! with its class and training support. The path is produced by
+//! [`crate::DecisionTree::decision_path`], is serde-serializable (it
+//! rides along on `wise_core`'s `Choice`), and renders via
+//! [`DecisionPath::render`] with caller-supplied feature names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One internal node crossed during a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStep {
+    /// Feature index the node split on.
+    pub feature: u32,
+    /// Split threshold (`value <= threshold` goes left).
+    pub threshold: f64,
+    /// The predicted row's value of that feature.
+    pub value: f64,
+    /// Branch taken.
+    pub went_left: bool,
+    /// Training samples that reached this node.
+    pub n_samples: u32,
+}
+
+/// The full root-to-leaf walk of one prediction.
+///
+/// A decision stump (single-leaf tree) has no steps but still carries
+/// the leaf class and its training support, so even degenerate models
+/// explain themselves ("always class 3, from 214 training samples").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DecisionPath {
+    /// Internal nodes crossed, root first. Empty for a stump.
+    pub steps: Vec<DecisionStep>,
+    /// Class of the leaf reached — always equals the prediction.
+    pub leaf_class: u32,
+    /// Training samples that reached the leaf.
+    pub leaf_samples: u32,
+}
+
+impl DecisionPath {
+    /// Depth of the walk (number of internal nodes crossed).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Renders the walk as indented text, resolving feature indices
+    /// through `feature_name` (pass `|i| format!("f{i}")` when no names
+    /// are available). One line per step plus the leaf line:
+    ///
+    /// ```text
+    /// p_R = 0.1320 <= 0.2050 -> left (n=214)
+    /// gini_C = 0.8800 > 0.5000 -> right (n=96)
+    /// leaf: class 3 (n=41)
+    /// ```
+    pub fn render(&self, mut feature_name: impl FnMut(u32) -> String) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            let (op, dir) = if s.went_left { ("<=", "left") } else { (">", "right") };
+            let _ = writeln!(
+                out,
+                "{} = {:.4} {} {:.4} -> {} (n={})",
+                feature_name(s.feature),
+                s.value,
+                op,
+                s.threshold,
+                dir,
+                s.n_samples
+            );
+        }
+        let _ = writeln!(out, "leaf: class {} (n={})", self.leaf_class, self.leaf_samples);
+        out
+    }
+}

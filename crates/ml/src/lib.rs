@@ -17,6 +17,9 @@
 //! * [`dataset`] — the shared columnar [`FeatureMatrix`], label views
 //!   over it, and seeded k-fold splitting (the paper uses 10-fold
 //!   cross-validation);
+//! * [`explain`] — per-prediction root-to-leaf decision paths
+//!   ([`DecisionPath`]) so every classifier vote in the 29-model
+//!   selection is auditable, not a black box;
 //! * [`confusion`] — confusion matrices with the paper's two accuracy
 //!   readings (exact and within-one-class distance);
 //! * [`grid`] — the hyperparameter grid sweep of Table 4 and
@@ -24,6 +27,7 @@
 
 pub mod confusion;
 pub mod dataset;
+pub mod explain;
 pub mod forest;
 pub mod grid;
 pub mod presort;
@@ -31,6 +35,7 @@ pub mod tree;
 
 pub use confusion::ConfusionMatrix;
 pub use dataset::{kfold_indices, Dataset, FeatureMatrix};
+pub use explain::{DecisionPath, DecisionStep};
 pub use forest::{ForestParams, RandomForest};
 pub use grid::FoldPlan;
 pub use presort::Presort;

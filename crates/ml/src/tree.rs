@@ -321,6 +321,34 @@ impl DecisionTree {
         (0..data.len()).map(|i| self.predict(data.row(i))).collect()
     }
 
+    /// Predicts one row *and* records the root-to-leaf walk that
+    /// produced the prediction (see [`crate::explain`]). The returned
+    /// path's `leaf_class` always equals [`DecisionTree::predict`] on
+    /// the same row.
+    pub fn decision_path(&self, row: &[f64]) -> crate::explain::DecisionPath {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let mut path = crate::explain::DecisionPath::default();
+        let mut i = 0usize;
+        loop {
+            let node = &self.nodes[i];
+            if node.is_leaf() {
+                path.leaf_class = node.class;
+                path.leaf_samples = node.n_samples;
+                return path;
+            }
+            let value = row[node.feature as usize];
+            let went_left = value <= node.threshold;
+            path.steps.push(crate::explain::DecisionStep {
+                feature: node.feature,
+                threshold: node.threshold,
+                value,
+                went_left,
+                n_samples: node.n_samples,
+            });
+            i = if went_left { node.left as usize } else { node.right as usize };
+        }
+    }
+
     /// Per-feature importance: normalized training-error decrease
     /// contributed by splits on each feature (the order-consistent
     /// analogue of sklearn's `feature_importances_`). Reveals which of
@@ -562,6 +590,82 @@ mod tests {
             );
             prop_assert_eq!(t.predict_all(&d), labels);
         }
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..32).map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64]).collect();
+        let labels: Vec<u32> = (0..32).map(|i| ((i % 2) ^ ((i / 2) % 2)) as u32).collect();
+        Dataset::new(rows, labels, 2)
+    }
+
+    #[test]
+    fn path_leaf_always_matches_predict() {
+        let d = xor_dataset();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams { max_depth: 4, ccp_alpha: 0.0, ..Default::default() },
+        );
+        for i in 0..d.len() {
+            let path = t.decision_path(d.row(i));
+            assert_eq!(path.leaf_class, t.predict(d.row(i)), "row {i}");
+            assert!(!path.steps.is_empty(), "XOR tree must split");
+            assert!(path.depth() <= t.depth());
+            // The recorded walk is self-consistent: each step's branch
+            // matches its own value/threshold comparison.
+            for s in &path.steps {
+                assert_eq!(s.went_left, s.value <= s.threshold);
+            }
+            // Root step carries the full training support.
+            assert_eq!(path.steps[0].n_samples, d.len() as u32);
+        }
+    }
+
+    #[test]
+    fn stump_path_has_no_steps_but_valid_leaf() {
+        let d = Dataset::new(vec![vec![1.0]; 8], vec![2; 8], 3);
+        let t = DecisionTree::fit(&d, TreeParams::default());
+        let path = t.decision_path(&[1.0]);
+        assert!(path.steps.is_empty());
+        assert_eq!(path.leaf_class, 2);
+        assert_eq!(path.leaf_samples, 8);
+        assert!(path.render(|i| format!("f{i}")).contains("leaf: class 2 (n=8)"));
+    }
+
+    #[test]
+    fn render_names_features_and_directions() {
+        let d = xor_dataset();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams { max_depth: 4, ccp_alpha: 0.0, ..Default::default() },
+        );
+        let names = ["alpha", "beta"];
+        let text = t.decision_path(&[0.0, 1.0]).render(|i| names[i as usize].to_string());
+        assert!(text.contains("alpha") || text.contains("beta"), "{text}");
+        assert!(text.contains("-> left") || text.contains("-> right"), "{text}");
+        assert!(
+            text.trim_end()
+                .ends_with(&format!("(n={})", t.decision_path(&[0.0, 1.0]).leaf_samples)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn path_serde_roundtrip() {
+        let d = xor_dataset();
+        let t = DecisionTree::fit(
+            &d,
+            TreeParams { max_depth: 4, ccp_alpha: 0.0, ..Default::default() },
+        );
+        let path = t.decision_path(&[1.0, 0.0]);
+        let json = serde_json::to_string(&path).unwrap();
+        let back: crate::explain::DecisionPath = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, path);
     }
 }
 

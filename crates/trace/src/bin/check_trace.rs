@@ -1,16 +1,20 @@
 //! CI validator for emitted trace artifacts.
 //!
-//! Usage: `check_trace <trace.json> [<perf_summary.json>] [--require
-//! stage1,stage2,...]`
+//! Usage: `check_trace <trace.json> [<perf_summary.json>] [--summary
+//! <perf_summary.json>] [--require stage1,stage2,...]`
 //!
 //! Checks that the Chrome trace parses as JSON with balanced,
-//! properly-nested begin/end events, and that the perf summary (if
-//! given) parses and contains every required stage with a non-zero
-//! count. The default required set is the end-to-end WISE pipeline:
-//! feature extraction, labeling, training, selection, format conversion
-//! and SpMV.
+//! properly-nested begin/end events, and that the perf summary (given
+//! positionally or via `--summary`) conforms to the schema
+//! `perf_summary_json` emits — a `host` fingerprint object with a
+//! positive core count, numeric per-stage statistics, numeric counters
+//! — and contains every required stage with a non-zero count. The
+//! default required set is the end-to-end WISE pipeline: feature
+//! extraction, labeling, training, selection, format conversion and
+//! SpMV.
 
-use wise_trace::export::{json, validate_chrome_trace};
+use wise_trace::export::json::{self, Value};
+use wise_trace::export::validate_chrome_trace;
 
 const DEFAULT_REQUIRED: &[&str] = &[
     "features.extract",
@@ -21,6 +25,9 @@ const DEFAULT_REQUIRED: &[&str] = &[
     "kernel.spmv",
 ];
 
+/// Every numeric field `perf_summary_json` writes per stage.
+const STAGE_FIELDS: &[&str] = &["count", "p50_ns", "p95_ns", "min_ns", "max_ns", "total_ns"];
+
 fn fail(msg: &str) -> ! {
     eprintln!("check_trace: FAIL: {msg}");
     std::process::exit(1);
@@ -29,18 +36,24 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&String> = Vec::new();
+    let mut summary_flag: Option<&String> = None;
     let mut required: Vec<String> = DEFAULT_REQUIRED.iter().map(|s| s.to_string()).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--require" {
             let list = it.next().unwrap_or_else(|| fail("--require needs a comma-separated list"));
             required = list.split(',').map(|s| s.trim().to_string()).collect();
+        } else if a == "--summary" {
+            summary_flag = Some(it.next().unwrap_or_else(|| fail("--summary needs a path")));
         } else {
             paths.push(a);
         }
     }
     let [trace_path, rest @ ..] = paths.as_slice() else {
-        fail("usage: check_trace <trace.json> [<perf_summary.json>] [--require a,b,...]");
+        fail(
+            "usage: check_trace <trace.json> [<perf_summary.json>] \
+             [--summary <path>] [--require a,b,...]",
+        );
     };
 
     let trace_text = std::fs::read_to_string(trace_path)
@@ -51,15 +64,22 @@ fn main() {
         Err(e) => fail(&format!("{trace_path}: {e}")),
     }
 
-    if let [summary_path] = rest {
+    // The summary may be given positionally (historical) or via
+    // --summary; both run the same validation.
+    let summary_path = match (summary_flag, rest) {
+        (Some(p), []) => Some(p),
+        (None, [p]) => Some(*p),
+        (None, []) => None,
+        _ => fail("give the summary either positionally or via --summary, not both"),
+    };
+    if let Some(summary_path) = summary_path {
         let summary_text = std::fs::read_to_string(summary_path)
             .unwrap_or_else(|e| fail(&format!("cannot read {summary_path}: {e}")));
         let doc =
             json::parse(&summary_text).unwrap_or_else(|e| fail(&format!("{summary_path}: {e}")));
-        let stages = doc
-            .get("stages")
-            .and_then(|v| v.as_object())
-            .unwrap_or_else(|| fail(&format!("{summary_path}: missing stages object")));
+        validate_summary_schema(&doc)
+            .unwrap_or_else(|e| fail(&format!("{summary_path}: schema: {e}")));
+        let stages = doc.get("stages").and_then(|v| v.as_object()).unwrap();
         for name in &required {
             let count = stages
                 .get(name.as_str())
@@ -76,4 +96,44 @@ fn main() {
             required.len()
         );
     }
+}
+
+/// Validates the `perf_summary.json` schema: `host` object with a
+/// positive `cpu_cores` and string-or-null env fields, `stages` mapping
+/// names to objects with every numeric field, `counters` mapping names
+/// to numbers.
+fn validate_summary_schema(doc: &Value) -> Result<(), String> {
+    let host = doc.get("host").ok_or("missing host object")?;
+    let cores =
+        host.get("cpu_cores").and_then(|v| v.as_f64()).ok_or("host.cpu_cores not a number")?;
+    if cores < 1.0 {
+        return Err(format!("host.cpu_cores must be >= 1, got {cores}"));
+    }
+    for key in ["threads_env", "pool_env", "rustc"] {
+        match host.get(key) {
+            Some(Value::String(_) | Value::Null) => {}
+            Some(_) => return Err(format!("host.{key} must be a string or null")),
+            None => return Err(format!("host.{key} missing")),
+        }
+    }
+    let stages = doc.get("stages").and_then(|v| v.as_object()).ok_or("missing stages object")?;
+    for (name, st) in stages {
+        for field in STAGE_FIELDS {
+            let v = st
+                .get(field)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("stage '{name}': {field} missing or not a number"))?;
+            if v < 0.0 {
+                return Err(format!("stage '{name}': {field} negative"));
+            }
+        }
+    }
+    let counters =
+        doc.get("counters").and_then(|v| v.as_object()).ok_or("missing counters object")?;
+    for (name, v) in counters {
+        if v.as_f64().is_none() {
+            return Err(format!("counter '{name}' is not a number"));
+        }
+    }
+    Ok(())
 }

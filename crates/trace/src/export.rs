@@ -9,13 +9,15 @@
 //! `check_trace` validator (and tests) can verify emitted files without
 //! serde.
 
+use crate::ledger::HostFingerprint;
 use crate::span::{Event, Phase};
 use crate::Summary;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Escapes `s` into a JSON string literal body.
-fn escape_into(out: &mut String, s: &str) {
+/// Escapes `s` into a JSON string literal body (shared with the
+/// [`crate::ledger`] emitter).
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -50,7 +52,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         }
         first = false;
         out.push_str("{\"name\":\"");
-        escape_into(&mut out, e.name);
+        write_escaped(&mut out, e.name);
         let _ =
             write!(out, "\",\"cat\":\"wise\",\"pid\":1,\"tid\":{},\"ts\":{}", e.tid, us(e.ts_ns));
         match e.phase {
@@ -58,7 +60,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             Phase::End => out.push_str(",\"ph\":\"E\"}"),
             Phase::Counter => {
                 out.push_str(",\"ph\":\"C\",\"args\":{\"");
-                escape_into(&mut out, e.name);
+                write_escaped(&mut out, e.name);
                 let _ = write!(out, "\":{}}}}}", e.value);
             }
             Phase::Sample => {
@@ -70,11 +72,22 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     out
 }
 
-/// Renders `perf_summary.json`: stage → `{count, p50, p95, min, max,
-/// total}` (nanoseconds) plus summed counters — the artifact BENCH
-/// trajectories diff across PRs.
+/// Renders `perf_summary.json` with the current process's
+/// [`HostFingerprint`]: stage → `{count, p50, p95, min, max, total}`
+/// (nanoseconds), summed counters, and a `host` object — the artifact
+/// BENCH trajectories diff across PRs. Summaries from different hosts
+/// (or different `WISE_THREADS`/`WISE_POOL` settings) carry the
+/// difference in-band instead of relying on out-of-band notes.
 pub fn perf_summary_json(summary: &Summary) -> String {
-    let mut out = String::from("{\"stages\":{");
+    perf_summary_json_with(summary, &HostFingerprint::detect())
+}
+
+/// [`perf_summary_json`] with an explicit host fingerprint (tests, or
+/// bins that already detected one with the rustc version filled in).
+pub fn perf_summary_json_with(summary: &Summary, host: &HostFingerprint) -> String {
+    let mut out = String::from("{\"host\":");
+    host.write_json(&mut out);
+    out.push_str(",\"stages\":{");
     let mut first = true;
     for (name, st) in &summary.stages {
         if !first {
@@ -82,7 +95,7 @@ pub fn perf_summary_json(summary: &Summary) -> String {
         }
         first = false;
         out.push('"');
-        escape_into(&mut out, name);
+        write_escaped(&mut out, name);
         let _ = write!(
             out,
             "\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{},\"total_ns\":{}}}",
@@ -97,7 +110,7 @@ pub fn perf_summary_json(summary: &Summary) -> String {
         }
         first = false;
         out.push('"');
-        escape_into(&mut out, name);
+        write_escaped(&mut out, name);
         let _ = write!(out, "\":{value}");
     }
     out.push_str("}}");
@@ -149,15 +162,59 @@ pub fn run_report(summary: &Summary) -> String {
     out
 }
 
+/// Closes any span left open in a flushed event stream by appending
+/// synthetic `End` events, returning a balanced copy.
+///
+/// A panic (or an early `process::exit`) unwinding through open spans
+/// leaves their `Begin` events in the buffers with no matching `End`;
+/// the raw stream would then fail [`validate_chrome_trace`] and panic
+/// [`crate::build_forest`]. Unmatched begins are closed per thread in
+/// LIFO order (preserving nesting) at the stream's final timestamp, so
+/// the trace shows the open spans running until the crash — exactly
+/// what a flame view of a panicking run should look like.
+pub fn balanced_events(events: &[Event]) -> Vec<Event> {
+    let mut out = events.to_vec();
+    let mut stacks: std::collections::HashMap<u64, Vec<&Event>> = std::collections::HashMap::new();
+    for e in events {
+        match e.phase {
+            Phase::Begin => stacks.entry(e.tid).or_default().push(e),
+            Phase::End => {
+                // Streams from take_events() are properly nested per
+                // tid; ignore a stray End so this helper never panics.
+                let _ = stacks.entry(e.tid).or_default().pop();
+            }
+            Phase::Counter | Phase::Sample => {}
+        }
+    }
+    let end_ts = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+    let mut tids: Vec<u64> = stacks.keys().copied().collect();
+    tids.sort_unstable();
+    for tid in tids {
+        while let Some(open) = stacks.get_mut(&tid).and_then(Vec::pop) {
+            out.push(Event {
+                name: open.name,
+                phase: Phase::End,
+                ts_ns: end_ts,
+                tid,
+                value: end_ts.saturating_sub(open.ts_ns),
+            });
+        }
+    }
+    out
+}
+
 /// Writes the Chrome trace to `trace_path` and `perf_summary.json` next
 /// to it (same directory), returning the summary path. The conventional
-/// call is at the end of a run, after the traced work has completed.
+/// call is at the end of a run, after the traced work has completed;
+/// spans still open in the stream (a panic mid-span) are closed via
+/// [`balanced_events`] so the emitted trace always loads.
 pub fn write_trace_files(
     events: &[Event],
     trace_path: &Path,
 ) -> std::io::Result<std::path::PathBuf> {
-    std::fs::write(trace_path, chrome_trace_json(events))?;
-    let summary = Summary::from_events(events);
+    let events = balanced_events(events);
+    std::fs::write(trace_path, chrome_trace_json(&events))?;
+    let summary = Summary::from_events(&events);
     let summary_path = trace_path.parent().unwrap_or(Path::new(".")).join("perf_summary.json");
     std::fs::write(&summary_path, perf_summary_json(&summary))?;
     Ok(summary_path)
@@ -515,6 +572,52 @@ mod tests {
         assert_eq!(arr[4].get("x").unwrap().as_str(), Some("A"));
         assert!(json::parse("{},").is_err());
         assert!(json::parse(r#"{"unterminated"#).is_err());
+    }
+
+    #[test]
+    fn perf_summary_carries_host_fingerprint() {
+        let summary = Summary::from_events(&sample_events());
+        let host = HostFingerprint {
+            cpu_cores: 4,
+            threads_env: Some("2".into()),
+            pool_env: None,
+            rustc: Some("rustc 1.95.0".into()),
+        };
+        let doc = json::parse(&perf_summary_json_with(&summary, &host)).expect("parses");
+        let h = doc.get("host").expect("host object");
+        assert_eq!(h.get("cpu_cores").unwrap().as_f64(), Some(4.0));
+        assert_eq!(h.get("threads_env").unwrap().as_str(), Some("2"));
+        assert_eq!(h.get("pool_env"), Some(&json::Value::Null));
+        assert_eq!(h.get("rustc").unwrap().as_str(), Some("rustc 1.95.0"));
+        // The detect()-based default emits a host object too.
+        assert!(json::parse(&perf_summary_json(&summary)).unwrap().get("host").is_some());
+    }
+
+    #[test]
+    fn balanced_events_closes_open_spans_lifo() {
+        let open = vec![
+            ev("outer", Phase::Begin, 1_000, 1, 0),
+            ev("inner", Phase::Begin, 2_000, 1, 0),
+            ev("done", Phase::Begin, 2_500, 2, 0),
+            ev("done", Phase::End, 3_000, 2, 500),
+            ev("other_thread", Phase::Begin, 4_000, 2, 0),
+        ];
+        let balanced = balanced_events(&open);
+        assert_eq!(balanced.len(), open.len() + 3);
+        let text = chrome_trace_json(&balanced);
+        assert_eq!(validate_chrome_trace(&text), Ok(4));
+        // Synthetic ends land at the stream max with derived durations.
+        let inner_end = balanced
+            .iter()
+            .find(|e| e.name == "inner" && e.phase == Phase::End)
+            .expect("inner closed");
+        assert_eq!(inner_end.ts_ns, 4_000);
+        assert_eq!(inner_end.value, 2_000);
+        // build_forest accepts the balanced stream and nests correctly.
+        let forest = crate::build_forest(&balanced);
+        assert!(forest.iter().any(|n| n.name == "outer" && n.children[0].name == "inner"));
+        // Already-balanced streams come back unchanged.
+        assert_eq!(balanced_events(&sample_events()), sample_events());
     }
 
     #[test]

@@ -1,0 +1,938 @@
+//! The benchmark ledger: versioned `BenchRecord` artifacts
+//! (`BENCH_<seq>.json`) and the noise-aware regression gate that
+//! compares them.
+//!
+//! Every performance PR so far has left its numbers in prose (commit
+//! messages, EXPERIMENTS.md). The ledger makes the trajectory machine
+//! readable: one record per benchmark run, carrying
+//!
+//! * a **host fingerprint** (core count, `WISE_THREADS` / `WISE_POOL`
+//!   state, rustc version) so records from different machines are never
+//!   silently compared;
+//! * a **corpus digest** pinning the exact input set;
+//! * per-stage wall times lifted from the trace [`Summary`] (count /
+//!   min / p50 / p95 / total, nanoseconds);
+//! * derived **throughput** figures (e.g. `kernel.spmv` nnz/s from the
+//!   existing counters);
+//! * **model quality**: accuracy, P-ratio, summed per-class confusion,
+//!   and per-matrix *regret* (chosen-config time ÷ oracle-best time).
+//!
+//! [`gate`] compares a candidate record against all comparable prior
+//! records and fails when a tracked stage regresses beyond a
+//! noise-aware threshold: the candidate's **min-of-k** is compared to
+//! the best prior min, with a relative tolerance widened by the
+//! observed min→p50 spread of both sides (a stage that jitters 40%
+//! between its fastest and median iteration cannot be gated at 10%).
+//!
+//! JSON is emitted by the same hand-rolled writer and validated by the
+//! same in-crate parser ([`crate::export::json`]) as every other
+//! artifact of this crate — still zero dependencies.
+
+use crate::export::json::{self, Value};
+use crate::export::write_escaped;
+use crate::Summary;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Bump when the `BenchRecord` JSON layout changes incompatibly.
+/// Records with a different major schema are excluded from gating.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The stages the default [`GatePolicy`] tracks: one per hot path the
+/// repo has optimized so far, plus the end-to-end selection.
+pub const DEFAULT_TRACKED: &[&str] = &[
+    "features.extract",
+    "train.registry",
+    "ml.fit",
+    "kernel.convert",
+    "kernel.spmv",
+    "pipeline.select",
+];
+
+// ---------------------------------------------------------------------
+// Host fingerprint
+// ---------------------------------------------------------------------
+
+/// What makes two benchmark runs comparable: the hardware and the
+/// process-level knobs that change how the hot paths execute.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HostFingerprint {
+    /// `std::thread::available_parallelism()` at record time.
+    pub cpu_cores: u64,
+    /// Raw `WISE_THREADS` value, if set.
+    pub threads_env: Option<String>,
+    /// Raw `WISE_POOL` value, if set (unset means the pool is on).
+    pub pool_env: Option<String>,
+    /// `rustc -V` output, when the recording binary could obtain it.
+    pub rustc: Option<String>,
+}
+
+impl HostFingerprint {
+    /// Reads the fingerprint of the current process. `rustc` is left
+    /// `None` — a library cannot assume a toolchain on `PATH`; bins
+    /// fill it in via [`HostFingerprint::with_rustc`].
+    pub fn detect() -> HostFingerprint {
+        HostFingerprint {
+            cpu_cores: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+            threads_env: std::env::var("WISE_THREADS").ok(),
+            pool_env: std::env::var("WISE_POOL").ok(),
+            rustc: None,
+        }
+    }
+
+    /// Returns `self` with the rustc version string attached.
+    pub fn with_rustc(mut self, rustc: Option<String>) -> HostFingerprint {
+        self.rustc = rustc;
+        self
+    }
+
+    /// Emits the fingerprint as a JSON object (shared by the ledger and
+    /// the `perf_summary.json` exporter).
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"cpu_cores\":{}", self.cpu_cores);
+        for (key, v) in [
+            ("threads_env", &self.threads_env),
+            ("pool_env", &self.pool_env),
+            ("rustc", &self.rustc),
+        ] {
+            let _ = write!(out, ",\"{key}\":");
+            match v {
+                None => out.push_str("null"),
+                Some(s) => write_json_str(out, s),
+            }
+        }
+        out.push('}');
+    }
+
+    /// Whether two fingerprints are close enough that timing comparison
+    /// is meaningful. Unknown rustc on either side is tolerated (old
+    /// records); everything else must match exactly.
+    pub fn comparable_to(&self, other: &HostFingerprint) -> bool {
+        let rustc_ok = match (&self.rustc, &other.rustc) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        };
+        self.cpu_cores == other.cpu_cores
+            && self.threads_env == other.threads_env
+            && self.pool_env == other.pool_env
+            && rustc_ok
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record contents
+// ---------------------------------------------------------------------
+
+/// Wall-time statistics of one stage, lifted from [`Summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRecord {
+    pub count: u64,
+    /// Fastest observation — the min-of-k the gate compares.
+    pub min_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub total_ns: u64,
+}
+
+impl StageRecord {
+    /// Relative min→p50 spread, the stage's own noise gauge:
+    /// `(p50 - min) / min`.
+    pub fn rel_spread(&self) -> f64 {
+        if self.min_ns == 0 {
+            0.0
+        } else {
+            (self.p50_ns.saturating_sub(self.min_ns)) as f64 / self.min_ns as f64
+        }
+    }
+}
+
+/// Prediction-quality metrics of the model the run trained.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelMetrics {
+    /// Mean exact-match accuracy across the per-configuration
+    /// classifiers (out-of-fold).
+    pub accuracy: f64,
+    /// Mean oracle-best time ÷ chosen-config time over the corpus
+    /// (≤ 1.0; 1.0 means every choice was oracle-optimal).
+    pub p_ratio: f64,
+    /// Mean per-matrix regret (chosen ÷ oracle, ≥ 1.0).
+    pub mean_regret: f64,
+    /// Worst per-matrix regret.
+    pub max_regret: f64,
+    /// Class count of the confusion matrix below.
+    pub n_classes: u64,
+    /// Row-major summed confusion counts (true × predicted), all
+    /// classifiers combined.
+    pub confusion: Vec<u64>,
+    /// Per-matrix `(name, regret)` pairs, corpus order.
+    pub per_matrix_regret: Vec<(String, f64)>,
+}
+
+/// One ledger entry: everything needed to compare this run against any
+/// other run of the same pinned suite.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchRecord {
+    pub schema_version: u64,
+    /// Ledger sequence number (the `<seq>` of `BENCH_<seq>.json`).
+    pub seq: u64,
+    /// Free-form tag, e.g. `"quick"` or a git revision.
+    pub note: String,
+    /// Digest pinning the benchmark input set (see [`fnv1a`]).
+    pub corpus_digest: String,
+    pub host: HostFingerprint,
+    /// Stage name → wall-time statistics.
+    pub stages: BTreeMap<String, StageRecord>,
+    /// Raw summed counters carried over from the trace.
+    pub counters: BTreeMap<String, u64>,
+    /// Derived rates, e.g. `kernel.spmv.nnz_per_s`.
+    pub throughput: BTreeMap<String, f64>,
+    /// Model quality, when the run trained and evaluated one.
+    pub model: Option<ModelMetrics>,
+}
+
+impl BenchRecord {
+    /// Builds a record from a flushed trace summary: every stage is
+    /// lifted verbatim, counters are copied, and throughput rates are
+    /// derived where both a volume counter and its stage time exist
+    /// (`kernel.spmv.nnz` ÷ `kernel.spmv` total, and the analogous
+    /// `rows` rate).
+    pub fn from_summary(
+        seq: u64,
+        note: &str,
+        corpus_digest: &str,
+        host: HostFingerprint,
+        summary: &Summary,
+    ) -> BenchRecord {
+        let stages: BTreeMap<String, StageRecord> = summary
+            .stages
+            .iter()
+            .map(|(name, st)| {
+                let rec = StageRecord {
+                    count: st.count,
+                    min_ns: st.min_ns,
+                    p50_ns: st.p50_ns,
+                    p95_ns: st.p95_ns,
+                    total_ns: st.total_ns,
+                };
+                (name.clone(), rec)
+            })
+            .collect();
+        let mut throughput = BTreeMap::new();
+        for (counter, rate) in [
+            ("kernel.spmv.nnz", "kernel.spmv.nnz_per_s"),
+            ("kernel.spmv.rows", "kernel.spmv.rows_per_s"),
+            ("kernel.convert.nnz", "kernel.convert.nnz_per_s"),
+        ] {
+            let volume = summary.counters.get(counter).copied().unwrap_or(0);
+            let stage = counter.rsplit_once('.').map(|(s, _)| s).unwrap_or(counter);
+            let total_ns = stages.get(stage).map(|s| s.total_ns).unwrap_or(0);
+            if volume > 0 && total_ns > 0 {
+                throughput.insert(rate.to_string(), volume as f64 * 1e9 / total_ns as f64);
+            }
+        }
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            seq,
+            note: note.to_string(),
+            corpus_digest: corpus_digest.to_string(),
+            host,
+            stages,
+            counters: summary.counters.clone(),
+            throughput,
+            model: None,
+        }
+    }
+
+    // -- JSON ---------------------------------------------------------
+
+    /// Serializes the record with the crate's hand-rolled JSON writer.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.stages.len() * 128);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{},\"seq\":{},\"note\":",
+            self.schema_version, self.seq
+        );
+        write_json_str(&mut out, &self.note);
+        out.push_str(",\"corpus_digest\":");
+        write_json_str(&mut out, &self.corpus_digest);
+        out.push_str(",\"host\":");
+        self.host.write_json(&mut out);
+        out.push_str(",\"stages\":{");
+        let mut first = true;
+        for (name, st) in &self.stages {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_json_str(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"total_ns\":{}}}",
+                st.count, st.min_ns, st.p50_ns, st.p95_ns, st.total_ns
+            );
+        }
+        out.push_str("},\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_json_str(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"throughput\":{");
+        let mut first = true;
+        for (name, v) in &self.throughput {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_json_str(&mut out, name);
+            let _ = write!(out, ":{v:.3}");
+        }
+        out.push_str("},\"model\":");
+        match &self.model {
+            None => out.push_str("null"),
+            Some(m) => {
+                let _ = write!(
+                    out,
+                    "{{\"accuracy\":{:.6},\"p_ratio\":{:.6},\"mean_regret\":{:.6},\
+                     \"max_regret\":{:.6},\"n_classes\":{},\"confusion\":[",
+                    m.accuracy, m.p_ratio, m.mean_regret, m.max_regret, m.n_classes
+                );
+                for (i, c) in m.confusion.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{c}");
+                }
+                out.push_str("],\"per_matrix_regret\":[");
+                for (i, (name, r)) in m.per_matrix_regret.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    write_json_str(&mut out, name);
+                    let _ = write!(out, ",\"regret\":{r:.6}}}");
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a record emitted by [`BenchRecord::to_json`] (or any
+    /// schema-compatible document).
+    pub fn from_json(text: &str) -> Result<BenchRecord, String> {
+        let doc = json::parse(text)?;
+        let u64_of = |v: &Value, what: &str| -> Result<u64, String> {
+            v.as_f64().map(|f| f as u64).ok_or_else(|| format!("{what}: not a number"))
+        };
+        let str_of = |v: &Value, what: &str| -> Result<String, String> {
+            v.as_str().map(str::to_string).ok_or_else(|| format!("{what}: not a string"))
+        };
+        let field = |name: &str| -> Result<&Value, String> {
+            doc.get(name).ok_or_else(|| format!("missing field '{name}'"))
+        };
+
+        let schema_version = u64_of(field("schema_version")?, "schema_version")?;
+        let seq = u64_of(field("seq")?, "seq")?;
+        let note = str_of(field("note")?, "note")?;
+        let corpus_digest = str_of(field("corpus_digest")?, "corpus_digest")?;
+
+        let host_v = field("host")?;
+        let opt_str = |key: &str| host_v.get(key).and_then(|v| v.as_str()).map(str::to_string);
+        let host = HostFingerprint {
+            cpu_cores: u64_of(host_v.get("cpu_cores").ok_or("host.cpu_cores")?, "cpu_cores")?,
+            threads_env: opt_str("threads_env"),
+            pool_env: opt_str("pool_env"),
+            rustc: opt_str("rustc"),
+        };
+
+        let mut stages = BTreeMap::new();
+        for (name, st) in field("stages")?.as_object().ok_or("stages: not an object")? {
+            let g = |key: &str| -> Result<u64, String> {
+                u64_of(st.get(key).ok_or_else(|| format!("stage {name}: missing {key}"))?, key)
+            };
+            stages.insert(
+                name.clone(),
+                StageRecord {
+                    count: g("count")?,
+                    min_ns: g("min_ns")?,
+                    p50_ns: g("p50_ns")?,
+                    p95_ns: g("p95_ns")?,
+                    total_ns: g("total_ns")?,
+                },
+            );
+        }
+
+        let mut counters = BTreeMap::new();
+        for (name, v) in field("counters")?.as_object().ok_or("counters: not an object")? {
+            counters.insert(name.clone(), u64_of(v, name)?);
+        }
+        let mut throughput = BTreeMap::new();
+        for (name, v) in field("throughput")?.as_object().ok_or("throughput: not an object")? {
+            throughput.insert(name.clone(), v.as_f64().ok_or_else(|| format!("{name}: NaN"))?);
+        }
+
+        let model = match field("model")? {
+            Value::Null => None,
+            m => {
+                let f = |key: &str| -> Result<f64, String> {
+                    m.get(key)
+                        .and_then(|v| v.as_f64())
+                        .ok_or_else(|| format!("model.{key}: missing"))
+                };
+                let confusion = m
+                    .get("confusion")
+                    .and_then(|v| v.as_array())
+                    .ok_or("model.confusion: missing")?
+                    .iter()
+                    .map(|v| u64_of(v, "confusion cell"))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                let per_matrix_regret = m
+                    .get("per_matrix_regret")
+                    .and_then(|v| v.as_array())
+                    .ok_or("model.per_matrix_regret: missing")?
+                    .iter()
+                    .map(|v| -> Result<(String, f64), String> {
+                        Ok((
+                            str_of(v.get("name").ok_or("regret entry name")?, "name")?,
+                            v.get("regret").and_then(|r| r.as_f64()).ok_or("regret value")?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Some(ModelMetrics {
+                    accuracy: f("accuracy")?,
+                    p_ratio: f("p_ratio")?,
+                    mean_regret: f("mean_regret")?,
+                    max_regret: f("max_regret")?,
+                    n_classes: u64_of(m.get("n_classes").ok_or("model.n_classes")?, "n_classes")?,
+                    confusion,
+                    per_matrix_regret,
+                })
+            }
+        };
+
+        Ok(BenchRecord {
+            schema_version,
+            seq,
+            note,
+            corpus_digest,
+            host,
+            stages,
+            counters,
+            throughput,
+            model,
+        })
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    write_escaped(out, s);
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Ledger files: BENCH_<seq>.json discovery and IO
+// ---------------------------------------------------------------------
+
+/// Parses a ledger file name (`BENCH_<seq>.json`) into its sequence
+/// number.
+pub fn parse_ledger_name(name: &str) -> Option<u64> {
+    name.strip_prefix("BENCH_")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// All ledger files under `dir`, sorted by sequence number. Files that
+/// merely resemble the pattern (`BENCH_x.json`, `BENCH_.json`) are
+/// ignored.
+pub fn ledger_paths(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_ledger_name) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// The next free sequence number in `dir` (1 for an empty ledger).
+pub fn next_seq(dir: &Path) -> std::io::Result<u64> {
+    Ok(ledger_paths(dir)?.last().map(|&(seq, _)| seq + 1).unwrap_or(1))
+}
+
+/// Loads every parseable ledger record in `dir`, sequence order.
+/// Unparseable files are skipped with their error collected into
+/// `warnings`.
+pub fn load_all(dir: &Path, warnings: &mut Vec<String>) -> std::io::Result<Vec<BenchRecord>> {
+    let mut records = Vec::new();
+    for (seq, path) in ledger_paths(dir)? {
+        let text = std::fs::read_to_string(&path)?;
+        match BenchRecord::from_json(&text) {
+            Ok(r) => records.push(r),
+            Err(e) => warnings.push(format!("{}: skipped (seq {seq}): {e}", path.display())),
+        }
+    }
+    Ok(records)
+}
+
+/// Writes `record` as `BENCH_<record.seq>.json` under `dir`, returning
+/// the path. Refuses to overwrite an existing sequence number.
+pub fn write_record(dir: &Path, record: &BenchRecord) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{}.json", record.seq));
+    if path.exists() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!("{} already exists; ledger entries are immutable", path.display()),
+        ));
+    }
+    std::fs::write(&path, record.to_json())?;
+    Ok(path)
+}
+
+// ---------------------------------------------------------------------
+// Digest (corpus pinning)
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit streaming hasher — enough to pin a generated corpus to
+/// its exact structure without a crypto dependency.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a::default()
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Final digest, in the `fnv1a:<16 hex>` form the ledger stores.
+    pub fn digest(&self) -> String {
+        format!("fnv1a:{:016x}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------
+
+/// Tuning of the regression gate.
+#[derive(Debug, Clone)]
+pub struct GatePolicy {
+    /// Stage names that must not regress.
+    pub tracked: Vec<String>,
+    /// Tolerance floor: a stage may always be this much slower
+    /// (relative) than the baseline without failing.
+    pub base_rel_tol: f64,
+    /// How much of the observed min→p50 spread widens the tolerance.
+    pub spread_weight: f64,
+    /// Tolerance ceiling, so a pathologically noisy stage still gates
+    /// order-of-magnitude regressions.
+    pub max_rel_tol: f64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy {
+            tracked: DEFAULT_TRACKED.iter().map(|s| s.to_string()).collect(),
+            base_rel_tol: 0.30,
+            spread_weight: 2.0,
+            max_rel_tol: 3.0,
+        }
+    }
+}
+
+/// Outcome for one tracked stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Candidate min is at or below the baseline min.
+    Improved,
+    /// Slower than baseline but inside the noise tolerance.
+    WithinNoise,
+    /// Slower than baseline beyond the tolerance — gate failure.
+    Regressed,
+    /// The stage is tracked but absent from the candidate — a silent
+    /// loss of coverage, also a gate failure.
+    MissingStage,
+    /// No comparable baseline has the stage; informational only.
+    NoBaseline,
+}
+
+impl Verdict {
+    pub fn is_failure(self) -> bool {
+        matches!(self, Verdict::Regressed | Verdict::MissingStage)
+    }
+}
+
+/// One line of the gate diff.
+#[derive(Debug, Clone)]
+pub struct StageDiff {
+    pub name: String,
+    pub baseline_min_ns: Option<u64>,
+    pub candidate_min_ns: Option<u64>,
+    /// candidate ÷ baseline, when both exist.
+    pub ratio: Option<f64>,
+    /// The relative tolerance actually applied.
+    pub tolerance: f64,
+    pub verdict: Verdict,
+}
+
+/// The full gate outcome: per-stage diffs plus baseline bookkeeping.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    pub diffs: Vec<StageDiff>,
+    /// Prior records considered (comparable host + digest + schema).
+    pub baselines_used: usize,
+    /// Prior records excluded, with the reason.
+    pub excluded: Vec<String>,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        !self.diffs.iter().any(|d| d.verdict.is_failure())
+    }
+
+    pub fn failures(&self) -> usize {
+        self.diffs.iter().filter(|d| d.verdict.is_failure()).count()
+    }
+
+    /// The human-readable diff the gate prints.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== bench_regress gate ==\n");
+        if self.baselines_used == 0 {
+            out.push_str("(no comparable baseline records; gate passes vacuously)\n");
+        }
+        for reason in &self.excluded {
+            let _ = writeln!(out, "excluded baseline: {reason}");
+        }
+        let name_w = self.diffs.iter().map(|d| d.name.len()).max().unwrap_or(5).max("stage".len());
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>12} {:>12} {:>8} {:>7}  verdict",
+            "stage", "baseline", "candidate", "ratio", "tol"
+        );
+        for d in &self.diffs {
+            let fmt_opt = |v: Option<u64>| match v {
+                Some(ns) => fmt_ns(ns),
+                None => "-".to_string(),
+            };
+            let ratio = match d.ratio {
+                Some(r) => format!("{r:.2}x"),
+                None => "-".to_string(),
+            };
+            let verdict = match d.verdict {
+                Verdict::Improved => "ok (improved)",
+                Verdict::WithinNoise => "ok (within noise)",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::MissingStage => "MISSING STAGE",
+                Verdict::NoBaseline => "ok (new stage)",
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>12} {:>12} {:>8} {:>6.0}%  {}",
+                d.name,
+                fmt_opt(d.baseline_min_ns),
+                fmt_opt(d.candidate_min_ns),
+                ratio,
+                d.tolerance * 100.0,
+                verdict
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} tracked stage(s), {} baseline record(s), {} failure(s)",
+            self.diffs.len(),
+            self.baselines_used,
+            self.failures()
+        );
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Compares `candidate` against every comparable record in `prior`.
+///
+/// A prior record is comparable when its schema version and corpus
+/// digest match the candidate's and its host fingerprint is
+/// [`HostFingerprint::comparable_to`] the candidate's; the rest are
+/// listed in [`GateReport::excluded`] and never gate. Per tracked
+/// stage, the baseline is the **best** (minimum) `min_ns` across
+/// comparable records — gating against the best known run, not merely
+/// the last one, so a slow regression cannot ratchet the baseline up.
+pub fn gate(prior: &[BenchRecord], candidate: &BenchRecord, policy: &GatePolicy) -> GateReport {
+    let mut excluded = Vec::new();
+    let baselines: Vec<&BenchRecord> = prior
+        .iter()
+        .filter(|r| {
+            if r.schema_version != candidate.schema_version {
+                excluded.push(format!(
+                    "seq {}: schema {} != {}",
+                    r.seq, r.schema_version, candidate.schema_version
+                ));
+                false
+            } else if r.corpus_digest != candidate.corpus_digest {
+                excluded.push(format!(
+                    "seq {}: corpus digest differs ({} vs {})",
+                    r.seq, r.corpus_digest, candidate.corpus_digest
+                ));
+                false
+            } else if !r.host.comparable_to(&candidate.host) {
+                excluded.push(format!("seq {}: host fingerprint differs", r.seq));
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+
+    let mut diffs = Vec::new();
+    for name in &policy.tracked {
+        // The best prior min, and the spread of the record it came from.
+        let base: Option<(u64, f64)> = baselines
+            .iter()
+            .filter_map(|r| r.stages.get(name).map(|s| (s.min_ns, s.rel_spread())))
+            .min_by_key(|&(min_ns, _)| min_ns);
+        let cand = candidate.stages.get(name);
+        let diff = match (base, cand) {
+            (None, _) => StageDiff {
+                name: name.clone(),
+                baseline_min_ns: None,
+                candidate_min_ns: cand.map(|s| s.min_ns),
+                ratio: None,
+                tolerance: policy.base_rel_tol,
+                verdict: Verdict::NoBaseline,
+            },
+            (Some((base_min, _)), None) => StageDiff {
+                name: name.clone(),
+                baseline_min_ns: Some(base_min),
+                candidate_min_ns: None,
+                ratio: None,
+                tolerance: policy.base_rel_tol,
+                verdict: Verdict::MissingStage,
+            },
+            (Some((base_min, base_spread)), Some(c)) => {
+                let spread = base_spread.max(c.rel_spread());
+                let tolerance =
+                    (policy.base_rel_tol + policy.spread_weight * spread).min(policy.max_rel_tol);
+                let ratio = if base_min == 0 { 1.0 } else { c.min_ns as f64 / base_min as f64 };
+                let verdict = if ratio <= 1.0 {
+                    Verdict::Improved
+                } else if ratio <= 1.0 + tolerance {
+                    Verdict::WithinNoise
+                } else {
+                    Verdict::Regressed
+                };
+                StageDiff {
+                    name: name.clone(),
+                    baseline_min_ns: Some(base_min),
+                    candidate_min_ns: Some(c.min_ns),
+                    ratio: Some(ratio),
+                    tolerance,
+                    verdict,
+                }
+            }
+        };
+        diffs.push(diff);
+    }
+    GateReport { diffs, baselines_used: baselines.len(), excluded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(min: u64, p50: u64) -> StageRecord {
+        StageRecord { count: 5, min_ns: min, p50_ns: p50, p95_ns: p50 * 2, total_ns: p50 * 5 }
+    }
+
+    fn record(seq: u64, stages: &[(&str, StageRecord)]) -> BenchRecord {
+        BenchRecord {
+            schema_version: SCHEMA_VERSION,
+            seq,
+            note: "test".into(),
+            corpus_digest: "fnv1a:0000000000000001".into(),
+            host: HostFingerprint { cpu_cores: 4, ..Default::default() },
+            stages: stages.iter().map(|(n, s)| (n.to_string(), *s)).collect(),
+            ..Default::default()
+        }
+    }
+
+    fn policy(names: &[&str]) -> GatePolicy {
+        GatePolicy { tracked: names.iter().map(|s| s.to_string()).collect(), ..Default::default() }
+    }
+
+    #[test]
+    fn improvement_and_noise_pass_regression_fails() {
+        let base = record(1, &[("a", stage(1000, 1000)), ("b", stage(1000, 1000))]);
+        let p = policy(&["a", "b"]);
+
+        // Improvement.
+        let faster = record(2, &[("a", stage(700, 700)), ("b", stage(1000, 1000))]);
+        let rep = gate(&[base.clone()], &faster, &p);
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.diffs[0].verdict, Verdict::Improved);
+
+        // Within the 30% floor tolerance (zero spread).
+        let noisy = record(2, &[("a", stage(1200, 1200)), ("b", stage(1000, 1000))]);
+        let rep = gate(&[base.clone()], &noisy, &p);
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.diffs[0].verdict, Verdict::WithinNoise);
+
+        // 2x with tight spread: regression.
+        let slow = record(2, &[("a", stage(2000, 2000)), ("b", stage(1000, 1000))]);
+        let rep = gate(&[base], &slow, &p);
+        assert!(!rep.passed());
+        assert_eq!(rep.diffs[0].verdict, Verdict::Regressed);
+        assert_eq!(rep.failures(), 1);
+        assert!(rep.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn spread_widens_tolerance() {
+        // Baseline min 1000 with p50 1800: spread 0.8 -> tolerance
+        // 0.30 + 2*0.8 = 1.9. A 2.5x candidate still fails; 1.8x passes.
+        let base = record(1, &[("a", stage(1000, 1800))]);
+        let p = policy(&["a"]);
+        let ok = record(2, &[("a", stage(1800, 1800))]);
+        assert!(gate(&[base.clone()], &ok, &p).passed());
+        let bad = record(2, &[("a", stage(2950, 2950))]);
+        assert!(!gate(&[base], &bad, &p).passed());
+    }
+
+    #[test]
+    fn tolerance_is_capped() {
+        // Absurd spread cannot push tolerance past max_rel_tol = 3.0:
+        // a 4.5x regression always fails.
+        let base = record(1, &[("a", stage(1000, 50_000))]);
+        let bad = record(2, &[("a", stage(4500, 4500))]);
+        assert!(!gate(&[base], &bad, &policy(&["a"])).passed());
+    }
+
+    #[test]
+    fn missing_stage_fails_new_stage_passes() {
+        let base = record(1, &[("a", stage(1000, 1000))]);
+        let p = policy(&["a", "brand_new"]);
+        let cand = record(2, &[("brand_new", stage(10, 10))]);
+        let rep = gate(&[base], &cand, &p);
+        assert!(!rep.passed());
+        assert_eq!(rep.diffs[0].verdict, Verdict::MissingStage);
+        assert_eq!(rep.diffs[1].verdict, Verdict::NoBaseline);
+        assert!(rep.render().contains("MISSING STAGE"));
+    }
+
+    #[test]
+    fn incomparable_hosts_and_digests_are_excluded() {
+        let base = record(1, &[("a", stage(10, 10))]);
+        let mut other_host = record(2, &[("a", stage(10, 10))]);
+        other_host.host.cpu_cores = 64;
+        let mut other_corpus = record(3, &[("a", stage(10, 10))]);
+        other_corpus.corpus_digest = "fnv1a:ffff000000000000".into();
+        // Candidate is 100x slower than both excluded baselines — but
+        // they must not gate it.
+        let cand = record(4, &[("a", stage(1000, 1000))]);
+        let rep = gate(&[other_host, other_corpus], &cand, &policy(&["a"]));
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.baselines_used, 0);
+        assert_eq!(rep.excluded.len(), 2);
+        // With the comparable baseline included, it fails.
+        let rep = gate(&[base], &cand, &policy(&["a"]));
+        assert!(!rep.passed());
+    }
+
+    #[test]
+    fn baseline_is_best_prior_min_not_last() {
+        let fast = record(1, &[("a", stage(500, 500))]);
+        let slow = record(2, &[("a", stage(5000, 5000))]);
+        // Candidate matches the slow run: against best-known 500ns this
+        // is a regression even though the *last* record would pass it.
+        let cand = record(3, &[("a", stage(5000, 5000))]);
+        let rep = gate(&[fast, slow], &cand, &policy(&["a"]));
+        assert!(!rep.passed());
+        assert_eq!(rep.diffs[0].baseline_min_ns, Some(500));
+    }
+
+    #[test]
+    fn fingerprint_comparability_rules() {
+        let a = HostFingerprint {
+            cpu_cores: 8,
+            threads_env: Some("4".into()),
+            pool_env: None,
+            rustc: Some("rustc 1.95.0".into()),
+        };
+        assert!(a.comparable_to(&a));
+        // Unknown rustc on one side is tolerated.
+        assert!(a.comparable_to(&HostFingerprint { rustc: None, ..a.clone() }));
+        // Different cores / env / rustc are not.
+        assert!(!a.comparable_to(&HostFingerprint { cpu_cores: 4, ..a.clone() }));
+        assert!(!a.comparable_to(&HostFingerprint { threads_env: None, ..a.clone() }));
+        assert!(!a.comparable_to(&HostFingerprint { pool_env: Some("0".into()), ..a.clone() }));
+        assert!(
+            !a.comparable_to(&HostFingerprint { rustc: Some("rustc 1.94.0".into()), ..a.clone() })
+        );
+    }
+
+    #[test]
+    fn ledger_name_parsing() {
+        assert_eq!(parse_ledger_name("BENCH_1.json"), Some(1));
+        assert_eq!(parse_ledger_name("BENCH_42.json"), Some(42));
+        assert_eq!(parse_ledger_name("BENCH_x.json"), None);
+        assert_eq!(parse_ledger_name("BENCH_.json"), None);
+        assert_eq!(parse_ledger_name("BENCH_1.json.bak"), None);
+        assert_eq!(parse_ledger_name("bench_1.json"), None);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_sensitive() {
+        let mut a = Fnv1a::new();
+        a.update(b"corpus");
+        a.update_u64(42);
+        let mut b = Fnv1a::new();
+        b.update(b"corpus");
+        b.update_u64(42);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = Fnv1a::new();
+        c.update(b"corpus");
+        c.update_u64(43);
+        assert_ne!(a.digest(), c.digest());
+        assert!(a.digest().starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn stage_rel_spread() {
+        assert_eq!(stage(1000, 1500).rel_spread(), 0.5);
+        assert_eq!(stage(0, 10).rel_spread(), 0.0);
+        // p50 < min cannot happen from Summary, but must not underflow.
+        let s = StageRecord { count: 1, min_ns: 10, p50_ns: 5, p95_ns: 5, total_ns: 5 };
+        assert_eq!(s.rel_spread(), 0.0);
+    }
+}

@@ -13,7 +13,11 @@
 //! * [`export`] — a human-readable run report, Chrome trace-event JSON
 //!   (loadable in Perfetto / `chrome://tracing`), and a machine-
 //!   readable `perf_summary.json` (stage → `{p50, p95, count}`) so
-//!   benchmark trajectories can be diffed across PRs.
+//!   benchmark trajectories can be diffed across PRs;
+//! * [`ledger`] — the versioned `BENCH_<seq>.json` benchmark ledger
+//!   (host fingerprint, per-stage wall times, throughput, model
+//!   quality) and the noise-aware regression gate that compares runs
+//!   (driven by the `bench_regress` bin in `wise-bench`).
 //!
 //! # Cost when disabled
 //!
@@ -47,10 +51,15 @@
 //! `pipeline.*` (see DESIGN.md §10 for the full table).
 
 pub mod export;
+pub mod ledger;
 pub mod metrics;
 pub mod span;
 
-pub use export::{chrome_trace_json, perf_summary_json, run_report, write_trace_files};
+pub use export::{
+    balanced_events, chrome_trace_json, perf_summary_json, perf_summary_json_with, run_report,
+    write_trace_files,
+};
+pub use ledger::{BenchRecord, GatePolicy, GateReport, HostFingerprint, ModelMetrics};
 pub use metrics::Hist;
 pub use span::{
     build_forest, counter, dropped_events, observe_ns, span, take_events, Event, Phase, Span,
