@@ -14,7 +14,10 @@
 //!
 //! Flags: `--quick` (CI sizing), `--ledger-dir <dir>` (default `.`),
 //! `--trace-out <path>` (also write Chrome trace + perf summary),
-//! `--note <text>` (free-form tag stored in the record).
+//! `--note <text>` (free-form tag stored in the record),
+//! `--simd-floor <x>` (minimum scalar/vector speedup of the SIMD
+//! throughput stage; default 1.0 — the vector kernel must not lose.
+//! Hosts whose probe resolves to the scalar ISA gate on parity only).
 //!
 //! The suite must stay byte-for-byte pinned: records are only
 //! comparable across runs because the work is identical. Change the
@@ -34,7 +37,7 @@ use wise_features::{FeatureConfig, FeatureVector};
 use wise_gen::{Corpus, CorpusScale, RggParams, RmatParams};
 use wise_kernels::sched::set_executor;
 use wise_kernels::srvpack::SpmvWorkspace;
-use wise_kernels::{Executor, MethodConfig};
+use wise_kernels::{Executor, MethodConfig, Schedule};
 use wise_matrix::Csr;
 use wise_ml::TreeParams;
 use wise_perf::Estimator;
@@ -50,11 +53,17 @@ struct Args {
     ledger_dir: PathBuf,
     trace_out: Option<PathBuf>,
     note: String,
+    simd_floor: f64,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { quick: false, ledger_dir: PathBuf::from("."), trace_out: None, note: String::new() };
+    let mut args = Args {
+        quick: false,
+        ledger_dir: PathBuf::from("."),
+        trace_out: None,
+        note: String::new(),
+        simd_floor: 1.0,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -66,11 +75,15 @@ fn parse_args() -> Args {
                 args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a path")));
             }
             "--note" => args.note = it.next().expect("--note needs text"),
+            "--simd-floor" => {
+                let raw = it.next().expect("--simd-floor needs a number");
+                args.simd_floor = raw.parse().expect("--simd-floor: not a number");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_regress [--quick] [--ledger-dir <dir>] \
-                     [--trace-out <path>] [--note <text>]"
+                     [--trace-out <path>] [--note <text>] [--simd-floor <x>]"
                 );
                 std::process::exit(2);
             }
@@ -87,6 +100,9 @@ fn probe_matrices() -> Vec<(String, Csr)> {
         ("rmat_hs_s10_d8".into(), RmatParams::HIGH_SKEW.generate(10, 8, SEED)),
         ("rmat_ll_s9_d4".into(), RmatParams::LOW_LOC.generate(9, 4, SEED)),
         ("rgg_n512_d8".into(), RggParams { n: 512, avg_degree: 8.0 }.generate(SEED)),
+        // The SIMD throughput probe: >= 2^16 nonzeros so the vector-vs-
+        // scalar ratio is not dominated by dispatch overhead.
+        ("rmat_ms_s13_d16_simd".into(), RmatParams::MED_SKEW.generate(13, 16, SEED)),
     ]
 }
 
@@ -174,7 +190,7 @@ fn main() {
     println!("== bench_regress: pinned suite (seed {SEED}, {mode} mode) ==");
 
     // ---- 1. Feature extraction on the fixed probes ------------------
-    report::progress("stage 1/4: feature extraction probes");
+    report::progress("stage 1/5: feature extraction probes");
     let probes = probe_matrices();
     let feature_config = FeatureConfig::default();
     for (name, m) in &probes {
@@ -184,7 +200,7 @@ fn main() {
     }
 
     // ---- 2. Registry fit on the pinned tiny corpus ------------------
-    report::progress("stage 2/4: label corpus + registry fit");
+    report::progress("stage 2/5: label corpus + registry fit");
     let scale = CorpusScale::tiny();
     let corpus = Corpus::full(&scale, SEED);
     let digest = corpus_digest(&probes, &corpus);
@@ -201,7 +217,7 @@ fn main() {
     let wise = Wise::from_labels(&labels, &opts);
 
     // ---- 3. SpMV catalog through the worker pool --------------------
-    report::progress("stage 3/4: SpMV catalog sweep");
+    report::progress("stage 3/5: SpMV catalog sweep");
     let (_, spmv_matrix) = &probes[0];
     let x: Vec<f64> = (0..spmv_matrix.ncols()).map(|i| (i as f64).sin()).collect();
     let mut y = vec![0.0; spmv_matrix.nrows()];
@@ -214,8 +230,42 @@ fn main() {
         black_box(&y);
     }
 
-    // ---- 4. End-to-end selection + model quality --------------------
-    report::progress("stage 4/4: end-to-end select + CV evaluation");
+    // ---- 4. SIMD vs scalar throughput on the pinned SELL probe ------
+    report::progress("stage 4/5: SIMD throughput probe");
+    let isa = wise_kernels::simd::active();
+    let (_, simd_matrix) = &probes[3];
+    let simd_cfg = MethodConfig::sell_c_sigma(8, 512, Schedule::StCont);
+    let xs: Vec<f64> = (0..simd_matrix.ncols()).map(|i| (i as f64).cos()).collect();
+    let mut ys = vec![0.0; simd_matrix.nrows()];
+    let scalar_prep = simd_cfg.with_simd(1).prepare(simd_matrix);
+    let vector_prep = simd_cfg.prepare(simd_matrix);
+    let probe_nnz = vector_prep.nnz_padded() as u64;
+    for _ in 0..3 {
+        scalar_prep.spmv(&xs, &mut ys, 1, &mut ws);
+        vector_prep.spmv(&xs, &mut ys, 1, &mut ws);
+    }
+    for _ in 0..spmv_iters {
+        {
+            let _s = wise_trace::span("bench.simd.scalar");
+            scalar_prep.spmv(&xs, &mut ys, 1, &mut ws);
+        }
+        wise_trace::counter("bench.simd.scalar.nnz", probe_nnz);
+        {
+            let _s = wise_trace::span("bench.simd.vector");
+            vector_prep.spmv(&xs, &mut ys, 1, &mut ws);
+        }
+        wise_trace::counter("bench.simd.vector.nnz", probe_nnz);
+    }
+    black_box(&ys);
+    report::progress(format_args!(
+        "simd probe: {} ({} lanes), {} padded nnz, {spmv_iters} iters",
+        isa.name(),
+        isa.lanes(),
+        probe_nnz
+    ));
+
+    // ---- 5. End-to-end selection + model quality --------------------
+    report::progress("stage 5/5: end-to-end select + CV evaluation");
     let choice = wise.select(spmv_matrix);
     wise.run_spmv(spmv_matrix, &choice, &x, &mut y, nthreads);
     println!("\n{}", explain_choice(wise.registry().catalog(), &choice));
@@ -261,6 +311,26 @@ fn main() {
     let note = if args.note.is_empty() { format!("{mode} suite") } else { args.note };
     let mut record = BenchRecord::from_summary(seq, &note, &digest, host, &summary);
     record.model = Some(metrics);
+
+    // SIMD speedup: min-of-k scalar time over min-of-k vector time on
+    // the stage-4 probe, recorded alongside the derived nnz/s rates.
+    let speedup = match (
+        summary.stages.get("bench.simd.scalar").map(|s| s.min_ns),
+        summary.stages.get("bench.simd.vector").map(|s| s.min_ns),
+    ) {
+        (Some(s), Some(v)) if v > 0 => Some(s as f64 / v as f64),
+        _ => None,
+    };
+    if let Some(sp) = speedup {
+        record.throughput.insert("bench.simd.speedup".to_string(), sp);
+        println!(
+            "simd: {} ({} lanes), vector speedup {sp:.2}x over forced scalar (floor {:.2}x)",
+            isa.name(),
+            isa.lanes(),
+            args.simd_floor
+        );
+    }
+
     match ledger::write_record(dir, &record) {
         Ok(path) => report::artifact(path.display()),
         Err(e) => {
@@ -270,7 +340,15 @@ fn main() {
     }
 
     // ---- Gate against comparable priors -----------------------------
-    let gate_report = ledger::gate(&prior, &record, &GatePolicy::default());
+    // The SIMD throughput stages only gate on hosts where a vector ISA
+    // is active: a scalar-fallback host runs identical code in both
+    // spans, so tracking them there would only gate noise.
+    let mut policy = GatePolicy::default();
+    if isa.lanes() > 1 {
+        policy.tracked.push("bench.simd.scalar".to_string());
+        policy.tracked.push("bench.simd.vector".to_string());
+    }
+    let gate_report = ledger::gate(&prior, &record, &policy);
     println!("\n{}", gate_report.render());
     if !gate_report.passed() {
         eprintln!(
@@ -278,6 +356,19 @@ fn main() {
             gate_report.failures()
         );
         std::process::exit(1);
+    }
+    if isa.lanes() > 1 {
+        let sp = speedup.unwrap_or(0.0);
+        if sp < args.simd_floor {
+            eprintln!(
+                "bench_regress: SIMD floor violated — vector kernel {sp:.2}x vs scalar \
+                 (floor {:.2}x)",
+                args.simd_floor
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!("simd: scalar-fallback host; gated on parity only");
     }
     println!("bench_regress: gate passed (BENCH_{seq}.json recorded)");
 }

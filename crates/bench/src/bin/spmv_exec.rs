@@ -31,8 +31,13 @@ fn main() {
     let ctx = BenchContext::from_env();
     let quick = std::env::var("WISE_EXEC_QUICK").map(|v| v == "1").unwrap_or(false);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let isa = wise_kernels::simd::active();
     println!("== SpMV executor: persistent pool vs per-call spawn ==");
-    println!("(host cores: {cores}; dispatch times are per parallel_for_chunks call)\n");
+    println!(
+        "(host cores: {cores}; simd: {} x{}; dispatch times are per parallel_for_chunks call)\n",
+        isa.name(),
+        isa.lanes()
+    );
 
     let mut rows: Vec<String> = Vec::new();
     // Honest wall-clock accounting: every `Samples.total` measured by

@@ -7,6 +7,7 @@
 //! parallelism sound.
 
 use crate::sched::{parallel_for_chunks, DisjointWriter, Schedule};
+use crate::simd::{self, SimdIsa};
 use wise_matrix::Csr;
 
 /// Default rows per scheduling chunk (the paper's "K rows at a time").
@@ -22,17 +23,36 @@ pub struct CsrSpmv<'a> {
     matrix: &'a Csr,
     schedule: Schedule,
     rows_per_chunk: usize,
+    simd: usize,
 }
 
 impl<'a> CsrSpmv<'a> {
     pub fn new(matrix: &'a Csr, schedule: Schedule) -> Self {
-        CsrSpmv { matrix, schedule, rows_per_chunk: DEFAULT_ROWS_PER_CHUNK }
+        CsrSpmv { matrix, schedule, rows_per_chunk: DEFAULT_ROWS_PER_CHUNK, simd: 0 }
     }
 
     /// Overrides the chunk granularity.
     pub fn with_rows_per_chunk(mut self, rows: usize) -> Self {
         self.rows_per_chunk = rows.max(1);
         self
+    }
+
+    /// Requests a SIMD width for the row kernel: 0 = auto (widest
+    /// active level), 1 = the original scalar path (bit-exact), else
+    /// capped at the host's [`simd::active`] level.
+    pub fn with_simd(mut self, v: usize) -> Self {
+        self.simd = v;
+        self
+    }
+
+    /// The requested SIMD width (see [`CsrSpmv::with_simd`]).
+    pub fn simd(&self) -> usize {
+        self.simd
+    }
+
+    /// The level this kernel will actually execute at.
+    pub fn resolved_isa(&self) -> SimdIsa {
+        simd::resolve(self.simd, self.matrix.ncols())
     }
 
     pub fn schedule(&self) -> Schedule {
@@ -64,6 +84,7 @@ impl<'a> CsrSpmv<'a> {
         let col_idx = m.col_idx();
         let vals = m.vals();
         let writer = DisjointWriter::new(y);
+        let isa = self.resolved_isa();
         // For CSR the scheduling chunk IS the work grain, so grain = 1.
         parallel_for_chunks(nchunks, nthreads, self.schedule, 1, |chunk| {
             let row_lo = chunk * rows_per_chunk;
@@ -80,14 +101,22 @@ impl<'a> CsrSpmv<'a> {
                 let (k0, k1) =
                     unsafe { (*row_ptr.get_unchecked(r), *row_ptr.get_unchecked(r + 1)) };
                 debug_assert!(k0 <= k1 && k1 <= vals.len());
-                let mut acc = 0.0f64;
-                for k in k0..k1 {
-                    unsafe {
-                        let c = *col_idx.get_unchecked(k) as usize;
-                        debug_assert!(c < x.len());
-                        acc += *vals.get_unchecked(k) * *x.get_unchecked(c);
+                let acc = if isa == SimdIsa::Scalar {
+                    let mut acc = 0.0f64;
+                    for k in k0..k1 {
+                        unsafe {
+                            let c = *col_idx.get_unchecked(k) as usize;
+                            debug_assert!(c < x.len());
+                            acc += *vals.get_unchecked(k) * *x.get_unchecked(c);
+                        }
                     }
-                }
+                    acc
+                } else {
+                    // SAFETY: the row's vals/cols slices are equal-length
+                    // and every column index < ncols == x.len() (same Csr
+                    // invariants as above).
+                    unsafe { simd::csr_row(isa, &vals[k0..k1], &col_idx[k0..k1], x) }
+                };
                 // SAFETY: chunk row ranges are disjoint by construction.
                 unsafe { writer.write(r, acc) };
             }
@@ -153,6 +182,44 @@ mod tests {
         let mut y = vec![0.0; 2];
         CsrSpmv::new(&m, Schedule::StCont).spmv(&x, &mut y, 3);
         assert_eq!(y, vec![1.0 + 10.0, 9.0]);
+    }
+
+    #[test]
+    fn simd_widths_match_scalar_within_ulp_bound() {
+        use crate::simd;
+        let m = RmatParams::MED_SKEW.generate(9, 8, 11);
+        let x = random_x(m.ncols(), 3);
+        let mut want = vec![0.0; m.nrows()];
+        CsrSpmv::new(&m, Schedule::Dyn).with_simd(1).spmv(&x, &mut want, 2);
+        for v in [0usize, 2, 4, 8] {
+            let k = CsrSpmv::new(&m, Schedule::Dyn).with_simd(v);
+            assert!(k.resolved_isa().lanes() <= v.max(simd::active().lanes()));
+            let mut got = vec![0.0; m.nrows()];
+            k.spmv(&x, &mut got, 2);
+            simd::assert_ulp_close(
+                &got,
+                &want,
+                simd::SPMV_MAX_ULPS,
+                simd::SPMV_ABS_FLOOR,
+                &format!("csr v={v}"),
+            );
+        }
+    }
+
+    #[test]
+    fn forced_scalar_width_matches_reference_bitwise() {
+        // v=1 must run the original unchecked loop: same order of
+        // operations as `spmv_reference`, so bit-for-bit equal.
+        let m = RmatParams::LOW_LOC.generate(8, 4, 12);
+        let x = random_x(m.ncols(), 5);
+        let mut want = vec![0.0; m.nrows()];
+        m.spmv_reference(&x, &mut want);
+        let k = CsrSpmv::new(&m, Schedule::St).with_simd(1);
+        assert_eq!(k.resolved_isa(), crate::simd::SimdIsa::Scalar);
+        let mut got = vec![0.0; m.nrows()];
+        k.spmv(&x, &mut got, 3);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&want));
     }
 
     #[test]

@@ -21,16 +21,24 @@
 //!   see DESIGN.md for the substitution argument);
 //! * [`merge_csr`] — a merge-path load-balanced CSR kernel, the worked
 //!   example for extending WISE beyond the paper's 29 configurations;
+//! * [`simd`] — the runtime CPU capability probe (SSE2/AVX2/AVX-512,
+//!   scalar elsewhere) and the explicitly vectorized CSR-row and SELL-
+//!   chunk kernels it dispatches, plus the ulp-tolerance contract that
+//!   replaces bit-exactness for reassociated sums (`WISE_SIMD=0` opts
+//!   back into the bit-exact scalar paths; see DESIGN.md §14);
 //! * [`timing`] — robust wall-clock measurement helpers reporting the
 //!   full sample spread ([`timing::Samples`]).
 //!
 //! Format conversion and every `Prepared::spmv` call are traced via
-//! [`wise_trace`] spans (`kernel.convert`, `kernel.spmv`) with
-//! nnz/bytes-moved counters; with `WISE_TRACE` unset the
-//! instrumentation costs one relaxed atomic load per call.
+//! [`wise_trace`] spans (`kernel.convert`, `kernel.spmv`, plus a nested
+//! `kernel.spmv.simd` span and a `kernel.simd.lanes` counter when a
+//! vector path is active) with nnz/bytes-moved counters; with
+//! `WISE_TRACE` unset the instrumentation costs one relaxed atomic load
+//! per call.
 //!
 //! Every kernel computes exactly `y = A x` and is tested against
-//! [`wise_matrix::Csr::spmv_reference`].
+//! [`wise_matrix::Csr::spmv_reference`] (bit-exact for scalar paths,
+//! ulp-bounded for vector ones).
 
 pub mod baseline;
 pub mod csr_spmv;
@@ -38,10 +46,12 @@ pub mod merge_csr;
 pub mod method;
 pub mod pool;
 pub mod sched;
+pub mod simd;
 pub mod srvpack;
 pub mod timing;
 
 pub use method::{Method, MethodConfig, Prepared};
 pub use pool::WorkerPool;
 pub use sched::{Executor, Schedule};
+pub use simd::SimdIsa;
 pub use srvpack::SrvPack;

@@ -77,31 +77,45 @@ pub struct MethodConfig {
     pub sigma: usize,
     /// LAV dense fraction; 0.0 unless `method == Lav`.
     pub t: f64,
+    /// Requested SIMD lane width for the kernels: 0 = auto (widest
+    /// level active on the host), 1 = forced scalar (bit-exact legacy
+    /// path), 2/4/8 = cap at that many f64 lanes. Defaults to 0, so
+    /// configs serialized before this field existed — and the default
+    /// catalog — behave as auto and keep their pre-SIMD labels.
+    #[serde(default)]
+    pub v: usize,
 }
 
 impl MethodConfig {
     pub fn csr(schedule: Schedule) -> Self {
-        MethodConfig { method: Method::Csr, schedule, c: 0, sigma: 0, t: 0.0 }
+        MethodConfig { method: Method::Csr, schedule, c: 0, sigma: 0, t: 0.0, v: 0 }
     }
 
     pub fn sellpack(c: usize, schedule: Schedule) -> Self {
-        MethodConfig { method: Method::SellPack, schedule, c, sigma: 0, t: 0.0 }
+        MethodConfig { method: Method::SellPack, schedule, c, sigma: 0, t: 0.0, v: 0 }
     }
 
     pub fn sell_c_sigma(c: usize, sigma: usize, schedule: Schedule) -> Self {
-        MethodConfig { method: Method::SellCSigma, schedule, c, sigma, t: 0.0 }
+        MethodConfig { method: Method::SellCSigma, schedule, c, sigma, t: 0.0, v: 0 }
     }
 
     pub fn sell_c_r(c: usize) -> Self {
-        MethodConfig { method: Method::SellCR, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0 }
+        MethodConfig { method: Method::SellCR, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0, v: 0 }
     }
 
     pub fn lav_1seg(c: usize) -> Self {
-        MethodConfig { method: Method::Lav1Seg, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0 }
+        MethodConfig { method: Method::Lav1Seg, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0, v: 0 }
     }
 
     pub fn lav(c: usize, t: f64) -> Self {
-        MethodConfig { method: Method::Lav, schedule: Schedule::Dyn, c, sigma: 0, t }
+        MethodConfig { method: Method::Lav, schedule: Schedule::Dyn, c, sigma: 0, t, v: 0 }
+    }
+
+    /// Returns this config with an explicit SIMD width (see the `v`
+    /// field docs for the encoding).
+    pub fn with_simd(mut self, v: usize) -> Self {
+        self.v = v;
+        self
     }
 
     /// The paper's 29 configurations, in preprocessing-cost order
@@ -144,24 +158,103 @@ impl MethodConfig {
         v
     }
 
+    /// The catalog with every entry pinned to an explicit SIMD width —
+    /// used by experiments comparing vectorized vs scalar selection.
+    pub fn catalog_with_simd(v: usize) -> Vec<MethodConfig> {
+        Self::catalog().into_iter().map(|c| c.with_simd(v)).collect()
+    }
+
     /// Stable human-readable label, used in reports and model files.
+    ///
+    /// The SIMD width appears as a `-v{n}` segment only when explicit
+    /// (`v != 0`), directly before the schedule suffix for scheduled
+    /// methods (`CSR-v8-Dyn`, `SELLPACK-c8-v4-Dyn`) and at the end for
+    /// Dyn-only methods (`Sell-c-R-c8-v4`) — so every pre-SIMD label
+    /// is unchanged and still parses ([`MethodConfig::parse`]).
     pub fn label(&self) -> String {
+        let vtag = if self.v == 0 { String::new() } else { format!("-v{}", self.v) };
         match self.method {
-            Method::Csr => format!("CSR-{}", self.schedule.name()),
-            Method::SellPack => format!("SELLPACK-c{}-{}", self.c, self.schedule.name()),
+            Method::Csr => format!("CSR{}-{}", vtag, self.schedule.name()),
+            Method::SellPack => format!("SELLPACK-c{}{}-{}", self.c, vtag, self.schedule.name()),
             Method::SellCSigma => {
-                format!("Sell-c-s-c{}-s{}-{}", self.c, self.sigma, self.schedule.name())
+                format!("Sell-c-s-c{}-s{}{}-{}", self.c, self.sigma, vtag, self.schedule.name())
             }
-            Method::SellCR => format!("Sell-c-R-c{}", self.c),
-            Method::Lav1Seg => format!("LAV-1Seg-c{}", self.c),
-            Method::Lav => format!("LAV-c{}-T{}", self.c, (self.t * 100.0).round() as u32),
+            Method::SellCR => format!("Sell-c-R-c{}{}", self.c, vtag),
+            Method::Lav1Seg => format!("LAV-1Seg-c{}{}", self.c, vtag),
+            Method::Lav => {
+                format!("LAV-c{}-T{}{}", self.c, (self.t * 100.0).round() as u32, vtag)
+            }
         }
     }
 
+    /// Inverse of [`MethodConfig::label`]: parses both pre-SIMD labels
+    /// (`v = 0`) and width-suffixed ones. Returns `None` for anything
+    /// `label()` cannot produce.
+    pub fn parse(label: &str) -> Option<MethodConfig> {
+        // Leading decimal run -> (number, rest).
+        fn num(s: &str) -> Option<(usize, &str)> {
+            let end = s.find(|ch: char| !ch.is_ascii_digit()).unwrap_or(s.len());
+            if end == 0 {
+                return None;
+            }
+            Some((s[..end].parse().ok()?, &s[end..]))
+        }
+        // Optional "v{n}-" prefix ahead of a schedule suffix.
+        fn v_infix(s: &str) -> (usize, &str) {
+            if let Some((v, tail)) = s.strip_prefix('v').and_then(num) {
+                if v != 0 {
+                    if let Some(tail) = tail.strip_prefix('-') {
+                        return (v, tail);
+                    }
+                }
+            }
+            (0, s)
+        }
+        // Optional trailing "-v{n}" on Dyn-only labels.
+        fn v_suffix(s: &str) -> Option<usize> {
+            if s.is_empty() {
+                return Some(0);
+            }
+            let (v, tail) = s.strip_prefix("-v").and_then(num)?;
+            (tail.is_empty() && v != 0).then_some(v)
+        }
+        if let Some(rest) = label.strip_prefix("CSR-") {
+            let (v, rest) = v_infix(rest);
+            return Some(MethodConfig::csr(Schedule::parse(rest)?).with_simd(v));
+        }
+        if let Some(rest) = label.strip_prefix("SELLPACK-c") {
+            let (c, rest) = num(rest)?;
+            let (v, rest) = v_infix(rest.strip_prefix('-')?);
+            return Some(MethodConfig::sellpack(c, Schedule::parse(rest)?).with_simd(v));
+        }
+        if let Some(rest) = label.strip_prefix("Sell-c-s-c") {
+            let (c, rest) = num(rest)?;
+            let (sigma, rest) = num(rest.strip_prefix("-s")?)?;
+            let (v, rest) = v_infix(rest.strip_prefix('-')?);
+            return Some(MethodConfig::sell_c_sigma(c, sigma, Schedule::parse(rest)?).with_simd(v));
+        }
+        if let Some(rest) = label.strip_prefix("Sell-c-R-c") {
+            let (c, rest) = num(rest)?;
+            return Some(MethodConfig::sell_c_r(c).with_simd(v_suffix(rest)?));
+        }
+        if let Some(rest) = label.strip_prefix("LAV-1Seg-c") {
+            let (c, rest) = num(rest)?;
+            return Some(MethodConfig::lav_1seg(c).with_simd(v_suffix(rest)?));
+        }
+        if let Some(rest) = label.strip_prefix("LAV-c") {
+            let (c, rest) = num(rest)?;
+            let (t100, rest) = num(rest.strip_prefix("-T")?)?;
+            return Some(MethodConfig::lav(c, t100 as f64 / 100.0).with_simd(v_suffix(rest)?));
+        }
+        None
+    }
+
     /// Total order used for preprocessing-cost tie-breaking
-    /// (Section 4.4): method rank first, then smaller parameters.
-    pub fn preproc_key(&self) -> (u8, usize, usize, u64) {
-        (self.method.preproc_rank(), self.c, self.sigma, (self.t * 1000.0) as u64)
+    /// (Section 4.4): method rank first, then smaller parameters. The
+    /// SIMD width sorts last — it changes execution, not preprocessing,
+    /// so it only breaks ties among otherwise-identical configs.
+    pub fn preproc_key(&self) -> (u8, usize, usize, u64, usize) {
+        (self.method.preproc_rank(), self.c, self.sigma, (self.t * 1000.0) as u64, self.v)
     }
 
     /// Converts the matrix into this configuration's executable form.
@@ -169,20 +262,14 @@ impl MethodConfig {
     pub fn prepare<'m>(&self, m: &'m Csr) -> Prepared<'m> {
         let _span = wise_trace::span("kernel.convert");
         wise_trace::counter("kernel.convert.nnz", m.nnz() as u64);
+        let pack = |p: SrvPack| Prepared::Pack(Box::new(p.with_simd(self.v)), self.schedule);
         let prepared = match self.method {
-            Method::Csr => Prepared::Csr(CsrSpmv::new(m, self.schedule)),
-            Method::SellPack => {
-                Prepared::Pack(Box::new(SrvPack::sellpack(m, self.c)), self.schedule)
-            }
-            Method::SellCSigma => Prepared::Pack(
-                Box::new(SrvPack::sell_c_sigma(m, self.c, self.sigma)),
-                self.schedule,
-            ),
-            Method::SellCR => Prepared::Pack(Box::new(SrvPack::sell_c_r(m, self.c)), self.schedule),
-            Method::Lav1Seg => {
-                Prepared::Pack(Box::new(SrvPack::lav_1seg(m, self.c)), self.schedule)
-            }
-            Method::Lav => Prepared::Pack(Box::new(SrvPack::lav(m, self.c, self.t)), self.schedule),
+            Method::Csr => Prepared::Csr(CsrSpmv::new(m, self.schedule).with_simd(self.v)),
+            Method::SellPack => pack(SrvPack::sellpack(m, self.c)),
+            Method::SellCSigma => pack(SrvPack::sell_c_sigma(m, self.c, self.sigma)),
+            Method::SellCR => pack(SrvPack::sell_c_r(m, self.c)),
+            Method::Lav1Seg => pack(SrvPack::lav_1seg(m, self.c)),
+            Method::Lav => pack(SrvPack::lav(m, self.c, self.t)),
         };
         wise_trace::counter("kernel.convert.nnz_padded", prepared.nnz_padded() as u64);
         prepared
@@ -199,9 +286,24 @@ pub enum Prepared<'m> {
 }
 
 impl Prepared<'_> {
+    /// Lanes the kernel will actually execute with (1 = scalar path).
+    pub fn simd_lanes(&self) -> usize {
+        match self {
+            Prepared::Csr(k) => k.resolved_isa().lanes(),
+            Prepared::Pack(p, _) => p.resolved_isa().lanes(),
+        }
+    }
+
     /// `y = A x`.
     pub fn spmv(&self, x: &[f64], y: &mut [f64], nthreads: usize, ws: &mut SpmvWorkspace) {
         let _span = wise_trace::span("kernel.spmv");
+        // Declared after the kernel.spmv guard so it drops first and
+        // the simd span nests inside its parent in the trace.
+        let lanes = self.simd_lanes();
+        let _simd_span = (lanes > 1).then(|| {
+            wise_trace::counter("kernel.simd.lanes", lanes as u64);
+            wise_trace::span("kernel.spmv.simd")
+        });
         let stored = match self {
             Prepared::Csr(k) => {
                 k.spmv(x, y, nthreads);
@@ -311,5 +413,72 @@ mod tests {
             "Sell-c-s-c4-s4096-StCont"
         );
         assert_eq!(MethodConfig::lav(8, 0.8).label(), "LAV-c8-T80");
+    }
+
+    #[test]
+    fn width_suffixed_labels_are_stable() {
+        assert_eq!(MethodConfig::csr(Schedule::Dyn).with_simd(8).label(), "CSR-v8-Dyn");
+        assert_eq!(
+            MethodConfig::sellpack(8, Schedule::Dyn).with_simd(4).label(),
+            "SELLPACK-c8-v4-Dyn"
+        );
+        assert_eq!(
+            MethodConfig::sell_c_sigma(4, 4096, Schedule::StCont).with_simd(8).label(),
+            "Sell-c-s-c4-s4096-v8-StCont"
+        );
+        assert_eq!(MethodConfig::sell_c_r(8).with_simd(4).label(), "Sell-c-R-c8-v4");
+        assert_eq!(MethodConfig::lav_1seg(4).with_simd(8).label(), "LAV-1Seg-c4-v8");
+        assert_eq!(MethodConfig::lav(8, 0.8).with_simd(2).label(), "LAV-c8-T80-v2");
+    }
+
+    #[test]
+    fn parse_round_trips_every_catalog_label() {
+        for cfg in MethodConfig::catalog() {
+            assert_eq!(MethodConfig::parse(&cfg.label()), Some(cfg), "{}", cfg.label());
+            for v in [1usize, 2, 4, 8] {
+                let wide = cfg.with_simd(v);
+                assert_eq!(MethodConfig::parse(&wide.label()), Some(wide), "{}", wide.label());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_labels() {
+        for bad in [
+            "",
+            "CSR",
+            "CSR-",
+            "CSR-v0-Dyn",
+            "CSR-v8",
+            "CSR-Quick",
+            "SELLPACK-Dyn",
+            "SELLPACK-c8-v-Dyn",
+            "Sell-c-s-c4-StCont",
+            "Sell-c-R-c8-v4x",
+            "LAV-c8",
+            "LAV-c8-T80-v0",
+            "csr-Dyn",
+        ] {
+            assert_eq!(MethodConfig::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn catalog_with_simd_pins_every_entry() {
+        let cat = MethodConfig::catalog_with_simd(1);
+        assert_eq!(cat.len(), 29);
+        assert!(cat.iter().all(|c| c.v == 1));
+        // The auto catalog stays width-0 with unchanged labels.
+        assert!(MethodConfig::catalog().iter().all(|c| c.v == 0));
+    }
+
+    #[test]
+    fn config_json_without_v_field_defaults_to_auto() {
+        let cfg = MethodConfig::sell_c_sigma(8, 512, Schedule::Dyn);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json.replace(",\"v\":0", "");
+        assert_ne!(stripped, json, "test must actually strip the field");
+        let back: MethodConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, cfg);
     }
 }

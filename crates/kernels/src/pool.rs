@@ -138,17 +138,69 @@ fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, JobState>) -> MutexGuard<'a, JobStat
     cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }
 
-/// Spin iterations before sleeping on a condvar. Zero on single-core
-/// hosts, where spinning only steals cycles from the thread being
-/// waited on.
+/// Why a `WISE_POOL_SPIN` value was rejected (see
+/// [`parse_wise_pool_spin`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpinEnvError {
+    /// Set but empty (or only whitespace).
+    Empty,
+    /// Not a non-negative integer that fits u32.
+    NotANumber(String),
+}
+
+impl std::fmt::Display for SpinEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpinEnvError::Empty => write!(f, "WISE_POOL_SPIN is set but empty"),
+            SpinEnvError::NotANumber(v) => {
+                write!(f, "WISE_POOL_SPIN={v:?} is not a non-negative integer")
+            }
+        }
+    }
+}
+
+/// Parses a raw `WISE_POOL_SPIN` value. `Ok(None)` means unset (use the
+/// automatic budget); `Ok(Some(0))` is valid and disables spinning
+/// entirely; `Err` means set but malformed, which [`spin_budget`]
+/// reports loudly instead of silently ignoring.
+pub fn parse_wise_pool_spin(raw: Option<&str>) -> Result<Option<u32>, SpinEnvError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(SpinEnvError::Empty);
+    }
+    match trimmed.parse::<u32>() {
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(SpinEnvError::NotANumber(trimmed.to_string())),
+    }
+}
+
+/// Spin iterations before sleeping on a condvar, tunable via
+/// `WISE_POOL_SPIN` (0 disables spinning). Defaults to 512 on
+/// multi-core hosts and 0 on single-core ones, where spinning only
+/// steals cycles from the thread being waited on. A malformed value
+/// falls back to the automatic budget *loudly* — one stderr warning
+/// plus a `pool.spin_env_invalid` trace counter — never silently.
 fn spin_budget() -> u32 {
     static BUDGET: OnceLock<u32> = OnceLock::new();
     *BUDGET.get_or_init(|| {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if cores > 1 {
-            512
-        } else {
-            0
+        let auto = || {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            if cores > 1 {
+                512
+            } else {
+                0
+            }
+        };
+        match parse_wise_pool_spin(std::env::var("WISE_POOL_SPIN").ok().as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => auto(),
+            Err(e) => {
+                // OnceLock already guarantees once-per-process here.
+                eprintln!("[wise-kernels] {e}; falling back to the automatic spin budget");
+                wise_trace::counter("pool.spin_env_invalid", 1);
+                auto()
+            }
         }
     })
 }
@@ -434,5 +486,26 @@ mod tests {
         let pool = WorkerPool::new();
         pool.run(4, &|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn spin_env_parses_valid_budgets() {
+        assert_eq!(parse_wise_pool_spin(None), Ok(None));
+        // 0 is a *valid* setting: it disables spinning.
+        assert_eq!(parse_wise_pool_spin(Some("0")), Ok(Some(0)));
+        assert_eq!(parse_wise_pool_spin(Some("512")), Ok(Some(512)));
+        assert_eq!(parse_wise_pool_spin(Some(" 64 ")), Ok(Some(64)));
+        assert_eq!(parse_wise_pool_spin(Some("4294967295")), Ok(Some(u32::MAX)));
+    }
+
+    #[test]
+    fn spin_env_rejects_malformed_budgets() {
+        assert_eq!(parse_wise_pool_spin(Some("")), Err(SpinEnvError::Empty));
+        assert_eq!(parse_wise_pool_spin(Some("  ")), Err(SpinEnvError::Empty));
+        for bad in ["-1", "lots", "1e3", "4294967296"] {
+            let got = parse_wise_pool_spin(Some(bad));
+            assert_eq!(got, Err(SpinEnvError::NotANumber(bad.to_string())), "input {bad:?}");
+            assert!(got.unwrap_err().to_string().contains("WISE_POOL_SPIN"));
+        }
     }
 }

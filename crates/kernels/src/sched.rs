@@ -55,6 +55,11 @@ impl Schedule {
             Schedule::StCont => "StCont",
         }
     }
+
+    /// Inverse of [`Schedule::name`] (used by `MethodConfig::parse`).
+    pub fn parse(name: &str) -> Option<Schedule> {
+        Schedule::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,701 @@
+//! Runtime-dispatched SIMD kernels for the SpMV inner loops.
+//!
+//! The capability probe ([`detect_raw`]) classifies the host into one
+//! of four [`SimdIsa`] levels at startup; kernels then dispatch through
+//! `#[target_feature]` functions so a single binary runs the widest
+//! safe path everywhere (scalar fallback on non-x86_64). Two kernel
+//! families are vectorized:
+//!
+//! * **CSR rows** ([`csr_row`]): 4-/8-wide gather–multiply–accumulate
+//!   with a horizontal reduction and a scalar tail for the `nnz % lanes`
+//!   residue. The SSE2 level has no gather instruction, so it emulates
+//!   one with paired scalar loads (still wins on the FMA-free add/mul
+//!   pipe for long rows).
+//! * **SELL/SRVPack chunks** ([`sell_chunk`]): the column-major padded
+//!   chunk layout was built for this — the chunk's `c` rows map 1:1
+//!   onto vector lanes, every step is one gather + one FMA, and no
+//!   horizontal reduction is needed at all.
+//!
+//! Vectorization reassociates the per-row sums (pairwise/strided
+//! instead of strictly left-to-right), so bit-exactness with the scalar
+//! oracles is forfeited by design. The replacement contract is
+//! ulp-tolerance: [`assert_ulp_close`] with a per-kernel bound
+//! ([`SPMV_MAX_ULPS`], plus [`SPMV_ABS_FLOOR`] for catastrophic-
+//! cancellation results near zero, where relative ulp distance is
+//! meaningless). Setting `WISE_SIMD=0` (or preparing a config with
+//! explicit width 1) restores the original scalar path bit-exactly.
+//!
+//! All gathers index with *signed 32-bit* lanes, so [`resolve`] falls
+//! back to scalar when the x vector could exceed `i32::MAX` entries.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A SIMD capability level, ordered narrowest to widest.
+///
+/// `Avx512` is only ever detected/activated when AVX2 and FMA are also
+/// present (true on every shipping AVX-512 part), so a kernel running
+/// at one level may safely call helpers of any lower level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdIsa {
+    /// No explicit vectorization: the original scalar kernels.
+    Scalar,
+    /// 2 × f64 lanes, no hardware gather (emulated with scalar loads).
+    Sse2,
+    /// 4 × f64 lanes, `vgatherdpd` + FMA.
+    Avx2,
+    /// 8 × f64 lanes, `vgatherdpd` + FMA + full-width reduce.
+    Avx512,
+}
+
+impl SimdIsa {
+    /// f64 lanes per vector register at this level.
+    pub const fn lanes(self) -> usize {
+        match self {
+            SimdIsa::Scalar => 1,
+            SimdIsa::Sse2 => 2,
+            SimdIsa::Avx2 => 4,
+            SimdIsa::Avx512 => 8,
+        }
+    }
+
+    /// Stable lowercase name (used in fingerprints and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Scalar => "scalar",
+            SimdIsa::Sse2 => "sse2",
+            SimdIsa::Avx2 => "avx2",
+            SimdIsa::Avx512 => "avx512f",
+        }
+    }
+
+    /// The widest level whose lane count is `<= lanes` (0 clamps to
+    /// scalar). Inverse of [`SimdIsa::lanes`] for the valid widths.
+    pub const fn widest_for_lanes(lanes: usize) -> SimdIsa {
+        match lanes {
+            0 | 1 => SimdIsa::Scalar,
+            2 | 3 => SimdIsa::Sse2,
+            4..=7 => SimdIsa::Avx2,
+            _ => SimdIsa::Avx512,
+        }
+    }
+
+    const fn to_u8(self) -> u8 {
+        match self {
+            SimdIsa::Scalar => 0,
+            SimdIsa::Sse2 => 1,
+            SimdIsa::Avx2 => 2,
+            SimdIsa::Avx512 => 3,
+        }
+    }
+
+    const fn from_u8(v: u8) -> SimdIsa {
+        match v {
+            1 => SimdIsa::Sse2,
+            2 => SimdIsa::Avx2,
+            3 => SimdIsa::Avx512,
+            _ => SimdIsa::Scalar,
+        }
+    }
+}
+
+/// Probes the host CPU. On x86_64 this is `is_x86_feature_detected!`
+/// (cached by std after the first cpuid); elsewhere always `Scalar`.
+///
+/// The `Avx512` level additionally requires AVX2 + FMA so higher levels
+/// strictly superset lower ones (see [`SimdIsa`]).
+pub fn detect_raw() -> SimdIsa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let avx2 = is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma");
+        if avx2 && is_x86_feature_detected!("avx512f") {
+            SimdIsa::Avx512
+        } else if avx2 {
+            SimdIsa::Avx2
+        } else if is_x86_feature_detected!("sse2") {
+            SimdIsa::Sse2
+        } else {
+            SimdIsa::Scalar
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdIsa::Scalar
+    }
+}
+
+/// [`detect_raw`] memoized (one atomic load after the first call).
+pub fn detected() -> SimdIsa {
+    static DETECTED: OnceLock<SimdIsa> = OnceLock::new();
+    *DETECTED.get_or_init(detect_raw)
+}
+
+/// Why a `WISE_SIMD` value was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimdEnvError {
+    /// Set but empty (or only whitespace).
+    Empty,
+    /// Not a recognized width or ISA name.
+    NotAWidth(String),
+}
+
+impl std::fmt::Display for SimdEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimdEnvError::Empty => write!(f, "WISE_SIMD is set but empty"),
+            SimdEnvError::NotAWidth(s) => write!(
+                f,
+                "WISE_SIMD={s:?} is not a SIMD width (expected 0/off/scalar/1, 2/sse2, \
+                 4/avx2, or 8/avx512)"
+            ),
+        }
+    }
+}
+
+/// Parses a raw `WISE_SIMD` value into a capability *cap*. `Ok(None)`
+/// means unset (auto-detect); `0`, `off`, `scalar`, and `1` all force
+/// the scalar path.
+pub fn parse_wise_simd(raw: Option<&str>) -> Result<Option<SimdIsa>, SimdEnvError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let t = raw.trim();
+    if t.is_empty() {
+        return Err(SimdEnvError::Empty);
+    }
+    match t.to_ascii_lowercase().as_str() {
+        "0" | "off" | "scalar" | "1" => Ok(Some(SimdIsa::Scalar)),
+        "2" | "sse2" => Ok(Some(SimdIsa::Sse2)),
+        "4" | "avx2" => Ok(Some(SimdIsa::Avx2)),
+        "8" | "avx512" | "avx512f" => Ok(Some(SimdIsa::Avx512)),
+        _ => Err(SimdEnvError::NotAWidth(t.to_string())),
+    }
+}
+
+const ISA_UNINIT: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(ISA_UNINIT);
+
+/// The process-wide active SIMD level: `min(detected, WISE_SIMD cap)`,
+/// resolved lazily on first use and cached. A malformed `WISE_SIMD`
+/// falls back to auto-detect *loudly*: a once-per-process stderr
+/// warning plus a `kernel.simd_env_invalid` trace counter — never a
+/// silent behavior change.
+pub fn active() -> SimdIsa {
+    match ACTIVE.load(Ordering::Relaxed) {
+        ISA_UNINIT => {
+            let isa = active_from_env();
+            ACTIVE.store(isa.to_u8(), Ordering::Relaxed);
+            isa
+        }
+        v => SimdIsa::from_u8(v),
+    }
+}
+
+fn active_from_env() -> SimdIsa {
+    let det = detected();
+    match parse_wise_simd(std::env::var("WISE_SIMD").ok().as_deref()) {
+        Ok(Some(cap)) => cap.min(det),
+        Ok(None) => det,
+        Err(err) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("[wise-kernels] {err}; using the detected level ({})", det.name());
+            });
+            wise_trace::counter("kernel.simd_env_invalid", 1);
+            det
+        }
+    }
+}
+
+/// Overrides the active level (tests, experiments). The request is
+/// capped at [`detected`] so an unsupported level can never be forced
+/// into the dispatchers.
+pub fn set_active(isa: SimdIsa) {
+    ACTIVE.store(isa.min(detected()).to_u8(), Ordering::Relaxed);
+}
+
+/// Resolves a catalog SIMD width `v` against the active level for a
+/// matrix with `ncols` columns: `0` = auto (widest active), `1` =
+/// forced scalar, otherwise the widest level with at most `v` lanes,
+/// capped by [`active`]. Falls back to scalar when column indices
+/// would not fit the signed 32-bit gather lanes.
+pub fn resolve(v: usize, ncols: usize) -> SimdIsa {
+    if v == 1 || ncols > i32::MAX as usize {
+        return SimdIsa::Scalar;
+    }
+    let cap = active();
+    if v == 0 {
+        cap
+    } else {
+        SimdIsa::widest_for_lanes(v).min(cap)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------
+
+/// One CSR row: `dot(vals, x[cols])` at the given level.
+///
+/// # Safety
+///
+/// `vals.len() == cols.len()` and every `cols[k] as usize <
+/// x.len()` — the `Csr::try_new` invariants. The level is clamped to
+/// [`detected`] internally, so an over-wide `isa` cannot execute
+/// unsupported instructions.
+pub unsafe fn csr_row(isa: SimdIsa, vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    debug_assert_eq!(vals.len(), cols.len());
+    #[cfg(target_arch = "x86_64")]
+    match isa.min(detected()) {
+        SimdIsa::Avx512 => return x86::csr_row_avx512(vals, cols, x),
+        SimdIsa::Avx2 => return x86::csr_row_avx2(vals, cols, x),
+        SimdIsa::Sse2 => return x86::csr_row_sse2(vals, cols, x),
+        SimdIsa::Scalar => {}
+    }
+    let _ = isa;
+    csr_row_scalar(vals, cols, x)
+}
+
+/// One SELL/SRVPack chunk: accumulates `width` column-major steps of
+/// `c` lanes into `acc` (the chunk's per-row partial sums). Vector
+/// paths exist for `c ∈ {4, 8}`; other widths run the scalar loop.
+///
+/// # Safety
+///
+/// `vals.len() == cols.len()`, both a multiple of `c`, `acc.len() ==
+/// c`, and every `cols[k] as usize < x.len()` (padding entries store
+/// column 0 with value 0.0 — the `SrvPack` build invariant). The level
+/// is clamped to [`detected`] internally.
+pub unsafe fn sell_chunk(
+    isa: SimdIsa,
+    vals: &[f64],
+    cols: &[u32],
+    c: usize,
+    x: &[f64],
+    acc: &mut [f64],
+) {
+    debug_assert_eq!(vals.len(), cols.len());
+    debug_assert!(vals.len() % c.max(1) == 0 && acc.len() == c);
+    #[cfg(target_arch = "x86_64")]
+    match (isa.min(detected()), c) {
+        (SimdIsa::Avx512, 8) => return x86::sell_chunk_avx512(vals, cols, x, acc),
+        (SimdIsa::Avx512 | SimdIsa::Avx2, 4 | 8) => {
+            return x86::sell_chunk_avx2(vals, cols, c, x, acc)
+        }
+        (SimdIsa::Sse2, _) if c % 2 == 0 => return x86::sell_chunk_sse2(vals, cols, c, x, acc),
+        _ => {}
+    }
+    let _ = isa;
+    sell_chunk_scalar(vals, cols, c, x, acc);
+}
+
+/// Scalar CSR row oracle (strict left-to-right accumulation), shared by
+/// the dispatcher fallback and the parity tests.
+///
+/// Bounds are checked — the hot scalar path stays in `CsrSpmv::spmv`,
+/// which keeps its original unchecked loop bit-for-bit.
+pub fn csr_row_scalar(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (v, &ci) in vals.iter().zip(cols) {
+        acc += v * x[ci as usize];
+    }
+    acc
+}
+
+/// Scalar SELL chunk oracle: per-lane strict accumulation order,
+/// identical to `SrvPack`'s scalar chunk kernels.
+pub fn sell_chunk_scalar(vals: &[f64], cols: &[u32], c: usize, x: &[f64], acc: &mut [f64]) {
+    for (vrow, crow) in vals.chunks_exact(c).zip(cols.chunks_exact(c)) {
+        for l in 0..c {
+            acc[l] += vrow[l] * x[crow[l] as usize];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! `#[target_feature]` kernel bodies. Callers must guarantee the
+    //! feature is present (the public dispatchers clamp to `detected`)
+    //! and the slice/index invariants documented on them.
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn csr_row_sse2(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+        let n = vals.len();
+        let mut acc = _mm_setzero_pd();
+        let mut k = 0usize;
+        while k + 2 <= n {
+            // No gather below AVX2: emulate with two scalar loads.
+            let xv = _mm_set_pd(
+                *x.get_unchecked(*cols.get_unchecked(k + 1) as usize),
+                *x.get_unchecked(*cols.get_unchecked(k) as usize),
+            );
+            let vv = _mm_loadu_pd(vals.as_ptr().add(k));
+            acc = _mm_add_pd(acc, _mm_mul_pd(vv, xv));
+            k += 2;
+        }
+        let mut sum = _mm_cvtsd_f64(acc) + _mm_cvtsd_f64(_mm_unpackhi_pd(acc, acc));
+        while k < n {
+            sum += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+            k += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn csr_row_avx2(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+        let n = vals.len();
+        let mut acc = _mm256_setzero_pd();
+        let mut k = 0usize;
+        while k + 4 <= n {
+            let idx = _mm_loadu_si128(cols.as_ptr().add(k) as *const __m128i);
+            let xv = _mm256_i32gather_pd::<8>(x.as_ptr(), idx);
+            let vv = _mm256_loadu_pd(vals.as_ptr().add(k));
+            acc = _mm256_fmadd_pd(vv, xv, acc);
+            k += 4;
+        }
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd::<1>(acc);
+        let pair = _mm_add_pd(lo, hi);
+        let mut sum = _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+        while k < n {
+            sum += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+            k += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn csr_row_avx512(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+        let n = vals.len();
+        let mut acc = _mm512_setzero_pd();
+        let mut k = 0usize;
+        while k + 8 <= n {
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+            let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+            acc = _mm512_fmadd_pd(vv, xv, acc);
+            k += 8;
+        }
+        let mut sum = _mm512_reduce_add_pd(acc);
+        while k < n {
+            sum += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
+            k += 1;
+        }
+        sum
+    }
+
+    /// AVX2 SELL chunk, `c ∈ {4, 8}`: one (c=4) or two (c=8) 4-lane
+    /// accumulators — the two-accumulator shape hides gather latency
+    /// and measured fastest for c=8 on AVX2-only parts.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sell_chunk_avx2(
+        vals: &[f64],
+        cols: &[u32],
+        c: usize,
+        x: &[f64],
+        acc: &mut [f64],
+    ) {
+        debug_assert!((c == 4 || c == 8) && acc.len() == c);
+        let steps = vals.len() / c;
+        if c == 4 {
+            let mut a0 = _mm256_loadu_pd(acc.as_ptr());
+            for s in 0..steps {
+                let base = s * c;
+                let idx = _mm_loadu_si128(cols.as_ptr().add(base) as *const __m128i);
+                let xv = _mm256_i32gather_pd::<8>(x.as_ptr(), idx);
+                let vv = _mm256_loadu_pd(vals.as_ptr().add(base));
+                a0 = _mm256_fmadd_pd(vv, xv, a0);
+            }
+            _mm256_storeu_pd(acc.as_mut_ptr(), a0);
+        } else {
+            let mut a0 = _mm256_loadu_pd(acc.as_ptr());
+            let mut a1 = _mm256_loadu_pd(acc.as_ptr().add(4));
+            for s in 0..steps {
+                let base = s * c;
+                let i0 = _mm_loadu_si128(cols.as_ptr().add(base) as *const __m128i);
+                let i1 = _mm_loadu_si128(cols.as_ptr().add(base + 4) as *const __m128i);
+                let x0 = _mm256_i32gather_pd::<8>(x.as_ptr(), i0);
+                let x1 = _mm256_i32gather_pd::<8>(x.as_ptr(), i1);
+                let v0 = _mm256_loadu_pd(vals.as_ptr().add(base));
+                let v1 = _mm256_loadu_pd(vals.as_ptr().add(base + 4));
+                a0 = _mm256_fmadd_pd(v0, x0, a0);
+                a1 = _mm256_fmadd_pd(v1, x1, a1);
+            }
+            _mm256_storeu_pd(acc.as_mut_ptr(), a0);
+            _mm256_storeu_pd(acc.as_mut_ptr().add(4), a1);
+        }
+    }
+
+    /// AVX-512 SELL chunk, `c == 8`: the chunk's 8 rows map 1:1 onto
+    /// the zmm lanes; no horizontal reduction anywhere.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sell_chunk_avx512(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+        debug_assert!(acc.len() == 8);
+        let steps = vals.len() / 8;
+        let mut a = _mm512_loadu_pd(acc.as_ptr());
+        for s in 0..steps {
+            let base = s * 8;
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+            let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
+            a = _mm512_fmadd_pd(vv, xv, a);
+        }
+        _mm512_storeu_pd(acc.as_mut_ptr(), a);
+    }
+
+    /// SSE2 SELL chunk, even `c`: 2-lane blocks with emulated gathers.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sell_chunk_sse2(
+        vals: &[f64],
+        cols: &[u32],
+        c: usize,
+        x: &[f64],
+        acc: &mut [f64],
+    ) {
+        debug_assert!(c % 2 == 0 && acc.len() == c);
+        let steps = vals.len() / c;
+        for b in 0..c / 2 {
+            let mut a = _mm_loadu_pd(acc.as_ptr().add(b * 2));
+            for s in 0..steps {
+                let base = s * c + b * 2;
+                let xv = _mm_set_pd(
+                    *x.get_unchecked(*cols.get_unchecked(base + 1) as usize),
+                    *x.get_unchecked(*cols.get_unchecked(base) as usize),
+                );
+                let vv = _mm_loadu_pd(vals.as_ptr().add(base));
+                a = _mm_add_pd(a, _mm_mul_pd(vv, xv));
+            }
+            _mm_storeu_pd(acc.as_mut_ptr().add(b * 2), a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ulp-tolerance contract
+// ---------------------------------------------------------------------
+
+/// Ulp distance between two doubles: the number of representable f64
+/// values strictly between them (0 for equal values, including
+/// `+0 == -0`; `u64::MAX` if either is NaN). Works across the zero
+/// sign boundary by mapping bit patterns onto a monotone integer line.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Sign-magnitude -> offset binary, monotone in the real ordering.
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_add(bits.wrapping_neg())
+        } else {
+            bits
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+/// Per-kernel ulp bound for SpMV results. Reassociating a k-term dot
+/// product perturbs the result by O(k) ulps of the running sum; the
+/// catalog's widest kernels were measured at < 450 ulps on 10^4-term
+/// rows, so 1024 gives ~2× headroom without masking real bugs (a wrong
+/// gather or dropped tail lands orders of magnitude outside it).
+pub const SPMV_MAX_ULPS: u64 = 1024;
+
+/// Absolute floor accompanying [`SPMV_MAX_ULPS`]: when two results
+/// differ by less than this, they pass regardless of ulp distance.
+/// Near-total cancellation leaves results of magnitude ~1e-13 whose
+/// ulp spacing is ~1e-29 — relative comparison is meaningless there.
+pub const SPMV_ABS_FLOOR: f64 = 1e-9;
+
+/// True when `got` is within `max_ulps` ulps of `want` *or* within the
+/// absolute floor (see [`SPMV_ABS_FLOOR`] for why both are needed).
+pub fn ulp_close(got: f64, want: f64, max_ulps: u64, abs_floor: f64) -> bool {
+    ulp_distance(got, want) <= max_ulps || (got - want).abs() <= abs_floor
+}
+
+/// Asserts element-wise ulp-tolerance between a kernel result and its
+/// scalar oracle, with a diagnostic naming the worst element.
+///
+/// # Panics
+///
+/// On length mismatch or any element outside both the ulp bound and
+/// the absolute floor.
+pub fn assert_ulp_close(got: &[f64], want: &[f64], max_ulps: u64, abs_floor: f64, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            ulp_close(g, w, max_ulps, abs_floor),
+            "{ctx}: element {i}: got {g:e}, want {w:e} ({} ulps apart, bound {max_ulps}, \
+             abs floor {abs_floor:e})",
+            ulp_distance(g, w)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_problem(n: usize, ncols: usize, seed: u64) -> (Vec<f64>, Vec<u32>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cols = (0..n).map(|_| rng.gen_range(0..ncols as u32)).collect();
+        let x = (0..ncols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (vals, cols, x)
+    }
+
+    /// Levels actually runnable on this host (always includes Scalar).
+    fn runnable() -> Vec<SimdIsa> {
+        [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512]
+            .into_iter()
+            .filter(|&isa| isa <= detected())
+            .collect()
+    }
+
+    #[test]
+    fn lanes_names_and_ordering() {
+        assert!(SimdIsa::Scalar < SimdIsa::Sse2 && SimdIsa::Sse2 < SimdIsa::Avx2);
+        assert!(SimdIsa::Avx2 < SimdIsa::Avx512);
+        for isa in [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512] {
+            assert_eq!(SimdIsa::widest_for_lanes(isa.lanes()), isa);
+            assert_eq!(SimdIsa::from_u8(isa.to_u8()), isa);
+        }
+        assert_eq!(SimdIsa::Avx512.lanes(), 8);
+        assert_eq!(SimdIsa::Avx2.name(), "avx2");
+        assert_eq!(SimdIsa::widest_for_lanes(0), SimdIsa::Scalar);
+        assert_eq!(SimdIsa::widest_for_lanes(6), SimdIsa::Avx2);
+        assert_eq!(SimdIsa::widest_for_lanes(64), SimdIsa::Avx512);
+    }
+
+    #[test]
+    fn parse_accepts_widths_and_names() {
+        assert_eq!(parse_wise_simd(None), Ok(None));
+        for (s, isa) in [
+            ("0", SimdIsa::Scalar),
+            ("off", SimdIsa::Scalar),
+            ("Scalar", SimdIsa::Scalar),
+            ("1", SimdIsa::Scalar),
+            ("2", SimdIsa::Sse2),
+            ("sse2", SimdIsa::Sse2),
+            ("4", SimdIsa::Avx2),
+            ("AVX2", SimdIsa::Avx2),
+            ("8", SimdIsa::Avx512),
+            ("avx512", SimdIsa::Avx512),
+            (" avx512f ", SimdIsa::Avx512),
+        ] {
+            assert_eq!(parse_wise_simd(Some(s)), Ok(Some(isa)), "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_loudly() {
+        assert_eq!(parse_wise_simd(Some("")), Err(SimdEnvError::Empty));
+        assert_eq!(parse_wise_simd(Some("  ")), Err(SimdEnvError::Empty));
+        for bad in ["3", "16", "-4", "avx", "wide", "8 lanes"] {
+            let got = parse_wise_simd(Some(bad));
+            assert_eq!(got, Err(SimdEnvError::NotAWidth(bad.trim().to_string())), "input {bad:?}");
+            assert!(got.unwrap_err().to_string().contains("WISE_SIMD"));
+        }
+    }
+
+    #[test]
+    fn detect_is_stable_and_active_is_runnable() {
+        assert_eq!(detected(), detect_raw());
+        assert!(active() <= detected());
+    }
+
+    #[test]
+    fn resolve_respects_width_requests() {
+        let cap = active();
+        assert_eq!(resolve(0, 100), cap);
+        assert_eq!(resolve(1, 100), SimdIsa::Scalar);
+        assert_eq!(resolve(2, 100), SimdIsa::Sse2.min(cap));
+        assert_eq!(resolve(4, 100), SimdIsa::Avx2.min(cap));
+        assert_eq!(resolve(8, 100), SimdIsa::Avx512.min(cap));
+        // Signed 32-bit gather indices cannot address a wider x.
+        assert_eq!(resolve(0, i32::MAX as usize + 1), SimdIsa::Scalar);
+    }
+
+    #[test]
+    fn csr_row_matches_scalar_for_every_residue() {
+        let (vals, cols, x) = rand_problem(67, 512, 7);
+        for isa in runnable() {
+            for len in 0..=vals.len() {
+                let want = csr_row_scalar(&vals[..len], &cols[..len], &x);
+                let got = unsafe { csr_row(isa, &vals[..len], &cols[..len], &x) };
+                assert!(
+                    ulp_close(got, want, SPMV_MAX_ULPS, SPMV_ABS_FLOOR),
+                    "{isa:?} len={len}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sell_chunk_matches_scalar_for_both_widths() {
+        for &c in &[4usize, 8] {
+            for width in [0usize, 1, 2, 3, 17, 33] {
+                let (vals, cols, x) = rand_problem(width * c, 512, width as u64 * 31 + c as u64);
+                let mut want = vec![0.1f64; c]; // nonzero start: contract accumulates
+                sell_chunk_scalar(&vals, &cols, c, &x, &mut want);
+                for isa in runnable() {
+                    let mut got = vec![0.1f64; c];
+                    unsafe { sell_chunk(isa, &vals, &cols, c, &x, &mut got) };
+                    assert_ulp_close(
+                        &got,
+                        &want,
+                        SPMV_MAX_ULPS,
+                        SPMV_ABS_FLOOR,
+                        &format!("{isa:?} c={c} width={width}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sell_chunk_odd_width_falls_back_to_scalar() {
+        // c = 6 has no vector path at any level; the dispatcher must
+        // produce the bit-exact scalar result.
+        let c = 6usize;
+        let (vals, cols, x) = rand_problem(5 * c, 128, 3);
+        let mut want = vec![0.0f64; c];
+        sell_chunk_scalar(&vals, &cols, c, &x, &mut want);
+        for isa in [SimdIsa::Avx2, SimdIsa::Avx512] {
+            let mut got = vec![0.0f64; c];
+            unsafe { sell_chunk(isa, &vals, &cols, c, &x, &mut got) };
+            assert_eq!(got, want, "{isa:?}");
+        }
+    }
+
+    #[test]
+    fn ulp_distance_properties() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+        // Straddling zero: distance counts representable values between.
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+        assert!(ulp_distance(1.0, 2.0) == 1u64 << 52);
+    }
+
+    #[test]
+    fn ulp_close_uses_absolute_floor_near_zero() {
+        // 1e-13 vs -1e-13: astronomically many ulps apart, but within
+        // any reasonable cancellation floor.
+        assert!(!ulp_close(1e-13, -1e-13, SPMV_MAX_ULPS, 0.0));
+        assert!(ulp_close(1e-13, -1e-13, SPMV_MAX_ULPS, SPMV_ABS_FLOOR));
+        assert!(!ulp_close(1.0, 1.5, SPMV_MAX_ULPS, SPMV_ABS_FLOOR));
+    }
+
+    #[test]
+    #[should_panic(expected = "ulps apart")]
+    fn assert_ulp_close_panics_outside_bound() {
+        assert_ulp_close(&[1.0], &[1.0 + 1e-6], 16, 1e-12, "unit");
+    }
+}

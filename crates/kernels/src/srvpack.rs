@@ -25,6 +25,7 @@
 //! | LAV        | yes | 2 (T)    | global (RFS)   |
 
 use crate::sched::{parallel_for_chunks, DisjointWriter, Schedule};
+use crate::simd::{self, SimdIsa};
 use serde::{Deserialize, Serialize};
 use wise_matrix::{Csr, Permutation};
 
@@ -146,6 +147,11 @@ pub struct SrvPack {
     /// gathers the input vector through it per call.
     col_perm: Option<Permutation>,
     segments: Vec<Segment>,
+    /// Requested SIMD width (0 = auto, 1 = scalar; see
+    /// [`SrvPack::with_simd`]). Defaults to 0 so packs serialized
+    /// before this field existed deserialize to auto.
+    #[serde(default)]
+    simd: usize,
 }
 
 /// Reusable scratch buffers for [`SrvPack::spmv`] so iterative callers
@@ -358,7 +364,31 @@ impl SrvPack {
             });
         }
 
-        SrvPack { nrows, ncols, config, col_perm, segments }
+        SrvPack { nrows, ncols, config, col_perm, segments, simd: 0 }
+    }
+
+    /// Requests a SIMD width for the chunk kernel: 0 = auto (widest
+    /// active level), 1 = the original scalar path (bit-exact), else
+    /// capped at the host's [`simd::active`] level. Vector paths exist
+    /// for `c ∈ {4, 8}` (the catalog's widths); other chunk heights
+    /// always run scalar.
+    pub fn with_simd(mut self, v: usize) -> SrvPack {
+        self.simd = v;
+        self
+    }
+
+    /// The requested SIMD width (see [`SrvPack::with_simd`]).
+    pub fn simd(&self) -> usize {
+        self.simd
+    }
+
+    /// The level the chunk kernel will actually execute at.
+    pub fn resolved_isa(&self) -> SimdIsa {
+        if self.config.c == 4 || self.config.c == 8 {
+            simd::resolve(self.simd, self.ncols)
+        } else {
+            SimdIsa::Scalar
+        }
     }
 
     // ---- Accessors ----------------------------------------------------
@@ -474,12 +504,19 @@ impl SrvPack {
             Schedule::Dyn => 1,
             _ => (crate::csr_spmv::DEFAULT_ROWS_PER_CHUNK / c).max(1),
         };
+        let isa = self.resolved_isa();
         for seg in &self.segments {
             let writer = DisjointWriter::new(&mut *y);
-            let body = |chunk: usize| match c {
-                4 => Self::chunk_kernel::<4>(seg, xeff, &writer, chunk),
-                8 => Self::chunk_kernel::<8>(seg, xeff, &writer, chunk),
-                _ => Self::chunk_kernel_dyn(seg, c, xeff, &writer, chunk),
+            let body = |chunk: usize| {
+                if isa == SimdIsa::Scalar {
+                    match c {
+                        4 => Self::chunk_kernel::<4>(seg, xeff, &writer, chunk),
+                        8 => Self::chunk_kernel::<8>(seg, xeff, &writer, chunk),
+                        _ => Self::chunk_kernel_dyn(seg, c, xeff, &writer, chunk),
+                    }
+                } else {
+                    Self::chunk_kernel_simd(seg, c, isa, xeff, &writer, chunk)
+                }
             };
             parallel_for_chunks(seg.nchunks(), nthreads, schedule, grain, body);
         }
@@ -516,6 +553,37 @@ impl SrvPack {
             }
         }
         let rows = seg.chunk_rows(chunk, C);
+        for (l, &r) in rows.iter().enumerate() {
+            // SAFETY: rows are unique within a segment and segments are
+            // processed sequentially.
+            unsafe { writer.add(r as usize, acc[l]) };
+        }
+    }
+
+    /// Explicitly vectorized chunk kernel (`c ∈ {4, 8}` only — enforced
+    /// by [`SrvPack::resolved_isa`]): the chunk's `c` rows map 1:1 onto
+    /// vector lanes, so every column step is one gather + one FMA with
+    /// no horizontal reduction.
+    fn chunk_kernel_simd(
+        seg: &Segment,
+        c: usize,
+        isa: SimdIsa,
+        x: &[f64],
+        writer: &DisjointWriter<f64>,
+        chunk: usize,
+    ) {
+        debug_assert!(c == 4 || c == 8);
+        let w0 = seg.offsets[chunk];
+        let w1 = seg.offsets[chunk + 1];
+        let vals = &seg.vals[w0 * c..w1 * c];
+        let cols = &seg.col_ids[w0 * c..w1 * c];
+        let mut acc = [0.0f64; 8];
+        // SAFETY: vals/cols are equal-length multiples of c; every
+        // stored column id is a real (post-CFS) column or padding
+        // column 0, both < ncols == x.len() (`build` writes nothing
+        // else); acc[..c] has exactly c lanes.
+        unsafe { simd::sell_chunk(isa, vals, cols, c, x, &mut acc[..c]) };
+        let rows = seg.chunk_rows(chunk, c);
         for (l, &r) in rows.iter().enumerate() {
             // SAFETY: rows are unique within a segment and segments are
             // processed sequentially.
@@ -757,6 +825,54 @@ mod tests {
         for (g, w) in y2.iter().zip(&want) {
             assert!((g - w).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn simd_widths_match_scalar_within_ulp_bound() {
+        let m = RmatParams::HIGH_SKEW.generate(9, 8, 21);
+        let x = random_x(m.ncols(), 17);
+        let mut ws = SpmvWorkspace::default();
+        for c in [4usize, 8] {
+            let pack = SrvPack::sell_c_sigma(&m, c, 64);
+            let mut want = vec![0.0; m.nrows()];
+            pack.clone().with_simd(1).spmv(&x, &mut want, 2, Schedule::StCont, &mut ws);
+            for v in [0usize, 2, 4, 8] {
+                let p = pack.clone().with_simd(v);
+                assert!(p.resolved_isa() <= simd::active());
+                let mut got = vec![0.0; m.nrows()];
+                p.spmv(&x, &mut got, 2, Schedule::StCont, &mut ws);
+                simd::assert_ulp_close(
+                    &got,
+                    &want,
+                    simd::SPMV_MAX_ULPS,
+                    simd::SPMV_ABS_FLOOR,
+                    &format!("sell c={c} v={v}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_catalog_chunk_heights_never_resolve_simd() {
+        let m = RmatParams::MED_SKEW.generate(8, 6, 9);
+        for c in [3usize, 5, 6] {
+            assert_eq!(SrvPack::sellpack(&m, c).resolved_isa(), SimdIsa::Scalar, "c={c}");
+        }
+    }
+
+    #[test]
+    fn serialized_pack_without_simd_field_defaults_to_auto() {
+        // Packs written before the simd field existed must deserialize
+        // (serde default 0 = auto) and round-trip the new field.
+        let m = fig1a();
+        let p = SrvPack::sellpack(&m, 2).with_simd(4);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SrvPack = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.simd(), 4);
+        let stripped = json.replace(",\"simd\":4", "");
+        assert_ne!(stripped, json, "test must actually strip the field");
+        let old: SrvPack = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.simd(), 0);
     }
 
     #[test]

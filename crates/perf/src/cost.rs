@@ -150,19 +150,38 @@ pub fn estimate_prepared_opts(
 
     match prepared {
         Prepared::Csr(_) => {
+            // Explicit SIMD width: a row of length `len` runs as
+            // `len / lanes` gather+FMA steps plus a scalar tail of
+            // `len % lanes` elements. `lanes <= 1` (v = 0 legacy model
+            // or forced-scalar v = 1) keeps the calibrated per-nonzero
+            // formula bit-identical to the pre-SIMD model.
+            let lanes = machine.modeled_lanes(cfg.v);
             let rows_per_chunk = model_rows_per_chunk(m.nrows(), nthreads);
             let nchunks = m.nrows().div_ceil(rows_per_chunk);
             for chunk in 0..nchunks {
                 let lo = chunk * rows_per_chunk;
                 let hi = (lo + rows_per_chunk).min(m.nrows());
                 let mut nnz_chunk = 0usize;
+                let mut steps = 0usize;
+                let mut tail = 0usize;
                 for r in lo..hi {
-                    nnz_chunk += m.row_nnz(r);
+                    let len = m.row_nnz(r);
+                    nnz_chunk += len;
+                    if lanes > 1 {
+                        steps += len / lanes;
+                        tail += len % lanes;
+                    }
                     for &c in m.row_cols(r) {
                         x_sim.access(c as u64 / lines_per_elt as u64);
                     }
                 }
-                chunk_compute.push(nnz_chunk as f64 * machine.scalar_cycles_per_nnz);
+                let cycles = if lanes > 1 {
+                    steps as f64 * machine.simd_cycles_per_step
+                        + tail as f64 * machine.scalar_cycles_per_nnz
+                } else {
+                    nnz_chunk as f64 * machine.scalar_cycles_per_nnz
+                };
+                chunk_compute.push(cycles);
                 // vals 8B + col_idx 4B per nnz, row_ptr 8B + y 8B per row.
                 chunk_stream_bytes.push(nnz_chunk as f64 * 12.0 + (hi - lo) as f64 * 16.0);
                 chunk_x_accesses.push(nnz_chunk as f64);
@@ -171,6 +190,18 @@ pub fn estimate_prepared_opts(
         }
         Prepared::Pack(p, _) => {
             let c = p.config().c;
+            // The runtime dispatcher only vectorizes catalog chunk
+            // heights (c = 4 or 8); other heights always run scalar, so
+            // the model must not credit them with SIMD throughput.
+            let lanes = if c == 4 || c == 8 { machine.modeled_lanes(cfg.v) } else { 0 };
+            // Cycles per packed column step: legacy calibrated constant
+            // for v = 0, pure scalar for a forced v = 1, and one vector
+            // op per `lanes` rows of the chunk otherwise.
+            let step_cycles = match lanes {
+                0 => machine.vector_cycles_per_step,
+                1 => c as f64 * machine.scalar_cycles_per_nnz,
+                l => (c as f64 / l as f64).ceil() * machine.simd_cycles_per_step,
+            };
             // Mirror the kernel: Dyn grabs single chunks (RFS fronts
             // the widest chunks), static policies use coarser blocks.
             grain = match cfg.schedule {
@@ -187,7 +218,7 @@ pub fn estimate_prepared_opts(
                 for chunk in 0..seg.nchunks() {
                     let w = seg.chunk_width(chunk);
                     let rows = seg.chunk_rows(chunk, c).len();
-                    chunk_compute.push(w as f64 * machine.vector_cycles_per_step);
+                    chunk_compute.push(w as f64 * step_cycles);
                     chunk_stream_bytes.push((w * c) as f64 * 12.0 + rows as f64 * y_write_bytes);
                     chunk_x_accesses.push((w * c) as f64);
                 }
@@ -477,6 +508,39 @@ mod tests {
         assert_eq!(auto_sample_shift(1000), 0);
         assert_eq!(auto_sample_shift(200_000), 1);
         assert!(auto_sample_shift(100_000_000) == 6);
+    }
+
+    #[test]
+    fn explicit_widths_move_modeled_packed_compute() {
+        let m = RmatParams::MED_SKEW.generate(11, 16, 19);
+        let mach = machine();
+        let base = MethodConfig::sell_c_sigma(8, 4096, Schedule::StCont);
+        let auto = estimate_spmv_seconds(&m, &base, &mach, 0);
+        let scalar = estimate_spmv_seconds(&m, &base.with_simd(1), &mach, 0);
+        let wide = estimate_spmv_seconds(&m, &base.with_simd(8), &mach, 0);
+        // Forcing the scalar kernel (v = 1) must cost more compute than
+        // both the legacy vector model and an explicit 8-lane width.
+        assert!(scalar.compute_seconds > auto.compute_seconds, "{scalar:?} vs {auto:?}");
+        assert!(wide.compute_seconds <= scalar.compute_seconds);
+        // The width only changes compute; traffic and padding are the
+        // same packed layout regardless of v.
+        assert_eq!(auto.dram_bytes, scalar.dram_bytes);
+        assert_eq!(auto.nnz_padded, wide.nnz_padded);
+    }
+
+    #[test]
+    fn explicit_width_lowers_csr_compute_on_long_rows() {
+        // ~32 nnz per row: an 8-lane width models 4 gather steps per
+        // row instead of 32 scalar ops, so compute must drop.
+        let m = RmatParams::MED_LOC.generate(11, 32, 23);
+        let mach = machine();
+        let cfg = MethodConfig::csr(Schedule::Dyn);
+        let legacy = estimate_spmv_seconds(&m, &cfg, &mach, 0);
+        let one = estimate_spmv_seconds(&m, &cfg.with_simd(1), &mach, 0);
+        let wide = estimate_spmv_seconds(&m, &cfg.with_simd(8), &mach, 0);
+        // v = 0 and v = 1 share the scalar CSR formula bit-for-bit.
+        assert_eq!(legacy, one);
+        assert!(wide.compute_seconds < legacy.compute_seconds, "{wide:?} vs {legacy:?}");
     }
 
     #[test]

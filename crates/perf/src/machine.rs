@@ -32,6 +32,19 @@ pub struct MachineModel {
     /// Cycles for one c-wide packed column step (vector FMA + gather);
     /// gathers dominate, roughly independent of width on Skylake.
     pub vector_cycles_per_step: f64,
+    /// Cycles for one explicit-SIMD gather+FMA step of the runtime-
+    /// dispatched kernels (one vector register of lanes). Only engaged
+    /// when a config requests an explicit width (`v > 1`); the legacy
+    /// constants above stay in force for `v = 0` so pre-SIMD model
+    /// outputs are unchanged. Defaults to `vector_cycles_per_step` for
+    /// files serialized before this field existed.
+    #[serde(default = "default_simd_cycles_per_step")]
+    pub simd_cycles_per_step: f64,
+    /// f64 lanes of the modeled machine's vector units (AVX-512: 8).
+    /// Caps the lane count an explicit `v` can model. Defaults match
+    /// the Skylake preset for files missing the field.
+    #[serde(default = "default_simd_lanes")]
+    pub simd_lanes: usize,
     /// Overhead of one dynamic-scheduling work grab, nanoseconds
     /// (shared-counter fetch_add plus its coherence traffic).
     pub dyn_grab_ns: f64,
@@ -43,6 +56,14 @@ pub struct MachineModel {
     /// Penalty factor for scattered (RFS-reordered) output writes that
     /// miss the LLC: each row write touches a whole line.
     pub scatter_write_factor: f64,
+}
+
+fn default_simd_cycles_per_step() -> f64 {
+    MachineModel::skylake_6126().vector_cycles_per_step
+}
+
+fn default_simd_lanes() -> usize {
+    8
 }
 
 impl MachineModel {
@@ -62,6 +83,8 @@ impl MachineModel {
             cache_line: 64,
             scalar_cycles_per_nnz: 2.0,
             vector_cycles_per_step: 6.0,
+            simd_cycles_per_step: 6.0,
+            simd_lanes: 8,
             dyn_grab_ns: 40.0,
             single_thread_dram_fraction: 0.125,
             single_thread_llc_fraction: 0.1,
@@ -134,6 +157,27 @@ impl MachineModel {
     pub fn bandwidth_floor_seconds(&self, dram_bytes: f64, llc_bytes: f64) -> f64 {
         dram_bytes / (self.dram_bw_gbs * 1e9) + llc_bytes / (self.llc_bw_gbs * 1e9)
     }
+
+    /// Lanes an explicit catalog width `v` models on this machine
+    /// (0 = legacy auto-vectorized model, reported as 0 so callers can
+    /// keep the calibrated pre-SIMD constants; otherwise clamped to the
+    /// machine's vector width).
+    pub fn modeled_lanes(&self, v: usize) -> usize {
+        match v {
+            0 => 0,
+            _ => v.min(self.simd_lanes.max(1)),
+        }
+    }
+
+    /// The SIMD capability of the *host* this process runs on, as
+    /// `(isa name, f64 lanes)` — the runtime probe of
+    /// `wise_kernels::simd` surfaced where cost-model users live.
+    /// Reflects `WISE_SIMD` caps, so a forced-scalar run reports
+    /// `("scalar", 1)`.
+    pub fn host_simd() -> (&'static str, usize) {
+        let isa = wise_kernels::simd::active();
+        (isa.name(), isa.lanes())
+    }
 }
 
 impl Default for MachineModel {
@@ -170,6 +214,32 @@ mod tests {
         let p = MachineModel::skylake_6126();
         assert_eq!(m.llc_bytes, p.llc_bytes);
         assert_eq!(m.l2_bytes, p.l2_bytes);
+    }
+
+    #[test]
+    fn simd_fields_default_for_pre_simd_json() {
+        // Model files serialized before the simd fields existed must
+        // deserialize to the preset values (parsing old JSON is how
+        // saved experiments reload their machine description).
+        let m = MachineModel::skylake_6126();
+        let json = serde_json::to_string(&m).unwrap();
+        let stripped =
+            json.replace(",\"simd_cycles_per_step\":6.0", "").replace(",\"simd_lanes\":8", "");
+        assert_ne!(stripped, json, "test must actually strip the fields");
+        let back: MachineModel = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn modeled_lanes_clamp_to_machine_width() {
+        let m = MachineModel::skylake_6126();
+        assert_eq!(m.modeled_lanes(0), 0, "0 = legacy model, not widest");
+        assert_eq!(m.modeled_lanes(1), 1);
+        assert_eq!(m.modeled_lanes(4), 4);
+        assert_eq!(m.modeled_lanes(8), 8);
+        assert_eq!(m.modeled_lanes(16), 8, "capped at simd_lanes");
+        let (name, lanes) = MachineModel::host_simd();
+        assert!(!name.is_empty() && lanes >= 1);
     }
 
     #[test]

@@ -582,6 +582,8 @@ mod tests {
             threads_env: Some("2".into()),
             pool_env: None,
             rustc: Some("rustc 1.95.0".into()),
+            simd: Some("avx2:4".into()),
+            simd_env: Some("0".into()),
         };
         let doc = json::parse(&perf_summary_json_with(&summary, &host)).expect("parses");
         let h = doc.get("host").expect("host object");
@@ -589,6 +591,8 @@ mod tests {
         assert_eq!(h.get("threads_env").unwrap().as_str(), Some("2"));
         assert_eq!(h.get("pool_env"), Some(&json::Value::Null));
         assert_eq!(h.get("rustc").unwrap().as_str(), Some("rustc 1.95.0"));
+        assert_eq!(h.get("simd").unwrap().as_str(), Some("avx2:4"));
+        assert_eq!(h.get("simd_env").unwrap().as_str(), Some("0"));
         // The detect()-based default emits a host object too.
         assert!(json::parse(&perf_summary_json(&summary)).unwrap().get("host").is_some());
     }

@@ -6,9 +6,9 @@
 //! messages, EXPERIMENTS.md). The ledger makes the trajectory machine
 //! readable: one record per benchmark run, carrying
 //!
-//! * a **host fingerprint** (core count, `WISE_THREADS` / `WISE_POOL`
-//!   state, rustc version) so records from different machines are never
-//!   silently compared;
+//! * a **host fingerprint** (core count, `WISE_THREADS` / `WISE_POOL` /
+//!   `WISE_SIMD` state, detected SIMD capability, rustc version) so
+//!   records from different machines are never silently compared;
 //! * a **corpus digest** pinning the exact input set;
 //! * per-stage wall times lifted from the trace [`Summary`] (count /
 //!   min / p50 / p95 / total, nanoseconds);
@@ -66,6 +66,34 @@ pub struct HostFingerprint {
     pub pool_env: Option<String>,
     /// `rustc -V` output, when the recording binary could obtain it.
     pub rustc: Option<String>,
+    /// Detected SIMD capability as `isa:lanes` (e.g. `avx512f:8`,
+    /// `scalar:1`). `None` only in records written before the field
+    /// existed.
+    pub simd: Option<String>,
+    /// Raw `WISE_SIMD` value, if set — it caps which kernels run, so
+    /// runs under different caps must never be compared.
+    pub simd_env: Option<String>,
+}
+
+/// The host's SIMD capability in `isa:lanes` form. Mirrors the probe in
+/// `wise_kernels::simd` — re-implemented here because this crate has no
+/// dependencies and `wise-kernels` depends on it, not vice versa.
+fn detect_simd() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // AVX2 without FMA (or AVX-512 without both) is not worth a
+        // distinct tier; the kernel probe applies the same gate.
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            if is_x86_feature_detected!("avx512f") {
+                return "avx512f:8".to_string();
+            }
+            return "avx2:4".to_string();
+        }
+        if is_x86_feature_detected!("sse2") {
+            return "sse2:2".to_string();
+        }
+    }
+    "scalar:1".to_string()
 }
 
 impl HostFingerprint {
@@ -78,6 +106,8 @@ impl HostFingerprint {
             threads_env: std::env::var("WISE_THREADS").ok(),
             pool_env: std::env::var("WISE_POOL").ok(),
             rustc: None,
+            simd: Some(detect_simd()),
+            simd_env: std::env::var("WISE_SIMD").ok(),
         }
     }
 
@@ -95,6 +125,8 @@ impl HostFingerprint {
             ("threads_env", &self.threads_env),
             ("pool_env", &self.pool_env),
             ("rustc", &self.rustc),
+            ("simd", &self.simd),
+            ("simd_env", &self.simd_env),
         ] {
             let _ = write!(out, ",\"{key}\":");
             match v {
@@ -106,17 +138,20 @@ impl HostFingerprint {
     }
 
     /// Whether two fingerprints are close enough that timing comparison
-    /// is meaningful. Unknown rustc on either side is tolerated (old
-    /// records); everything else must match exactly.
+    /// is meaningful. Unknown rustc or SIMD capability on either side
+    /// is tolerated (old records); everything else — including the
+    /// `WISE_SIMD` cap — must match exactly.
     pub fn comparable_to(&self, other: &HostFingerprint) -> bool {
-        let rustc_ok = match (&self.rustc, &other.rustc) {
+        let opt_ok = |a: &Option<String>, b: &Option<String>| match (a, b) {
             (Some(a), Some(b)) => a == b,
             _ => true,
         };
         self.cpu_cores == other.cpu_cores
             && self.threads_env == other.threads_env
             && self.pool_env == other.pool_env
-            && rustc_ok
+            && opt_ok(&self.rustc, &other.rustc)
+            && opt_ok(&self.simd, &other.simd)
+            && self.simd_env == other.simd_env
     }
 }
 
@@ -223,6 +258,8 @@ impl BenchRecord {
             ("kernel.spmv.nnz", "kernel.spmv.nnz_per_s"),
             ("kernel.spmv.rows", "kernel.spmv.rows_per_s"),
             ("kernel.convert.nnz", "kernel.convert.nnz_per_s"),
+            ("bench.simd.scalar.nnz", "bench.simd.scalar.nnz_per_s"),
+            ("bench.simd.vector.nnz", "bench.simd.vector.nnz_per_s"),
         ] {
             let volume = summary.counters.get(counter).copied().unwrap_or(0);
             let stage = counter.rsplit_once('.').map(|(s, _)| s).unwrap_or(counter);
@@ -351,6 +388,8 @@ impl BenchRecord {
             threads_env: opt_str("threads_env"),
             pool_env: opt_str("pool_env"),
             rustc: opt_str("rustc"),
+            simd: opt_str("simd"),
+            simd_env: opt_str("simd_env"),
         };
 
         let mut stages = BTreeMap::new();
@@ -888,17 +927,37 @@ mod tests {
             threads_env: Some("4".into()),
             pool_env: None,
             rustc: Some("rustc 1.95.0".into()),
+            simd: Some("avx2:4".into()),
+            simd_env: None,
         };
         assert!(a.comparable_to(&a));
-        // Unknown rustc on one side is tolerated.
+        // Unknown rustc / SIMD capability on one side is tolerated
+        // (records written before the fields existed).
         assert!(a.comparable_to(&HostFingerprint { rustc: None, ..a.clone() }));
-        // Different cores / env / rustc are not.
+        assert!(a.comparable_to(&HostFingerprint { simd: None, ..a.clone() }));
+        // Different cores / env / rustc / capability are not.
         assert!(!a.comparable_to(&HostFingerprint { cpu_cores: 4, ..a.clone() }));
         assert!(!a.comparable_to(&HostFingerprint { threads_env: None, ..a.clone() }));
         assert!(!a.comparable_to(&HostFingerprint { pool_env: Some("0".into()), ..a.clone() }));
         assert!(
             !a.comparable_to(&HostFingerprint { rustc: Some("rustc 1.94.0".into()), ..a.clone() })
         );
+        assert!(!a.comparable_to(&HostFingerprint { simd: Some("scalar:1".into()), ..a.clone() }));
+        // WISE_SIMD is strict: a forced-scalar run is a different
+        // experiment, even if the hardware matches.
+        assert!(!a.comparable_to(&HostFingerprint { simd_env: Some("0".into()), ..a.clone() }));
+    }
+
+    #[test]
+    fn fingerprint_simd_round_trips_through_json() {
+        let mut rec = record(1, &[("a", stage(10, 10))]);
+        rec.host.simd = Some("avx512f:8".into());
+        rec.host.simd_env = Some("4".into());
+        let back = BenchRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back.host, rec.host);
+        // detect() always knows its own capability, in isa:lanes form.
+        let detected = HostFingerprint::detect();
+        assert!(detected.simd.as_deref().unwrap().contains(':'));
     }
 
     #[test]
