@@ -17,7 +17,16 @@
 //! `--note <text>` (free-form tag stored in the record),
 //! `--simd-floor <x>` (minimum scalar/vector speedup of the SIMD
 //! throughput stage; default 1.0 — the vector kernel must not lose.
-//! Hosts whose probe resolves to the scalar ISA gate on parity only).
+//! Hosts whose probe resolves to the scalar ISA gate on parity only),
+//! `--miss-rate-ceiling <x>` (maximum `kernel.spmv` LLC load miss-rate;
+//! skipped with a notice when hardware counters are unavailable).
+//!
+//! With PMU counters available the suite also runs a *residual* pass:
+//! every catalog config executes single-threaded under a counter
+//! read, and the measured DRAM bytes / cycles are compared against
+//! the cost model's prediction ([`wise_perf::residual`]); the permille
+//! ratios land in the trace as `model.residual.*` samples and in the
+//! ledger record's `pmu.residual` summary.
 //!
 //! The suite must stay byte-for-byte pinned: records are only
 //! comparable across runs because the work is identical. Change the
@@ -54,6 +63,7 @@ struct Args {
     trace_out: Option<PathBuf>,
     note: String,
     simd_floor: f64,
+    miss_rate_ceiling: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +73,7 @@ fn parse_args() -> Args {
         trace_out: None,
         note: String::new(),
         simd_floor: 1.0,
+        miss_rate_ceiling: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -79,11 +90,17 @@ fn parse_args() -> Args {
                 let raw = it.next().expect("--simd-floor needs a number");
                 args.simd_floor = raw.parse().expect("--simd-floor: not a number");
             }
+            "--miss-rate-ceiling" => {
+                let raw = it.next().expect("--miss-rate-ceiling needs a number");
+                args.miss_rate_ceiling =
+                    Some(raw.parse().expect("--miss-rate-ceiling: not a number"));
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_regress [--quick] [--ledger-dir <dir>] \
-                     [--trace-out <path>] [--note <text>] [--simd-floor <x>]"
+                     [--trace-out <path>] [--note <text>] [--simd-floor <x>] \
+                     [--miss-rate-ceiling <x>]"
                 );
                 std::process::exit(2);
             }
@@ -190,7 +207,7 @@ fn main() {
     println!("== bench_regress: pinned suite (seed {SEED}, {mode} mode) ==");
 
     // ---- 1. Feature extraction on the fixed probes ------------------
-    report::progress("stage 1/5: feature extraction probes");
+    report::progress("stage 1/6: feature extraction probes");
     let probes = probe_matrices();
     let feature_config = FeatureConfig::default();
     for (name, m) in &probes {
@@ -200,7 +217,7 @@ fn main() {
     }
 
     // ---- 2. Registry fit on the pinned tiny corpus ------------------
-    report::progress("stage 2/5: label corpus + registry fit");
+    report::progress("stage 2/6: label corpus + registry fit");
     let scale = CorpusScale::tiny();
     let corpus = Corpus::full(&scale, SEED);
     let digest = corpus_digest(&probes, &corpus);
@@ -217,7 +234,7 @@ fn main() {
     let wise = Wise::from_labels(&labels, &opts);
 
     // ---- 3. SpMV catalog through the worker pool --------------------
-    report::progress("stage 3/5: SpMV catalog sweep");
+    report::progress("stage 3/6: SpMV catalog sweep");
     let (_, spmv_matrix) = &probes[0];
     let x: Vec<f64> = (0..spmv_matrix.ncols()).map(|i| (i as f64).sin()).collect();
     let mut y = vec![0.0; spmv_matrix.nrows()];
@@ -231,7 +248,7 @@ fn main() {
     }
 
     // ---- 4. SIMD vs scalar throughput on the pinned SELL probe ------
-    report::progress("stage 4/5: SIMD throughput probe");
+    report::progress("stage 4/6: SIMD throughput probe");
     let isa = wise_kernels::simd::active();
     let (_, simd_matrix) = &probes[3];
     let simd_cfg = MethodConfig::sell_c_sigma(8, 512, Schedule::StCont);
@@ -264,8 +281,48 @@ fn main() {
         probe_nnz
     ));
 
-    // ---- 5. End-to-end selection + model quality --------------------
-    report::progress("stage 5/5: end-to-end select + CV evaluation");
+    // ---- 5. Cost-model residuals under hardware counters ------------
+    // Each catalog config runs single-threaded (PMU groups are
+    // per-thread) between two counter reads; the measured delta is
+    // compared to the cost model's prediction for the same prepared
+    // representation. Skipped entirely — with an explicit notice — when
+    // counters are off or denied, leaving the trace bit-identical.
+    report::progress("stage 5/6: cost-model residual probe");
+    let pmu_status = wise_trace::pmu::status_label();
+    if wise_trace::pmu::read_counts().is_some() {
+        let (_, res_matrix) = &probes[3];
+        let mut machine = wise_perf::MachineModel::scaled_for_rows(res_matrix.nrows());
+        machine.threads = 1;
+        let shift = wise_perf::cost::auto_sample_shift(res_matrix.nnz());
+        let xr: Vec<f64> = (0..res_matrix.ncols()).map(|i| (i as f64).sin()).collect();
+        let mut yr = vec![0.0; res_matrix.nrows()];
+        let res_iters: u64 = if args.quick { 5 } else { 20 };
+        let mut observed = 0usize;
+        let catalog = MethodConfig::catalog();
+        let n_configs = catalog.len();
+        for cfg in catalog {
+            let prep = cfg.prepare(res_matrix);
+            let pred = wise_perf::cost::estimate_prepared(res_matrix, &cfg, &prep, &machine, shift);
+            prep.spmv(&xr, &mut yr, 1, &mut ws); // warm caches + dispatch
+            let base = wise_trace::pmu::read_counts().unwrap_or_default();
+            for _ in 0..res_iters {
+                prep.spmv(&xr, &mut yr, 1, &mut ws);
+            }
+            let end = wise_trace::pmu::read_counts().unwrap_or_default();
+            let delta = end.delta_since(&base);
+            let res = wise_perf::observe_residual(&pred, &delta, res_iters, &machine);
+            observed += usize::from(!res.is_empty());
+        }
+        black_box(&yr);
+        report::progress(format_args!(
+            "residuals observed for {observed}/{n_configs} catalog configs ({res_iters} iters each)"
+        ));
+    } else {
+        report::progress(format_args!("residual probe skipped (pmu {pmu_status})"));
+    }
+
+    // ---- 6. End-to-end selection + model quality --------------------
+    report::progress("stage 6/6: end-to-end select + CV evaluation");
     let choice = wise.select(spmv_matrix);
     wise.run_spmv(spmv_matrix, &choice, &x, &mut y, nthreads);
     println!("\n{}", explain_choice(wise.registry().catalog(), &choice));
@@ -331,6 +388,29 @@ fn main() {
         );
     }
 
+    // Hardware-counter telemetry: IPC, LLC miss-rate and model
+    // residuals as recorded in the ledger (or the explicit
+    // unavailability marker when the host denied counters).
+    if let Some(pmu) = &record.pmu {
+        println!("pmu: status {}", pmu.status);
+        if let Some(st) = pmu.stages.get("kernel.spmv") {
+            let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.3}"));
+            println!(
+                "pmu: kernel.spmv ipc {}, llc miss-rate {}, {} counted spans",
+                fmt(st.ipc()),
+                fmt(st.llc_miss_rate()),
+                st.samples
+            );
+        }
+        if let Some(res) = &pmu.residual {
+            println!(
+                "residual: measured/predicted bytes p50 {:.3} p95 {:.3}, \
+                 cycles p50 {:.3} p95 {:.3} ({} samples)",
+                res.bytes_p50, res.bytes_p95, res.cycles_p50, res.cycles_p95, res.count
+            );
+        }
+    }
+
     match ledger::write_record(dir, &record) {
         Ok(path) => report::artifact(path.display()),
         Err(e) => {
@@ -369,6 +449,28 @@ fn main() {
         }
     } else {
         println!("simd: scalar-fallback host; gated on parity only");
+    }
+
+    // ---- LLC miss-rate ceiling (opt-in, needs hardware counters) -----
+    if let Some(ceiling) = args.miss_rate_ceiling {
+        let rate = record
+            .pmu
+            .as_ref()
+            .and_then(|p| p.stages.get("kernel.spmv"))
+            .and_then(|s| s.llc_miss_rate());
+        match rate {
+            Some(rate) if rate > ceiling => {
+                eprintln!(
+                    "bench_regress: LLC miss-rate ceiling violated — kernel.spmv \
+                     {rate:.4} > {ceiling:.4}"
+                );
+                std::process::exit(1);
+            }
+            Some(rate) => {
+                println!("miss-rate gate: kernel.spmv {rate:.4} <= ceiling {ceiling:.4}");
+            }
+            None => println!("miss-rate gate: skipped (pmu {pmu_status})"),
+        }
     }
     println!("bench_regress: gate passed (BENCH_{seq}.json recorded)");
 }

@@ -137,7 +137,7 @@ impl Wise {
     /// Runs steps 1–3 of Figure 8: extract features, predict classes,
     /// select the best configuration.
     pub fn select(&self, m: &Csr) -> Choice {
-        let _span = wise_trace::span("pipeline.select");
+        let _span = wise_trace::span_pmu("pipeline.select");
         let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
         let feature_extraction_s = t0.elapsed().as_secs_f64();
@@ -186,7 +186,7 @@ impl Wise {
         estimator: &wise_perf::Estimator,
         n_iterations: u64,
     ) -> Choice {
-        let _span = wise_trace::span("pipeline.select");
+        let _span = wise_trace::span_pmu("pipeline.select");
         let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
         let feature_extraction_s = t0.elapsed().as_secs_f64();

@@ -260,7 +260,7 @@ impl MethodConfig {
     /// Converts the matrix into this configuration's executable form.
     /// For CSR this is free (the matrix is already CSR).
     pub fn prepare<'m>(&self, m: &'m Csr) -> Prepared<'m> {
-        let _span = wise_trace::span("kernel.convert");
+        let _span = wise_trace::span_pmu("kernel.convert");
         wise_trace::counter("kernel.convert.nnz", m.nnz() as u64);
         let pack = |p: SrvPack| Prepared::Pack(Box::new(p.with_simd(self.v)), self.schedule);
         let prepared = match self.method {
@@ -296,7 +296,7 @@ impl Prepared<'_> {
 
     /// `y = A x`.
     pub fn spmv(&self, x: &[f64], y: &mut [f64], nthreads: usize, ws: &mut SpmvWorkspace) {
-        let _span = wise_trace::span("kernel.spmv");
+        let _span = wise_trace::span_pmu("kernel.spmv");
         // Declared after the kernel.spmv guard so it drops first and
         // the simd span nests inside its parent in the trace.
         let lanes = self.simd_lanes();

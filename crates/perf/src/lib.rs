@@ -31,9 +31,11 @@ pub mod cost;
 pub mod estimator;
 pub mod lru;
 pub mod machine;
+pub mod residual;
 pub mod sched_sim;
 
 pub use calibrate::{calibrate_to_host, CalibrationReport};
 pub use cost::{estimate_preprocessing_seconds, estimate_spmv_seconds, CostBreakdown};
 pub use estimator::Estimator;
 pub use machine::MachineModel;
+pub use residual::{observe_residual, Residual};

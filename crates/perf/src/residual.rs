@@ -1,0 +1,143 @@
+//! Predicted-vs-measured residuals for the cost model.
+//!
+//! The cost model ([`crate::cost`]) predicts DRAM traffic and compute
+//! for every `{matrix, method-config}` pair; with hardware counters
+//! available ([`wise_trace::pmu`]) those predictions can be compared to
+//! what the machine actually did. This module computes the two residual
+//! ratios the telemetry tracks:
+//!
+//! * **bytes** — measured DRAM traffic per call (LLC misses x cache
+//!   line) over predicted `dram_bytes`;
+//! * **cycles** — measured core cycles per call over predicted
+//!   `seconds x freq`.
+//!
+//! Ratios are emitted as permille samples under `model.residual.bytes`
+//! and `model.residual.cycles` via [`wise_trace::observe`], so the
+//! run report and the benchmark ledger pick up their distribution
+//! (p50/p95) without new plumbing. A ratio of 1000 permille means the
+//! model was exact; persistent drift in either direction localizes
+//! which half of the model (traffic vs compute) is mis-calibrated.
+//!
+//! Samples where the measured counter is zero (counter multiplexed
+//! out, or the event never fired) are skipped rather than recorded as
+//! infinitely-wrong: absence of measurement is not evidence of model
+//! error.
+
+use crate::cost::CostBreakdown;
+use crate::machine::MachineModel;
+use wise_trace::{PmuCounts, PmuKind};
+
+/// One predicted-vs-measured comparison. `None` means the sample was
+/// skipped (measured counter zero or prediction non-positive).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Residual {
+    /// measured DRAM bytes / predicted DRAM bytes.
+    pub bytes_ratio: Option<f64>,
+    /// measured cycles / predicted cycles.
+    pub cycles_ratio: Option<f64>,
+}
+
+impl Residual {
+    /// True when neither ratio could be computed.
+    pub fn is_empty(&self) -> bool {
+        self.bytes_ratio.is_none() && self.cycles_ratio.is_none()
+    }
+}
+
+/// Compares a [`CostBreakdown`] prediction against a measured counter
+/// delta covering `calls` kernel executions, records the ratios as
+/// permille samples (`model.residual.bytes` / `model.residual.cycles`)
+/// and returns them.
+///
+/// `measured` must be the *delta* over exactly `calls` back-to-back
+/// executions of the predicted kernel, taken on the calling thread with
+/// no other work in between (PMU groups are per-thread, so the
+/// measurement loop must run at `nthreads = 1` to be attributable).
+pub fn observe_residual(
+    predicted: &CostBreakdown,
+    measured: &PmuCounts,
+    calls: u64,
+    machine: &MachineModel,
+) -> Residual {
+    if calls == 0 {
+        return Residual::default();
+    }
+    let per_call = |kind: PmuKind| measured.get(kind) as f64 / calls as f64;
+
+    let measured_bytes = per_call(PmuKind::LlcMisses) * machine.cache_line as f64;
+    let bytes_ratio = ratio(measured_bytes, predicted.dram_bytes);
+    if let Some(r) = bytes_ratio {
+        wise_trace::observe("model.residual.bytes", permille(r));
+    }
+
+    let predicted_cycles = predicted.seconds * machine.freq_ghz * 1e9;
+    let cycles_ratio = ratio(per_call(PmuKind::Cycles), predicted_cycles);
+    if let Some(r) = cycles_ratio {
+        wise_trace::observe("model.residual.cycles", permille(r));
+    }
+
+    Residual { bytes_ratio, cycles_ratio }
+}
+
+fn ratio(measured: f64, predicted: f64) -> Option<f64> {
+    (measured > 0.0 && predicted > 0.0).then(|| measured / predicted)
+}
+
+fn permille(ratio: f64) -> u64 {
+    (ratio * 1000.0).round().min(u64::MAX as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(seconds: f64, dram_bytes: f64) -> CostBreakdown {
+        CostBreakdown {
+            seconds,
+            dram_bytes,
+            llc_bytes: 0.0,
+            compute_seconds: seconds,
+            x_counts: Default::default(),
+            nnz_padded: 0,
+            segment_critical: vec![seconds],
+            segment_floor: vec![0.0],
+        }
+    }
+
+    fn counts(cycles: u64, llc_misses: u64) -> PmuCounts {
+        PmuCounts { cycles, instructions: 2 * cycles, llc_misses, ..Default::default() }
+    }
+
+    // Single test fn: the trace ring is process-global, so the permille
+    // emission paths share one #[test] to avoid cross-test interference.
+    #[test]
+    fn residual_ratios_and_skip_rules() {
+        let mut machine = MachineModel::scaled_for_rows(1 << 12);
+        machine.threads = 1;
+        machine.freq_ghz = 2.0;
+        machine.cache_line = 64;
+
+        // Predicted: 1e6 cycles (5e-4 s at 2 GHz), 64_000 DRAM bytes.
+        let pred = breakdown(5e-4, 64_000.0);
+        // Measured over 10 calls: 2e7 cycles and 20_000 misses total
+        // => per call 2e6 cycles (2x) and 2_000 misses = 128_000 B (2x).
+        let r = observe_residual(&pred, &counts(20_000_000, 20_000), 10, &machine);
+        assert!((r.bytes_ratio.unwrap() - 2.0).abs() < 1e-9, "{r:?}");
+        assert!((r.cycles_ratio.unwrap() - 2.0).abs() < 1e-9, "{r:?}");
+
+        // Zero measured counters are skipped, not recorded as 0x.
+        let z = observe_residual(&pred, &counts(0, 0), 10, &machine);
+        assert!(z.is_empty(), "{z:?}");
+
+        // Zero calls never divides.
+        assert!(observe_residual(&pred, &counts(1, 1), 0, &machine).is_empty());
+
+        // Non-positive predictions are skipped per-ratio.
+        let p0 = breakdown(0.0, 64_000.0);
+        let h = observe_residual(&p0, &counts(1_000, 1_000), 1, &machine);
+        assert!(h.cycles_ratio.is_none() && h.bytes_ratio.is_some(), "{h:?}");
+
+        assert_eq!(permille(1.0), 1000);
+        assert_eq!(permille(0.7557), 756);
+    }
+}

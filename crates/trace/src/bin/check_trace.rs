@@ -26,7 +26,12 @@ const DEFAULT_REQUIRED: &[&str] = &[
 ];
 
 /// Every numeric field `perf_summary_json` writes per stage.
-const STAGE_FIELDS: &[&str] = &["count", "p50_ns", "p95_ns", "min_ns", "max_ns", "total_ns"];
+const STAGE_FIELDS: &[&str] =
+    &["count", "p50_ns", "p95_ns", "p99_ns", "min_ns", "max_ns", "total_ns", "self_total_ns"];
+
+/// Numeric fields of a stage's optional `pmu` block.
+const PMU_FIELDS: &[&str] =
+    &["samples", "cycles", "instructions", "llc_loads", "llc_misses", "branch_misses"];
 
 fn fail(msg: &str) -> ! {
     eprintln!("check_trace: FAIL: {msg}");
@@ -116,6 +121,13 @@ fn validate_summary_schema(doc: &Value) -> Result<(), String> {
             None => return Err(format!("host.{key} missing")),
         }
     }
+    // The explicit PMU degradation marker is part of the schema: every
+    // summary must say whether counters were on, off, or denied.
+    match doc.get("pmu_status") {
+        Some(Value::String(s)) if !s.is_empty() => {}
+        Some(Value::String(_)) => return Err("pmu_status empty".into()),
+        _ => return Err("pmu_status missing or not a string".into()),
+    }
     let stages = doc.get("stages").and_then(|v| v.as_object()).ok_or("missing stages object")?;
     for (name, st) in stages {
         for field in STAGE_FIELDS {
@@ -125,6 +137,17 @@ fn validate_summary_schema(doc: &Value) -> Result<(), String> {
                 .ok_or_else(|| format!("stage '{name}': {field} missing or not a number"))?;
             if v < 0.0 {
                 return Err(format!("stage '{name}': {field} negative"));
+            }
+        }
+        // pmu is optional per stage; when present it must be complete.
+        if let Some(pmu) = st.get("pmu") {
+            for field in PMU_FIELDS {
+                let v = pmu.get(field).and_then(|v| v.as_f64()).ok_or_else(|| {
+                    format!("stage '{name}': pmu.{field} missing or not a number")
+                })?;
+                if v < 0.0 {
+                    return Err(format!("stage '{name}': pmu.{field} negative"));
+                }
             }
         }
     }

@@ -66,6 +66,16 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             Phase::Sample => {
                 let _ = write!(out, ",\"ph\":\"i\",\"s\":\"t\",\"args\":{{\"ns\":{}}}}}", e.value);
             }
+            Phase::Pmu(kind) => {
+                // Counter track per (span, counter): chartable next to
+                // the span's duration track in Perfetto.
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"C\",\"args\":{{\"pmu.{}\":{}}}}}",
+                    kind.label(),
+                    e.value
+                );
+            }
         }
     }
     out.push_str("]}");
@@ -87,7 +97,9 @@ pub fn perf_summary_json(summary: &Summary) -> String {
 pub fn perf_summary_json_with(summary: &Summary, host: &HostFingerprint) -> String {
     let mut out = String::from("{\"host\":");
     host.write_json(&mut out);
-    out.push_str(",\"stages\":{");
+    out.push_str(",\"pmu_status\":\"");
+    write_escaped(&mut out, &summary.pmu_status);
+    out.push_str("\",\"stages\":{");
     let mut first = true;
     for (name, st) in &summary.stages {
         if !first {
@@ -98,9 +110,19 @@ pub fn perf_summary_json_with(summary: &Summary, host: &HostFingerprint) -> Stri
         write_escaped(&mut out, name);
         let _ = write!(
             out,
-            "\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{},\"total_ns\":{}}}",
-            st.count, st.p50_ns, st.p95_ns, st.min_ns, st.max_ns, st.total_ns
+            "\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{},\"total_ns\":{},\"self_total_ns\":{}",
+            st.count, st.p50_ns, st.p95_ns, st.p99_ns, st.min_ns, st.max_ns, st.total_ns,
+            st.self_total_ns
         );
+        if let Some(pmu) = &st.pmu {
+            let _ = write!(
+                out,
+                ",\"pmu\":{{\"samples\":{},\"cycles\":{},\"instructions\":{},\"llc_loads\":{},\"llc_misses\":{},\"branch_misses\":{}}}",
+                pmu.samples, pmu.cycles, pmu.instructions, pmu.llc_loads, pmu.llc_misses,
+                pmu.branch_misses
+            );
+        }
+        out.push('}');
     }
     out.push_str("},\"counters\":{");
     let mut first = true;
@@ -126,32 +148,106 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Renders the human-readable run report: one line per stage
-/// (count/total/p50/p95/max plus a log2 spark-line), then the counters.
+/// Stages in run-report order: a DFS over the dominant-parent tree
+/// (children under their parent, name-sorted at each level), yielding
+/// `(name, depth)`. Stages whose parent chain is degenerate (a cycle in
+/// a pathological stream) fall back to depth 0 at the end.
+fn report_order(summary: &Summary) -> Vec<(&str, usize)> {
+    let mut children: std::collections::BTreeMap<&str, Vec<&str>> =
+        std::collections::BTreeMap::new();
+    let mut roots: Vec<&str> = Vec::new();
+    for (name, st) in &summary.stages {
+        match st.parent.as_deref().filter(|p| *p != name && summary.stages.contains_key(*p)) {
+            Some(parent) => children.entry(parent).or_default().push(name),
+            None => roots.push(name),
+        }
+    }
+    let mut order = Vec::with_capacity(summary.stages.len());
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack: Vec<(&str, usize)> = roots.into_iter().rev().map(|n| (n, 0)).collect();
+    while let Some((name, depth)) = stack.pop() {
+        if !seen.insert(name) {
+            continue;
+        }
+        order.push((name, depth));
+        if let Some(kids) = children.get(name) {
+            for &kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    for name in summary.stages.keys() {
+        if seen.insert(name.as_str()) {
+            order.push((name.as_str(), 0));
+        }
+    }
+    order
+}
+
+/// Renders the human-readable run report: one line per stage, nested
+/// under its dominant parent span and indented by depth, with both
+/// total and self (child-subtracted) time, p50/p95/p99/max, a log2
+/// spark-line, then the hardware-counter section (when any stage
+/// carried PMU deltas), the explicit `pmu:` status marker, and the
+/// counters.
 pub fn run_report(summary: &Summary) -> String {
     let mut out = String::from("== wise-trace run report ==\n");
     if summary.stages.is_empty() && summary.counters.is_empty() {
         out.push_str("(no events recorded)\n");
+        if !summary.pmu_status.is_empty() {
+            let _ = writeln!(out, "pmu: {}", summary.pmu_status);
+        }
         return out;
     }
-    let name_w = summary.stages.keys().map(|n| n.len()).max().unwrap_or(5).max("stage".len());
+    let order = report_order(summary);
+    let name_w =
+        order.iter().map(|(n, depth)| n.len() + 2 * depth).max().unwrap_or(5).max("stage".len());
     let _ = writeln!(
         out,
-        "{:<name_w$} {:>7} {:>9} {:>9} {:>9} {:>9}  log2-spread",
-        "stage", "count", "total", "p50", "p95", "max"
+        "{:<name_w$} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  log2-spread",
+        "stage", "count", "total", "self", "p50", "p95", "p99", "max"
     );
-    for (name, st) in &summary.stages {
+    for &(name, depth) in &order {
+        let st = &summary.stages[name];
+        let label = format!("{}{}", "  ".repeat(depth), name);
         let _ = writeln!(
             out,
-            "{:<name_w$} {:>7} {:>9} {:>9} {:>9} {:>9}  {}",
-            name,
+            "{:<name_w$} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {}",
+            label,
             st.count,
             fmt_ns(st.total_ns),
+            fmt_ns(st.self_total_ns),
             fmt_ns(st.p50_ns),
             fmt_ns(st.p95_ns),
+            fmt_ns(st.p99_ns),
             fmt_ns(st.max_ns),
             st.hist.sparkline()
         );
+    }
+    let pmu_stages: Vec<(&str, &crate::PmuStats)> = order
+        .iter()
+        .filter_map(|&(name, _)| summary.stages[name].pmu.as_ref().map(|p| (name, p)))
+        .collect();
+    if !pmu_stages.is_empty() {
+        out.push_str("-- hardware counters --\n");
+        let _ = writeln!(
+            out,
+            "{:<name_w$} {:>7} {:>12} {:>12} {:>6} {:>10} {:>12}",
+            "stage", "spans", "cycles", "instructions", "ipc", "llc-miss%", "branch-miss"
+        );
+        for (name, pmu) in pmu_stages {
+            let ipc = pmu.ipc().map_or("-".to_string(), |v| format!("{v:.2}"));
+            let miss =
+                pmu.llc_miss_rate().map_or("-".to_string(), |v| format!("{:.1}%", v * 100.0));
+            let _ = writeln!(
+                out,
+                "{:<name_w$} {:>7} {:>12} {:>12} {:>6} {:>10} {:>12}",
+                name, pmu.samples, pmu.cycles, pmu.instructions, ipc, miss, pmu.branch_misses
+            );
+        }
+    }
+    if !summary.pmu_status.is_empty() {
+        let _ = writeln!(out, "pmu: {}", summary.pmu_status);
     }
     if !summary.counters.is_empty() {
         out.push_str("-- counters --\n");
@@ -183,7 +279,7 @@ pub fn balanced_events(events: &[Event]) -> Vec<Event> {
                 // tid; ignore a stray End so this helper never panics.
                 let _ = stacks.entry(e.tid).or_default().pop();
             }
-            Phase::Counter | Phase::Sample => {}
+            Phase::Counter | Phase::Sample | Phase::Pmu(_) => {}
         }
     }
     let end_ts = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
@@ -203,17 +299,104 @@ pub fn balanced_events(events: &[Event]) -> Vec<Event> {
     out
 }
 
-/// Writes the Chrome trace to `trace_path` and `perf_summary.json` next
-/// to it (same directory), returning the summary path. The conventional
-/// call is at the end of a run, after the traced work has completed;
-/// spans still open in the stream (a panic mid-span) are closed via
-/// [`balanced_events`] so the emitted trace always loads.
+pub mod folded {
+    //! Folded-stack export: one line per distinct span stack,
+    //! `root;child;grandchild <self_ns>`, aggregated — the input format
+    //! of `flamegraph.pl` / `inferno-flamegraph`, so any span stream
+    //! turns into a flame graph with stock tools.
+    //!
+    //! The invariant that makes flame graphs truthful (and that the
+    //! proptest in `tests/folded_prop.rs` pins down): every line's
+    //! value is *self* time, so the values sum to exactly the total
+    //! root-span time — no double counting of nested spans.
+
+    use crate::span::{Event, Phase};
+    use std::collections::{BTreeMap, HashMap};
+
+    /// Aggregates a flushed event stream into folded-stack lines,
+    /// name-sorted. Uses the same positional nesting and unbalanced-
+    /// stream tolerance as `Summary::from_events`: an `End` without a
+    /// matching open span becomes a single-frame root line (balance
+    /// panic-truncated streams with [`super::balanced_events`] first
+    /// for open spans to be counted at all).
+    pub fn folded_stacks(events: &[Event]) -> String {
+        let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+        // Per-thread stack of (name, ns consumed by closed children).
+        let mut stacks: HashMap<u64, Vec<(&str, u64)>> = HashMap::new();
+        for e in events {
+            match e.phase {
+                Phase::Begin => stacks.entry(e.tid).or_default().push((e.name, 0)),
+                Phase::End => {
+                    let stack = stacks.entry(e.tid).or_default();
+                    let matched = stack.last().map(|t| t.0) == Some(e.name);
+                    let self_ns = if matched {
+                        let (_, child_ns) = stack.pop().unwrap();
+                        if let Some(top) = stack.last_mut() {
+                            top.1 += e.value;
+                        }
+                        e.value.saturating_sub(child_ns)
+                    } else {
+                        e.value
+                    };
+                    let mut path = String::new();
+                    if matched {
+                        for (frame, _) in stack.iter() {
+                            path.push_str(frame);
+                            path.push(';');
+                        }
+                    }
+                    path.push_str(e.name);
+                    *lines.entry(path).or_insert(0) += self_ns;
+                }
+                Phase::Counter | Phase::Sample | Phase::Pmu(_) => {}
+            }
+        }
+        let mut out = String::new();
+        for (path, self_ns) in lines {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses folded-stack text back into `(stack frames, self_ns)`
+    /// rows — the round-trip half of the export invariant, also handy
+    /// for asserting on specific stacks in tests.
+    pub fn parse_folded(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+        let mut rows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (path, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: no value separator", i + 1))?;
+            let value: u64 =
+                value.parse().map_err(|e| format!("line {}: bad value: {e}", i + 1))?;
+            if path.is_empty() || path.split(';').any(str::is_empty) {
+                return Err(format!("line {}: empty frame", i + 1));
+            }
+            rows.push((path.split(';').map(str::to_string).collect(), value));
+        }
+        Ok(rows)
+    }
+}
+
+/// Writes the Chrome trace to `trace_path`, plus `perf_summary.json`
+/// next to it (same directory) and the folded-stack flame-graph feed at
+/// `trace_path` with a `.folded` extension, returning the summary path.
+/// The conventional call is at the end of a run, after the traced work
+/// has completed; spans still open in the stream (a panic mid-span) are
+/// closed via [`balanced_events`] so the emitted artifacts always load.
 pub fn write_trace_files(
     events: &[Event],
     trace_path: &Path,
 ) -> std::io::Result<std::path::PathBuf> {
     let events = balanced_events(events);
     std::fs::write(trace_path, chrome_trace_json(&events))?;
+    std::fs::write(trace_path.with_extension("folded"), folded::folded_stacks(&events))?;
     let summary = Summary::from_events(&events);
     let summary_path = trace_path.parent().unwrap_or(Path::new(".")).join("perf_summary.json");
     std::fs::write(&summary_path, perf_summary_json(&summary))?;
@@ -549,8 +732,36 @@ mod tests {
         let fe = stages["features.extract"].as_object().unwrap();
         assert_eq!(fe["count"].as_f64(), Some(1.0));
         assert_eq!(fe["p50_ns"].as_f64(), Some(7_000.0));
+        assert_eq!(fe["p99_ns"].as_f64(), Some(7_000.0));
+        assert_eq!(fe["self_total_ns"].as_f64(), Some(7_000.0));
+        // pipeline.select's self-time excludes the nested extract.
+        let ps = stages["pipeline.select"].as_object().unwrap();
+        assert_eq!(ps["total_ns"].as_f64(), Some(9_000.0));
+        assert_eq!(ps["self_total_ns"].as_f64(), Some(2_000.0));
+        assert!(doc.get("pmu_status").unwrap().as_str().is_some());
         let counters = doc.get("counters").unwrap().as_object().unwrap();
         assert_eq!(counters["features.nnz"].as_f64(), Some(4096.0));
+    }
+
+    #[test]
+    fn perf_summary_emits_pmu_block_when_present() {
+        let events = [
+            ev("k", Phase::Begin, 0, 1, 0),
+            ev("k", Phase::Pmu(crate::PmuKind::Cycles), 9, 1, 500),
+            ev("k", Phase::Pmu(crate::PmuKind::Instructions), 9, 1, 1500),
+            ev("k", Phase::End, 10, 1, 10),
+        ];
+        let summary = Summary::from_events(&events);
+        let doc = json::parse(&perf_summary_json(&summary)).expect("parses");
+        let k = doc.get("stages").unwrap().get("k").unwrap();
+        let pmu = k.get("pmu").expect("pmu block").as_object().unwrap();
+        assert_eq!(pmu["samples"].as_f64(), Some(1.0));
+        assert_eq!(pmu["cycles"].as_f64(), Some(500.0));
+        assert_eq!(pmu["instructions"].as_f64(), Some(1500.0));
+        // And the Pmu events render as valid Chrome counter events.
+        let trace = chrome_trace_json(&events);
+        assert!(validate_chrome_trace(&trace).is_ok());
+        assert!(trace.contains("\"pmu.cycles\":500"), "{trace}");
     }
 
     #[test]
@@ -560,7 +771,23 @@ mod tests {
         assert!(report.contains("features.extract"));
         assert!(report.contains("-- counters --"));
         assert!(report.contains("features.nnz"));
+        assert!(report.contains("self"));
+        assert!(report.contains("p99"));
+        // The explicit status marker is always present.
+        assert!(report.lines().any(|l| l.starts_with("pmu: ")), "{report}");
         assert!(run_report(&Summary::default()).contains("no events"));
+    }
+
+    #[test]
+    fn run_report_nests_children_under_parents() {
+        let summary = Summary::from_events(&sample_events());
+        let report = run_report(&summary);
+        // features.extract nested under pipeline.select: indented, and
+        // rendered after its parent despite sorting before it.
+        let lines: Vec<&str> = report.lines().collect();
+        let parent = lines.iter().position(|l| l.starts_with("pipeline.select")).unwrap();
+        let child = lines.iter().position(|l| l.starts_with("  features.extract")).unwrap();
+        assert_eq!(child, parent + 1, "{report}");
     }
 
     #[test]
@@ -625,7 +852,7 @@ mod tests {
     }
 
     #[test]
-    fn write_trace_files_emits_both_artifacts() {
+    fn write_trace_files_emits_all_artifacts() {
         let dir = std::env::temp_dir().join("wise_trace_export_test");
         std::fs::create_dir_all(&dir).unwrap();
         let trace_path = dir.join("trace.json");
@@ -635,6 +862,28 @@ mod tests {
         assert!(validate_chrome_trace(&trace_text).is_ok());
         let summary_text = std::fs::read_to_string(&summary_path).unwrap();
         assert!(json::parse(&summary_text).is_ok());
+        let folded_text = std::fs::read_to_string(dir.join("trace.folded")).unwrap();
+        assert!(folded::parse_folded(&folded_text).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn folded_stacks_are_self_time_and_round_trip() {
+        let text = folded::folded_stacks(&sample_events());
+        let rows = folded::parse_folded(&text).expect("parses");
+        let get = |path: &[&str]| rows.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
+        assert_eq!(get(&["pipeline.select"]), Some(2_000)); // 9000 - 7000 child
+        assert_eq!(get(&["pipeline.select", "features.extract"]), Some(7_000));
+        // Self-times sum to the total root duration.
+        let sum: u64 = rows.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, 9_000);
+    }
+
+    #[test]
+    fn parse_folded_rejects_malformed_lines() {
+        assert!(folded::parse_folded("no_value\n").is_err());
+        assert!(folded::parse_folded("a;b not_a_number\n").is_err());
+        assert!(folded::parse_folded("a;;b 10\n").is_err());
+        assert_eq!(folded::parse_folded("").unwrap().len(), 0);
     }
 }

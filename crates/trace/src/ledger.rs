@@ -167,6 +167,9 @@ pub struct StageRecord {
     pub min_ns: u64,
     pub p50_ns: u64,
     pub p95_ns: u64,
+    /// Tail latency (serving gates on p99). Records written before the
+    /// field existed parse with `p99_ns == p95_ns`.
+    pub p99_ns: u64,
     pub total_ns: u64,
 }
 
@@ -179,6 +182,115 @@ impl StageRecord {
         } else {
             (self.p50_ns.saturating_sub(self.min_ns)) as f64 / self.min_ns as f64
         }
+    }
+}
+
+/// Hardware-counter aggregate of one stage, lifted from
+/// [`crate::PmuStats`], plus the derived per-nonzero memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmuStageRecord {
+    /// Spans that contributed counter deltas.
+    pub samples: u64,
+    pub cycles: u64,
+    pub instructions: u64,
+    pub llc_loads: u64,
+    pub llc_misses: u64,
+    pub branch_misses: u64,
+    /// `llc_misses × 64B ÷ <stage>.nnz` — measured post-LLC bytes per
+    /// nonzero, when the stage recorded an nnz volume counter.
+    pub bytes_per_nnz: Option<f64>,
+}
+
+impl PmuStageRecord {
+    /// Instructions per cycle over the stage's aggregate.
+    pub fn ipc(&self) -> Option<f64> {
+        if self.cycles > 0 && self.instructions > 0 {
+            Some(self.instructions as f64 / self.cycles as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Aggregate LLC load miss rate in `[0, 1]`.
+    pub fn llc_miss_rate(&self) -> Option<f64> {
+        if self.llc_loads > 0 {
+            Some((self.llc_misses as f64 / self.llc_loads as f64).min(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Distribution summary of the `model.residual.*` stages: cost-model
+/// predicted ÷ hardware measured, per (matrix, method) execution (1.0
+/// means the model's bytes/cycles matched the counters exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResidualSummary {
+    /// Residual samples aggregated (max of the two stages' counts).
+    pub count: u64,
+    pub bytes_p50: f64,
+    pub bytes_p95: f64,
+    pub cycles_p50: f64,
+    pub cycles_p95: f64,
+}
+
+/// The optional hardware-counter section of a [`BenchRecord`]. Records
+/// written before the section existed (or parsed from other tools)
+/// carry `None`, which the gate and all readers tolerate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PmuSection {
+    /// [`crate::pmu::status_label`] at record time — the explicit
+    /// degradation marker (`off` / `available` / `unavailable (...)`).
+    pub status: String,
+    /// Stage name → counter aggregate, for stages that carried deltas.
+    pub stages: BTreeMap<String, PmuStageRecord>,
+    /// Predicted-vs-measured cost-model residuals, when the run emitted
+    /// `model.residual.*` samples.
+    pub residual: Option<ResidualSummary>,
+}
+
+impl PmuSection {
+    /// Lifts the PMU view out of a flushed trace summary: the status
+    /// marker, every stage with counter deltas (deriving bytes/nnz from
+    /// the stage's `.nnz` volume counter when present, 64-byte lines),
+    /// and the residual distribution when `model.residual.*` stages
+    /// were recorded (their samples are permille ratios; see
+    /// `wise_perf::residual`).
+    pub fn from_summary(summary: &Summary) -> PmuSection {
+        let mut stages = BTreeMap::new();
+        for (name, st) in &summary.stages {
+            let Some(pmu) = &st.pmu else { continue };
+            let nnz = summary.counters.get(&format!("{name}.nnz")).copied().unwrap_or(0);
+            let bytes_per_nnz = (nnz > 0).then(|| pmu.llc_misses as f64 * 64.0 / nnz as f64);
+            stages.insert(
+                name.clone(),
+                PmuStageRecord {
+                    samples: pmu.samples,
+                    cycles: pmu.cycles,
+                    instructions: pmu.instructions,
+                    llc_loads: pmu.llc_loads,
+                    llc_misses: pmu.llc_misses,
+                    branch_misses: pmu.branch_misses,
+                    bytes_per_nnz,
+                },
+            );
+        }
+        let bytes = summary.stages.get("model.residual.bytes");
+        let cycles = summary.stages.get("model.residual.cycles");
+        let residual = (bytes.is_some() || cycles.is_some()).then(|| {
+            let permille = |v: u64| v as f64 / 1000.0;
+            ResidualSummary {
+                count: bytes
+                    .map(|s| s.count)
+                    .unwrap_or(0)
+                    .max(cycles.map(|s| s.count).unwrap_or(0)),
+                bytes_p50: bytes.map(|s| permille(s.p50_ns)).unwrap_or(0.0),
+                bytes_p95: bytes.map(|s| permille(s.p95_ns)).unwrap_or(0.0),
+                cycles_p50: cycles.map(|s| permille(s.p50_ns)).unwrap_or(0.0),
+                cycles_p95: cycles.map(|s| permille(s.p95_ns)).unwrap_or(0.0),
+            }
+        });
+        PmuSection { status: summary.pmu_status.clone(), stages, residual }
     }
 }
 
@@ -224,6 +336,9 @@ pub struct BenchRecord {
     pub throughput: BTreeMap<String, f64>,
     /// Model quality, when the run trained and evaluated one.
     pub model: Option<ModelMetrics>,
+    /// Hardware-counter section; `None` on records written before the
+    /// field existed (tolerated everywhere, including the gate).
+    pub pmu: Option<PmuSection>,
 }
 
 impl BenchRecord {
@@ -248,6 +363,7 @@ impl BenchRecord {
                     min_ns: st.min_ns,
                     p50_ns: st.p50_ns,
                     p95_ns: st.p95_ns,
+                    p99_ns: st.p99_ns,
                     total_ns: st.total_ns,
                 };
                 (name.clone(), rec)
@@ -278,6 +394,7 @@ impl BenchRecord {
             counters: summary.counters.clone(),
             throughput,
             model: None,
+            pmu: Some(PmuSection::from_summary(summary)),
         }
     }
 
@@ -306,8 +423,8 @@ impl BenchRecord {
             write_json_str(&mut out, name);
             let _ = write!(
                 out,
-                ":{{\"count\":{},\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"total_ns\":{}}}",
-                st.count, st.min_ns, st.p50_ns, st.p95_ns, st.total_ns
+                ":{{\"count\":{},\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"total_ns\":{}}}",
+                st.count, st.min_ns, st.p50_ns, st.p95_ns, st.p99_ns, st.total_ns
             );
         }
         out.push_str("},\"counters\":{");
@@ -358,6 +475,61 @@ impl BenchRecord {
                 out.push_str("]}");
             }
         }
+        out.push_str(",\"pmu\":");
+        match &self.pmu {
+            None => out.push_str("null"),
+            Some(p) => {
+                out.push_str("{\"status\":");
+                write_json_str(&mut out, &p.status);
+                out.push_str(",\"stages\":{");
+                let mut first = true;
+                for (name, st) in &p.stages {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    write_json_str(&mut out, name);
+                    let _ = write!(
+                        out,
+                        ":{{\"samples\":{},\"cycles\":{},\"instructions\":{},\"llc_loads\":{},\"llc_misses\":{},\"branch_misses\":{}",
+                        st.samples, st.cycles, st.instructions, st.llc_loads, st.llc_misses,
+                        st.branch_misses
+                    );
+                    // ipc / llc_miss_rate are derived; emitted for
+                    // greppability, recomputed (not parsed) on read.
+                    match st.ipc() {
+                        Some(v) => {
+                            let _ = write!(out, ",\"ipc\":{v:.4}");
+                        }
+                        None => out.push_str(",\"ipc\":null"),
+                    }
+                    match st.llc_miss_rate() {
+                        Some(v) => {
+                            let _ = write!(out, ",\"llc_miss_rate\":{v:.6}");
+                        }
+                        None => out.push_str(",\"llc_miss_rate\":null"),
+                    }
+                    match st.bytes_per_nnz {
+                        Some(v) => {
+                            let _ = write!(out, ",\"bytes_per_nnz\":{v:.6}}}");
+                        }
+                        None => out.push_str(",\"bytes_per_nnz\":null}"),
+                    }
+                }
+                out.push_str("},\"residual\":");
+                match &p.residual {
+                    None => out.push_str("null"),
+                    Some(r) => {
+                        let _ = write!(
+                            out,
+                            "{{\"count\":{},\"bytes_p50\":{:.6},\"bytes_p95\":{:.6},\"cycles_p50\":{:.6},\"cycles_p95\":{:.6}}}",
+                            r.count, r.bytes_p50, r.bytes_p95, r.cycles_p50, r.cycles_p95
+                        );
+                    }
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
         out
     }
@@ -397,13 +569,21 @@ impl BenchRecord {
             let g = |key: &str| -> Result<u64, String> {
                 u64_of(st.get(key).ok_or_else(|| format!("stage {name}: missing {key}"))?, key)
             };
+            let p95_ns = g("p95_ns")?;
             stages.insert(
                 name.clone(),
                 StageRecord {
                     count: g("count")?,
                     min_ns: g("min_ns")?,
                     p50_ns: g("p50_ns")?,
-                    p95_ns: g("p95_ns")?,
+                    p95_ns,
+                    // serde-default equivalent: records written before
+                    // p99 existed fall back to their p95.
+                    p99_ns: st
+                        .get("p99_ns")
+                        .and_then(|v| v.as_f64())
+                        .map(|f| f as u64)
+                        .unwrap_or(p95_ns),
                     total_ns: g("total_ns")?,
                 },
             );
@@ -457,6 +637,60 @@ impl BenchRecord {
             }
         };
 
+        // Tolerated-when-missing: old records have no "pmu" field.
+        let pmu = match doc.get("pmu") {
+            None | Some(Value::Null) => None,
+            Some(p) => {
+                let status = p
+                    .get("status")
+                    .and_then(|v| v.as_str())
+                    .ok_or("pmu.status: missing")?
+                    .to_string();
+                let mut pmu_stages = BTreeMap::new();
+                if let Some(obj) = p.get("stages").and_then(|v| v.as_object()) {
+                    for (name, st) in obj {
+                        let g = |key: &str| -> Result<u64, String> {
+                            u64_of(
+                                st.get(key)
+                                    .ok_or_else(|| format!("pmu stage {name}: missing {key}"))?,
+                                key,
+                            )
+                        };
+                        pmu_stages.insert(
+                            name.clone(),
+                            PmuStageRecord {
+                                samples: g("samples")?,
+                                cycles: g("cycles")?,
+                                instructions: g("instructions")?,
+                                llc_loads: g("llc_loads")?,
+                                llc_misses: g("llc_misses")?,
+                                branch_misses: g("branch_misses")?,
+                                bytes_per_nnz: st.get("bytes_per_nnz").and_then(|v| v.as_f64()),
+                            },
+                        );
+                    }
+                }
+                let residual = match p.get("residual") {
+                    None | Some(Value::Null) => None,
+                    Some(r) => {
+                        let f = |key: &str| -> Result<f64, String> {
+                            r.get(key)
+                                .and_then(|v| v.as_f64())
+                                .ok_or_else(|| format!("pmu.residual.{key}: missing"))
+                        };
+                        Some(ResidualSummary {
+                            count: f("count")? as u64,
+                            bytes_p50: f("bytes_p50")?,
+                            bytes_p95: f("bytes_p95")?,
+                            cycles_p50: f("cycles_p50")?,
+                            cycles_p95: f("cycles_p95")?,
+                        })
+                    }
+                };
+                Some(PmuSection { status, stages: pmu_stages, residual })
+            }
+        };
+
         Ok(BenchRecord {
             schema_version,
             seq,
@@ -467,6 +701,7 @@ impl BenchRecord {
             counters,
             throughput,
             model,
+            pmu,
         })
     }
 }
@@ -811,7 +1046,14 @@ mod tests {
     use super::*;
 
     fn stage(min: u64, p50: u64) -> StageRecord {
-        StageRecord { count: 5, min_ns: min, p50_ns: p50, p95_ns: p50 * 2, total_ns: p50 * 5 }
+        StageRecord {
+            count: 5,
+            min_ns: min,
+            p50_ns: p50,
+            p95_ns: p50 * 2,
+            p99_ns: p50 * 2,
+            total_ns: p50 * 5,
+        }
     }
 
     fn record(seq: u64, stages: &[(&str, StageRecord)]) -> BenchRecord {
@@ -991,7 +1233,98 @@ mod tests {
         assert_eq!(stage(1000, 1500).rel_spread(), 0.5);
         assert_eq!(stage(0, 10).rel_spread(), 0.0);
         // p50 < min cannot happen from Summary, but must not underflow.
-        let s = StageRecord { count: 1, min_ns: 10, p50_ns: 5, p95_ns: 5, total_ns: 5 };
+        let s = StageRecord { count: 1, min_ns: 10, p50_ns: 5, p95_ns: 5, p99_ns: 5, total_ns: 5 };
         assert_eq!(s.rel_spread(), 0.0);
+    }
+
+    #[test]
+    fn old_records_parse_with_p99_defaulted_and_no_pmu() {
+        // A pre-p99, pre-pmu record exactly as PR 5 wrote it.
+        let old = r#"{"schema_version":1,"seq":3,"note":"old","corpus_digest":"fnv1a:0000000000000001",
+            "host":{"cpu_cores":4,"threads_env":null,"pool_env":null,"rustc":null,"simd":null,"simd_env":null},
+            "stages":{"kernel.spmv":{"count":5,"min_ns":100,"p50_ns":120,"p95_ns":150,"total_ns":600}},
+            "counters":{},"throughput":{},"model":null}"#;
+        let rec = BenchRecord::from_json(old).expect("old schema parses");
+        assert_eq!(rec.stages["kernel.spmv"].p99_ns, 150); // defaulted to p95
+        assert_eq!(rec.pmu, None);
+        // And it still gates cleanly against a new-schema candidate.
+        let cand = record(4, &[("kernel.spmv", stage(100, 120))]);
+        let rep = gate(&[rec], &cand, &policy(&["kernel.spmv"]));
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.baselines_used, 1);
+    }
+
+    #[test]
+    fn pmu_section_round_trips_through_json() {
+        let mut rec = record(1, &[("kernel.spmv", stage(100, 120))]);
+        rec.pmu = Some(PmuSection {
+            status: "available".into(),
+            stages: [(
+                "kernel.spmv".to_string(),
+                PmuStageRecord {
+                    samples: 5,
+                    cycles: 1_000_000,
+                    instructions: 2_500_000,
+                    llc_loads: 4_000,
+                    llc_misses: 1_000,
+                    branch_misses: 42,
+                    bytes_per_nnz: Some(1.25),
+                },
+            )]
+            .into(),
+            residual: Some(ResidualSummary {
+                count: 29,
+                bytes_p50: 0.875,
+                bytes_p95: 1.5,
+                cycles_p50: 1.125,
+                cycles_p95: 2.0,
+            }),
+        });
+        let text = rec.to_json();
+        // Derived figures are emitted in-band for grep/jq consumers.
+        assert!(text.contains("\"ipc\":2.5"), "{text}");
+        assert!(text.contains("\"llc_miss_rate\":0.25"), "{text}");
+        let back = BenchRecord::from_json(&text).expect("parses");
+        assert_eq!(back, rec);
+
+        // A forced-off section (the explicit degradation marker) also
+        // survives, with no stages and no residuals.
+        rec.pmu = Some(PmuSection { status: "off".into(), ..Default::default() });
+        let back = BenchRecord::from_json(&rec.to_json()).expect("parses");
+        assert_eq!(back.pmu.as_ref().unwrap().status, "off");
+        assert!(back.pmu.as_ref().unwrap().stages.is_empty());
+    }
+
+    #[test]
+    fn pmu_section_lifts_from_summary() {
+        use crate::span::{Event, Phase};
+        use crate::PmuKind;
+        let ev = |name, phase, ts_ns, value| Event { name, phase, ts_ns, tid: 1, value };
+        let events = [
+            ev("kernel.spmv", Phase::Begin, 0, 0),
+            ev("kernel.spmv.nnz", Phase::Counter, 1, 1000),
+            ev("kernel.spmv", Phase::Pmu(PmuKind::Cycles), 9, 5000),
+            ev("kernel.spmv", Phase::Pmu(PmuKind::LlcMisses), 9, 125),
+            ev("kernel.spmv", Phase::End, 10, 10),
+            // Permille residual samples, as wise_perf::residual emits.
+            ev("model.residual.bytes", Phase::Sample, 11, 800),
+            ev("model.residual.cycles", Phase::Sample, 12, 1200),
+        ];
+        let summary = Summary::from_events(&events);
+        let section = PmuSection::from_summary(&summary);
+        assert!(!section.status.is_empty());
+        let spmv = &section.stages["kernel.spmv"];
+        assert_eq!(spmv.cycles, 5000);
+        // 125 misses × 64B ÷ 1000 nnz = 8 bytes/nnz.
+        assert_eq!(spmv.bytes_per_nnz, Some(8.0));
+        let residual = section.residual.expect("residual summary");
+        assert_eq!(residual.count, 1);
+        assert_eq!(residual.bytes_p50, 0.8);
+        assert_eq!(residual.cycles_p50, 1.2);
+        // from_summary wires the section into the record.
+        let rec =
+            BenchRecord::from_summary(9, "t", "fnv1a:00", HostFingerprint::default(), &summary);
+        assert_eq!(rec.pmu.as_ref().unwrap().stages.len(), 1);
+        assert_eq!(rec.stages["kernel.spmv"].p99_ns, 10);
     }
 }

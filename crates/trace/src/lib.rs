@@ -7,6 +7,11 @@
 //!
 //! * [`span`] — hierarchical RAII spans recorded into per-thread
 //!   buffers (no shared lock on the hot path; buffers merge at flush);
+//! * [`span_pmu`] / [`pmu`] — spans that additionally carry hardware
+//!   counter deltas (cycles, instructions, LLC loads/misses, branch
+//!   misses) read from a raw-syscall `perf_event_open` group, degrading
+//!   to plain timestamps with an explicit status marker when the
+//!   kernel denies the PMU (`WISE_PMU` knob: `0|off|1|on|auto`);
 //! * [`counter`] / [`observe_ns`] — monotonic counters and duration
 //!   samples, aggregated into log2-bucketed histograms
 //!   ([`metrics::Hist`]);
@@ -53,6 +58,7 @@
 pub mod export;
 pub mod ledger;
 pub mod metrics;
+pub mod pmu;
 pub mod span;
 
 pub use export::{
@@ -61,11 +67,12 @@ pub use export::{
 };
 pub use ledger::{BenchRecord, GatePolicy, GateReport, HostFingerprint, ModelMetrics};
 pub use metrics::Hist;
+pub use pmu::{PmuCounts, PmuKind, PmuStatus};
 pub use span::{
-    build_forest, counter, dropped_events, observe_ns, span, take_events, Event, Phase, Span,
-    SpanNode,
+    build_forest, counter, dropped_events, observe, observe_ns, span, span_pmu, take_events, Event,
+    Phase, Span, SpanNode,
 };
-pub use summary::{StageStats, Summary};
+pub use summary::{PmuStats, StageStats, Summary};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -102,8 +109,42 @@ pub fn set_enabled(on: bool) {
 
 mod summary {
     use crate::metrics::Hist;
+    use crate::pmu::PmuKind;
     use crate::span::{Event, Phase};
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, HashMap};
+
+    /// Aggregated hardware-counter deltas of one stage (summed over its
+    /// [`Phase::Pmu`]-carrying spans).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct PmuStats {
+        /// Spans that contributed counter deltas.
+        pub samples: u64,
+        pub cycles: u64,
+        pub instructions: u64,
+        pub llc_loads: u64,
+        pub llc_misses: u64,
+        pub branch_misses: u64,
+    }
+
+    impl PmuStats {
+        /// Instructions per cycle over the stage's aggregate.
+        pub fn ipc(&self) -> Option<f64> {
+            if self.cycles > 0 && self.instructions > 0 {
+                Some(self.instructions as f64 / self.cycles as f64)
+            } else {
+                None
+            }
+        }
+
+        /// Aggregate LLC load miss rate in `[0, 1]`.
+        pub fn llc_miss_rate(&self) -> Option<f64> {
+            if self.llc_loads > 0 {
+                Some((self.llc_misses as f64 / self.llc_loads as f64).min(1.0))
+            } else {
+                None
+            }
+        }
+    }
 
     /// Aggregated statistics of one span/sample stage.
     #[derive(Debug, Clone, PartialEq)]
@@ -112,61 +153,146 @@ mod summary {
         pub count: u64,
         /// Sum of all durations, nanoseconds.
         pub total_ns: u64,
+        /// Sum of durations *minus* time spent in child spans on the
+        /// same thread — the stage's own work, so nested stages (e.g.
+        /// `kernel.spmv.simd` inside `kernel.spmv`) are not
+        /// double-counted. Samples contribute their full value.
+        pub self_total_ns: u64,
         pub min_ns: u64,
         pub p50_ns: u64,
         pub p95_ns: u64,
+        pub p99_ns: u64,
         pub max_ns: u64,
         /// Log2-bucketed duration histogram (for the run report).
         pub hist: Hist,
+        /// Most frequent enclosing span, if this stage ever nested
+        /// (drives the indented run-report tree).
+        pub parent: Option<String>,
+        /// Hardware-counter aggregate when any of this stage's spans
+        /// carried PMU deltas.
+        pub pmu: Option<PmuStats>,
     }
 
     /// Everything the exporters need, aggregated from a flushed event
     /// stream: per-stage duration statistics (from span ends and
-    /// duration samples) and summed counters.
+    /// duration samples), summed counters, and the PMU status marker.
     #[derive(Debug, Clone, Default)]
     pub struct Summary {
         /// Stage name → duration statistics, name-sorted.
         pub stages: BTreeMap<String, StageStats>,
         /// Counter name → summed value, name-sorted.
         pub counters: BTreeMap<String, u64>,
+        /// [`crate::pmu::status_label`] at aggregation time (`off`,
+        /// `available`, or `unavailable (<reason>)`; empty only on
+        /// `Summary::default()`).
+        pub pmu_status: String,
+    }
+
+    #[derive(Default)]
+    struct Acc {
+        ds: Vec<u64>,
+        self_ns: u64,
+        /// Enclosing-span name ("" = root) → occurrences.
+        parents: BTreeMap<&'static str, u64>,
+        pmu: [u64; 5],
+        pmu_samples: u64,
     }
 
     impl Summary {
         /// Aggregates a flushed event stream ([`crate::take_events`]).
+        ///
+        /// Self-time uses the same positional nesting rule as
+        /// [`crate::build_forest`], but tolerates unbalanced streams
+        /// (dropped or truncated events): an `End` that does not match
+        /// the top of its thread's stack is attributed as a root span
+        /// with full self-time, never a panic.
         pub fn from_events(events: &[Event]) -> Summary {
-            let mut durations: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+            let mut accs: BTreeMap<&'static str, Acc> = BTreeMap::new();
             let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+            // Per-thread stack of (open span, ns consumed by its
+            // already-closed children).
+            let mut stacks: HashMap<u64, Vec<(&'static str, u64)>> = HashMap::new();
             for e in events {
                 match e.phase {
-                    Phase::End | Phase::Sample => {
-                        durations.entry(e.name).or_default().push(e.value)
+                    Phase::Begin => stacks.entry(e.tid).or_default().push((e.name, 0)),
+                    Phase::End => {
+                        let stack = stacks.entry(e.tid).or_default();
+                        let matched = stack.last().map(|t| t.0) == Some(e.name);
+                        let (self_ns, parent) = if matched {
+                            let (_, child_ns) = stack.pop().unwrap();
+                            if let Some(top) = stack.last_mut() {
+                                top.1 += e.value;
+                            }
+                            (e.value.saturating_sub(child_ns), stack.last().map(|t| t.0))
+                        } else {
+                            (e.value, None)
+                        };
+                        let acc = accs.entry(e.name).or_default();
+                        acc.ds.push(e.value);
+                        acc.self_ns += self_ns;
+                        *acc.parents.entry(parent.unwrap_or("")).or_insert(0) += 1;
+                    }
+                    Phase::Sample => {
+                        let acc = accs.entry(e.name).or_default();
+                        acc.ds.push(e.value);
+                        acc.self_ns += e.value;
+                        *acc.parents.entry("").or_insert(0) += 1;
                     }
                     Phase::Counter => *counters.entry(e.name.to_string()).or_insert(0) += e.value,
-                    Phase::Begin => {}
+                    Phase::Pmu(kind) => {
+                        let acc = accs.entry(e.name).or_default();
+                        acc.pmu[kind as usize] += e.value;
+                        if kind == PmuKind::Cycles {
+                            acc.pmu_samples += 1;
+                        }
+                    }
                 }
             }
-            let stages = durations
+            let stages = accs
                 .into_iter()
-                .map(|(name, mut ds)| {
+                .filter(|(_, acc)| !acc.ds.is_empty())
+                .map(|(name, acc)| {
+                    let mut ds = acc.ds;
                     ds.sort_unstable();
                     let pct = |p: f64| ds[((ds.len() - 1) as f64 * p).round() as usize];
                     let mut hist = Hist::default();
                     for &d in &ds {
                         hist.observe(d);
                     }
+                    // Dominant parent; ties break toward "" (root,
+                    // which sorts first) then lexicographically.
+                    let parent = acc
+                        .parents
+                        .iter()
+                        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                        .map(|(&p, _)| p)
+                        .filter(|p| !p.is_empty())
+                        .map(str::to_string);
+                    let pmu = (acc.pmu_samples > 0).then(|| PmuStats {
+                        samples: acc.pmu_samples,
+                        cycles: acc.pmu[PmuKind::Cycles as usize],
+                        instructions: acc.pmu[PmuKind::Instructions as usize],
+                        llc_loads: acc.pmu[PmuKind::LlcLoads as usize],
+                        llc_misses: acc.pmu[PmuKind::LlcMisses as usize],
+                        branch_misses: acc.pmu[PmuKind::BranchMisses as usize],
+                    });
                     let stats = StageStats {
                         count: ds.len() as u64,
                         total_ns: ds.iter().sum(),
+                        self_total_ns: acc.self_ns,
                         min_ns: ds[0],
                         p50_ns: pct(0.50),
                         p95_ns: pct(0.95),
+                        p99_ns: pct(0.99),
                         max_ns: ds[ds.len() - 1],
                         hist,
+                        parent,
+                        pmu,
                     };
                     (name.to_string(), stats)
                 })
                 .collect();
-            Summary { stages, counters }
+            Summary { stages, counters, pmu_status: crate::pmu::status_label() }
         }
     }
 }
@@ -186,7 +312,12 @@ mod tests {
         assert_eq!(st.max_ns, 100);
         assert_eq!(st.p50_ns, 51); // index round(99 * 0.5) = 50 -> value 51
         assert_eq!(st.p95_ns, 95); // index round(99 * 0.95) = 94 -> value 95
+        assert_eq!(st.p99_ns, 99); // index round(99 * 0.99) = 98 -> value 99
         assert_eq!(st.total_ns, 5050);
+        assert_eq!(st.self_total_ns, 5050); // samples are all self-time
+        assert_eq!(st.parent, None);
+        assert_eq!(st.pmu, None);
+        assert!(!s.pmu_status.is_empty());
     }
 
     #[test]
@@ -195,5 +326,61 @@ mod tests {
         let s = Summary::from_events(&[mk(3), mk(4)]);
         assert_eq!(s.counters["c"], 7);
         assert!(s.stages.is_empty());
+    }
+
+    #[test]
+    fn summary_subtracts_child_time_and_tracks_parents() {
+        let ev = |name, phase, ts_ns, value| Event { name, phase, ts_ns, tid: 1, value };
+        let events = [
+            ev("outer", Phase::Begin, 0, 0),
+            ev("inner", Phase::Begin, 10, 0),
+            ev("inner", Phase::End, 40, 30),
+            ev("inner", Phase::Begin, 50, 0),
+            ev("inner", Phase::End, 70, 20),
+            ev("outer", Phase::End, 100, 100),
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.stages["outer"].total_ns, 100);
+        assert_eq!(s.stages["outer"].self_total_ns, 50); // 100 - (30 + 20)
+        assert_eq!(s.stages["outer"].parent, None);
+        assert_eq!(s.stages["inner"].self_total_ns, 50);
+        assert_eq!(s.stages["inner"].parent.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn summary_aggregates_pmu_deltas() {
+        let ev = |phase, value| Event { name: "k", phase, ts_ns: 0, tid: 1, value };
+        let events = [
+            ev(Phase::Begin, 0),
+            ev(Phase::Pmu(PmuKind::Cycles), 1000),
+            ev(Phase::Pmu(PmuKind::Instructions), 2000),
+            ev(Phase::Pmu(PmuKind::LlcLoads), 100),
+            ev(Phase::Pmu(PmuKind::LlcMisses), 25),
+            ev(Phase::End, 10),
+            ev(Phase::Begin, 0),
+            ev(Phase::Pmu(PmuKind::Cycles), 1000),
+            ev(Phase::Pmu(PmuKind::Instructions), 2000),
+            ev(Phase::End, 10),
+        ];
+        let s = Summary::from_events(&events);
+        let pmu = s.stages["k"].pmu.expect("pmu stats");
+        assert_eq!(pmu.samples, 2);
+        assert_eq!(pmu.cycles, 2000);
+        assert_eq!(pmu.instructions, 4000);
+        assert_eq!(pmu.ipc(), Some(2.0));
+        assert_eq!(pmu.llc_miss_rate(), Some(0.25));
+        assert_eq!(pmu.branch_misses, 0);
+    }
+
+    #[test]
+    fn summary_tolerates_unbalanced_streams() {
+        let ev = |name, phase, ts_ns, value| Event { name, phase, ts_ns, tid: 1, value };
+        // End without Begin, then a Begin never closed: no panic, and
+        // the orphan End is attributed as a root with full self-time.
+        let events = [ev("orphan", Phase::End, 10, 10), ev("open", Phase::Begin, 20, 0)];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.stages["orphan"].self_total_ns, 10);
+        assert_eq!(s.stages["orphan"].parent, None);
+        assert!(!s.stages.contains_key("open"));
     }
 }

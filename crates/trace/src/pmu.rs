@@ -1,0 +1,652 @@
+//! Hardware performance counters via raw `perf_event_open(2)` syscalls.
+//!
+//! Like the rest of `wise-trace`, this module has **zero dependencies**:
+//! no `libc`, no `perf-event` crate — the syscall, `ioctl`, `read` and
+//! `close` entry points are invoked directly with inline assembly on
+//! x86-64 Linux (any other target compiles a stub that reports
+//! [`PmuStatus::Unavailable`]).
+//!
+//! # Counter group
+//!
+//! Each recording thread opens one counter *group* — cycles (leader),
+//! instructions, LLC loads, LLC load misses, branch misses — so all
+//! five counters are scheduled onto the PMU together and one `read`
+//! returns a consistent snapshot. Members that the host PMU lacks
+//! (common under virtualization) are skipped individually; only a
+//! leader failure makes the PMU unavailable. Counts are scaled by
+//! `time_enabled / time_running` when the kernel multiplexes the group.
+//!
+//! Groups are per-thread (`inherit` cannot be combined with
+//! `PERF_FORMAT_GROUP`), so a span's deltas cover **the calling
+//! thread only**. For multi-threaded regions the deltas measure the
+//! dispatching thread's share; run the region single-threaded when a
+//! whole-workload attribution is needed (see `wise_perf::residual`).
+//!
+//! # Graceful degradation
+//!
+//! The first status query probes the syscall **once**: when
+//! `perf_event_paranoid`, a seccomp profile, or the platform denies it,
+//! the module warns **once** on stderr and every later operation is a
+//! no-op — spans fall back to timestamps only, with the event stream
+//! bit-identical to a build without PMU support. The outcome is
+//! surfaced as an explicit [`PmuStatus`] in run reports and the ledger,
+//! never as an error.
+//!
+//! # `WISE_PMU`
+//!
+//! `0`/`off` disables the probe entirely (no syscalls are attempted),
+//! `1`/`on` and `auto` (the default) probe on first use. Malformed
+//! values warn once, bump the `trace.pmu_env_invalid` counter, and fall
+//! back to `auto` — the same contract as `WISE_THREADS` / `WISE_SIMD`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Once, OnceLock};
+
+/// Which hardware counter a [`Phase::Pmu`](crate::Phase::Pmu) event or
+/// [`PmuCounts`] field refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PmuKind {
+    Cycles,
+    Instructions,
+    LlcLoads,
+    LlcMisses,
+    BranchMisses,
+}
+
+impl PmuKind {
+    /// All kinds, in group-open (and report) order; `Cycles` is the
+    /// group leader.
+    pub const ALL: [PmuKind; 5] = [
+        PmuKind::Cycles,
+        PmuKind::Instructions,
+        PmuKind::LlcLoads,
+        PmuKind::LlcMisses,
+        PmuKind::BranchMisses,
+    ];
+
+    /// Stable snake_case label used in exports (`<span>.pmu.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PmuKind::Cycles => "cycles",
+            PmuKind::Instructions => "instructions",
+            PmuKind::LlcLoads => "llc_loads",
+            PmuKind::LlcMisses => "llc_misses",
+            PmuKind::BranchMisses => "branch_misses",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            PmuKind::Cycles => 0,
+            PmuKind::Instructions => 1,
+            PmuKind::LlcLoads => 2,
+            PmuKind::LlcMisses => 3,
+            PmuKind::BranchMisses => 4,
+        }
+    }
+}
+
+/// One snapshot (or delta) of the counter group. Counters the host
+/// could not open read as 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmuCounts {
+    pub cycles: u64,
+    pub instructions: u64,
+    pub llc_loads: u64,
+    pub llc_misses: u64,
+    pub branch_misses: u64,
+}
+
+impl PmuCounts {
+    pub fn get(&self, kind: PmuKind) -> u64 {
+        match kind {
+            PmuKind::Cycles => self.cycles,
+            PmuKind::Instructions => self.instructions,
+            PmuKind::LlcLoads => self.llc_loads,
+            PmuKind::LlcMisses => self.llc_misses,
+            PmuKind::BranchMisses => self.branch_misses,
+        }
+    }
+
+    fn set(&mut self, kind: PmuKind, value: u64) {
+        match kind {
+            PmuKind::Cycles => self.cycles = value,
+            PmuKind::Instructions => self.instructions = value,
+            PmuKind::LlcLoads => self.llc_loads = value,
+            PmuKind::LlcMisses => self.llc_misses = value,
+            PmuKind::BranchMisses => self.branch_misses = value,
+        }
+    }
+
+    /// Per-field saturating difference `self - base` (counter snapshots
+    /// are monotonic, but multiplex scaling can jitter slightly).
+    pub fn delta_since(&self, base: &PmuCounts) -> PmuCounts {
+        let mut d = PmuCounts::default();
+        for kind in PmuKind::ALL {
+            d.set(kind, self.get(kind).saturating_sub(base.get(kind)));
+        }
+        d
+    }
+
+    /// Instructions per cycle, when both counters are live.
+    pub fn ipc(&self) -> Option<f64> {
+        if self.cycles > 0 && self.instructions > 0 {
+            Some(self.instructions as f64 / self.cycles as f64)
+        } else {
+            None
+        }
+    }
+
+    /// LLC load miss rate in `[0, 1]`, when LLC loads are live.
+    pub fn llc_miss_rate(&self) -> Option<f64> {
+        if self.llc_loads > 0 {
+            Some((self.llc_misses as f64 / self.llc_loads as f64).min(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Outcome of the one-shot PMU probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmuStatus {
+    /// `WISE_PMU=0|off`: no syscall is ever attempted.
+    Off,
+    /// The counter group opened; `span_pmu` spans carry deltas.
+    Available,
+    /// The syscall was denied or the events are unsupported; spans fall
+    /// back to timestamps only (explicitly surfaced, never an error).
+    Unavailable,
+}
+
+/// Parsed value of the `WISE_PMU` environment knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmuEnv {
+    Off,
+    On,
+    Auto,
+}
+
+/// Why a `WISE_PMU` value did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmuEnvError {
+    Empty,
+    Unknown(String),
+}
+
+impl std::fmt::Display for PmuEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmuEnvError::Empty => write!(f, "WISE_PMU is set but empty"),
+            PmuEnvError::Unknown(v) => {
+                write!(f, "WISE_PMU={v:?} not recognized (expected 0|off|1|on|auto)")
+            }
+        }
+    }
+}
+
+/// Parses a `WISE_PMU` value. `None` (unset) means `auto`; values are
+/// trimmed and case-insensitive.
+pub fn parse_wise_pmu(raw: Option<&str>) -> Result<PmuEnv, PmuEnvError> {
+    let Some(raw) = raw else { return Ok(PmuEnv::Auto) };
+    let norm = raw.trim().to_ascii_lowercase();
+    match norm.as_str() {
+        "" => Err(PmuEnvError::Empty),
+        "0" | "off" => Ok(PmuEnv::Off),
+        "1" | "on" => Ok(PmuEnv::On),
+        "auto" => Ok(PmuEnv::Auto),
+        _ => Err(PmuEnvError::Unknown(norm)),
+    }
+}
+
+const ST_UNINIT: u8 = 0;
+const ST_OFF: u8 = 1;
+const ST_AVAILABLE: u8 = 2;
+const ST_UNAVAILABLE: u8 = 3;
+
+static STATUS: AtomicU8 = AtomicU8::new(ST_UNINIT);
+
+fn unavailable_why() -> &'static OnceLock<String> {
+    static WHY: OnceLock<String> = OnceLock::new();
+    &WHY
+}
+
+/// Current PMU status. The first call reads `WISE_PMU` and (unless off)
+/// probes the syscall once; later calls are one relaxed atomic load.
+pub fn status() -> PmuStatus {
+    match STATUS.load(Ordering::Relaxed) {
+        ST_OFF => PmuStatus::Off,
+        ST_AVAILABLE => PmuStatus::Available,
+        ST_UNAVAILABLE => PmuStatus::Unavailable,
+        _ => resolve_slow(),
+    }
+}
+
+/// Human-readable status marker used by the run report, perf summary
+/// and ledger: `off`, `available`, or `unavailable (<reason>)`.
+pub fn status_label() -> String {
+    match status() {
+        PmuStatus::Off => "off".to_string(),
+        PmuStatus::Available => "available".to_string(),
+        PmuStatus::Unavailable => {
+            let why = unavailable_why().get().map(String::as_str).unwrap_or("forced");
+            format!("unavailable ({why})")
+        }
+    }
+}
+
+#[cold]
+fn resolve_slow() -> PmuStatus {
+    let env = match parse_wise_pmu(std::env::var("WISE_PMU").ok().as_deref()) {
+        Ok(env) => env,
+        Err(err) => {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!("wise-trace: ignoring invalid WISE_PMU: {err}; defaulting to auto");
+                crate::counter("trace.pmu_env_invalid", 1);
+            });
+            PmuEnv::Auto
+        }
+    };
+    let resolved = match env {
+        PmuEnv::Off => PmuStatus::Off,
+        PmuEnv::On | PmuEnv::Auto => match sys::open_group() {
+            Ok(group) => {
+                // Keep the probe group: it becomes this thread's group.
+                THREAD_GROUP.with(|t| {
+                    let mut t = t.borrow_mut();
+                    t.init = true;
+                    t.group = Some(group);
+                });
+                PmuStatus::Available
+            }
+            Err(why) => {
+                let _ = unavailable_why().set(why.clone());
+                static WARNED: Once = Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "wise-trace: pmu unavailable ({why}); continuing with timestamps only"
+                    );
+                });
+                PmuStatus::Unavailable
+            }
+        },
+    };
+    STATUS.store(
+        match resolved {
+            PmuStatus::Off => ST_OFF,
+            PmuStatus::Available => ST_AVAILABLE,
+            PmuStatus::Unavailable => ST_UNAVAILABLE,
+        },
+        Ordering::Relaxed,
+    );
+    resolved
+}
+
+/// Overrides the probed status (tests and tools). `None` re-arms the
+/// lazy env-probe path. Forcing [`PmuStatus::Available`] does not
+/// conjure counters — threads whose group cannot open simply record no
+/// deltas.
+pub fn force_status(status: Option<PmuStatus>) {
+    let code = match status {
+        None => ST_UNINIT,
+        Some(PmuStatus::Off) => ST_OFF,
+        Some(PmuStatus::Available) => ST_AVAILABLE,
+        Some(PmuStatus::Unavailable) => ST_UNAVAILABLE,
+    };
+    STATUS.store(code, Ordering::Relaxed);
+}
+
+struct ThreadGroup {
+    init: bool,
+    group: Option<sys::Group>,
+}
+
+thread_local! {
+    static THREAD_GROUP: RefCell<ThreadGroup> =
+        const { RefCell::new(ThreadGroup { init: false, group: None }) };
+}
+
+fn with_group<R>(f: impl FnOnce(&sys::Group) -> R) -> Option<R> {
+    if status() != PmuStatus::Available {
+        return None;
+    }
+    THREAD_GROUP.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.init {
+            t.init = true;
+            t.group = sys::open_group().ok();
+        }
+        t.group.as_ref().map(f)
+    })
+}
+
+/// Reads the calling thread's counter group. `None` when the PMU is
+/// off/unavailable or this thread's group failed to open.
+pub fn read_counts() -> Option<PmuCounts> {
+    with_group(|g| g.read()).flatten().map(|(counts, _)| counts)
+}
+
+/// Baseline snapshot taken by `span_pmu` at span open.
+#[inline]
+pub(crate) fn span_baseline() -> Option<PmuCounts> {
+    // Only reached with tracing enabled, so the one-shot probe cost
+    // never leaks into untraced runs.
+    read_counts()
+}
+
+/// Emits one `Phase::Pmu` event per *live* counter with the delta since
+/// `base`, stamped at the span's end timestamp (so the events sort just
+/// inside the closing span).
+pub(crate) fn emit_span_delta(name: &'static str, base: &PmuCounts, ts_ns: u64) {
+    let Some((now, mask)) = with_group(|g| g.read()).flatten() else { return };
+    let delta = now.delta_since(base);
+    for kind in PmuKind::ALL {
+        if mask & (1 << kind.idx()) != 0 {
+            crate::span::record(name, crate::span::Phase::Pmu(kind), ts_ns, delta.get(kind));
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw x86-64 Linux backend: inline-asm syscalls, no libc.
+
+    use super::{PmuCounts, PmuKind};
+
+    const NR_READ: u64 = 0;
+    const NR_CLOSE: u64 = 3;
+    const NR_IOCTL: u64 = 16;
+    const NR_PERF_EVENT_OPEN: u64 = 298;
+
+    const PERF_TYPE_HARDWARE: u32 = 0;
+    const PERF_TYPE_HW_CACHE: u32 = 3;
+    const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+    const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+    const PERF_COUNT_HW_BRANCH_MISSES: u64 = 5;
+    /// `LL | (op READ << 8) | (result ACCESS << 16)`
+    const HW_CACHE_LL_READ_ACCESS: u64 = 2;
+    /// `LL | (op READ << 8) | (result MISS << 16)`
+    const HW_CACHE_LL_READ_MISS: u64 = 2 | (1 << 16);
+
+    /// `TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING | GROUP`
+    const READ_FORMAT: u64 = 1 | 2 | 8;
+    /// `disabled | exclude_kernel | exclude_hv` (leader only).
+    const FLAGS_LEADER: u64 = (1 << 0) | (1 << 5) | (1 << 6);
+    /// `exclude_kernel | exclude_hv` — members follow the leader's
+    /// enable state, so they must not be individually disabled.
+    const FLAGS_MEMBER: u64 = (1 << 5) | (1 << 6);
+
+    const PERF_EVENT_IOC_ENABLE: u64 = 0x2400;
+    const PERF_IOC_FLAG_GROUP: u64 = 1;
+    const PERF_FLAG_FD_CLOEXEC: u64 = 8;
+
+    /// `perf_event_attr`, `PERF_ATTR_SIZE_VER5` layout (112 bytes).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        config1: u64,
+        config2: u64,
+        branch_sample_type: u64,
+        sample_regs_user: u64,
+        sample_stack_user: u32,
+        clockid: i32,
+        sample_regs_intr: u64,
+        aux_watermark: u32,
+        sample_max_stack: u16,
+        reserved_2: u16,
+    }
+
+    const ATTR_SIZE: u32 = std::mem::size_of::<PerfEventAttr>() as u32;
+    const _: () = assert!(std::mem::size_of::<PerfEventAttr>() == 112);
+
+    fn attr(type_: u32, config: u64, leader: bool) -> PerfEventAttr {
+        PerfEventAttr {
+            type_,
+            size: ATTR_SIZE,
+            config,
+            sample_period: 0,
+            sample_type: 0,
+            read_format: READ_FORMAT,
+            flags: if leader { FLAGS_LEADER } else { FLAGS_MEMBER },
+            wakeup_events: 0,
+            bp_type: 0,
+            config1: 0,
+            config2: 0,
+            branch_sample_type: 0,
+            sample_regs_user: 0,
+            sample_stack_user: 0,
+            clockid: 0,
+            sample_regs_intr: 0,
+            aux_watermark: 0,
+            sample_max_stack: 0,
+            reserved_2: 0,
+        }
+    }
+
+    /// Raw 5-argument syscall; returns the kernel's raw result
+    /// (negative values are `-errno`).
+    unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as i64 => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn errno_name(errno: i64) -> String {
+        match errno {
+            1 => "EPERM (check /proc/sys/kernel/perf_event_paranoid)".to_string(),
+            2 => "ENOENT (event not supported by this PMU)".to_string(),
+            13 => "EACCES (check /proc/sys/kernel/perf_event_paranoid)".to_string(),
+            19 => "ENODEV".to_string(),
+            22 => "EINVAL".to_string(),
+            38 => "ENOSYS (syscall filtered?)".to_string(),
+            95 => "EOPNOTSUPP".to_string(),
+            other => format!("errno {other}"),
+        }
+    }
+
+    fn perf_event_open(attr: &PerfEventAttr, group_fd: i64) -> Result<i32, i64> {
+        let ret = unsafe {
+            syscall5(
+                NR_PERF_EVENT_OPEN,
+                attr as *const PerfEventAttr as u64,
+                0,               // pid: calling thread
+                (-1i64) as u64,  // cpu: any
+                group_fd as u64, // -1 for the leader
+                PERF_FLAG_FD_CLOEXEC,
+            )
+        };
+        if ret < 0 {
+            Err(-ret)
+        } else {
+            Ok(ret as i32)
+        }
+    }
+
+    fn close_fd(fd: i32) {
+        unsafe { syscall5(NR_CLOSE, fd as u64, 0, 0, 0, 0) };
+    }
+
+    /// One thread's open counter group.
+    pub(super) struct Group {
+        /// All fds, leader first — the kernel reports values in this
+        /// open order.
+        fds: Vec<i32>,
+        /// Kinds parallel to `fds`.
+        kinds: Vec<PmuKind>,
+        /// Bit per `PmuKind::idx()` that actually opened.
+        mask: u8,
+    }
+
+    impl Drop for Group {
+        fn drop(&mut self) {
+            // Close members first, leader last.
+            for &fd in self.fds.iter().rev() {
+                close_fd(fd);
+            }
+        }
+    }
+
+    /// Opens the counter group on the calling thread. Members that fail
+    /// are skipped; a leader failure is the group's failure.
+    pub(super) fn open_group() -> Result<Group, String> {
+        let leader = perf_event_open(&attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, true), -1)
+            .map_err(|e| format!("cycles leader: {}", errno_name(e)))?;
+        let mut group = Group {
+            fds: vec![leader],
+            kinds: vec![PmuKind::Cycles],
+            mask: 1 << PmuKind::Cycles.idx(),
+        };
+        let members: [(PmuKind, u32, u64); 4] = [
+            (PmuKind::Instructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS),
+            (PmuKind::LlcLoads, PERF_TYPE_HW_CACHE, HW_CACHE_LL_READ_ACCESS),
+            (PmuKind::LlcMisses, PERF_TYPE_HW_CACHE, HW_CACHE_LL_READ_MISS),
+            (PmuKind::BranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES),
+        ];
+        for (kind, type_, config) in members {
+            if let Ok(fd) = perf_event_open(&attr(type_, config, false), leader as i64) {
+                group.fds.push(fd);
+                group.kinds.push(kind);
+                group.mask |= 1 << kind.idx();
+            }
+        }
+        let ret = unsafe {
+            syscall5(NR_IOCTL, leader as u64, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP, 0, 0)
+        };
+        if ret < 0 {
+            return Err(format!("ioctl ENABLE: {}", errno_name(-ret)));
+        }
+        Ok(group)
+    }
+
+    impl Group {
+        /// One group `read`: a consistent snapshot of every live
+        /// counter, multiplex-scaled, plus the live-counter mask.
+        pub(super) fn read(&self) -> Option<(PmuCounts, u8)> {
+            // { nr, time_enabled, time_running, value[nr] }
+            let mut buf = [0u64; 3 + PmuKind::ALL.len()];
+            let want = (3 + self.fds.len()) * 8;
+            let n = unsafe {
+                syscall5(NR_READ, self.fds[0] as u64, buf.as_mut_ptr() as u64, want as u64, 0, 0)
+            };
+            if n < want as i64 {
+                return None;
+            }
+            let (nr, enabled, running) = (buf[0] as usize, buf[1], buf[2]);
+            if nr != self.fds.len() || running == 0 {
+                return None;
+            }
+            let scale = enabled as f64 / running as f64;
+            let mut counts = PmuCounts::default();
+            for (i, &kind) in self.kinds.iter().enumerate() {
+                counts.set(kind, (buf[3 + i] as f64 * scale).round() as u64);
+            }
+            Some((counts, self.mask))
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    //! Stub backend: every probe reports Unavailable.
+
+    use super::{PmuCounts, PmuKind};
+
+    pub(super) struct Group;
+
+    pub(super) fn open_group() -> Result<Group, String> {
+        Err("pmu backend requires x86-64 Linux (raw-syscall bindings)".to_string())
+    }
+
+    impl Group {
+        pub(super) fn read(&self) -> Option<(PmuCounts, u8)> {
+            let _ = PmuKind::ALL;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `status()` / probe tests live in the `tests/pmu_env.rs`
+    // integration binary (own process) so they cannot race other unit
+    // tests over the global status word or the environment.
+
+    #[test]
+    fn parse_accepts_every_documented_spelling() {
+        assert_eq!(parse_wise_pmu(None), Ok(PmuEnv::Auto));
+        assert_eq!(parse_wise_pmu(Some("0")), Ok(PmuEnv::Off));
+        assert_eq!(parse_wise_pmu(Some("off")), Ok(PmuEnv::Off));
+        assert_eq!(parse_wise_pmu(Some("OFF")), Ok(PmuEnv::Off));
+        assert_eq!(parse_wise_pmu(Some("1")), Ok(PmuEnv::On));
+        assert_eq!(parse_wise_pmu(Some("on")), Ok(PmuEnv::On));
+        assert_eq!(parse_wise_pmu(Some(" On ")), Ok(PmuEnv::On));
+        assert_eq!(parse_wise_pmu(Some("auto")), Ok(PmuEnv::Auto));
+        assert_eq!(parse_wise_pmu(Some("Auto")), Ok(PmuEnv::Auto));
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_unknown() {
+        assert_eq!(parse_wise_pmu(Some("")), Err(PmuEnvError::Empty));
+        assert_eq!(parse_wise_pmu(Some("   ")), Err(PmuEnvError::Empty));
+        assert_eq!(parse_wise_pmu(Some("yes")), Err(PmuEnvError::Unknown("yes".to_string())));
+        assert_eq!(parse_wise_pmu(Some("2")), Err(PmuEnvError::Unknown("2".to_string())));
+        let err = parse_wise_pmu(Some("bogus")).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        assert!(parse_wise_pmu(Some("")).unwrap_err().to_string().contains("empty"));
+    }
+
+    #[test]
+    fn counts_delta_and_derived_rates() {
+        let base = PmuCounts { cycles: 100, instructions: 150, ..PmuCounts::default() };
+        let now = PmuCounts {
+            cycles: 1100,
+            instructions: 2150,
+            llc_loads: 400,
+            llc_misses: 100,
+            branch_misses: 7,
+        };
+        let d = now.delta_since(&base);
+        assert_eq!(d.cycles, 1000);
+        assert_eq!(d.instructions, 2000);
+        assert_eq!(d.ipc(), Some(2.0));
+        assert_eq!(d.llc_miss_rate(), Some(0.25));
+        assert_eq!(d.branch_misses, 7);
+        // Saturating: scaling jitter cannot underflow.
+        assert_eq!(base.delta_since(&now).cycles, 0);
+        assert_eq!(PmuCounts::default().ipc(), None);
+        assert_eq!(PmuCounts::default().llc_miss_rate(), None);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        let labels: Vec<&str> = PmuKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, ["cycles", "instructions", "llc_loads", "llc_misses", "branch_misses"]);
+        for (i, kind) in PmuKind::ALL.iter().enumerate() {
+            assert_eq!(kind.idx(), i);
+        }
+    }
+}

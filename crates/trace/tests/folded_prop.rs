@@ -1,0 +1,70 @@
+//! Property suite for the folded-stack exporter (cargo-only: needs
+//! proptest, so the standalone `rustc` harness skips this file and
+//! runs `selftime_folded.rs` instead).
+//!
+//! Property: for any balanced span forest, the folded output parses
+//! back and its values sum to exactly the total root duration — no
+//! nanosecond is ever created or lost by self-time attribution.
+
+use proptest::prelude::*;
+use wise_trace::export::folded::{folded_stacks, parse_folded};
+use wise_trace::span::{Event, Phase};
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Turns a script of (open?, name index, time advance) steps into a
+/// balanced single-thread event stream, closing leftovers at the end.
+fn build_forest(script: &[(bool, usize, u64)]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut stack: Vec<(&'static str, u64)> = Vec::new();
+    let mut ts = 0u64;
+    for &(open, name_idx, advance) in script {
+        ts += 1 + advance;
+        if (open && stack.len() < 8) || stack.is_empty() {
+            let name = NAMES[name_idx % NAMES.len()];
+            events.push(Event { name, phase: Phase::Begin, ts_ns: ts, tid: 1, value: 0 });
+            stack.push((name, ts));
+        } else {
+            let (name, start) = stack.pop().unwrap();
+            events.push(Event { name, phase: Phase::End, ts_ns: ts, tid: 1, value: ts - start });
+        }
+    }
+    while let Some((name, start)) = stack.pop() {
+        ts += 1;
+        events.push(Event { name, phase: Phase::End, ts_ns: ts, tid: 1, value: ts - start });
+    }
+    events
+}
+
+fn root_total(events: &[Event]) -> u64 {
+    let mut depth = 0usize;
+    let mut total = 0u64;
+    for e in events {
+        match e.phase {
+            Phase::Begin => depth += 1,
+            Phase::End => {
+                depth -= 1;
+                if depth == 0 {
+                    total += e.value;
+                }
+            }
+            _ => {}
+        }
+    }
+    total
+}
+
+proptest! {
+    #[test]
+    fn folded_round_trip_conserves_total_duration(
+        script in prop::collection::vec((any::<bool>(), 0..4usize, 0..50u64), 1..80)
+    ) {
+        let events = build_forest(&script);
+        let folded = folded_stacks(&events);
+        let rows = parse_folded(&folded).map_err(TestCaseError::fail)?;
+        let sum: u64 = rows.iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(sum, root_total(&events), "folded output:\n{}", folded);
+        // Every emitted path is non-empty and within the nesting bound.
+        prop_assert!(rows.iter().all(|(path, _)| !path.is_empty() && path.len() <= 8));
+    }
+}

@@ -9,7 +9,8 @@
 use std::collections::BTreeMap;
 use wise_trace::ledger::{
     gate, load_all, next_seq, write_record, BenchRecord, Fnv1a, GatePolicy, HostFingerprint,
-    ModelMetrics, StageRecord, Verdict, SCHEMA_VERSION,
+    ModelMetrics, PmuSection, PmuStageRecord, ResidualSummary, StageRecord, Verdict,
+    SCHEMA_VERSION,
 };
 use wise_trace::span::{Event, Phase};
 use wise_trace::Summary;
@@ -30,6 +31,7 @@ fn full_record(seq: u64) -> BenchRecord {
                 min_ns: 1_200,
                 p50_ns: 1_500,
                 p95_ns: 2_100,
+                p99_ns: 2_400,
                 total_ns: 48_000,
             },
         ),
@@ -40,6 +42,7 @@ fn full_record(seq: u64) -> BenchRecord {
                 min_ns: 900_000,
                 p50_ns: 900_000,
                 p95_ns: 900_000,
+                p99_ns: 900_000,
                 total_ns: 900_000,
             },
         ),
@@ -71,6 +74,30 @@ fn full_record(seq: u64) -> BenchRecord {
             n_classes: 7,
             confusion: (0..49).collect(),
             per_matrix_regret: vec![("rmat_13_8".into(), 1.25), ("rgg_13_8".into(), 1.0)],
+        }),
+        pmu: Some(PmuSection {
+            status: "available".into(),
+            stages: [(
+                "kernel.spmv".to_string(),
+                PmuStageRecord {
+                    samples: 30,
+                    cycles: 3_600_000,
+                    instructions: 7_200_000,
+                    llc_loads: 12_000,
+                    llc_misses: 3_000,
+                    branch_misses: 150,
+                    bytes_per_nnz: Some(1.5),
+                },
+            )]
+            .into_iter()
+            .collect(),
+            residual: Some(ResidualSummary {
+                count: 29,
+                bytes_p50: 0.75,
+                bytes_p95: 1.25,
+                cycles_p50: 1.0,
+                cycles_p95: 1.5,
+            }),
         }),
     }
 }

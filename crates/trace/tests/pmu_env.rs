@@ -1,0 +1,98 @@
+//! The PMU degradation contract, end to end: with counters off (or
+//! denied), `span_pmu` must behave exactly like `span` — same event
+//! stream shape, and byte-identical trace artifacts and ledger records
+//! except the explicit `pmu` status marker (which both paths carry).
+//!
+//! Runs as its own process because it owns the global enable flag and
+//! forces the process-wide PMU status; everything lives in one `#[test]`
+//! so the forced status is never raced by a sibling test.
+
+use wise_trace::export::{chrome_trace_json, perf_summary_json};
+use wise_trace::ledger::{BenchRecord, HostFingerprint};
+use wise_trace::pmu::{self, force_status, parse_wise_pmu, PmuEnv, PmuEnvError};
+use wise_trace::span::Event;
+use wise_trace::{Phase, PmuStatus, Summary};
+
+/// The pinned workload, parameterized only by which span constructor
+/// the outer stage uses.
+fn workload(use_pmu: bool) -> Vec<Event> {
+    let _ = wise_trace::take_events();
+    for i in 0..8u64 {
+        let _outer = if use_pmu {
+            wise_trace::span_pmu("kernel.spmv")
+        } else {
+            wise_trace::span("kernel.spmv")
+        };
+        let _inner = wise_trace::span("kernel.spmv.simd");
+        wise_trace::counter("kernel.spmv.nnz", 1_000 + i);
+        wise_trace::observe("model.residual.bytes", 900 + i);
+    }
+    wise_trace::take_events()
+}
+
+/// Strips the only legitimately run-dependent payload (timestamps and
+/// span durations), keeping names, phases, order, tids and counter /
+/// sample values.
+fn normalized(events: &[Event]) -> Vec<Event> {
+    events
+        .iter()
+        .map(|e| Event { ts_ns: 0, value: if e.phase == Phase::End { 0 } else { e.value }, ..*e })
+        .collect()
+}
+
+#[test]
+fn pmu_off_degrades_to_plain_spans_bit_identically() {
+    wise_trace::set_enabled(true);
+    force_status(Some(PmuStatus::Off));
+    assert_eq!(pmu::status(), PmuStatus::Off);
+    assert_eq!(pmu::status_label(), "off");
+    assert!(pmu::read_counts().is_none(), "off must never read counters");
+
+    let with_pmu = workload(true);
+    let plain = workload(false);
+
+    // No hardware-counter events may leak out with the PMU off, and the
+    // stream must match the plain-span stream event for event.
+    assert!(!with_pmu.iter().any(|e| matches!(e.phase, Phase::Pmu(_))));
+    assert_eq!(normalized(&with_pmu), normalized(&plain));
+
+    // The same holds under an explicit Unavailable (syscall denied):
+    // spans degrade to timestamps with zero structural difference.
+    force_status(Some(PmuStatus::Unavailable));
+    let denied = workload(true);
+    assert!(!denied.iter().any(|e| matches!(e.phase, Phase::Pmu(_))));
+    assert_eq!(normalized(&denied), normalized(&plain));
+    assert!(pmu::status_label().starts_with("unavailable"));
+
+    // Every downstream artifact — Chrome trace, perf summary, ledger
+    // record — must be byte-identical for the two normalized streams
+    // (modulo the status marker, which we pin to one value here).
+    force_status(Some(PmuStatus::Off));
+    let (a, b) = (normalized(&with_pmu), normalized(&plain));
+    assert_eq!(chrome_trace_json(&a), chrome_trace_json(&b));
+    let (sa, sb) = (Summary::from_events(&a), Summary::from_events(&b));
+    assert_eq!(sa.pmu_status, "off");
+    assert_eq!(perf_summary_json(&sa), perf_summary_json(&sb));
+    for st in sa.stages.values() {
+        assert!(st.pmu.is_none(), "no per-stage counters with the PMU off");
+    }
+    let host = HostFingerprint { cpu_cores: 1, ..Default::default() };
+    let ra = BenchRecord::from_summary(1, "pmu off", "fnv1a:0", host.clone(), &sa);
+    let rb = BenchRecord::from_summary(1, "pmu off", "fnv1a:0", host, &sb);
+    assert_eq!(ra.to_json(), rb.to_json());
+    let section = ra.pmu.as_ref().expect("explicit marker survives degradation");
+    assert_eq!(section.status, "off");
+    assert!(section.stages.is_empty());
+
+    // The WISE_PMU knob parses exactly the documented spellings.
+    force_status(None); // leave the process re-armed for other binaries
+    assert_eq!(parse_wise_pmu(None), Ok(PmuEnv::Auto));
+    for ok in [("0", PmuEnv::Off), ("off", PmuEnv::Off), ("OFF", PmuEnv::Off)] {
+        assert_eq!(parse_wise_pmu(Some(ok.0)), Ok(ok.1));
+    }
+    for ok in [("1", PmuEnv::On), ("on", PmuEnv::On), (" Auto ", PmuEnv::Auto)] {
+        assert_eq!(parse_wise_pmu(Some(ok.0)), Ok(ok.1));
+    }
+    assert_eq!(parse_wise_pmu(Some("  ")), Err(PmuEnvError::Empty));
+    assert!(matches!(parse_wise_pmu(Some("maybe")), Err(PmuEnvError::Unknown(_))));
+}

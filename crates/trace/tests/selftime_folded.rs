@@ -1,0 +1,143 @@
+//! Self-time attribution and the folded-stack exporter on synthetic
+//! streams: nested spans across threads, panic-truncated (unbalanced)
+//! streams, and an LCG-driven sweep of random balanced forests whose
+//! folded output must parse back to exactly the total root duration.
+//!
+//! Zero-dependency on purpose (no proptest here — see
+//! `folded_prop.rs` for the cargo-only property suite), so this file
+//! also runs under the standalone `rustc` harness the offline
+//! container verifies with.
+
+use wise_trace::export::folded::{folded_stacks, parse_folded};
+use wise_trace::export::{balanced_events, run_report};
+use wise_trace::span::{Event, Phase};
+use wise_trace::Summary;
+
+fn begin(name: &'static str, ts: u64, tid: u64) -> Event {
+    Event { name, phase: Phase::Begin, ts_ns: ts, tid, value: 0 }
+}
+
+fn end(name: &'static str, ts: u64, tid: u64, start: u64) -> Event {
+    Event { name, phase: Phase::End, ts_ns: ts, tid, value: ts - start }
+}
+
+#[test]
+fn self_time_splits_across_threads_independently() {
+    // tid 1: outer [0,100] with children [10,40] and [50,70];
+    // tid 2: an unrelated flat span [0,30] under the same names.
+    let events = vec![
+        begin("outer", 0, 1),
+        begin("inner", 10, 1),
+        end("inner", 40, 1, 10),
+        begin("inner", 50, 1),
+        end("inner", 70, 1, 50),
+        end("outer", 100, 1, 0),
+        begin("inner", 0, 2),
+        end("inner", 30, 2, 0),
+    ];
+    let s = Summary::from_events(&events);
+    assert_eq!(s.stages["outer"].total_ns, 100);
+    assert_eq!(s.stages["outer"].self_total_ns, 50);
+    assert_eq!(s.stages["inner"].total_ns, 80);
+    assert_eq!(s.stages["inner"].self_total_ns, 80);
+    assert_eq!(s.stages["inner"].parent.as_deref(), Some("outer"));
+
+    // Folded output separates the two call paths and conserves time.
+    let folded = folded_stacks(&events);
+    let mut rows = parse_folded(&folded).unwrap();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            (vec!["inner".to_string()], 30),
+            (vec!["outer".to_string()], 50),
+            (vec!["outer".to_string(), "inner".to_string()], 50),
+        ]
+    );
+
+    // The nested run report indents the child under its parent.
+    let report = run_report(&s);
+    assert!(report.contains("\n  inner"), "child not indented:\n{report}");
+}
+
+#[test]
+fn truncated_streams_degrade_without_panicking() {
+    // A panic between Begin and End leaves the stream unbalanced:
+    // outer never closes, inner does.
+    let truncated = vec![begin("outer", 0, 1), begin("inner", 10, 1), end("inner", 40, 1, 10)];
+    let s = Summary::from_events(&truncated);
+    assert!(!s.stages.contains_key("outer"), "unclosed spans record no duration");
+    assert_eq!(s.stages["inner"].total_ns, 30);
+    assert_eq!(s.stages["inner"].self_total_ns, 30);
+
+    // A stray End with no Begin attributes its full duration as root
+    // self-time instead of panicking.
+    let stray = vec![end("orphan", 90, 3, 50)];
+    let s = Summary::from_events(&stray);
+    assert_eq!(s.stages["orphan"].self_total_ns, 40);
+
+    // The exporter's repair pass closes the dangling span, after which
+    // folded output conserves the repaired root total.
+    let repaired = balanced_events(&truncated);
+    assert_eq!(repaired.iter().filter(|e| e.phase == Phase::End).count(), 2);
+    let root_total: u64 = repaired
+        .iter()
+        .filter(|e| e.phase == Phase::End && e.name == "outer")
+        .map(|e| e.value)
+        .sum();
+    let rows = parse_folded(&folded_stacks(&repaired)).unwrap();
+    assert_eq!(rows.iter().map(|(_, v)| v).sum::<u64>(), root_total);
+}
+
+#[test]
+fn folded_output_conserves_root_time_on_random_forests() {
+    // Deterministic LCG sweep: 64 random balanced forests, each checked
+    // for exact time conservation through export -> parse.
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut rng = move |bound: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+    for case in 0..64 {
+        let mut events: Vec<Event> = Vec::new();
+        let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        let mut ts = 0u64;
+        for _ in 0..10 + rng(40) {
+            ts += 1 + rng(100);
+            if stack.len() < 6 && (stack.is_empty() || rng(2) == 0) {
+                let name = NAMES[rng(5) as usize];
+                events.push(begin(name, ts, 7));
+                stack.push((name, ts));
+            } else {
+                let (name, start) = stack.pop().unwrap();
+                events.push(end(name, ts, 7, start));
+            }
+        }
+        while let Some((name, start)) = stack.pop() {
+            ts += 1 + rng(100);
+            events.push(end(name, ts, 7, start));
+        }
+
+        let mut depth = 0usize;
+        let mut root_total = 0u64;
+        for e in &events {
+            match e.phase {
+                Phase::Begin => depth += 1,
+                Phase::End => {
+                    depth -= 1;
+                    if depth == 0 {
+                        root_total += e.value;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let folded = folded_stacks(&events);
+        let rows = parse_folded(&folded).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let sum: u64 = rows.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, root_total, "case {case} leaks time:\n{folded}");
+        assert!(rows.iter().all(|(path, _)| !path.is_empty() && path.len() <= 6));
+    }
+}
