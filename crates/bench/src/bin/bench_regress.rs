@@ -19,7 +19,11 @@
 //! throughput stage; default 1.0 — the vector kernel must not lose.
 //! Hosts whose probe resolves to the scalar ISA gate on parity only),
 //! `--miss-rate-ceiling <x>` (maximum `kernel.spmv` LLC load miss-rate;
-//! skipped with a notice when hardware counters are unavailable).
+//! skipped with a notice when hardware counters are unavailable),
+//! `--cascade-speedup-floor <x>` (minimum p50 cascade-vs-full selection
+//! speedup on the stage-7 latency probe; default 1.0 — the fast path
+//! must not lose. Skipped with a notice when the calibrated gate never
+//! accepts a probe matrix).
 //!
 //! With PMU counters available the suite also runs a *residual* pass:
 //! every catalog config executes single-threaded under a counter
@@ -64,6 +68,7 @@ struct Args {
     note: String,
     simd_floor: f64,
     miss_rate_ceiling: Option<f64>,
+    cascade_speedup_floor: f64,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +79,7 @@ fn parse_args() -> Args {
         note: String::new(),
         simd_floor: 1.0,
         miss_rate_ceiling: None,
+        cascade_speedup_floor: 1.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -95,12 +101,17 @@ fn parse_args() -> Args {
                 args.miss_rate_ceiling =
                     Some(raw.parse().expect("--miss-rate-ceiling: not a number"));
             }
+            "--cascade-speedup-floor" => {
+                let raw = it.next().expect("--cascade-speedup-floor needs a number");
+                args.cascade_speedup_floor =
+                    raw.parse().expect("--cascade-speedup-floor: not a number");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_regress [--quick] [--ledger-dir <dir>] \
                      [--trace-out <path>] [--note <text>] [--simd-floor <x>] \
-                     [--miss-rate-ceiling <x>]"
+                     [--miss-rate-ceiling <x>] [--cascade-speedup-floor <x>]"
                 );
                 std::process::exit(2);
             }
@@ -207,7 +218,7 @@ fn main() {
     println!("== bench_regress: pinned suite (seed {SEED}, {mode} mode) ==");
 
     // ---- 1. Feature extraction on the fixed probes ------------------
-    report::progress("stage 1/6: feature extraction probes");
+    report::progress("stage 1/7: feature extraction probes");
     let probes = probe_matrices();
     let feature_config = FeatureConfig::default();
     for (name, m) in &probes {
@@ -217,7 +228,7 @@ fn main() {
     }
 
     // ---- 2. Registry fit on the pinned tiny corpus ------------------
-    report::progress("stage 2/6: label corpus + registry fit");
+    report::progress("stage 2/7: label corpus + registry fit");
     let scale = CorpusScale::tiny();
     let corpus = Corpus::full(&scale, SEED);
     let digest = corpus_digest(&probes, &corpus);
@@ -234,7 +245,7 @@ fn main() {
     let wise = Wise::from_labels(&labels, &opts);
 
     // ---- 3. SpMV catalog through the worker pool --------------------
-    report::progress("stage 3/6: SpMV catalog sweep");
+    report::progress("stage 3/7: SpMV catalog sweep");
     let (_, spmv_matrix) = &probes[0];
     let x: Vec<f64> = (0..spmv_matrix.ncols()).map(|i| (i as f64).sin()).collect();
     let mut y = vec![0.0; spmv_matrix.nrows()];
@@ -248,7 +259,7 @@ fn main() {
     }
 
     // ---- 4. SIMD vs scalar throughput on the pinned SELL probe ------
-    report::progress("stage 4/6: SIMD throughput probe");
+    report::progress("stage 4/7: SIMD throughput probe");
     let isa = wise_kernels::simd::active();
     let (_, simd_matrix) = &probes[3];
     let simd_cfg = MethodConfig::sell_c_sigma(8, 512, Schedule::StCont);
@@ -287,7 +298,7 @@ fn main() {
     // compared to the cost model's prediction for the same prepared
     // representation. Skipped entirely — with an explicit notice — when
     // counters are off or denied, leaving the trace bit-identical.
-    report::progress("stage 5/6: cost-model residual probe");
+    report::progress("stage 5/7: cost-model residual probe");
     let pmu_status = wise_trace::pmu::status_label();
     if wise_trace::pmu::read_counts().is_some() {
         let (_, res_matrix) = &probes[3];
@@ -322,7 +333,7 @@ fn main() {
     }
 
     // ---- 6. End-to-end selection + model quality --------------------
-    report::progress("stage 6/6: end-to-end select + CV evaluation");
+    report::progress("stage 6/7: end-to-end select + CV evaluation");
     let choice = wise.select(spmv_matrix);
     wise.run_spmv(spmv_matrix, &choice, &x, &mut y, nthreads);
     println!("\n{}", explain_choice(wise.registry().catalog(), &choice));
@@ -337,6 +348,64 @@ fn main() {
         metrics.max_regret,
         metrics.per_matrix_regret.len()
     );
+
+    // ---- 7. Selection-latency probe: cascade vs full ----------------
+    // The same trained instance selects every probe matrix twice — once
+    // through the calibrated cascade, once with the gate stripped (the
+    // exact pre-cascade pipeline) — under `bench.cascade.fast` /
+    // `bench.cascade.full` latency samples. Stage-1 answers then run a
+    // measured SpMV to feed the regret accumulator.
+    report::progress("stage 7/7: selection-latency probe (cascade vs full)");
+    wise_core::cascade::reset_regret();
+    let full_wise = wise.clone().with_cascade_gate(None);
+    let sel_iters = if args.quick { 3 } else { 10 };
+    let mut cascade_selects = 0u64;
+    let mut stage1_answers = 0u64;
+    for (name, m) in &probes {
+        let mut fast_choice = None;
+        for _ in 0..sel_iters {
+            let t0 = std::time::Instant::now();
+            let c = wise.select(m);
+            wise_trace::observe_ns("bench.cascade.fast", t0.elapsed().as_nanos() as u64);
+            cascade_selects += 1;
+            let stage = c.cascade.as_ref().map(|i| i.stage);
+            if stage == Some(wise_core::CascadeStage::Stage1) {
+                stage1_answers += 1;
+                fast_choice = Some(c);
+            }
+            let t1 = std::time::Instant::now();
+            let full = full_wise.select(m);
+            wise_trace::observe_ns("bench.cascade.full", t1.elapsed().as_nanos() as u64);
+            black_box(&full);
+        }
+        // Close the loop: measure the fast-path pick and record its
+        // regret against the stage-1 roofline prediction.
+        if let Some(c) = fast_choice {
+            let prep = wise.prepare(m, &c);
+            let xc: Vec<f64> = (0..m.ncols()).map(|i| (i as f64).sin()).collect();
+            let mut yc = vec![0.0; m.nrows()];
+            prep.spmv(&xc, &mut yc, 1, &mut ws); // warm caches + dispatch
+            let t = std::time::Instant::now();
+            for _ in 0..spmv_iters {
+                prep.spmv(&xc, &mut yc, 1, &mut ws);
+            }
+            let per_iter = t.elapsed().as_secs_f64() / spmv_iters as f64;
+            wise_core::observe_execution(&c, per_iter);
+            black_box(&yc);
+            report::progress(format_args!("cascade stage-1 answered {name}"));
+        }
+    }
+    let fallthrough_rate = 1.0 - stage1_answers as f64 / cascade_selects.max(1) as f64;
+    report::progress(format_args!(
+        "cascade: {stage1_answers}/{cascade_selects} stage-1 answers \
+         (fallthrough rate {fallthrough_rate:.2})"
+    ));
+    if let Some(r) = wise_core::regret_stats() {
+        println!(
+            "cascade regret: mean measured/predicted {:.3} over {} measured execution(s)",
+            r.mean_ratio, r.observed
+        );
+    }
 
     // ---- Flush the trace and build the record -----------------------
     let events = wise_trace::take_events();
@@ -385,6 +454,26 @@ fn main() {
             isa.name(),
             isa.lanes(),
             args.simd_floor
+        );
+    }
+
+    // Cascade selection latency: p50-over-p50 fast-vs-full speedup and
+    // the fallthrough rate, recorded for trend tracking (older records
+    // simply lack the fields).
+    let cascade_speedup = match (
+        summary.stages.get("bench.cascade.full").map(|s| s.p50_ns),
+        summary.stages.get("bench.cascade.fast").map(|s| s.p50_ns),
+    ) {
+        (Some(full), Some(fast)) if fast > 0 => Some(full as f64 / fast as f64),
+        _ => None,
+    };
+    record.throughput.insert("select.cascade.fallthrough_rate".to_string(), fallthrough_rate);
+    if let Some(sp) = cascade_speedup {
+        record.throughput.insert("bench.cascade.speedup".to_string(), sp);
+        println!(
+            "cascade: selection p50 speedup {sp:.2}x over the full pipeline, \
+             fallthrough rate {fallthrough_rate:.2} (floor {:.2}x)",
+            args.cascade_speedup_floor
         );
     }
 
@@ -449,6 +538,25 @@ fn main() {
         }
     } else {
         println!("simd: scalar-fallback host; gated on parity only");
+    }
+
+    // ---- Cascade selection-latency floor ----------------------------
+    // Only meaningful when the calibrated gate actually accepted at
+    // least one probe selection: an always-fallthrough cascade pays the
+    // probe on top of full extraction by design, and gating that would
+    // only punish conservative calibrations.
+    if stage1_answers > 0 {
+        let sp = cascade_speedup.unwrap_or(0.0);
+        if sp < args.cascade_speedup_floor {
+            eprintln!(
+                "bench_regress: cascade floor violated — fast-path selection {sp:.2}x vs \
+                 full (floor {:.2}x)",
+                args.cascade_speedup_floor
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!("cascade: gate accepted no probe selections; floor gate skipped");
     }
 
     // ---- LLC miss-rate ceiling (opt-in, needs hardware counters) -----

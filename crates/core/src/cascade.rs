@@ -1,0 +1,516 @@
+//! Cascaded two-stage selection: an O(nnz) fast path that answers
+//! easy matrices in microseconds (ROADMAP item 2; cf. Elafrou et
+//! al.'s lightweight selection and the cascaded-prediction line of
+//! work in PAPERS.md).
+//!
+//! **Stage 1** extracts the cheap probe
+//! ([`wise_features::ProbeFeatures`]: sizes + full R/C statistics, one
+//! O(nnz) pass, no tiling/locality sweeps), walks every registry tree
+//! over the 19 probe-known features
+//! ([`DecisionTree::predict_partial`](wise_ml::DecisionTree::predict_partial)),
+//! and computes a *vote margin*. If the margin clears a threshold
+//! calibrated on the training labels — and the roofline veto
+//! ([`wise_perf::QuickBounds`]) finds the winning class physically
+//! plausible — the selection is answered immediately. **Stage 2**
+//! falls through to the full pipeline, bit-identical to a plain
+//! [`Wise::select`](crate::pipeline::Wise::select).
+//!
+//! Because the probe's feature values are *bit-identical* to the full
+//! extractor's, a partial tree walk that reaches a leaf provably
+//! equals the full walk; such unanimous-leaf votes get margin
+//! `f64::MAX` and are always safe to accept. Early-stopped walks carry
+//! training-frequency confidence instead, and the calibrated threshold
+//! ([`wise_perf::calibrate_margin_threshold`]) admits exactly the
+//! margin range whose training-set cascade P-ratio stays within
+//! [`P_RATIO_REL_FLOOR`] of full WISE.
+//!
+//! The loop is closed two ways: measured execution seconds feed a
+//! per-process regret accumulator ([`observe_execution`], surfaced as
+//! `select.cascade.regret` ledger telemetry), and the `WISE_CASCADE`
+//! knob (`0|off|1|on|auto`; malformed values warn once, like
+//! `WISE_SIMD`) can disable the fast path entirely — `WISE_CASCADE=0`
+//! is bit-exact with the pre-cascade pipeline.
+
+use crate::classes::SpeedupClass;
+use crate::labels::CorpusLabels;
+use crate::registry::ModelRegistry;
+use crate::select::select_index;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use wise_ml::PartialPrediction;
+use wise_perf::{calibrate_margin_threshold, Estimator, MachineModel, MarginSample};
+
+/// The cascade's training-set quality contract: the calibrated gate
+/// must keep the cascade P-ratio at ≥ 98% of full WISE's.
+pub const P_RATIO_REL_FLOOR: f64 = 0.98;
+
+// ---------------------------------------------------------------------
+// WISE_CASCADE knob
+// ---------------------------------------------------------------------
+
+/// Runtime cascade mode. `Auto` (the default, also spelled `1`/`on`)
+/// engages stage 1 whenever the selecting [`Wise`] carries a
+/// calibrated gate; `Off` forces the full pipeline for every matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CascadeMode {
+    Off,
+    Auto,
+}
+
+impl CascadeMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            CascadeMode::Off => 0,
+            CascadeMode::Auto => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> CascadeMode {
+        if v == 0 {
+            CascadeMode::Off
+        } else {
+            CascadeMode::Auto
+        }
+    }
+}
+
+/// Why a `WISE_CASCADE` value was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CascadeEnvError {
+    /// Set but empty (or only whitespace).
+    Empty,
+    /// Not a recognized mode name.
+    NotAMode(String),
+}
+
+impl std::fmt::Display for CascadeEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CascadeEnvError::Empty => write!(f, "WISE_CASCADE is set but empty"),
+            CascadeEnvError::NotAMode(s) => {
+                write!(
+                    f,
+                    "WISE_CASCADE={s:?} is not a cascade mode (expected 0/off, 1/on, or auto)"
+                )
+            }
+        }
+    }
+}
+
+/// Parses a raw `WISE_CASCADE` value. `Ok(None)` means unset (use the
+/// default, [`CascadeMode::Auto`]); `1`, `on` and `auto` are synonyms.
+pub fn parse_wise_cascade(raw: Option<&str>) -> Result<Option<CascadeMode>, CascadeEnvError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let t = raw.trim();
+    if t.is_empty() {
+        return Err(CascadeEnvError::Empty);
+    }
+    match t.to_ascii_lowercase().as_str() {
+        "0" | "off" => Ok(Some(CascadeMode::Off)),
+        "1" | "on" | "auto" => Ok(Some(CascadeMode::Auto)),
+        _ => Err(CascadeEnvError::NotAMode(t.to_string())),
+    }
+}
+
+const MODE_UNINIT: u8 = u8::MAX;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// The process-wide cascade mode: `WISE_CASCADE`, resolved lazily on
+/// first use and cached. A malformed value falls back to the default
+/// *loudly* — a once-per-process stderr warning plus a
+/// `select.cascade_env_invalid` trace counter — never a silent
+/// behavior change.
+pub fn mode() -> CascadeMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_UNINIT => {
+            let m = mode_from_env();
+            MODE.store(m.to_u8(), Ordering::Relaxed);
+            m
+        }
+        v => CascadeMode::from_u8(v),
+    }
+}
+
+fn mode_from_env() -> CascadeMode {
+    match parse_wise_cascade(std::env::var("WISE_CASCADE").ok().as_deref()) {
+        Ok(Some(m)) => m,
+        Ok(None) => CascadeMode::Auto,
+        Err(err) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("[wise-core] {err}; cascade stays in auto mode");
+            });
+            wise_trace::counter("select.cascade_env_invalid", 1);
+            CascadeMode::Auto
+        }
+    }
+}
+
+/// Overrides the process-wide mode (tests, experiments).
+pub fn set_mode(m: CascadeMode) {
+    MODE.store(m.to_u8(), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Gate: calibrated acceptance threshold + roofline veto
+// ---------------------------------------------------------------------
+
+/// The distilled stage-1 confidence gate, calibrated at training time
+/// and serialized inside [`Wise`](crate::pipeline::Wise). Models saved
+/// before the cascade existed deserialize without one and simply never
+/// take the fast path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeGate {
+    /// Accept stage-1 votes with `margin >= threshold`. `None` means
+    /// calibration found no acceptable margin range: the gate never
+    /// fires (every selection falls through).
+    pub threshold: Option<f64>,
+    /// Machine model for the roofline veto; `None` (measured-backend
+    /// training) disables the veto.
+    pub machine: Option<MachineModel>,
+    /// Training-set cascade P-ratio at the chosen threshold.
+    pub calibration_p_ratio: f64,
+    /// Full-WISE P-ratio on the same training set.
+    pub full_p_ratio: f64,
+    /// Fraction of training matrices the gate accepted at calibration.
+    pub calibration_accept_rate: f64,
+}
+
+/// Which stage of the cascade produced a [`Choice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CascadeStage {
+    /// Answered by the O(nnz) probe + partial tree walk.
+    Stage1,
+    /// Fell through to the full pipeline.
+    Stage2,
+}
+
+/// Why stage 1 declined to answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallthroughReason {
+    /// Calibration admitted no margin range; the gate never fires.
+    NoThreshold,
+    /// The vote margin fell below the calibrated threshold.
+    LowMargin,
+    /// The roofline veto: the winning class' representative speedup
+    /// exceeds what the machine model deems physically plausible.
+    EstimatorVeto,
+}
+
+/// Cascade provenance attached to a [`Choice`](crate::pipeline::Choice)
+/// (absent entirely when the cascade is off or the model has no gate,
+/// keeping `WISE_CASCADE=0` serializations byte-identical to pre-
+/// cascade ones).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeInfo {
+    /// Stage that produced the answer.
+    pub stage: CascadeStage,
+    /// The stage-1 vote margin (`f64::MAX` when every tree walk
+    /// reached a leaf — the answer then provably equals full WISE's).
+    pub margin: f64,
+    /// Calibrated acceptance threshold in force.
+    pub threshold: Option<f64>,
+    /// Why stage 1 declined (stage 2 only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fallthrough: Option<FallthroughReason>,
+    /// Stage 1 only: quick roofline estimate of the chosen
+    /// configuration's per-iteration seconds — the baseline the regret
+    /// accumulator compares measured samples against.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub predicted_seconds: Option<f64>,
+}
+
+// ---------------------------------------------------------------------
+// Stage-1 vote
+// ---------------------------------------------------------------------
+
+/// The outcome of one stage-1 partial vote across all registry heads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOneVote {
+    /// Per-head predicted class, catalog order.
+    pub predictions: Vec<SpeedupClass>,
+    /// Catalog index [`select_index`] picks from those classes.
+    pub index: usize,
+    /// Acceptance margin: `min_confidence × (1 + speedup gap)` between
+    /// the winner and the best differently-classed head, or `f64::MAX`
+    /// when every walk reached a leaf.
+    pub margin: f64,
+    /// Whether every head's partial walk reached a true leaf (the vote
+    /// then equals the full pipeline's exactly).
+    pub all_leaves: bool,
+    /// Smallest per-head confidence in the vote.
+    pub min_confidence: f64,
+}
+
+/// Folds per-head partial predictions into a [`StageOneVote`].
+///
+/// The margin multiplies the weakest head's confidence by one plus the
+/// representative-speedup gap between the winning class and the best
+/// head that predicted a *different* class (a unanimous vote has no
+/// challenger; its gap is the winner's own representative speedup).
+/// Any head stopped at an impure node can be wrong toward a faster
+/// class, so the minimum over *all* heads is the honest choice.
+pub fn fold_stage_one(
+    catalog: &[wise_kernels::method::MethodConfig],
+    partials: &[PartialPrediction],
+) -> StageOneVote {
+    assert_eq!(catalog.len(), partials.len(), "catalog/head count mismatch");
+    let predictions: Vec<SpeedupClass> =
+        partials.iter().map(|p| SpeedupClass::from_index(p.class)).collect();
+    let index = select_index(catalog, &predictions);
+    let winner = predictions[index];
+    let top1 = winner.representative_speedup();
+    let runner_up = predictions
+        .iter()
+        .filter(|&&c| c != winner)
+        .map(|c| c.representative_speedup())
+        .fold(f64::NAN, f64::max);
+    let gap = if runner_up.is_nan() { top1 } else { (top1 - runner_up).max(0.0) };
+    let min_confidence = partials.iter().map(|p| p.confidence).fold(1.0, f64::min);
+    let all_leaves = partials.iter().all(|p| p.reached_leaf);
+    let margin = if all_leaves { f64::MAX } else { min_confidence * (1.0 + gap) };
+    StageOneVote { predictions, index, margin, all_leaves, min_confidence }
+}
+
+/// Runs the full stage-1 vote for a probe-known partial feature row.
+pub fn stage_one_vote(registry: &ModelRegistry, known: &[Option<f64>]) -> StageOneVote {
+    fold_stage_one(registry.catalog(), &registry.predict_partial(known))
+}
+
+// ---------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------
+
+/// Distills the confidence gate from a trained registry and its
+/// training labels: every labeled matrix's *full* feature vector is
+/// masked down to the probe-known subset (bit-identical to what the
+/// runtime probe would produce), voted on, and scored against the
+/// oracle; [`calibrate_margin_threshold`] then picks the most
+/// permissive threshold whose training-set cascade P-ratio stays
+/// within [`P_RATIO_REL_FLOOR`] of full WISE's.
+pub fn calibrate_gate(
+    registry: &ModelRegistry,
+    labels: &CorpusLabels,
+    estimator: &Estimator,
+) -> CascadeGate {
+    let _span = wise_trace::span("select.cascade.calibrate");
+    assert_eq!(
+        registry.catalog().len(),
+        labels.catalog.len(),
+        "registry and labels must share a catalog"
+    );
+    let catalog = registry.catalog();
+    let mut samples = Vec::with_capacity(labels.matrices.len());
+    for m in &labels.matrices {
+        let oracle = m.seconds.iter().copied().fold(f64::MAX, f64::min);
+        let full_idx = select_index(catalog, &registry.predict(&m.features));
+        let p_full = oracle / m.seconds[full_idx];
+        let known = wise_features::ProbeFeatures::mask_full(&m.features);
+        let vote = stage_one_vote(registry, &known);
+        let p_stage1 = oracle / m.seconds[vote.index];
+        samples.push(MarginSample { margin: vote.margin, p_stage1, p_full });
+    }
+    let threshold = calibrate_margin_threshold(&samples, P_RATIO_REL_FLOOR);
+
+    let n = samples.len() as f64;
+    let full_p_ratio = samples.iter().map(|s| s.p_full).sum::<f64>() / n.max(1.0);
+    let (mut cascade_sum, mut accepted) = (0.0, 0usize);
+    for s in &samples {
+        let fast = threshold.map(|t| s.margin >= t).unwrap_or(false);
+        cascade_sum += if fast { s.p_stage1 } else { s.p_full };
+        accepted += fast as usize;
+    }
+    CascadeGate {
+        threshold,
+        machine: estimator.machine().cloned(),
+        calibration_p_ratio: cascade_sum / n.max(1.0),
+        full_p_ratio,
+        calibration_accept_rate: accepted as f64 / n.max(1.0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regret feedback
+// ---------------------------------------------------------------------
+
+/// Per-process regret accumulator state: `(samples, Σ permille)` of
+/// measured/predicted per-iteration time for stage-1 answers.
+static REGRET: Mutex<(u64, u64)> = Mutex::new((0, 0));
+
+/// Aggregated stage-1 regret so far in this process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretStats {
+    /// Measured stage-1 executions observed.
+    pub observed: u64,
+    /// Mean measured/predicted time ratio (1.0 = the roofline estimate
+    /// was exact; > 1 = stage 1 was optimistic).
+    pub mean_ratio: f64,
+}
+
+/// Feeds one measured execution back into the cascade's regret loop.
+/// Only stage-1 choices carrying a roofline prediction contribute;
+/// everything else is a no-op. Each observation lands in the
+/// `select.cascade.regret` trace metric (permille of
+/// measured/predicted) and in the process-global [`regret_stats`].
+pub fn observe_execution(choice: &crate::pipeline::Choice, measured_seconds: f64) {
+    let Some(info) = &choice.cascade else { return };
+    if info.stage != CascadeStage::Stage1 {
+        return;
+    }
+    let Some(predicted) = info.predicted_seconds else { return };
+    if !(measured_seconds > 0.0) || !(predicted > 0.0) {
+        return;
+    }
+    let permille = (measured_seconds / predicted * 1000.0).round().clamp(0.0, 1e12) as u64;
+    wise_trace::observe("select.cascade.regret", permille);
+    let mut g = REGRET.lock().unwrap();
+    g.0 += 1;
+    g.1 += permille;
+}
+
+/// The process-global regret aggregate; `None` before any observation.
+pub fn regret_stats() -> Option<RegretStats> {
+    let g = REGRET.lock().unwrap();
+    (g.0 > 0).then(|| RegretStats { observed: g.0, mean_ratio: g.1 as f64 / g.0 as f64 / 1000.0 })
+}
+
+/// Clears the regret accumulator (tests, benchmark stages).
+pub fn reset_regret() {
+    *REGRET.lock().unwrap() = (0, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_spellings() {
+        assert_eq!(parse_wise_cascade(None), Ok(None));
+        for s in ["0", "off", "OFF", " off "] {
+            assert_eq!(parse_wise_cascade(Some(s)), Ok(Some(CascadeMode::Off)), "{s:?}");
+        }
+        for s in ["1", "on", "auto", "AUTO"] {
+            assert_eq!(parse_wise_cascade(Some(s)), Ok(Some(CascadeMode::Auto)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_values() {
+        assert_eq!(parse_wise_cascade(Some("")), Err(CascadeEnvError::Empty));
+        assert_eq!(parse_wise_cascade(Some("  ")), Err(CascadeEnvError::Empty));
+        let err = parse_wise_cascade(Some("fast")).unwrap_err();
+        assert!(err.to_string().contains("WISE_CASCADE"), "{err}");
+    }
+
+    fn head(class: u32, confidence: f64, reached_leaf: bool) -> PartialPrediction {
+        PartialPrediction { class, confidence, reached_leaf, depth: 1 }
+    }
+
+    #[test]
+    fn unanimous_leaf_vote_gets_max_margin() {
+        let catalog = wise_kernels::method::MethodConfig::catalog();
+        let partials: Vec<PartialPrediction> = catalog.iter().map(|_| head(1, 1.0, true)).collect();
+        let vote = fold_stage_one(&catalog, &partials);
+        assert!(vote.all_leaves);
+        assert_eq!(vote.margin, f64::MAX);
+        assert_eq!(vote.predictions[vote.index], SpeedupClass::C1);
+    }
+
+    #[test]
+    fn weakest_head_bounds_the_margin() {
+        let catalog = wise_kernels::method::MethodConfig::catalog();
+        let mut partials: Vec<PartialPrediction> =
+            catalog.iter().map(|_| head(1, 1.0, true)).collect();
+        partials[3] = head(4, 0.6, false); // C4 head, shaky
+        let vote = fold_stage_one(&catalog, &partials);
+        assert!(!vote.all_leaves);
+        assert_eq!(vote.predictions[vote.index], SpeedupClass::C4);
+        assert!((vote.min_confidence - 0.6).abs() < 1e-12);
+        // gap = rep(C4) - rep(C1) = 1/0.7 - 1.0
+        let gap = SpeedupClass::C4.representative_speedup() - 1.0;
+        assert!((vote.margin - 0.6 * (1.0 + gap)).abs() < 1e-12, "margin {}", vote.margin);
+    }
+
+    #[test]
+    fn confident_vote_outranks_shaky_vote() {
+        let catalog = wise_kernels::method::MethodConfig::catalog();
+        let confident: Vec<PartialPrediction> =
+            catalog.iter().map(|_| head(2, 0.95, false)).collect();
+        let shaky: Vec<PartialPrediction> = catalog.iter().map(|_| head(2, 0.55, false)).collect();
+        let mc = fold_stage_one(&catalog, &confident).margin;
+        let ms = fold_stage_one(&catalog, &shaky).margin;
+        assert!(mc > ms, "{mc} vs {ms}");
+    }
+
+    #[test]
+    fn regret_accumulator_rounds_trip() {
+        reset_regret();
+        assert_eq!(regret_stats(), None);
+        // Build a minimal stage-1 choice by hand.
+        let catalog = wise_kernels::method::MethodConfig::catalog();
+        let choice = crate::pipeline::Choice {
+            config: catalog[0],
+            index: 0,
+            predictions: vec![SpeedupClass::C1; catalog.len()],
+            features: wise_features::FeatureVector::from_values(vec![0.0; 67]),
+            timing: Default::default(),
+            decision_paths: Vec::new(),
+            cascade: Some(CascadeInfo {
+                stage: CascadeStage::Stage1,
+                margin: f64::MAX,
+                threshold: Some(0.5),
+                fallthrough: None,
+                predicted_seconds: Some(1e-3),
+            }),
+        };
+        observe_execution(&choice, 2e-3); // 2x the prediction
+        observe_execution(&choice, 1e-3); // exact
+        let stats = regret_stats().unwrap();
+        assert_eq!(stats.observed, 2);
+        assert!((stats.mean_ratio - 1.5).abs() < 1e-9, "ratio {}", stats.mean_ratio);
+        // Stage-2 and prediction-less choices are ignored.
+        let mut stage2 = choice.clone();
+        stage2.cascade = Some(CascadeInfo {
+            stage: CascadeStage::Stage2,
+            margin: 0.1,
+            threshold: Some(0.5),
+            fallthrough: Some(FallthroughReason::LowMargin),
+            predicted_seconds: None,
+        });
+        observe_execution(&stage2, 5e-3);
+        let mut plain = choice;
+        plain.cascade = None;
+        observe_execution(&plain, 5e-3);
+        assert_eq!(regret_stats().unwrap().observed, 2);
+        reset_regret();
+        assert_eq!(regret_stats(), None);
+    }
+
+    #[test]
+    fn cascade_info_serde_roundtrips_and_skips_none_fields() {
+        let info = CascadeInfo {
+            stage: CascadeStage::Stage1,
+            margin: f64::MAX,
+            threshold: Some(0.75),
+            fallthrough: None,
+            predicted_seconds: Some(2.5e-4),
+        };
+        let json = serde_json::to_string(&info).unwrap();
+        assert!(!json.contains("fallthrough"), "{json}");
+        let back: CascadeInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, info);
+        let through = CascadeInfo {
+            stage: CascadeStage::Stage2,
+            margin: 0.2,
+            threshold: Some(0.75),
+            fallthrough: Some(FallthroughReason::EstimatorVeto),
+            predicted_seconds: None,
+        };
+        let json = serde_json::to_string(&through).unwrap();
+        assert!(json.contains("EstimatorVeto"), "{json}");
+        assert!(!json.contains("predicted_seconds"), "{json}");
+        let back: CascadeInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, through);
+    }
+}

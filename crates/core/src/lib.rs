@@ -16,6 +16,13 @@
 //! 4. converts the matrix to the chosen format and runs SpMV
 //!    ([`pipeline::Wise`]).
 //!
+//! Selection itself is cascaded ([`cascade`]): a single O(nnz) feature
+//! probe plus partial tree walks answer "easy" matrices in microseconds
+//! when a calibrated confidence gate accepts, and fall through to the
+//! full pipeline (steps 1–3 above, bit-identical) otherwise. The
+//! `WISE_CASCADE` environment knob (`0|off` / `1|on|auto`) disables or
+//! enables the fast path.
+//!
 //! # Quick start
 //!
 //! ```
@@ -35,6 +42,7 @@
 //! wise.run_spmv(&m, &choice, &x, &mut y, 1);
 //! ```
 
+pub mod cascade;
 pub mod classes;
 pub mod evaluate;
 pub mod explain;
@@ -43,6 +51,10 @@ pub mod pipeline;
 pub mod registry;
 pub mod select;
 
+pub use cascade::{
+    observe_execution, regret_stats, CascadeGate, CascadeInfo, CascadeMode, CascadeStage,
+    FallthroughReason, RegretStats,
+};
 pub use classes::SpeedupClass;
 pub use evaluate::{evaluate_cv, CvEvaluation, EvalOutcome};
 pub use explain::explain_choice;

@@ -2,6 +2,7 @@
 //! per-configuration class prediction → method selection → format
 //! conversion → SpMV.
 
+use crate::cascade::{self, CascadeGate, CascadeInfo, CascadeStage, FallthroughReason};
 use crate::classes::SpeedupClass;
 use crate::labels::{label_corpus, CorpusLabels};
 use crate::registry::ModelRegistry;
@@ -9,7 +10,7 @@ use crate::select::select_index;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
-use wise_features::{FeatureConfig, FeatureVector};
+use wise_features::{FeatureConfig, FeatureVector, ProbeFeatures};
 use wise_gen::{Corpus, CorpusScale};
 use wise_kernels::method::{MethodConfig, Prepared};
 use wise_kernels::srvpack::SpmvWorkspace;
@@ -86,6 +87,12 @@ pub struct Choice {
     /// pre-explainability serialized choices; defaults to empty.
     #[serde(default)]
     pub decision_paths: Vec<wise_ml::DecisionPath>,
+    /// Cascade provenance: which stage answered, the stage-1 margin,
+    /// and (on fallthrough) why. `None` when the cascade was off or
+    /// the model carries no gate — those serializations stay
+    /// byte-identical to pre-cascade ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cascade: Option<CascadeInfo>,
 }
 
 impl Choice {
@@ -102,6 +109,12 @@ impl Choice {
 pub struct Wise {
     registry: ModelRegistry,
     feature_config: FeatureConfig,
+    /// The stage-1 confidence gate of the selection cascade,
+    /// calibrated at training time (see [`crate::cascade`]). Absent in
+    /// models saved before the cascade existed — they load fine and
+    /// simply always run the full pipeline.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    cascade_gate: Option<CascadeGate>,
 }
 
 impl Wise {
@@ -113,17 +126,19 @@ impl Wise {
         Self::from_labels(&labels, opts)
     }
 
-    /// Trains from pre-computed labels.
+    /// Trains from pre-computed labels and calibrates the selection
+    /// cascade's confidence gate on the same labels.
     pub fn from_labels(labels: &CorpusLabels, opts: &TrainOptions) -> Wise {
-        Wise {
-            registry: ModelRegistry::train(labels, opts.tree_params),
-            feature_config: opts.feature_config,
-        }
+        let registry = ModelRegistry::train(labels, opts.tree_params);
+        let gate = cascade::calibrate_gate(&registry, labels, &opts.estimator);
+        Wise { registry, feature_config: opts.feature_config, cascade_gate: Some(gate) }
     }
 
-    /// Wraps an existing registry.
+    /// Wraps an existing registry. No training labels are available
+    /// here, so the cascade gate is absent and selections always run
+    /// the full pipeline.
     pub fn from_registry(registry: ModelRegistry, feature_config: FeatureConfig) -> Wise {
-        Wise { registry, feature_config }
+        Wise { registry, feature_config, cascade_gate: None }
     }
 
     pub fn registry(&self) -> &ModelRegistry {
@@ -134,16 +149,140 @@ impl Wise {
         &self.feature_config
     }
 
+    /// The calibrated cascade gate, if this instance carries one.
+    pub fn cascade_gate(&self) -> Option<&CascadeGate> {
+        self.cascade_gate.as_ref()
+    }
+
+    /// Replaces the cascade gate (tests, experiments; `None` disables
+    /// the fast path for this instance regardless of `WISE_CASCADE`).
+    pub fn with_cascade_gate(mut self, gate: Option<CascadeGate>) -> Wise {
+        self.cascade_gate = gate;
+        self
+    }
+
     /// Runs steps 1–3 of Figure 8: extract features, predict classes,
     /// select the best configuration.
+    ///
+    /// When this instance carries a calibrated cascade gate and
+    /// `WISE_CASCADE` is not `off`, selection is cascaded: a stage-1
+    /// O(nnz) probe + partial tree vote answers immediately when its
+    /// margin clears the gate (microseconds instead of the full
+    /// extraction), falling through to the full pipeline otherwise —
+    /// bit-identical to the non-cascaded result modulo the
+    /// [`Choice::cascade`] provenance field.
     pub fn select(&self, m: &Csr) -> Choice {
         let _span = wise_trace::span_pmu("pipeline.select");
+        if cascade::mode() != cascade::CascadeMode::Off {
+            if let Some(gate) = &self.cascade_gate {
+                match self.select_stage_one(m, gate) {
+                    Ok(choice) => {
+                        wise_trace::counter("select.cascade.stage1", 1);
+                        return choice;
+                    }
+                    Err((margin, reason)) => {
+                        wise_trace::counter("select.cascade.stage2", 1);
+                        wise_trace::counter(
+                            match reason {
+                                FallthroughReason::NoThreshold => {
+                                    "select.cascade.fallthrough.no_threshold"
+                                }
+                                FallthroughReason::LowMargin => {
+                                    "select.cascade.fallthrough.low_margin"
+                                }
+                                FallthroughReason::EstimatorVeto => {
+                                    "select.cascade.fallthrough.veto"
+                                }
+                            },
+                            1,
+                        );
+                        let _s2 = wise_trace::span("select.cascade.stage2");
+                        let mut choice = self.select_full(m);
+                        choice.cascade = Some(CascadeInfo {
+                            stage: CascadeStage::Stage2,
+                            margin,
+                            threshold: gate.threshold,
+                            fallthrough: Some(reason),
+                            predicted_seconds: None,
+                        });
+                        return choice;
+                    }
+                }
+            }
+        }
+        self.select_full(m)
+    }
+
+    /// The full (non-cascaded) selection: extract all 67 features,
+    /// predict, pick. This is the exact pre-cascade `select` body.
+    fn select_full(&self, m: &Csr) -> Choice {
         let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
         let feature_extraction_s = t0.elapsed().as_secs_f64();
         let mut choice = self.select_from_features(features);
         choice.timing.feature_extraction_s = feature_extraction_s;
         choice
+    }
+
+    /// Stage 1 of the cascade: probe, partial vote, gate, roofline
+    /// veto. `Err` carries the margin and the fallthrough reason.
+    fn select_stage_one(
+        &self,
+        m: &Csr,
+        gate: &CascadeGate,
+    ) -> Result<Choice, (f64, FallthroughReason)> {
+        let _s1 = wise_trace::span("select.cascade.stage1");
+        let t0 = Instant::now();
+        let probe = ProbeFeatures::extract(m);
+        let known = probe.known_values();
+        let probe_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let (partials, paths) = self.registry.predict_partial_explained(&known);
+        let vote = cascade::fold_stage_one(self.registry.catalog(), &partials);
+        let predict_s = t1.elapsed().as_secs_f64();
+        let Some(threshold) = gate.threshold else {
+            return Err((vote.margin, FallthroughReason::NoThreshold));
+        };
+        if vote.margin < threshold {
+            return Err((vote.margin, FallthroughReason::LowMargin));
+        }
+        let t2 = Instant::now();
+        let winner = vote.predictions[vote.index];
+        let mut predicted_seconds = None;
+        if let Some(machine) = &gate.machine {
+            let est = Estimator::Model { machine: machine.clone(), sample_shift: None };
+            if let Some(bounds) = est.quick_bounds(&probe) {
+                if winner.representative_speedup() > bounds.max_plausible_speedup {
+                    return Err((vote.margin, FallthroughReason::EstimatorVeto));
+                }
+                predicted_seconds =
+                    Some(bounds.csr_seconds * winner.representative_relative_time());
+            }
+        }
+        // A stage-1 Choice carries the probe-known feature slots with
+        // zeros elsewhere — a documented partial vector (NaN would not
+        // survive JSON round-trips).
+        let values: Vec<f64> = known.iter().map(|v| v.unwrap_or(0.0)).collect();
+        let timing = ChoiceTiming {
+            feature_extraction_s: probe_s,
+            predict_s,
+            select_s: t2.elapsed().as_secs_f64(),
+        };
+        Ok(Choice {
+            config: self.registry.catalog()[vote.index],
+            index: vote.index,
+            predictions: vote.predictions,
+            features: FeatureVector::from_values(values),
+            timing,
+            decision_paths: paths,
+            cascade: Some(CascadeInfo {
+                stage: CascadeStage::Stage1,
+                margin: vote.margin,
+                threshold: Some(threshold),
+                fallthrough: None,
+                predicted_seconds,
+            }),
+        })
     }
 
     /// Selection from pre-extracted features (used when the caller
@@ -172,6 +311,7 @@ impl Wise {
             features,
             timing,
             decision_paths,
+            cascade: None,
         }
     }
 
@@ -190,6 +330,26 @@ impl Wise {
         let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
         let feature_extraction_s = t0.elapsed().as_secs_f64();
+        let mut choice =
+            self.select_for_iterations_from_features(m, features, estimator, n_iterations);
+        choice.timing.feature_extraction_s = feature_extraction_s;
+        choice
+    }
+
+    /// [`Wise::select_for_iterations`] from pre-extracted features —
+    /// callers that already ran [`Wise::select`] (or labeled the
+    /// matrix) reuse the vector instead of paying extraction twice.
+    /// A full-pipeline `choice.features` can be moved straight in;
+    /// cascade *stage-1* choices carry only the probe subset (zeros
+    /// elsewhere) and must not be reused here — check
+    /// [`Choice::cascade`] first.
+    pub fn select_for_iterations_from_features(
+        &self,
+        m: &Csr,
+        features: FeatureVector,
+        estimator: &wise_perf::Estimator,
+        n_iterations: u64,
+    ) -> Choice {
         let t1 = Instant::now();
         let (predictions, decision_paths) = {
             let _predict = wise_trace::span("select.predict");
@@ -213,9 +373,20 @@ impl Wise {
             best_csr,
             n_iterations,
         );
-        let timing =
-            ChoiceTiming { feature_extraction_s, predict_s, select_s: t2.elapsed().as_secs_f64() };
-        Choice { config: catalog[index], index, predictions, features, timing, decision_paths }
+        let timing = ChoiceTiming {
+            feature_extraction_s: 0.0,
+            predict_s,
+            select_s: t2.elapsed().as_secs_f64(),
+        };
+        Choice {
+            config: catalog[index],
+            index,
+            predictions,
+            features,
+            timing,
+            decision_paths,
+            cascade: None,
+        }
     }
 
     /// Steps 4–5 of Figure 8: converts `m` to the chosen format and
@@ -376,6 +547,165 @@ mod tests {
 }
 
 #[cfg(test)]
+mod cascade_pipeline_tests {
+    use super::*;
+    use crate::cascade::P_RATIO_REL_FLOOR;
+
+    fn trained() -> Wise {
+        // Pin the cascade on: these tests control behavior through the
+        // per-instance gate, and must not depend on a WISE_CASCADE=0
+        // leaking in from the environment.
+        cascade::set_mode(cascade::CascadeMode::Auto);
+        let scale = CorpusScale::tiny();
+        let corpus = Corpus::random(&scale, 11);
+        Wise::train(&corpus, &TrainOptions::for_scale(&scale))
+    }
+
+    fn forced_gate(threshold: Option<f64>) -> CascadeGate {
+        CascadeGate {
+            threshold,
+            machine: None,
+            calibration_p_ratio: 1.0,
+            full_p_ratio: 1.0,
+            calibration_accept_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn trained_instance_carries_a_calibrated_gate() {
+        let wise = trained();
+        let gate = wise.cascade_gate().expect("training calibrates a gate");
+        assert!(gate.full_p_ratio > 0.0 && gate.full_p_ratio <= 1.0 + 1e-9);
+        // The calibration contract: the induced training-set cascade
+        // P-ratio honors the floor (trivially so when threshold=None).
+        assert!(
+            gate.calibration_p_ratio >= P_RATIO_REL_FLOOR * gate.full_p_ratio - 1e-9,
+            "cascade P {} vs full P {}",
+            gate.calibration_p_ratio,
+            gate.full_p_ratio
+        );
+        assert!((0.0..=1.0).contains(&gate.calibration_accept_rate));
+        // Model-backend training embeds the machine for the veto.
+        assert!(gate.machine.is_some());
+    }
+
+    #[test]
+    fn forced_accept_gate_answers_in_stage_one() {
+        let wise = trained().with_cascade_gate(Some(forced_gate(Some(0.0))));
+        let m = wise_gen::RmatParams::HIGH_SKEW.generate(9, 16, 77);
+        let choice = wise.select(&m);
+        let info = choice.cascade.expect("cascade provenance present");
+        assert_eq!(info.stage, CascadeStage::Stage1);
+        assert!(info.margin >= 0.0);
+        assert!(info.fallthrough.is_none());
+        assert_eq!(choice.predictions.len(), 29);
+        // Stage-1 choices stay auditable: per-head partial paths align
+        // with the votes.
+        assert_eq!(choice.decision_paths.len(), 29);
+        for (pred, path) in choice.predictions.iter().zip(&choice.decision_paths) {
+            assert_eq!(pred.index(), path.leaf_class);
+        }
+        assert!(choice.timing.feature_extraction_s > 0.0);
+    }
+
+    #[test]
+    fn no_threshold_gate_falls_through_identically() {
+        let wise = trained().with_cascade_gate(Some(forced_gate(None)));
+        let m = wise_gen::RmatParams::MED_SKEW.generate(9, 8, 13);
+        let through = wise.select(&m);
+        let info = through.cascade.expect("fallthrough still records provenance");
+        assert_eq!(info.stage, CascadeStage::Stage2);
+        assert_eq!(info.fallthrough, Some(FallthroughReason::NoThreshold));
+        // Modulo the cascade field (and timing), the fallthrough Choice
+        // is the full pipeline's.
+        let full = wise.select_from_features(FeatureVector::extract(&m, wise.feature_config()));
+        assert_eq!(through.index, full.index);
+        assert_eq!(through.config.label(), full.config.label());
+        assert_eq!(through.predictions, full.predictions);
+        assert_eq!(through.features, full.features);
+        assert_eq!(through.decision_paths, full.decision_paths);
+    }
+
+    #[test]
+    fn all_leaves_stage_one_matches_full_selection_exactly() {
+        // Whenever every partial walk reaches a leaf (margin == MAX),
+        // the stage-1 answer provably equals the full pipeline's.
+        let wise = trained().with_cascade_gate(Some(forced_gate(Some(0.0))));
+        let mut saw_exact = false;
+        for (params, seed) in [
+            (wise_gen::RmatParams::HIGH_SKEW, 7u64),
+            (wise_gen::RmatParams::LOW_LOC, 5),
+            (wise_gen::RmatParams::MED_SKEW, 3),
+            (wise_gen::RmatParams::LOW_SKEW, 9),
+        ] {
+            let m = params.generate(9, 8, seed);
+            let choice = wise.select(&m);
+            let info = choice.cascade.unwrap();
+            if info.stage == CascadeStage::Stage1 && info.margin == f64::MAX {
+                saw_exact = true;
+                let full =
+                    wise.select_from_features(FeatureVector::extract(&m, wise.feature_config()));
+                assert_eq!(choice.index, full.index);
+                assert_eq!(choice.predictions, full.predictions);
+            }
+        }
+        // Not guaranteed for every corpus, but this seed/zoo combination
+        // exercises at least one exact fast-path answer; if the trees
+        // stop splitting on probe features the assertion below flags it.
+        assert!(saw_exact, "no all-leaves stage-1 answer in the zoo");
+    }
+
+    #[test]
+    fn gateless_choice_serializes_without_cascade_key() {
+        let wise = trained().with_cascade_gate(None);
+        let m = wise_gen::RmatParams::LOW_LOC.generate(8, 4, 5);
+        let choice = wise.select(&m);
+        assert!(choice.cascade.is_none());
+        let json = serde_json::to_string(&choice).unwrap();
+        assert!(!json.contains("\"cascade\""), "cascade key must be absent");
+        // And a pre-cascade Choice JSON (no cascade key) loads as None.
+        let back: Choice = serde_json::from_str(&json).unwrap();
+        assert!(back.cascade.is_none());
+    }
+
+    #[test]
+    fn pre_cascade_wise_json_loads_without_gate() {
+        let wise = trained();
+        let json = serde_json::to_string(&wise).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        v.as_object_mut().unwrap().remove("cascade_gate");
+        let old: Wise = serde_json::from_value(v).unwrap();
+        assert!(old.cascade_gate().is_none());
+        // A gateless instance selects through the full pipeline.
+        let m = wise_gen::RmatParams::LOW_LOC.generate(8, 4, 5);
+        let choice = old.select(&m);
+        assert!(choice.cascade.is_none());
+        assert_eq!(choice.predictions.len(), 29);
+    }
+
+    #[test]
+    fn stage_one_records_roofline_prediction_with_machine() {
+        let wise = trained();
+        let machine = wise.cascade_gate().unwrap().machine.clone();
+        assert!(machine.is_some());
+        let gate = CascadeGate { machine, ..forced_gate(Some(0.0)) };
+        let wise = wise.with_cascade_gate(Some(gate));
+        let m = wise_gen::RmatParams::MED_LOC.generate(9, 8, 21);
+        let choice = wise.select(&m);
+        let info = choice.cascade.unwrap();
+        match info.stage {
+            CascadeStage::Stage1 => {
+                let p = info.predicted_seconds.expect("veto machine implies a prediction");
+                assert!(p > 0.0 && p.is_finite());
+            }
+            CascadeStage::Stage2 => {
+                assert_eq!(info.fallthrough, Some(FallthroughReason::EstimatorVeto));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod amortized_pipeline_tests {
     use super::*;
     use wise_perf::Estimator;
@@ -396,8 +726,18 @@ mod amortized_pipeline_tests {
         // One iteration can never justify conversion: CSR family.
         assert_eq!(one.config.method, wise_kernels::Method::Csr, "{}", one.config.label());
         // The asymptotic choice matches the plain (pure-speed) selection
-        // tier.
-        let plain = wise.select(&m);
+        // tier. Pin the full pipeline (not the cascade fast path) by
+        // selecting from pre-extracted features — also exercising the
+        // feature-reuse entry point.
+        let features = FeatureVector::extract(&m, wise.feature_config());
+        let plain = wise.select_from_features(features.clone());
+        // Reusing features through the amortized path reproduces the
+        // extraction-inclusive result exactly (modulo timing).
+        let reused =
+            wise.select_for_iterations_from_features(&m, features, &opts.estimator, 1_000_000);
+        assert_eq!(reused.index, many.index);
+        assert_eq!(reused.predictions, many.predictions);
+        assert_eq!(reused.timing.feature_extraction_s, 0.0);
         assert_eq!(
             many.predictions[many.index], plain.predictions[plain.index],
             "many-iteration choice should reach the plain selection tier"

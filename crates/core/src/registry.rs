@@ -106,6 +106,32 @@ impl ModelRegistry {
         (predictions, paths)
     }
 
+    /// Partial prediction of every head over an incompletely-known
+    /// feature row (catalog order) — the stage-1 vote of the selection
+    /// cascade. Each tree walks until its first split on an unknown
+    /// (`None`) feature; see
+    /// [`wise_ml::DecisionTree::predict_partial`].
+    pub fn predict_partial(&self, known: &[Option<f64>]) -> Vec<wise_ml::PartialPrediction> {
+        self.trees.iter().map(|t| t.predict_partial(known)).collect()
+    }
+
+    /// [`ModelRegistry::predict_partial`] plus the partial walk of
+    /// every head, so stage-1 selections stay as auditable as full
+    /// ones (each path terminates at the stopping node).
+    pub fn predict_partial_explained(
+        &self,
+        known: &[Option<f64>],
+    ) -> (Vec<wise_ml::PartialPrediction>, Vec<wise_ml::DecisionPath>) {
+        let mut partials = Vec::with_capacity(self.trees.len());
+        let mut paths = Vec::with_capacity(self.trees.len());
+        for t in &self.trees {
+            let (p, path) = t.predict_partial_explained(known);
+            partials.push(p);
+            paths.push(path);
+        }
+        (partials, paths)
+    }
+
     /// Serializes to pretty JSON at `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let json = serde_json::to_string(self).expect("registry serializes");
@@ -176,6 +202,48 @@ mod tests {
             for (p, path) in preds.iter().zip(&paths) {
                 assert_eq!(p.index(), path.leaf_class);
                 assert!(path.leaf_samples > 0, "leaf must carry training support");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_partial_with_full_knowledge_matches_predict() {
+        let labels = labeled();
+        let reg = ModelRegistry::train(&labels, TreeParams::default());
+        for m in labels.matrices.iter().take(4) {
+            let known: Vec<Option<f64>> = m.features.values().iter().map(|&v| Some(v)).collect();
+            let partials = reg.predict_partial(&known);
+            let plain = reg.predict(&m.features);
+            assert_eq!(partials.len(), 29);
+            for (p, full) in partials.iter().zip(&plain) {
+                assert!(p.reached_leaf);
+                assert_eq!(p.confidence, 1.0);
+                assert_eq!(SpeedupClass::from_index(p.class), *full);
+            }
+            let (explained, paths) = reg.predict_partial_explained(&known);
+            assert_eq!(explained, partials);
+            assert_eq!(paths.len(), 29);
+            for (p, path) in partials.iter().zip(&paths) {
+                assert_eq!(p.class, path.leaf_class);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_masked_partial_vote_never_exceeds_full_knowledge() {
+        // Masking features can only stop walks early; where a walk does
+        // reach a leaf, the class must equal the full prediction.
+        let labels = labeled();
+        let reg = ModelRegistry::train(&labels, TreeParams::default());
+        for m in labels.matrices.iter().take(6) {
+            let masked = wise_features::ProbeFeatures::mask_full(&m.features);
+            let partials = reg.predict_partial(&masked);
+            let full = reg.predict(&m.features);
+            for (p, f) in partials.iter().zip(&full) {
+                if p.reached_leaf {
+                    assert_eq!(SpeedupClass::from_index(p.class), *f);
+                }
+                assert!((0.0..=1.0).contains(&p.confidence));
             }
         }
     }

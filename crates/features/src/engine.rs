@@ -254,6 +254,8 @@ pub struct FeatureScratch {
     pub(crate) stat_buf: Vec<usize>,
     /// Dense R/C count buffer built from row-pointer differences.
     pub(crate) counts_buf: Vec<usize>,
+    /// Column histogram for the stage-1 probe (no transpose needed).
+    pub(crate) col_counts: Vec<usize>,
 }
 
 impl FeatureScratch {

@@ -14,6 +14,8 @@
 //! * [`locality`] — uniqR/uniqC, GrX_* grouped uniques, potReuse*;
 //! * [`engine`] — the fused, parallel single-pass extraction engine and
 //!   its reusable [`FeatureScratch`] workspace;
+//! * [`probe`] — the O(nnz) stage-1 subset (sizes + full R/C
+//!   statistics, no tiling or locality) behind the selection cascade;
 //! * [`FeatureVector`] — the assembled, fixed-order feature vector fed
 //!   to the decision trees.
 //!
@@ -24,12 +26,14 @@
 
 pub mod engine;
 pub mod locality;
+pub mod probe;
 pub mod stats;
 pub mod tiling;
 
 mod vector;
 
 pub use engine::FeatureScratch;
+pub use probe::ProbeFeatures;
 pub use stats::SummaryStats;
 pub use tiling::{TileGeometry, TileGrid};
 pub use vector::{FeatureConfig, FeatureVector};

@@ -34,8 +34,10 @@ pub mod machine;
 pub mod residual;
 pub mod sched_sim;
 
-pub use calibrate::{calibrate_to_host, CalibrationReport};
+pub use calibrate::{
+    calibrate_margin_threshold, calibrate_to_host, CalibrationReport, MarginSample,
+};
 pub use cost::{estimate_preprocessing_seconds, estimate_spmv_seconds, CostBreakdown};
-pub use estimator::Estimator;
+pub use estimator::{Estimator, QuickBounds};
 pub use machine::MachineModel;
 pub use residual::{observe_residual, Residual};

@@ -1255,6 +1255,33 @@ mod tests {
     }
 
     #[test]
+    fn cascade_fields_round_trip_and_old_records_tolerate_absence() {
+        // Cascade telemetry rides in the schema-free throughput /
+        // counters maps: new records round-trip it bit-exactly...
+        let mut rec = record(7, &[("pipeline.select", stage(1_000, 1_200))]);
+        rec.throughput.insert("bench.cascade.speedup".to_string(), 12.5);
+        rec.throughput.insert("select.cascade.fallthrough_rate".to_string(), 0.25);
+        rec.counters.insert("select.cascade.stage1".to_string(), 9);
+        rec.counters.insert("select.cascade.stage2".to_string(), 3);
+        let back = BenchRecord::from_json(&rec.to_json()).expect("parses");
+        assert_eq!(back, rec);
+        assert_eq!(back.throughput["select.cascade.fallthrough_rate"], 0.25);
+        // ...while records written before the cascade existed carry
+        // neither field and must keep parsing and gating unchanged
+        // (tolerated-when-missing, like the pmu section).
+        let old = r#"{"schema_version":1,"seq":3,"note":"old","corpus_digest":"fnv1a:0000000000000001",
+            "host":{"cpu_cores":4,"threads_env":null,"pool_env":null,"rustc":null,"simd":null,"simd_env":null},
+            "stages":{"pipeline.select":{"count":5,"min_ns":1000,"p50_ns":1200,"p95_ns":1500,"total_ns":6000}},
+            "counters":{},"throughput":{},"model":null}"#;
+        let rec_old = BenchRecord::from_json(old).expect("pre-cascade record parses");
+        assert!(rec_old.throughput.get("bench.cascade.speedup").is_none());
+        assert!(rec_old.counters.get("select.cascade.stage1").is_none());
+        let rep = gate(&[rec_old], &rec, &policy(&["pipeline.select"]));
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.baselines_used, 1);
+    }
+
+    #[test]
     fn pmu_section_round_trips_through_json() {
         let mut rec = record(1, &[("kernel.spmv", stage(100, 120))]);
         rec.pmu = Some(PmuSection {

@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 use wise_core::pipeline::{TrainOptions, Wise};
+use wise_features::FeatureVector;
 use wise_gen::{Corpus, CorpusScale, RmatParams};
 use wise_kernels::baseline::mkl_like_config;
 use wise_kernels::method::MethodConfig;
@@ -55,11 +56,33 @@ fn main() {
 
     println!("training WISE...");
     let scale = CorpusScale::tiny();
-    let wise = Wise::train(&Corpus::full(&scale, 42), &TrainOptions::for_scale(&scale));
+    let opts = TrainOptions::for_scale(&scale);
+    let wise = Wise::train(&Corpus::full(&scale, 42), &opts);
     let choice = wise.select(&m);
+    if let Some(info) = &choice.cascade {
+        println!("cascade: answered in {:?} (margin {:.3})", info.stage, info.margin);
+    }
     println!("WISE selected {} for the PageRank matrix", choice.config.label());
 
     let iters = 20;
+    // An iterative solver knows its iteration count up front: refine the
+    // pick with the amortized tier, reusing the features the plain
+    // selection already extracted instead of paying extraction twice.
+    // (A cascade stage-1 answer only carries the probe subset, so the
+    // full vector is extracted in that case.)
+    let features = match &choice.cascade {
+        Some(info) if info.stage == wise_core::CascadeStage::Stage1 => {
+            FeatureVector::extract(&m, wise.feature_config())
+        }
+        _ => choice.features.clone(),
+    };
+    let amortized =
+        wise.select_for_iterations_from_features(&m, features, &opts.estimator, iters as u64);
+    println!(
+        "amortized over {iters} iterations: {} (feature extraction reused, {:.1}us saved)",
+        amortized.config.label(),
+        choice.timing.feature_extraction_s * 1e6
+    );
     let (pr_mkl, t_mkl) = pagerank(&mkl_like_config(), &m, iters, threads);
     let (pr_wise, t_wise) = pagerank(&choice.config, &m, iters, threads);
 

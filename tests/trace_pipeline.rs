@@ -14,6 +14,10 @@ fn traced_pipeline_covers_mandatory_stages() {
     wise_trace::set_enabled(true);
     let _ = wise_trace::take_events(); // discard anything from other tests in this binary
 
+    // Pin the cascade on so the stage-1 span below is deterministic
+    // even if WISE_CASCADE=0 leaks in from the environment.
+    wise_core::cascade::set_mode(wise_core::CascadeMode::Auto);
+
     let scale = CorpusScale::tiny();
     let corpus = Corpus::random(&scale, 7);
     let wise = Wise::train(&corpus, &TrainOptions::for_scale(&scale));
@@ -29,12 +33,15 @@ fn traced_pipeline_covers_mandatory_stages() {
     wise_trace::set_enabled(false);
     let summary = wise_trace::Summary::from_events(&events);
 
-    // The stage set CI requires on the quickstart trace.
+    // The stage set CI requires on the quickstart trace. The trained
+    // instance carries a cascade gate, so the stage-1 probe span is
+    // mandatory whether or not the gate accepted.
     for stage in [
         "features.extract",
         "label.corpus",
         "train.registry",
         "pipeline.select",
+        "select.cascade.stage1",
         "kernel.convert",
         "kernel.spmv",
     ] {
