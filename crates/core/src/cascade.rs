@@ -6,7 +6,7 @@
 //! **Stage 1** extracts the cheap probe
 //! ([`wise_features::ProbeFeatures`]: sizes + full R/C statistics, one
 //! O(nnz) pass, no tiling/locality sweeps), walks every registry tree
-//! over the 19 probe-known features
+//! over the 22 probe-known features
 //! ([`DecisionTree::predict_partial`](wise_ml::DecisionTree::predict_partial)),
 //! and computes a *vote margin*. If the margin clears a threshold
 //! calibrated on the training labels — and the roofline veto
@@ -453,7 +453,10 @@ mod tests {
             config: catalog[0],
             index: 0,
             predictions: vec![SpeedupClass::C1; catalog.len()],
-            features: wise_features::FeatureVector::from_values(vec![0.0; 67]),
+            features: wise_features::FeatureVector::from_values(vec![
+                0.0;
+                wise_features::N_FEATURES
+            ]),
             timing: Default::default(),
             decision_paths: Vec::new(),
             cascade: Some(CascadeInfo {

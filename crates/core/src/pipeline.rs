@@ -213,7 +213,7 @@ impl Wise {
         self.select_full(m)
     }
 
-    /// The full (non-cascaded) selection: extract all 67 features,
+    /// The full (non-cascaded) selection: extract all 70 features,
     /// predict, pick. This is the exact pre-cascade `select` body.
     fn select_full(&self, m: &Csr) -> Choice {
         let t0 = Instant::now();

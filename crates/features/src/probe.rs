@@ -2,9 +2,10 @@
 //!
 //! One O(nnz) pass over the CSR arrays yields the subset of Table 2
 //! that needs neither the tile grid nor the locality sweeps: the three
-//! size features plus the full R and C distribution statistics (19 of
-//! the 67 features), and two probe-only scalars for the cost-model
-//! veto (density and a bandwidth proxy).
+//! size features, the full R and C distribution statistics, and the
+//! three trailing host SIMD/MLP capability features (22 of the 70
+//! features), plus two probe-only scalars for the cost-model veto
+//! (density and a bandwidth proxy).
 //!
 //! The R and C statistics are **bit-identical** to the full
 //! extractor's: both paths push the same integer counts through the
@@ -16,7 +17,7 @@
 
 use crate::engine::FeatureScratch;
 use crate::stats::SummaryStats;
-use crate::vector::{FeatureVector, N_FEATURES};
+use crate::vector::{host_simd_features, FeatureVector, N_FEATURES};
 use std::sync::OnceLock;
 use wise_matrix::Csr;
 
@@ -38,6 +39,10 @@ pub struct ProbeFeatures {
     /// for banded/diagonal structure (x-vector reuse is near-perfect),
     /// toward ~0.3 for uniformly scattered columns.
     pub bandwidth_frac: f64,
+    /// The trailing host SIMD/MLP features, computed by the same
+    /// [`host_simd_features`] call the full extractor uses (so they
+    /// are bit-identical by construction).
+    pub host: [f64; 3],
 }
 
 impl ProbeFeatures {
@@ -94,11 +99,13 @@ impl ProbeFeatures {
             c_stats,
             density,
             bandwidth_frac,
+            host: host_simd_features(ncols),
         }
     }
 
     /// Vector indices (into [`FeatureVector`] order) the probe knows:
-    /// the 3 size features plus the 8 R and 8 C statistics.
+    /// the 3 size features, the 8 R and 8 C statistics, and the 3
+    /// host SIMD/MLP features.
     pub fn known_indices() -> &'static [usize] {
         static IDX: OnceLock<Vec<usize>> = OnceLock::new();
         IDX.get_or_init(|| {
@@ -107,6 +114,9 @@ impl ProbeFeatures {
                 for stat in ["mean", "std", "var", "gini", "p", "min", "max", "ne"] {
                     names.push(format!("{stat}_{dist}"));
                 }
+            }
+            for host in ["host_simd_lanes", "host_prefetch", "host_interleave"] {
+                names.push(host.to_string());
             }
             names
                 .iter()
@@ -143,6 +153,9 @@ impl ProbeFeatures {
             c.min,
             c.max,
             c.ne,
+            self.host[0],
+            self.host[1],
+            self.host[2],
         ];
         for (&i, &v) in idx.iter().zip(ordered.iter()) {
             values[i] = Some(v);
@@ -193,17 +206,18 @@ mod tests {
             // the same integer counts through the same statistics code.
             assert_eq!(known, masked, "matrix {}x{}", m.nrows(), m.ncols());
             let n_known = known.iter().filter(|v| v.is_some()).count();
-            assert_eq!(n_known, 19);
+            assert_eq!(n_known, 22);
         }
     }
 
     #[test]
     fn known_indices_cover_size_r_c() {
         let idx = ProbeFeatures::known_indices();
-        assert_eq!(idx.len(), 19);
+        assert_eq!(idx.len(), 22);
         assert_eq!(idx[0], FeatureVector::name_index("n_rows").unwrap());
         assert!(idx.contains(&FeatureVector::name_index("p_R").unwrap()));
         assert!(idx.contains(&FeatureVector::name_index("ne_C").unwrap()));
+        assert!(idx.contains(&FeatureVector::name_index("host_prefetch").unwrap()));
         assert!(!idx.contains(&FeatureVector::name_index("uniqR").unwrap()));
     }
 

@@ -44,8 +44,12 @@ impl FeatureConfig {
     }
 }
 
-/// A fixed-order vector of the 67 matrix features of Table 2:
-/// 3 size + 5 distributions × 8 statistics + 24 locality metrics.
+/// A fixed-order vector of the 70 features fed to the trees: the 67
+/// matrix features of Table 2 (3 size + 5 distributions × 8 statistics
+/// + 24 locality metrics) plus 3 trailing host-capability features
+/// (SIMD lanes, auto prefetch distance, auto interleave factor) so
+/// selection can learn vector-width/MLP decisions per matrix rather
+/// than per host.
 ///
 /// ```
 /// use wise_features::{FeatureConfig, FeatureVector};
@@ -59,8 +63,23 @@ pub struct FeatureVector {
     values: Vec<f64>,
 }
 
-/// Number of features.
-pub const N_FEATURES: usize = 3 + 5 * 8 + 24;
+/// Number of features: Table 2's 67 plus the 3 host SIMD/MLP features.
+pub const N_FEATURES: usize = 3 + 5 * 8 + 24 + 3;
+
+/// The host SIMD/MLP capability features, in vector order:
+/// `[host_simd_lanes, host_prefetch, host_interleave]`. They depend on
+/// the active ISA (so `WISE_SIMD`/`WISE_PREFETCH` caps are visible to
+/// the classifier) and on `ncols`, which drives the auto policies'
+/// x-footprint thresholds. Shared by the full extractor, the reference
+/// extractor and the probe, so all three agree bit-for-bit.
+pub fn host_simd_features(ncols: usize) -> [f64; 3] {
+    let isa = wise_kernels::simd::active();
+    [
+        isa.lanes() as f64,
+        wise_kernels::simd::prefetch_distance(isa, ncols) as f64,
+        wise_kernels::simd::auto_csr_interleave(isa, ncols) as f64,
+    ]
+}
 
 fn build_names() -> Vec<String> {
     let mut names = vec!["n_rows".to_string(), "n_cols".to_string(), "nnz".to_string()];
@@ -85,6 +104,9 @@ fn build_names() -> Vec<String> {
     for x in GROUP_XS {
         names.push(format!("Gr{x}_potReuseC"));
     }
+    names.push("host_simd_lanes".into());
+    names.push("host_prefetch".into());
+    names.push("host_interleave".into());
     debug_assert_eq!(names.len(), N_FEATURES);
     names
 }
@@ -114,6 +136,7 @@ fn assemble(
     values.push(loc.pot_reuse_c);
     values.extend_from_slice(&loc.gr_pot_reuse_r);
     values.extend_from_slice(&loc.gr_pot_reuse_c);
+    values.extend_from_slice(&host_simd_features(ncols));
     debug_assert_eq!(values.len(), N_FEATURES);
     values
 }
@@ -398,6 +421,22 @@ mod tests {
             let p = FeatureVector::extract(&m, &cfg).get("p_R").unwrap();
             assert!(p > 0.4, "suite p-ratio {p}");
         }
+    }
+
+    #[test]
+    fn host_features_trail_the_vector_and_match_the_probe_policy() {
+        let m = RmatParams::LOW_LOC.generate(8, 4, 1);
+        let f = FeatureVector::extract(&m, &FeatureConfig::default());
+        let host = host_simd_features(m.ncols());
+        assert_eq!(&f.values()[N_FEATURES - 3..], &host);
+        assert_eq!(f.get("host_simd_lanes"), Some(host[0]));
+        assert_eq!(f.get("host_prefetch"), Some(host[1]));
+        assert_eq!(f.get("host_interleave"), Some(host[2]));
+        let isa = wise_kernels::simd::active();
+        assert_eq!(host[0], isa.lanes() as f64);
+        // The reference extractor emits the identical trailing triple.
+        let r = FeatureVector::extract_reference(&m, &FeatureConfig::default());
+        assert_eq!(&r.values()[N_FEATURES - 3..], &host);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![cfg_attr(wise_portable_simd, feature(portable_simd))]
 //! SpMV kernels for the WISE reproduction.
 //!
 //! This crate implements the full SpMV optimization space of the paper
@@ -21,11 +22,15 @@
 //!   see DESIGN.md for the substitution argument);
 //! * [`merge_csr`] — a merge-path load-balanced CSR kernel, the worked
 //!   example for extending WISE beyond the paper's 29 configurations;
-//! * [`simd`] — the runtime CPU capability probe (SSE2/AVX2/AVX-512,
-//!   scalar elsewhere) and the explicitly vectorized CSR-row and SELL-
-//!   chunk kernels it dispatches, plus the ulp-tolerance contract that
-//!   replaces bit-exactness for reassociated sums (`WISE_SIMD=0` opts
-//!   back into the bit-exact scalar paths; see DESIGN.md §14);
+//! * [`simd`] — the runtime CPU capability probe (SSE2/AVX2/AVX-512, a
+//!   portable multi-accumulator level elsewhere) and the explicitly
+//!   vectorized CSR-row and SELL-chunk kernels it dispatches — with
+//!   software-prefetched gathers (`WISE_PREFETCH`), row-block/chunk-pair
+//!   interleaving, and AVX-512 masked tails (DESIGN.md §17) — plus the
+//!   ulp-tolerance contract that replaces bit-exactness for reassociated
+//!   sums (`WISE_SIMD=0` opts back into the bit-exact scalar paths; see
+//!   DESIGN.md §14). Building with `--cfg wise_portable_simd` (nightly)
+//!   swaps the portable level's plain-Rust loops for `std::simd`;
 //! * [`timing`] — robust wall-clock measurement helpers reporting the
 //!   full sample spread ([`timing::Samples`]).
 //!

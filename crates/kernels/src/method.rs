@@ -84,37 +84,89 @@ pub struct MethodConfig {
     /// catalog — behave as auto and keep their pre-SIMD labels.
     #[serde(default)]
     pub v: usize,
+    /// Requested software-prefetch distance in vector steps: 0 = auto
+    /// (the `WISE_PREFETCH` / ISA policy decides), n ≥ 1 = prefetch n
+    /// steps ahead. Serde-defaulted so pre-MLP JSON stays byte-stable;
+    /// an explicit value appears in labels as a `-p{n}` tag.
+    #[serde(default)]
+    pub pf: usize,
+    /// Requested row/chunk interleave factor: 0 = auto policy, 1 =
+    /// off (solo chains), n ≥ 2 = interleave n independent accumulator
+    /// chains. Serde-defaulted; labeled as `-i{n}` when explicit.
+    #[serde(default)]
+    pub il: usize,
 }
 
 impl MethodConfig {
     pub fn csr(schedule: Schedule) -> Self {
-        MethodConfig { method: Method::Csr, schedule, c: 0, sigma: 0, t: 0.0, v: 0 }
+        MethodConfig { method: Method::Csr, schedule, c: 0, sigma: 0, t: 0.0, v: 0, pf: 0, il: 0 }
     }
 
     pub fn sellpack(c: usize, schedule: Schedule) -> Self {
-        MethodConfig { method: Method::SellPack, schedule, c, sigma: 0, t: 0.0, v: 0 }
+        MethodConfig { method: Method::SellPack, schedule, c, sigma: 0, t: 0.0, v: 0, pf: 0, il: 0 }
     }
 
     pub fn sell_c_sigma(c: usize, sigma: usize, schedule: Schedule) -> Self {
-        MethodConfig { method: Method::SellCSigma, schedule, c, sigma, t: 0.0, v: 0 }
+        MethodConfig { method: Method::SellCSigma, schedule, c, sigma, t: 0.0, v: 0, pf: 0, il: 0 }
     }
 
     pub fn sell_c_r(c: usize) -> Self {
-        MethodConfig { method: Method::SellCR, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0, v: 0 }
+        MethodConfig {
+            method: Method::SellCR,
+            schedule: Schedule::Dyn,
+            c,
+            sigma: 0,
+            t: 0.0,
+            v: 0,
+            pf: 0,
+            il: 0,
+        }
     }
 
     pub fn lav_1seg(c: usize) -> Self {
-        MethodConfig { method: Method::Lav1Seg, schedule: Schedule::Dyn, c, sigma: 0, t: 0.0, v: 0 }
+        MethodConfig {
+            method: Method::Lav1Seg,
+            schedule: Schedule::Dyn,
+            c,
+            sigma: 0,
+            t: 0.0,
+            v: 0,
+            pf: 0,
+            il: 0,
+        }
     }
 
     pub fn lav(c: usize, t: f64) -> Self {
-        MethodConfig { method: Method::Lav, schedule: Schedule::Dyn, c, sigma: 0, t, v: 0 }
+        MethodConfig {
+            method: Method::Lav,
+            schedule: Schedule::Dyn,
+            c,
+            sigma: 0,
+            t,
+            v: 0,
+            pf: 0,
+            il: 0,
+        }
     }
 
     /// Returns this config with an explicit SIMD width (see the `v`
     /// field docs for the encoding).
     pub fn with_simd(mut self, v: usize) -> Self {
         self.v = v;
+        self
+    }
+
+    /// Returns this config with an explicit prefetch distance (see the
+    /// `pf` field docs; 0 restores the auto policy).
+    pub fn with_prefetch(mut self, pf: usize) -> Self {
+        self.pf = pf;
+        self
+    }
+
+    /// Returns this config with an explicit interleave factor (see the
+    /// `il` field docs; 0 restores the auto policy, 1 disables).
+    pub fn with_interleave(mut self, il: usize) -> Self {
+        self.il = il;
         self
     }
 
@@ -170,9 +222,18 @@ impl MethodConfig {
     /// (`v != 0`), directly before the schedule suffix for scheduled
     /// methods (`CSR-v8-Dyn`, `SELLPACK-c8-v4-Dyn`) and at the end for
     /// Dyn-only methods (`Sell-c-R-c8-v4`) — so every pre-SIMD label
-    /// is unchanged and still parses ([`MethodConfig::parse`]).
+    /// is unchanged and still parses ([`MethodConfig::parse`]). The
+    /// MLP knobs follow the same rule in the same position: `-p{n}`
+    /// (prefetch distance) then `-i{n}` (interleave), each emitted
+    /// only when explicit, e.g. `CSR-v8-p4-i2-Dyn`.
     pub fn label(&self) -> String {
-        let vtag = if self.v == 0 { String::new() } else { format!("-v{}", self.v) };
+        let mut vtag = if self.v == 0 { String::new() } else { format!("-v{}", self.v) };
+        if self.pf != 0 {
+            vtag.push_str(&format!("-p{}", self.pf));
+        }
+        if self.il != 0 {
+            vtag.push_str(&format!("-i{}", self.il));
+        }
         match self.method {
             Method::Csr => format!("CSR{}-{}", vtag, self.schedule.name()),
             Method::SellPack => format!("SELLPACK-c{}{}-{}", self.c, vtag, self.schedule.name()),
@@ -199,62 +260,104 @@ impl MethodConfig {
             }
             Some((s[..end].parse().ok()?, &s[end..]))
         }
-        // Optional "v{n}-" prefix ahead of a schedule suffix.
-        fn v_infix(s: &str) -> (usize, &str) {
-            if let Some((v, tail)) = s.strip_prefix('v').and_then(num) {
-                if v != 0 {
-                    if let Some(tail) = tail.strip_prefix('-') {
-                        return (v, tail);
-                    }
-                }
+        // One optional "{ch}{n}-" tag with n != 0 (explicit tags never
+        // encode 0 — zero means "omit the tag").
+        fn tag(s: &str, ch: char) -> Option<(usize, &str)> {
+            let (n, tail) = s.strip_prefix(ch).and_then(num)?;
+            if n == 0 {
+                return None;
             }
-            (0, s)
+            Some((n, tail.strip_prefix('-')?))
         }
-        // Optional trailing "-v{n}" on Dyn-only labels.
-        fn v_suffix(s: &str) -> Option<usize> {
-            if s.is_empty() {
-                return Some(0);
+        // Optional "v{n}-p{n}-i{n}-" run ahead of a schedule suffix
+        // (each tag independently optional, in that order).
+        fn mlp_infix(s: &str) -> (usize, usize, usize, &str) {
+            let (mut v, mut pf, mut il, mut rest) = (0, 0, 0, s);
+            if let Some((n, tail)) = tag(rest, 'v') {
+                (v, rest) = (n, tail);
             }
-            let (v, tail) = s.strip_prefix("-v").and_then(num)?;
-            (tail.is_empty() && v != 0).then_some(v)
+            if let Some((n, tail)) = tag(rest, 'p') {
+                (pf, rest) = (n, tail);
+            }
+            if let Some((n, tail)) = tag(rest, 'i') {
+                (il, rest) = (n, tail);
+            }
+            (v, pf, il, rest)
         }
+        // Optional trailing "-v{n}[-p{n}][-i{n}]" on Dyn-only labels.
+        fn mlp_suffix(s: &str) -> Option<(usize, usize, usize)> {
+            fn stag<'a>(s: &'a str, pre: &str) -> Option<(usize, &'a str)> {
+                let (n, tail) = s.strip_prefix(pre).and_then(num)?;
+                (n != 0).then_some((n, tail))
+            }
+            let (mut v, mut pf, mut il, mut rest) = (0, 0, 0, s);
+            if let Some((n, tail)) = stag(rest, "-v") {
+                (v, rest) = (n, tail);
+            }
+            if let Some((n, tail)) = stag(rest, "-p") {
+                (pf, rest) = (n, tail);
+            }
+            if let Some((n, tail)) = stag(rest, "-i") {
+                (il, rest) = (n, tail);
+            }
+            rest.is_empty().then_some((v, pf, il))
+        }
+        let mlp =
+            |cfg: MethodConfig, v, pf, il| cfg.with_simd(v).with_prefetch(pf).with_interleave(il);
         if let Some(rest) = label.strip_prefix("CSR-") {
-            let (v, rest) = v_infix(rest);
-            return Some(MethodConfig::csr(Schedule::parse(rest)?).with_simd(v));
+            let (v, pf, il, rest) = mlp_infix(rest);
+            return Some(mlp(MethodConfig::csr(Schedule::parse(rest)?), v, pf, il));
         }
         if let Some(rest) = label.strip_prefix("SELLPACK-c") {
             let (c, rest) = num(rest)?;
-            let (v, rest) = v_infix(rest.strip_prefix('-')?);
-            return Some(MethodConfig::sellpack(c, Schedule::parse(rest)?).with_simd(v));
+            let (v, pf, il, rest) = mlp_infix(rest.strip_prefix('-')?);
+            return Some(mlp(MethodConfig::sellpack(c, Schedule::parse(rest)?), v, pf, il));
         }
         if let Some(rest) = label.strip_prefix("Sell-c-s-c") {
             let (c, rest) = num(rest)?;
             let (sigma, rest) = num(rest.strip_prefix("-s")?)?;
-            let (v, rest) = v_infix(rest.strip_prefix('-')?);
-            return Some(MethodConfig::sell_c_sigma(c, sigma, Schedule::parse(rest)?).with_simd(v));
+            let (v, pf, il, rest) = mlp_infix(rest.strip_prefix('-')?);
+            return Some(mlp(
+                MethodConfig::sell_c_sigma(c, sigma, Schedule::parse(rest)?),
+                v,
+                pf,
+                il,
+            ));
         }
         if let Some(rest) = label.strip_prefix("Sell-c-R-c") {
             let (c, rest) = num(rest)?;
-            return Some(MethodConfig::sell_c_r(c).with_simd(v_suffix(rest)?));
+            let (v, pf, il) = mlp_suffix(rest)?;
+            return Some(mlp(MethodConfig::sell_c_r(c), v, pf, il));
         }
         if let Some(rest) = label.strip_prefix("LAV-1Seg-c") {
             let (c, rest) = num(rest)?;
-            return Some(MethodConfig::lav_1seg(c).with_simd(v_suffix(rest)?));
+            let (v, pf, il) = mlp_suffix(rest)?;
+            return Some(mlp(MethodConfig::lav_1seg(c), v, pf, il));
         }
         if let Some(rest) = label.strip_prefix("LAV-c") {
             let (c, rest) = num(rest)?;
             let (t100, rest) = num(rest.strip_prefix("-T")?)?;
-            return Some(MethodConfig::lav(c, t100 as f64 / 100.0).with_simd(v_suffix(rest)?));
+            let (v, pf, il) = mlp_suffix(rest)?;
+            return Some(mlp(MethodConfig::lav(c, t100 as f64 / 100.0), v, pf, il));
         }
         None
     }
 
     /// Total order used for preprocessing-cost tie-breaking
     /// (Section 4.4): method rank first, then smaller parameters. The
-    /// SIMD width sorts last — it changes execution, not preprocessing,
-    /// so it only breaks ties among otherwise-identical configs.
-    pub fn preproc_key(&self) -> (u8, usize, usize, u64, usize) {
-        (self.method.preproc_rank(), self.c, self.sigma, (self.t * 1000.0) as u64, self.v)
+    /// SIMD width and MLP knobs sort last — they change execution, not
+    /// preprocessing, so they only break ties among otherwise-identical
+    /// configs.
+    pub fn preproc_key(&self) -> (u8, usize, usize, u64, usize, usize, usize) {
+        (
+            self.method.preproc_rank(),
+            self.c,
+            self.sigma,
+            (self.t * 1000.0) as u64,
+            self.v,
+            self.pf,
+            self.il,
+        )
     }
 
     /// Converts the matrix into this configuration's executable form.
@@ -262,9 +365,23 @@ impl MethodConfig {
     pub fn prepare<'m>(&self, m: &'m Csr) -> Prepared<'m> {
         let _span = wise_trace::span_pmu("kernel.convert");
         wise_trace::counter("kernel.convert.nnz", m.nnz() as u64);
-        let pack = |p: SrvPack| Prepared::Pack(Box::new(p.with_simd(self.v)), self.schedule);
+        // 0 = auto in the catalog encoding; the kernels take None for
+        // auto so an explicit `-p0` label (rejected by parse) never
+        // aliases "prefetch off".
+        let pf = if self.pf == 0 { None } else { Some(self.pf) };
+        let pack = |p: SrvPack| {
+            Prepared::Pack(
+                Box::new(p.with_simd(self.v).with_prefetch(pf).with_interleave(self.il)),
+                self.schedule,
+            )
+        };
         let prepared = match self.method {
-            Method::Csr => Prepared::Csr(CsrSpmv::new(m, self.schedule).with_simd(self.v)),
+            Method::Csr => Prepared::Csr(
+                CsrSpmv::new(m, self.schedule)
+                    .with_simd(self.v)
+                    .with_prefetch(pf)
+                    .with_interleave(self.il),
+            ),
             Method::SellPack => pack(SrvPack::sellpack(m, self.c)),
             Method::SellCSigma => pack(SrvPack::sell_c_sigma(m, self.c, self.sigma)),
             Method::SellCR => pack(SrvPack::sell_c_r(m, self.c)),
@@ -432,12 +549,50 @@ mod tests {
     }
 
     #[test]
+    fn mlp_tagged_labels_are_stable() {
+        let csr = MethodConfig::csr(Schedule::Dyn);
+        assert_eq!(
+            csr.with_simd(8).with_prefetch(4).with_interleave(2).label(),
+            "CSR-v8-p4-i2-Dyn"
+        );
+        assert_eq!(csr.with_prefetch(4).label(), "CSR-p4-Dyn");
+        assert_eq!(csr.with_interleave(2).label(), "CSR-i2-Dyn");
+        assert_eq!(
+            MethodConfig::sellpack(8, Schedule::StCont).with_prefetch(8).label(),
+            "SELLPACK-c8-p8-StCont"
+        );
+        assert_eq!(
+            MethodConfig::sell_c_sigma(8, 512, Schedule::Dyn)
+                .with_simd(8)
+                .with_interleave(2)
+                .label(),
+            "Sell-c-s-c8-s512-v8-i2-Dyn"
+        );
+        assert_eq!(MethodConfig::sell_c_r(8).with_prefetch(16).label(), "Sell-c-R-c8-p16");
+        assert_eq!(
+            MethodConfig::lav(8, 0.8).with_simd(8).with_prefetch(4).with_interleave(1).label(),
+            "LAV-c8-T80-v8-p4-i1"
+        );
+    }
+
+    #[test]
     fn parse_round_trips_every_catalog_label() {
         for cfg in MethodConfig::catalog() {
             assert_eq!(MethodConfig::parse(&cfg.label()), Some(cfg), "{}", cfg.label());
             for v in [1usize, 2, 4, 8] {
                 let wide = cfg.with_simd(v);
                 assert_eq!(MethodConfig::parse(&wide.label()), Some(wide), "{}", wide.label());
+            }
+            for (v, pf, il) in
+                [(0usize, 4usize, 0usize), (0, 0, 2), (8, 4, 2), (8, 0, 1), (4, 64, 2), (1, 1, 1)]
+            {
+                let knobbed = cfg.with_simd(v).with_prefetch(pf).with_interleave(il);
+                assert_eq!(
+                    MethodConfig::parse(&knobbed.label()),
+                    Some(knobbed),
+                    "{}",
+                    knobbed.label()
+                );
             }
         }
     }
@@ -458,6 +613,13 @@ mod tests {
             "LAV-c8",
             "LAV-c8-T80-v0",
             "csr-Dyn",
+            "CSR-p0-Dyn",
+            "CSR-i0-Dyn",
+            "CSR-i2-p4-Dyn",
+            "CSR-p4-v8-Dyn",
+            "Sell-c-R-c8-p0",
+            "LAV-c8-T80-i0",
+            "LAV-c8-T80-v8-p4-i2x",
         ] {
             assert_eq!(MethodConfig::parse(bad), None, "{bad:?} must not parse");
         }
@@ -476,9 +638,38 @@ mod tests {
     fn config_json_without_v_field_defaults_to_auto() {
         let cfg = MethodConfig::sell_c_sigma(8, 512, Schedule::Dyn);
         let json = serde_json::to_string(&cfg).unwrap();
-        let stripped = json.replace(",\"v\":0", "");
-        assert_ne!(stripped, json, "test must actually strip the field");
+        let stripped =
+            json.replace(",\"v\":0", "").replace(",\"pf\":0", "").replace(",\"il\":0", "");
+        assert_ne!(stripped, json, "test must actually strip the fields");
         let back: MethodConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn mlp_knobs_round_trip_json_and_never_change_results() {
+        let cfg = MethodConfig::csr(Schedule::Dyn).with_prefetch(4).with_interleave(2);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MethodConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        // The knobs are scheduling-only: prepared output is
+        // bit-identical to the untagged config's.
+        let m = RmatParams::MED_SKEW.generate(9, 8, 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f64> = (0..m.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut ws = SpmvWorkspace::default();
+        for base in
+            [MethodConfig::csr(Schedule::Dyn), MethodConfig::sell_c_sigma(8, 512, Schedule::Dyn)]
+        {
+            let mut want = vec![0.0; m.nrows()];
+            base.prepare(&m).spmv(&x, &mut want, 2, &mut ws);
+            for (pf, il) in [(4usize, 0usize), (0, 2), (8, 1), (2, 2)] {
+                let knobbed = base.with_prefetch(pf).with_interleave(il);
+                let mut got = vec![0.0; m.nrows()];
+                knobbed.prepare(&m).spmv(&x, &mut got, 2, &mut ws);
+                let wb: Vec<u64> = want.iter().map(|f| f.to_bits()).collect();
+                let gb: Vec<u64> = got.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(gb, wb, "{} vs {}", knobbed.label(), base.label());
+            }
+        }
     }
 }

@@ -1,20 +1,36 @@
 //! Runtime-dispatched SIMD kernels for the SpMV inner loops.
 //!
 //! The capability probe ([`detect_raw`]) classifies the host into one
-//! of four [`SimdIsa`] levels at startup; kernels then dispatch through
+//! of five [`SimdIsa`] levels at startup; kernels then dispatch through
 //! `#[target_feature]` functions so a single binary runs the widest
-//! safe path everywhere (scalar fallback on non-x86_64). Two kernel
-//! families are vectorized:
+//! safe path everywhere. Non-x86-64 hosts land on the [`SimdIsa::
+//! Portable`] level — a plain-Rust multi-accumulator path (optionally
+//! `std::simd` under `--cfg wise_portable_simd` on nightly) instead of
+//! the old scalar fallback. Two kernel families are vectorized:
 //!
-//! * **CSR rows** ([`csr_row`]): 4-/8-wide gather–multiply–accumulate
-//!   with a horizontal reduction and a scalar tail for the `nnz % lanes`
-//!   residue. The SSE2 level has no gather instruction, so it emulates
-//!   one with paired scalar loads (still wins on the FMA-free add/mul
-//!   pipe for long rows).
-//! * **SELL/SRVPack chunks** ([`sell_chunk`]): the column-major padded
-//!   chunk layout was built for this — the chunk's `c` rows map 1:1
-//!   onto vector lanes, every step is one gather + one FMA, and no
-//!   horizontal reduction is needed at all.
+//! * **CSR rows** ([`csr_row_pf`], [`csr_rows_pf`]): 4-/8-wide
+//!   gather–multiply–accumulate with a horizontal reduction. The
+//!   AVX-512 path replaces the scalar `nnz % 8` residue with a masked
+//!   gather (`_mm512_maskz_*`), and [`csr_rows_pf`] processes `R` rows
+//!   concurrently with `R` independent accumulator chains so gathers
+//!   from different rows overlap in the load ports.
+//! * **SELL/SRVPack chunks** ([`sell_chunk_pf`], [`sell_chunk_pair`]):
+//!   the column-major padded chunk layout maps the chunk's `c` rows
+//!   1:1 onto vector lanes. Chunk heights `c ∈ {2..=7}` now run a
+//!   masked AVX-512 path instead of falling back to scalar, and
+//!   [`sell_chunk_pair`] interleaves two chunks (two independent
+//!   accumulator chains) to hide gather latency — measured the most
+//!   robust MLP win on this host (never loses to the single chain).
+//!
+//! Gather-bound SpMV serializes on `vgatherdpd` latency, not FLOPs, so
+//! the kernels also accept a software **prefetch distance**: `D` steps
+//! ahead of the current one, the kernel issues `_mm_prefetch` on the
+//! x-lines named by `cols[k + D·lanes ..]`. The distance comes from
+//! [`prefetch_distance`]: the `WISE_PREFETCH` env override when set
+//! (0 = off, `auto`/unset = policy, malformed warns once + counter),
+//! else an auto policy that only engages when x cannot be
+//! cache-resident ([`PREFETCH_MIN_X_BYTES`]) — prefetch measurably
+//! *hurts* when x already lives in L2.
 //!
 //! Vectorization reassociates the per-row sums (pairwise/strided
 //! instead of strictly left-to-right), so bit-exactness with the scalar
@@ -22,13 +38,18 @@
 //! ulp-tolerance: [`assert_ulp_close`] with a per-kernel bound
 //! ([`SPMV_MAX_ULPS`], plus [`SPMV_ABS_FLOOR`] for catastrophic-
 //! cancellation results near zero, where relative ulp distance is
-//! meaningless). Setting `WISE_SIMD=0` (or preparing a config with
-//! explicit width 1) restores the original scalar path bit-exactly.
+//! meaningless). Prefetching and interleaving are pure *scheduling*
+//! changes: for a fixed level they never alter the sequence of
+//! operations feeding any accumulator, so results are bit-identical
+//! across every `(D, R)` setting. Setting `WISE_SIMD=0` (or preparing
+//! a config with explicit width 1) restores the original scalar path
+//! bit-exactly regardless of the other knobs.
 //!
-//! All gathers index with *signed 32-bit* lanes, so [`resolve`] falls
-//! back to scalar when the x vector could exceed `i32::MAX` entries.
+//! All gathers index with *signed 32-bit* lanes, so [`resolve`] — and,
+//! per kernel call, [`clamp_isa`] — fall back to scalar when the x
+//! vector could exceed `i32::MAX` entries.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// A SIMD capability level, ordered narrowest to widest.
@@ -40,6 +61,11 @@ use std::sync::OnceLock;
 pub enum SimdIsa {
     /// No explicit vectorization: the original scalar kernels.
     Scalar,
+    /// Plain-Rust multi-accumulator kernels for non-x86-64 hosts
+    /// (`std::simd` under `--cfg wise_portable_simd`). Ordered just
+    /// above scalar: it has no hardware gather, so any real x86 level
+    /// should win a `min` against it.
+    Portable,
     /// 2 × f64 lanes, no hardware gather (emulated with scalar loads).
     Sse2,
     /// 4 × f64 lanes, `vgatherdpd` + FMA.
@@ -49,10 +75,12 @@ pub enum SimdIsa {
 }
 
 impl SimdIsa {
-    /// f64 lanes per vector register at this level.
+    /// f64 lanes per vector register at this level. `Portable` reports
+    /// 2 — the conservative width the plain-Rust path is modeled at.
     pub const fn lanes(self) -> usize {
         match self {
             SimdIsa::Scalar => 1,
+            SimdIsa::Portable => 2,
             SimdIsa::Sse2 => 2,
             SimdIsa::Avx2 => 4,
             SimdIsa::Avx512 => 8,
@@ -63,6 +91,7 @@ impl SimdIsa {
     pub const fn name(self) -> &'static str {
         match self {
             SimdIsa::Scalar => "scalar",
+            SimdIsa::Portable => "portable2",
             SimdIsa::Sse2 => "sse2",
             SimdIsa::Avx2 => "avx2",
             SimdIsa::Avx512 => "avx512f",
@@ -70,7 +99,9 @@ impl SimdIsa {
     }
 
     /// The widest level whose lane count is `<= lanes` (0 clamps to
-    /// scalar). Inverse of [`SimdIsa::lanes`] for the valid widths.
+    /// scalar). Inverse of [`SimdIsa::lanes`] for the valid widths on
+    /// x86; never returns `Portable` (catalog widths name x86 levels,
+    /// and `min` against a portable [`active`] cap does the demotion).
     pub const fn widest_for_lanes(lanes: usize) -> SimdIsa {
         match lanes {
             0 | 1 => SimdIsa::Scalar,
@@ -86,6 +117,9 @@ impl SimdIsa {
             SimdIsa::Sse2 => 1,
             SimdIsa::Avx2 => 2,
             SimdIsa::Avx512 => 3,
+            // Appended after the original four so persisted values
+            // keep their meaning.
+            SimdIsa::Portable => 4,
         }
     }
 
@@ -94,13 +128,15 @@ impl SimdIsa {
             1 => SimdIsa::Sse2,
             2 => SimdIsa::Avx2,
             3 => SimdIsa::Avx512,
+            4 => SimdIsa::Portable,
             _ => SimdIsa::Scalar,
         }
     }
 }
 
 /// Probes the host CPU. On x86_64 this is `is_x86_feature_detected!`
-/// (cached by std after the first cpuid); elsewhere always `Scalar`.
+/// (cached by std after the first cpuid); elsewhere the portable
+/// multi-accumulator level.
 ///
 /// The `Avx512` level additionally requires AVX2 + FMA so higher levels
 /// strictly superset lower ones (see [`SimdIsa`]).
@@ -120,7 +156,7 @@ pub fn detect_raw() -> SimdIsa {
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        SimdIsa::Scalar
+        SimdIsa::Portable
     }
 }
 
@@ -146,7 +182,7 @@ impl std::fmt::Display for SimdEnvError {
             SimdEnvError::NotAWidth(s) => write!(
                 f,
                 "WISE_SIMD={s:?} is not a SIMD width (expected 0/off/scalar/1, 2/sse2, \
-                 4/avx2, or 8/avx512)"
+                 4/avx2, 8/avx512, or portable)"
             ),
         }
     }
@@ -154,7 +190,8 @@ impl std::fmt::Display for SimdEnvError {
 
 /// Parses a raw `WISE_SIMD` value into a capability *cap*. `Ok(None)`
 /// means unset (auto-detect); `0`, `off`, `scalar`, and `1` all force
-/// the scalar path.
+/// the scalar path; `portable` caps at the plain-Rust level (useful for
+/// exercising the non-x86 path on x86 hosts).
 pub fn parse_wise_simd(raw: Option<&str>) -> Result<Option<SimdIsa>, SimdEnvError> {
     let Some(raw) = raw else { return Ok(None) };
     let t = raw.trim();
@@ -163,6 +200,7 @@ pub fn parse_wise_simd(raw: Option<&str>) -> Result<Option<SimdIsa>, SimdEnvErro
     }
     match t.to_ascii_lowercase().as_str() {
         "0" | "off" | "scalar" | "1" => Ok(Some(SimdIsa::Scalar)),
+        "portable" | "portable2" => Ok(Some(SimdIsa::Portable)),
         "2" | "sse2" => Ok(Some(SimdIsa::Sse2)),
         "4" | "avx2" => Ok(Some(SimdIsa::Avx2)),
         "8" | "avx512" | "avx512f" => Ok(Some(SimdIsa::Avx512)),
@@ -212,6 +250,182 @@ pub fn set_active(isa: SimdIsa) {
     ACTIVE.store(isa.min(detected()).to_u8(), Ordering::Relaxed);
 }
 
+// ---------------------------------------------------------------------
+// Prefetch distance: WISE_PREFETCH override + auto policy
+// ---------------------------------------------------------------------
+
+/// Upper clamp on any prefetch distance (in vector steps). Distances
+/// beyond this are past every useful horizon — the lines would be
+/// evicted again before use.
+pub const MAX_PREFETCH: usize = 64;
+
+/// Auto-prefetch engages only when the x vector is bigger than this
+/// (bytes): below it x is L2/L3-resident and prefetch instructions are
+/// pure overhead (measured 0.92× at D=2 on an L2-resident probe);
+/// above it the gathers miss to DRAM and prefetch hides that latency
+/// (measured 1.21× at D=8 on a 32 MB x).
+pub const PREFETCH_MIN_X_BYTES: usize = 4 << 20;
+
+/// CSR row-interleave auto policy only engages when x fits well inside
+/// the private caches (bytes): interleaving R rows multiplies the
+/// live gather footprint by R, which thrashes once x spills.
+pub const INTERLEAVE_MAX_X_BYTES: usize = 256 << 10;
+
+/// CSR row-interleave auto policy requires at least this many nonzeros
+/// per row: shorter rows spend their time in the reduce/tail epilogue
+/// where interleaving cannot help.
+pub const INTERLEAVE_MIN_ROW_NNZ: usize = 32;
+
+/// Why a `WISE_PREFETCH` value was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefetchEnvError {
+    /// Set but empty (or only whitespace).
+    Empty,
+    /// Not a distance (non-negative integer) or `auto`.
+    NotADistance(String),
+}
+
+impl std::fmt::Display for PrefetchEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefetchEnvError::Empty => write!(f, "WISE_PREFETCH is set but empty"),
+            PrefetchEnvError::NotADistance(s) => write!(
+                f,
+                "WISE_PREFETCH={s:?} is not a prefetch distance (expected a step count, \
+                 0 = off, or `auto`)"
+            ),
+        }
+    }
+}
+
+/// Parses a raw `WISE_PREFETCH` value into a distance *override* in
+/// vector steps. `Ok(None)` means unset or `auto` (use the policy);
+/// `Ok(Some(0))` disables prefetch entirely; larger values clamp at
+/// [`MAX_PREFETCH`].
+pub fn parse_wise_prefetch(raw: Option<&str>) -> Result<Option<usize>, PrefetchEnvError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let t = raw.trim();
+    if t.is_empty() {
+        return Err(PrefetchEnvError::Empty);
+    }
+    if t.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    match t.parse::<usize>() {
+        Ok(d) => Ok(Some(d.min(MAX_PREFETCH))),
+        Err(_) => Err(PrefetchEnvError::NotADistance(t.to_string())),
+    }
+}
+
+const PF_UNINIT: usize = usize::MAX;
+const PF_AUTO: usize = usize::MAX - 1;
+static PREFETCH: AtomicUsize = AtomicUsize::new(PF_UNINIT);
+
+/// The process-wide `WISE_PREFETCH` override, resolved lazily from the
+/// environment and cached: `Some(d)` forces distance `d` everywhere
+/// (0 = off), `None` defers to [`auto_prefetch_distance`]. A malformed
+/// value falls back to auto *loudly*: a once-per-process stderr warning
+/// plus a `kernel.prefetch_env_invalid` trace counter.
+pub fn prefetch_override() -> Option<usize> {
+    match PREFETCH.load(Ordering::Relaxed) {
+        PF_UNINIT => {
+            let ov = prefetch_from_env();
+            PREFETCH.store(ov.unwrap_or(PF_AUTO), Ordering::Relaxed);
+            ov
+        }
+        PF_AUTO => None,
+        d => Some(d),
+    }
+}
+
+fn prefetch_from_env() -> Option<usize> {
+    match parse_wise_prefetch(std::env::var("WISE_PREFETCH").ok().as_deref()) {
+        Ok(ov) => ov,
+        Err(err) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("[wise-kernels] {err}; using the auto prefetch policy");
+            });
+            wise_trace::counter("kernel.prefetch_env_invalid", 1);
+            None
+        }
+    }
+}
+
+/// Overrides the prefetch distance (tests, experiments): `Some(d)`
+/// forces `d` (clamped at [`MAX_PREFETCH`]), `None` restores the auto
+/// policy.
+pub fn set_prefetch(d: Option<usize>) {
+    PREFETCH.store(d.map_or(PF_AUTO, |d| d.min(MAX_PREFETCH)), Ordering::Relaxed);
+}
+
+/// The auto prefetch policy: distance 8 for the gather levels when x
+/// cannot be cache-resident (see [`PREFETCH_MIN_X_BYTES`]), else 0.
+/// SSE2 has no hardware gather to overlap and the portable path's
+/// loads are already exposed to the out-of-order window, so both get 0.
+pub fn auto_prefetch_distance(isa: SimdIsa, ncols: usize) -> usize {
+    match isa {
+        SimdIsa::Avx512 | SimdIsa::Avx2
+            if ncols.saturating_mul(std::mem::size_of::<f64>()) > PREFETCH_MIN_X_BYTES =>
+        {
+            8
+        }
+        _ => 0,
+    }
+}
+
+/// The effective prefetch distance for a kernel at `isa` over an x of
+/// `ncols` entries: the `WISE_PREFETCH` override when set, else the
+/// auto policy. Scalar kernels never prefetch.
+pub fn prefetch_distance(isa: SimdIsa, ncols: usize) -> usize {
+    if isa.lanes() <= 1 {
+        return 0;
+    }
+    match prefetch_override() {
+        Some(d) => d,
+        None => auto_prefetch_distance(isa, ncols),
+    }
+}
+
+/// The auto CSR row-interleave factor: 2 on AVX-512 when x is small
+/// enough to stay cache-resident under the doubled gather footprint
+/// (see [`INTERLEAVE_MAX_X_BYTES`]; callers additionally gate on
+/// [`INTERLEAVE_MIN_ROW_NNZ`] per row block), else 1.
+pub fn auto_csr_interleave(isa: SimdIsa, ncols: usize) -> usize {
+    if isa == SimdIsa::Avx512
+        && ncols.saturating_mul(std::mem::size_of::<f64>()) <= INTERLEAVE_MAX_X_BYTES
+    {
+        2
+    } else {
+        1
+    }
+}
+
+/// The auto SELL chunk-interleave factor: pair chunks on the AVX-512
+/// c=8 path (two independent accumulator chains — measured the one MLP
+/// transform that never loses on this host), else 1.
+pub fn auto_sell_interleave(isa: SimdIsa, c: usize) -> usize {
+    if isa == SimdIsa::Avx512 && c == 8 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Per-kernel-call ISA clamp: the requested level capped at
+/// [`detected`], forced to scalar when column indices would not fit
+/// the signed 32-bit gather lanes for this x. [`resolve`] applies the
+/// same rule at catalog-resolution time, but the kernel entry points
+/// re-check against the *actual* x so a config resolved against one
+/// matrix can never mis-gather on a wider one.
+pub fn clamp_isa(isa: SimdIsa, xlen: usize) -> SimdIsa {
+    if xlen > i32::MAX as usize {
+        SimdIsa::Scalar
+    } else {
+        isa.min(detected())
+    }
+}
+
 /// Resolves a catalog SIMD width `v` against the active level for a
 /// matrix with `ncols` columns: `0` = auto (widest active), `1` =
 /// forced scalar, otherwise the widest level with at most `v` lanes,
@@ -233,37 +447,87 @@ pub fn resolve(v: usize, ncols: usize) -> SimdIsa {
 // Kernels
 // ---------------------------------------------------------------------
 
-/// One CSR row: `dot(vals, x[cols])` at the given level.
+/// One CSR row: `dot(vals, x[cols])` at the given level, no prefetch.
+/// Equivalent to [`csr_row_pf`] with distance 0 — kept for callers
+/// that predate the MLP knobs.
+///
+/// # Safety
+///
+/// See [`csr_row_pf`].
+pub unsafe fn csr_row(isa: SimdIsa, vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    csr_row_pf(isa, vals, cols, x, 0)
+}
+
+/// One CSR row: `dot(vals, x[cols])` at the given level, issuing
+/// software prefetches `pf` vector steps ahead (0 = none). The
+/// prefetch distance never changes the result — only the schedule.
 ///
 /// # Safety
 ///
 /// `vals.len() == cols.len()` and every `cols[k] as usize <
-/// x.len()` — the `Csr::try_new` invariants. The level is clamped to
-/// [`detected`] internally, so an over-wide `isa` cannot execute
-/// unsupported instructions.
-pub unsafe fn csr_row(isa: SimdIsa, vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+/// x.len()` — the `Csr::try_new` invariants. The level is clamped per
+/// call via [`clamp_isa`], so an over-wide `isa` cannot execute
+/// unsupported instructions and oversized x falls back to scalar.
+pub unsafe fn csr_row_pf(isa: SimdIsa, vals: &[f64], cols: &[u32], x: &[f64], pf: usize) -> f64 {
     debug_assert_eq!(vals.len(), cols.len());
+    let isa = clamp_isa(isa, x.len());
     #[cfg(target_arch = "x86_64")]
-    match isa.min(detected()) {
-        SimdIsa::Avx512 => return x86::csr_row_avx512(vals, cols, x),
-        SimdIsa::Avx2 => return x86::csr_row_avx2(vals, cols, x),
+    match isa {
+        SimdIsa::Avx512 => return x86::csr_row_avx512(vals, cols, x, pf),
+        SimdIsa::Avx2 => return x86::csr_row_avx2(vals, cols, x, pf),
         SimdIsa::Sse2 => return x86::csr_row_sse2(vals, cols, x),
+        SimdIsa::Portable => return portable::csr_row(vals, cols, x),
         SimdIsa::Scalar => {}
     }
-    let _ = isa;
+    #[cfg(not(target_arch = "x86_64"))]
+    if isa > SimdIsa::Scalar {
+        return portable::csr_row(vals, cols, x);
+    }
+    let _ = pf;
     csr_row_scalar(vals, cols, x)
 }
 
-/// One SELL/SRVPack chunk: accumulates `width` column-major steps of
-/// `c` lanes into `acc` (the chunk's per-row partial sums). Vector
-/// paths exist for `c ∈ {4, 8}`; other widths run the scalar loop.
+/// `R` CSR rows concurrently: row `i` spans `vals[ranges[i].0 ..
+/// ranges[i].1]` (and the same span of `cols`), and each row gets its
+/// own accumulator chain so the gathers of all `R` rows stay in flight
+/// together. On AVX-512 the rows advance in lockstep over the shortest
+/// row's full steps, then each finishes independently (masked tail for
+/// the residue); every other level degrades to `R` sequential
+/// [`csr_row_pf`] calls. Either way the per-row operation sequence is
+/// identical to the `R = 1` path, so results are **bit-identical** to
+/// calling [`csr_row_pf`] per row — interleaving is scheduling only.
 ///
 /// # Safety
 ///
-/// `vals.len() == cols.len()`, both a multiple of `c`, `acc.len() ==
-/// c`, and every `cols[k] as usize < x.len()` (padding entries store
-/// column 0 with value 0.0 — the `SrvPack` build invariant). The level
-/// is clamped to [`detected`] internally.
+/// Every range must satisfy `r.0 <= r.1 <= vals.len() == cols.len()`,
+/// and every referenced `cols[k] as usize < x.len()`.
+pub unsafe fn csr_rows_pf<const R: usize>(
+    isa: SimdIsa,
+    ranges: &[(usize, usize); R],
+    vals: &[f64],
+    cols: &[u32],
+    x: &[f64],
+    pf: usize,
+) -> [f64; R] {
+    debug_assert_eq!(vals.len(), cols.len());
+    let isa = clamp_isa(isa, x.len());
+    #[cfg(target_arch = "x86_64")]
+    if isa == SimdIsa::Avx512 {
+        return x86::csr_rows_avx512::<R>(ranges, vals, cols, x, pf);
+    }
+    let mut out = [0.0f64; R];
+    for i in 0..R {
+        let (k0, k1) = ranges[i];
+        out[i] = csr_row_pf(isa, &vals[k0..k1], &cols[k0..k1], x, pf);
+    }
+    out
+}
+
+/// One SELL/SRVPack chunk, no prefetch: see [`sell_chunk_pf`].
+///
+/// # Safety
+///
+/// See [`sell_chunk_pf`].
 pub unsafe fn sell_chunk(
     isa: SimdIsa,
     vals: &[f64],
@@ -272,19 +536,86 @@ pub unsafe fn sell_chunk(
     x: &[f64],
     acc: &mut [f64],
 ) {
+    sell_chunk_pf(isa, vals, cols, c, x, acc, 0);
+}
+
+/// One SELL/SRVPack chunk: accumulates `width` column-major steps of
+/// `c` lanes into `acc` (the chunk's per-row partial sums), issuing
+/// software prefetches `pf` steps ahead (0 = none). Vector paths:
+/// `c ∈ {4, 8}` natively; `c ∈ {2..=7}` via the AVX-512 masked-lane
+/// kernel (ulp-close, not bit-exact, to scalar: masked FMA fuses the
+/// multiply-add the scalar oracle rounds twice); anything else runs
+/// the scalar loop.
+///
+/// # Safety
+///
+/// `vals.len() == cols.len()`, both a multiple of `c`, `acc.len() ==
+/// c`, and every `cols[k] as usize < x.len()` (padding entries store
+/// column 0 with value 0.0 — the `SrvPack` build invariant). The level
+/// is clamped per call via [`clamp_isa`].
+pub unsafe fn sell_chunk_pf(
+    isa: SimdIsa,
+    vals: &[f64],
+    cols: &[u32],
+    c: usize,
+    x: &[f64],
+    acc: &mut [f64],
+    pf: usize,
+) {
     debug_assert_eq!(vals.len(), cols.len());
     debug_assert!(vals.len() % c.max(1) == 0 && acc.len() == c);
+    let isa = clamp_isa(isa, x.len());
     #[cfg(target_arch = "x86_64")]
-    match (isa.min(detected()), c) {
-        (SimdIsa::Avx512, 8) => return x86::sell_chunk_avx512(vals, cols, x, acc),
+    match (isa, c) {
+        (SimdIsa::Avx512, 8) => return x86::sell_chunk_avx512(vals, cols, x, acc, pf),
         (SimdIsa::Avx512 | SimdIsa::Avx2, 4 | 8) => {
             return x86::sell_chunk_avx2(vals, cols, c, x, acc)
         }
+        (SimdIsa::Avx512, 2..=7) => return x86::sell_chunk_avx512_masked(vals, cols, c, x, acc),
         (SimdIsa::Sse2, _) if c % 2 == 0 => return x86::sell_chunk_sse2(vals, cols, c, x, acc),
+        (SimdIsa::Portable, _) if c >= 2 => return portable::sell_chunk(vals, cols, c, x, acc),
         _ => {}
     }
-    let _ = isa;
+    #[cfg(not(target_arch = "x86_64"))]
+    if isa > SimdIsa::Scalar && c >= 2 {
+        return portable::sell_chunk(vals, cols, c, x, acc);
+    }
+    let _ = pf;
     sell_chunk_scalar(vals, cols, c, x, acc);
+}
+
+/// Two SELL/SRVPack chunks interleaved: the AVX-512 c=8 path runs both
+/// chunks' steps in lockstep with two independent accumulator chains
+/// (the measured-robust MLP transform), every other level runs the two
+/// chunks sequentially. Each chunk's accumulator sees exactly the
+/// operation sequence of a solo [`sell_chunk_pf`] call, so results are
+/// **bit-identical** to two sequential calls.
+///
+/// # Safety
+///
+/// Both chunk triples must satisfy the [`sell_chunk_pf`] invariants
+/// for the same `c` and `x`.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn sell_chunk_pair(
+    isa: SimdIsa,
+    vals0: &[f64],
+    cols0: &[u32],
+    acc0: &mut [f64],
+    vals1: &[f64],
+    cols1: &[u32],
+    acc1: &mut [f64],
+    c: usize,
+    x: &[f64],
+    pf: usize,
+) {
+    let clamped = clamp_isa(isa, x.len());
+    #[cfg(target_arch = "x86_64")]
+    if clamped == SimdIsa::Avx512 && c == 8 {
+        return x86::sell_chunk_pair_avx512(vals0, cols0, vals1, cols1, x, acc0, acc1, pf);
+    }
+    let _ = clamped;
+    sell_chunk_pf(isa, vals0, cols0, c, x, acc0, pf);
+    sell_chunk_pf(isa, vals1, cols1, c, x, acc1, pf);
 }
 
 /// Scalar CSR row oracle (strict left-to-right accumulation), shared by
@@ -310,11 +641,88 @@ pub fn sell_chunk_scalar(vals: &[f64], cols: &[u32], c: usize, x: &[f64], acc: &
     }
 }
 
+mod portable {
+    //! The [`SimdIsa::Portable`](super::SimdIsa::Portable) kernel
+    //! bodies: plain Rust written so the per-lane work is independent
+    //! (multi-accumulator CSR rows, column-major SELL steps) and the
+    //! compiler's autovectorizer — or the `std::simd` variant under
+    //! `--cfg wise_portable_simd` on nightly — can keep several loads
+    //! in flight on any target, aarch64 included. Compiled on every
+    //! arch so the level stays testable from x86 CI.
+
+    /// Four independent accumulator chains + pairwise combine. The
+    /// reassociation stays inside the ulp contract; the tail is strict
+    /// left-to-right like the scalar oracle.
+    #[cfg(not(wise_portable_simd))]
+    pub fn csr_row(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+        let n = vals.len();
+        let mut a = [0.0f64; 4];
+        let mut k = 0usize;
+        while k + 4 <= n {
+            for l in 0..4 {
+                a[l] += vals[k + l] * x[cols[k + l] as usize];
+            }
+            k += 4;
+        }
+        let mut sum = (a[0] + a[1]) + (a[2] + a[3]);
+        while k < n {
+            sum += vals[k] * x[cols[k] as usize];
+            k += 1;
+        }
+        sum
+    }
+
+    /// `std::simd` variant of [`csr_row`]: 4-lane gather + multiply
+    /// into one vector accumulator, reduced pairwise like the plain
+    /// path so both variants stay within the same ulp envelope.
+    #[cfg(wise_portable_simd)]
+    pub fn csr_row(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+        use std::simd::prelude::*;
+        let n = vals.len();
+        let mut acc = Simd::<f64, 4>::splat(0.0);
+        let mut k = 0usize;
+        while k + 4 <= n {
+            let idx = Simd::<usize, 4>::from_array([
+                cols[k] as usize,
+                cols[k + 1] as usize,
+                cols[k + 2] as usize,
+                cols[k + 3] as usize,
+            ]);
+            let xv = Simd::<f64, 4>::gather_or_default(x, idx);
+            let vv = Simd::<f64, 4>::from_slice(&vals[k..k + 4]);
+            acc += vv * xv;
+            k += 4;
+        }
+        let a = acc.to_array();
+        let mut sum = (a[0] + a[1]) + (a[2] + a[3]);
+        while k < n {
+            sum += vals[k] * x[cols[k] as usize];
+            k += 1;
+        }
+        sum
+    }
+
+    /// Portable SELL chunk: the column-major layout already presents
+    /// `c` independent per-lane accumulations per step, which is
+    /// exactly the shape autovectorizers handle; the loop is kept in
+    /// scalar-oracle order so this path is **bit-exact** with
+    /// [`sell_chunk_scalar`](super::sell_chunk_scalar).
+    pub fn sell_chunk(vals: &[f64], cols: &[u32], c: usize, x: &[f64], acc: &mut [f64]) {
+        for (vrow, crow) in vals.chunks_exact(c).zip(cols.chunks_exact(c)) {
+            for l in 0..c {
+                acc[l] += vrow[l] * x[crow[l] as usize];
+            }
+        }
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     //! `#[target_feature]` kernel bodies. Callers must guarantee the
     //! feature is present (the public dispatchers clamp to `detected`)
-    //! and the slice/index invariants documented on them.
+    //! and the slice/index invariants documented on them. All prefetch
+    //! distances (`pf`) are in vector steps and only ever change the
+    //! instruction schedule, never the arithmetic.
     use std::arch::x86_64::*;
 
     #[target_feature(enable = "sse2")]
@@ -341,11 +749,19 @@ mod x86 {
     }
 
     #[target_feature(enable = "avx2,fma")]
-    pub unsafe fn csr_row_avx2(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    pub unsafe fn csr_row_avx2(vals: &[f64], cols: &[u32], x: &[f64], pf: usize) -> f64 {
         let n = vals.len();
+        let dist = pf * 4;
         let mut acc = _mm256_setzero_pd();
         let mut k = 0usize;
         while k + 4 <= n {
+            if dist > 0 && k + dist + 4 <= n {
+                for j in 0..4 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*cols.get_unchecked(k + dist + j) as usize) as *const i8,
+                    );
+                }
+            }
             let idx = _mm_loadu_si128(cols.as_ptr().add(k) as *const __m128i);
             let xv = _mm256_i32gather_pd::<8>(x.as_ptr(), idx);
             let vv = _mm256_loadu_pd(vals.as_ptr().add(k));
@@ -364,23 +780,80 @@ mod x86 {
     }
 
     #[target_feature(enable = "avx512f")]
-    pub unsafe fn csr_row_avx512(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
-        let n = vals.len();
-        let mut acc = _mm512_setzero_pd();
-        let mut k = 0usize;
-        while k + 8 <= n {
-            let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
-            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
-            let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
-            acc = _mm512_fmadd_pd(vv, xv, acc);
-            k += 8;
+    pub unsafe fn csr_row_avx512(vals: &[f64], cols: &[u32], x: &[f64], pf: usize) -> f64 {
+        csr_rows_avx512::<1>(&[(0, vals.len())], vals, cols, x, pf)[0]
+    }
+
+    /// `R` CSR rows with `R` independent zmm accumulator chains. The
+    /// rows advance in lockstep over the shortest row's full 8-wide
+    /// steps (keeping `R` gathers in flight), then each row finishes
+    /// its remaining full steps and a masked-gather residue alone.
+    /// Each chain sees its row's steps in the exact order the `R = 1`
+    /// kernel would issue them, so the results are bit-identical to
+    /// `R` solo calls.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn csr_rows_avx512<const R: usize>(
+        ranges: &[(usize, usize); R],
+        vals: &[f64],
+        cols: &[u32],
+        x: &[f64],
+        pf: usize,
+    ) -> [f64; R] {
+        let dist = pf * 8;
+        let mut acc = [_mm512_setzero_pd(); R];
+        let steps = ranges.iter().map(|r| (r.1 - r.0) / 8).min().unwrap_or(0);
+        for s in 0..steps {
+            for i in 0..R {
+                let k = ranges[i].0 + s * 8;
+                if dist > 0 && k + dist + 8 <= ranges[i].1 {
+                    for j in 0..8 {
+                        _mm_prefetch::<_MM_HINT_T0>(
+                            x.as_ptr().add(*cols.get_unchecked(k + dist + j) as usize) as *const i8,
+                        );
+                    }
+                }
+                let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+                let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+                let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+                acc[i] = _mm512_fmadd_pd(vv, xv, acc[i]);
+            }
         }
-        let mut sum = _mm512_reduce_add_pd(acc);
-        while k < n {
-            sum += *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize);
-            k += 1;
+        let mut out = [0.0f64; R];
+        for i in 0..R {
+            let (k0, k1) = ranges[i];
+            let mut k = k0 + steps * 8;
+            let mut a = acc[i];
+            while k + 8 <= k1 {
+                if dist > 0 && k + dist + 8 <= k1 {
+                    for j in 0..8 {
+                        _mm_prefetch::<_MM_HINT_T0>(
+                            x.as_ptr().add(*cols.get_unchecked(k + dist + j) as usize) as *const i8,
+                        );
+                    }
+                }
+                let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+                let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+                let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+                a = _mm512_fmadd_pd(vv, xv, a);
+                k += 8;
+            }
+            let rem = k1 - k;
+            if rem > 0 {
+                // Masked residue: stage the short index run in a stack
+                // buffer (a full 256-bit load could run off `cols`),
+                // then gather/load only the live lanes. Dead lanes
+                // contribute 0·0 to the FMA — no NaN contamination.
+                let m: __mmask8 = (1u8 << rem) - 1;
+                let mut buf = [0u32; 8];
+                buf[..rem].copy_from_slice(&cols[k..k1]);
+                let idx = _mm256_loadu_si256(buf.as_ptr() as *const __m256i);
+                let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+                let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(k));
+                a = _mm512_fmadd_pd(vv, xv, a);
+            }
+            out[i] = _mm512_reduce_add_pd(a);
         }
-        sum
+        out
     }
 
     /// AVX2 SELL chunk, `c ∈ {4, 8}`: one (c=4) or two (c=8) 4-lane
@@ -426,20 +899,161 @@ mod x86 {
     }
 
     /// AVX-512 SELL chunk, `c == 8`: the chunk's 8 rows map 1:1 onto
-    /// the zmm lanes; no horizontal reduction anywhere.
+    /// the zmm lanes; no horizontal reduction anywhere. `pf` steps of
+    /// lookahead prefetch on the gathered x-lines.
     #[target_feature(enable = "avx512f")]
-    pub unsafe fn sell_chunk_avx512(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+    pub unsafe fn sell_chunk_avx512(
+        vals: &[f64],
+        cols: &[u32],
+        x: &[f64],
+        acc: &mut [f64],
+        pf: usize,
+    ) {
         debug_assert!(acc.len() == 8);
         let steps = vals.len() / 8;
+        let dist = pf * 8;
         let mut a = _mm512_loadu_pd(acc.as_ptr());
         for s in 0..steps {
             let base = s * 8;
+            if dist > 0 && base + dist + 8 <= vals.len() {
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*cols.get_unchecked(base + dist + j) as usize) as *const i8,
+                    );
+                }
+            }
             let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
             let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
             let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
             a = _mm512_fmadd_pd(vv, xv, a);
         }
         _mm512_storeu_pd(acc.as_mut_ptr(), a);
+    }
+
+    /// AVX-512 SELL chunk for the non-native heights `c ∈ {2..=7}`:
+    /// the chunk's `c` rows occupy the low `c` zmm lanes under a
+    /// constant mask; dead lanes load/gather zeros and accumulate
+    /// 0·0 + 0. One masked gather + one FMA per step — the FMA fuses
+    /// the multiply-add the scalar oracle rounds twice, so this path
+    /// is ulp-close (not bit-exact) to scalar.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sell_chunk_avx512_masked(
+        vals: &[f64],
+        cols: &[u32],
+        c: usize,
+        x: &[f64],
+        acc: &mut [f64],
+    ) {
+        debug_assert!((2..=7).contains(&c) && acc.len() == c);
+        let steps = vals.len() / c;
+        let m: __mmask8 = ((1u16 << c) - 1) as u8;
+        let mut a = _mm512_maskz_loadu_pd(m, acc.as_ptr());
+        let mut s = 0usize;
+        // Fast loop: a full 256-bit index load reads 8 u32 starting at
+        // the step base, which is only in-bounds while 8 columns
+        // remain (for c < 8 the load spills into the next steps'
+        // columns — harmless, the gather mask ignores those lanes).
+        while s < steps && s * c + 8 <= cols.len() {
+            let base = s * c;
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+            let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+            let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(base));
+            a = _mm512_fmadd_pd(vv, xv, a);
+            s += 1;
+        }
+        // Trailing steps: stage the c live indices in a stack buffer.
+        while s < steps {
+            let base = s * c;
+            let mut buf = [0u32; 8];
+            buf[..c].copy_from_slice(&cols[base..base + c]);
+            let idx = _mm256_loadu_si256(buf.as_ptr() as *const __m256i);
+            let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+            let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(base));
+            a = _mm512_fmadd_pd(vv, xv, a);
+            s += 1;
+        }
+        let mut t = [0.0f64; 8];
+        _mm512_storeu_pd(t.as_mut_ptr(), a);
+        acc[..c].copy_from_slice(&t[..c]);
+    }
+
+    /// Two AVX-512 c=8 SELL chunks in lockstep with two independent
+    /// accumulator chains, so the second chunk's gather issues while
+    /// the first's is still in flight. Chunks may have different
+    /// widths: the joint loop covers the shorter one, then the longer
+    /// chunk finishes alone. Per-chain operation order matches the
+    /// solo kernel exactly (bit-identical results).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sell_chunk_pair_avx512(
+        v0: &[f64],
+        c0: &[u32],
+        v1: &[f64],
+        c1: &[u32],
+        x: &[f64],
+        a0: &mut [f64],
+        a1: &mut [f64],
+        pf: usize,
+    ) {
+        debug_assert!(a0.len() == 8 && a1.len() == 8);
+        let dist = pf * 8;
+        let s0 = v0.len() / 8;
+        let s1 = v1.len() / 8;
+        let joint = s0.min(s1);
+        let mut acc0 = _mm512_loadu_pd(a0.as_ptr());
+        let mut acc1 = _mm512_loadu_pd(a1.as_ptr());
+        for s in 0..joint {
+            let b = s * 8;
+            if dist > 0 {
+                if b + dist + 8 <= v0.len() {
+                    for j in 0..8 {
+                        _mm_prefetch::<_MM_HINT_T0>(
+                            x.as_ptr().add(*c0.get_unchecked(b + dist + j) as usize) as *const i8,
+                        );
+                    }
+                }
+                if b + dist + 8 <= v1.len() {
+                    for j in 0..8 {
+                        _mm_prefetch::<_MM_HINT_T0>(
+                            x.as_ptr().add(*c1.get_unchecked(b + dist + j) as usize) as *const i8,
+                        );
+                    }
+                }
+            }
+            let i0 = _mm256_loadu_si256(c0.as_ptr().add(b) as *const __m256i);
+            let i1 = _mm256_loadu_si256(c1.as_ptr().add(b) as *const __m256i);
+            let x0 = _mm512_i32gather_pd::<8>(i0, x.as_ptr());
+            let x1 = _mm512_i32gather_pd::<8>(i1, x.as_ptr());
+            acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(v0.as_ptr().add(b)), x0, acc0);
+            acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(v1.as_ptr().add(b)), x1, acc1);
+        }
+        for s in joint..s0 {
+            let b = s * 8;
+            if dist > 0 && b + dist + 8 <= v0.len() {
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*c0.get_unchecked(b + dist + j) as usize) as *const i8,
+                    );
+                }
+            }
+            let i0 = _mm256_loadu_si256(c0.as_ptr().add(b) as *const __m256i);
+            let x0 = _mm512_i32gather_pd::<8>(i0, x.as_ptr());
+            acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(v0.as_ptr().add(b)), x0, acc0);
+        }
+        for s in joint..s1 {
+            let b = s * 8;
+            if dist > 0 && b + dist + 8 <= v1.len() {
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*c1.get_unchecked(b + dist + j) as usize) as *const i8,
+                    );
+                }
+            }
+            let i1 = _mm256_loadu_si256(c1.as_ptr().add(b) as *const __m256i);
+            let x1 = _mm512_i32gather_pd::<8>(i1, x.as_ptr());
+            acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(v1.as_ptr().add(b)), x1, acc1);
+        }
+        _mm512_storeu_pd(a0.as_mut_ptr(), acc0);
+        _mm512_storeu_pd(a1.as_mut_ptr(), acc1);
     }
 
     /// SSE2 SELL chunk, even `c`: 2-lane blocks with emulated gathers.
@@ -548,24 +1162,33 @@ mod tests {
         (vals, cols, x)
     }
 
-    /// Levels actually runnable on this host (always includes Scalar).
+    const ALL: [SimdIsa; 5] =
+        [SimdIsa::Scalar, SimdIsa::Portable, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512];
+
+    /// Levels actually runnable on this host (always includes Scalar;
+    /// Portable is compiled everywhere so it is always runnable too).
     fn runnable() -> Vec<SimdIsa> {
-        [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512]
-            .into_iter()
-            .filter(|&isa| isa <= detected())
-            .collect()
+        ALL.into_iter().filter(|&isa| isa == SimdIsa::Portable || isa <= detected()).collect()
     }
 
     #[test]
     fn lanes_names_and_ordering() {
-        assert!(SimdIsa::Scalar < SimdIsa::Sse2 && SimdIsa::Sse2 < SimdIsa::Avx2);
-        assert!(SimdIsa::Avx2 < SimdIsa::Avx512);
-        for isa in [SimdIsa::Scalar, SimdIsa::Sse2, SimdIsa::Avx2, SimdIsa::Avx512] {
-            assert_eq!(SimdIsa::widest_for_lanes(isa.lanes()), isa);
+        assert!(SimdIsa::Scalar < SimdIsa::Portable && SimdIsa::Portable < SimdIsa::Sse2);
+        assert!(SimdIsa::Sse2 < SimdIsa::Avx2 && SimdIsa::Avx2 < SimdIsa::Avx512);
+        for isa in ALL {
             assert_eq!(SimdIsa::from_u8(isa.to_u8()), isa);
+            if isa != SimdIsa::Portable {
+                // widest_for_lanes inverts lanes() for the x86 levels;
+                // Portable shares the 2-lane slot with Sse2 and is
+                // deliberately never produced from a width.
+                assert_eq!(SimdIsa::widest_for_lanes(isa.lanes()), isa);
+            }
         }
+        assert_eq!(SimdIsa::widest_for_lanes(SimdIsa::Portable.lanes()), SimdIsa::Sse2);
         assert_eq!(SimdIsa::Avx512.lanes(), 8);
+        assert_eq!(SimdIsa::Portable.lanes(), 2);
         assert_eq!(SimdIsa::Avx2.name(), "avx2");
+        assert_eq!(SimdIsa::Portable.name(), "portable2");
         assert_eq!(SimdIsa::widest_for_lanes(0), SimdIsa::Scalar);
         assert_eq!(SimdIsa::widest_for_lanes(6), SimdIsa::Avx2);
         assert_eq!(SimdIsa::widest_for_lanes(64), SimdIsa::Avx512);
@@ -579,6 +1202,8 @@ mod tests {
             ("off", SimdIsa::Scalar),
             ("Scalar", SimdIsa::Scalar),
             ("1", SimdIsa::Scalar),
+            ("portable", SimdIsa::Portable),
+            ("Portable2", SimdIsa::Portable),
             ("2", SimdIsa::Sse2),
             ("sse2", SimdIsa::Sse2),
             ("4", SimdIsa::Avx2),
@@ -603,6 +1228,65 @@ mod tests {
     }
 
     #[test]
+    fn parse_prefetch_accepts_distances_and_auto() {
+        assert_eq!(parse_wise_prefetch(None), Ok(None));
+        assert_eq!(parse_wise_prefetch(Some("auto")), Ok(None));
+        assert_eq!(parse_wise_prefetch(Some(" AUTO ")), Ok(None));
+        assert_eq!(parse_wise_prefetch(Some("0")), Ok(Some(0)));
+        assert_eq!(parse_wise_prefetch(Some("8")), Ok(Some(8)));
+        assert_eq!(parse_wise_prefetch(Some(" 12 ")), Ok(Some(12)));
+        // Distances clamp at MAX_PREFETCH instead of erroring.
+        assert_eq!(parse_wise_prefetch(Some("10000")), Ok(Some(MAX_PREFETCH)));
+    }
+
+    #[test]
+    fn parse_prefetch_rejects_garbage_loudly() {
+        assert_eq!(parse_wise_prefetch(Some("")), Err(PrefetchEnvError::Empty));
+        assert_eq!(parse_wise_prefetch(Some("  ")), Err(PrefetchEnvError::Empty));
+        for bad in ["-1", "2.5", "far", "8 steps"] {
+            let got = parse_wise_prefetch(Some(bad));
+            assert_eq!(
+                got,
+                Err(PrefetchEnvError::NotADistance(bad.trim().to_string())),
+                "input {bad:?}"
+            );
+            assert!(got.unwrap_err().to_string().contains("WISE_PREFETCH"));
+        }
+    }
+
+    #[test]
+    fn prefetch_policy_and_override() {
+        // Pure policy first (no global state).
+        let small = (INTERLEAVE_MAX_X_BYTES / 8) / 2;
+        let big = PREFETCH_MIN_X_BYTES / 8 + 1;
+        assert_eq!(auto_prefetch_distance(SimdIsa::Avx512, small), 0);
+        assert_eq!(auto_prefetch_distance(SimdIsa::Avx512, big), 8);
+        assert_eq!(auto_prefetch_distance(SimdIsa::Avx2, big), 8);
+        assert_eq!(auto_prefetch_distance(SimdIsa::Sse2, big), 0);
+        assert_eq!(auto_prefetch_distance(SimdIsa::Portable, big), 0);
+        assert_eq!(auto_prefetch_distance(SimdIsa::Scalar, big), 0);
+        assert_eq!(auto_csr_interleave(SimdIsa::Avx512, small), 2);
+        assert_eq!(auto_csr_interleave(SimdIsa::Avx512, big), 1);
+        assert_eq!(auto_csr_interleave(SimdIsa::Avx2, small), 1);
+        assert_eq!(auto_sell_interleave(SimdIsa::Avx512, 8), 2);
+        assert_eq!(auto_sell_interleave(SimdIsa::Avx512, 4), 1);
+        assert_eq!(auto_sell_interleave(SimdIsa::Avx2, 8), 1);
+        // Override round-trip (single test fn: the atomic is global).
+        let prior = prefetch_override();
+        set_prefetch(Some(3));
+        assert_eq!(prefetch_override(), Some(3));
+        assert_eq!(prefetch_distance(SimdIsa::Avx512, small), 3);
+        assert_eq!(prefetch_distance(SimdIsa::Scalar, big), 0);
+        set_prefetch(Some(MAX_PREFETCH + 10));
+        assert_eq!(prefetch_override(), Some(MAX_PREFETCH));
+        set_prefetch(None);
+        assert_eq!(prefetch_override(), None);
+        assert_eq!(prefetch_distance(SimdIsa::Avx512, big), 8);
+        assert_eq!(prefetch_distance(SimdIsa::Avx512, small), 0);
+        set_prefetch(prior);
+    }
+
+    #[test]
     fn detect_is_stable_and_active_is_runnable() {
         assert_eq!(detected(), detect_raw());
         assert!(active() <= detected());
@@ -616,8 +1300,14 @@ mod tests {
         assert_eq!(resolve(2, 100), SimdIsa::Sse2.min(cap));
         assert_eq!(resolve(4, 100), SimdIsa::Avx2.min(cap));
         assert_eq!(resolve(8, 100), SimdIsa::Avx512.min(cap));
-        // Signed 32-bit gather indices cannot address a wider x.
+        // Signed 32-bit gather indices cannot address a wider x —
+        // including under an explicit width request (the satellite-2
+        // regression: v=8 must not survive the bound).
         assert_eq!(resolve(0, i32::MAX as usize + 1), SimdIsa::Scalar);
+        assert_eq!(resolve(8, i32::MAX as usize + 1), SimdIsa::Scalar);
+        // And the per-kernel-call clamp applies the same rule.
+        assert_eq!(clamp_isa(SimdIsa::Avx512, i32::MAX as usize + 1), SimdIsa::Scalar);
+        assert_eq!(clamp_isa(SimdIsa::Avx512, 100), SimdIsa::Avx512.min(detected()));
     }
 
     #[test]
@@ -631,6 +1321,53 @@ mod tests {
                     ulp_close(got, want, SPMV_MAX_ULPS, SPMV_ABS_FLOOR),
                     "{isa:?} len={len}: {got} vs {want}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_row_results_do_not_depend_on_prefetch_distance() {
+        let (vals, cols, x) = rand_problem(333, 512, 11);
+        for isa in runnable() {
+            let base = unsafe { csr_row_pf(isa, &vals, &cols, &x, 0) };
+            for pf in [1usize, 2, 8, MAX_PREFETCH] {
+                let got = unsafe { csr_row_pf(isa, &vals, &cols, &x, pf) };
+                assert_eq!(got.to_bits(), base.to_bits(), "{isa:?} pf={pf}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_rows_interleave_is_bit_identical_to_solo_rows() {
+        let (vals, cols, x) = rand_problem(500, 512, 13);
+        // Ragged row layout, including empty and sub-vector rows.
+        let bounds = [0usize, 0, 5, 64, 100, 173, 296, 500];
+        for isa in runnable() {
+            for pf in [0usize, 4] {
+                let mut solo = Vec::new();
+                for w in bounds.windows(2) {
+                    solo.push(unsafe {
+                        csr_row_pf(isa, &vals[w[0]..w[1]], &cols[w[0]..w[1]], &x, pf)
+                    });
+                }
+                // R = 2 and R = 4 blocks over the same rows.
+                let mut blocked = Vec::new();
+                let ranges4 = [
+                    (bounds[0], bounds[1]),
+                    (bounds[1], bounds[2]),
+                    (bounds[2], bounds[3]),
+                    (bounds[3], bounds[4]),
+                ];
+                blocked.extend(unsafe { csr_rows_pf::<4>(isa, &ranges4, &vals, &cols, &x, pf) });
+                let ranges2 = [(bounds[4], bounds[5]), (bounds[5], bounds[6])];
+                blocked.extend(unsafe { csr_rows_pf::<2>(isa, &ranges2, &vals, &cols, &x, pf) });
+                blocked.extend(unsafe {
+                    csr_rows_pf::<1>(isa, &[(bounds[6], bounds[7])], &vals, &cols, &x, pf)
+                });
+                assert_eq!(solo.len(), blocked.len());
+                for (i, (s, b)) in solo.iter().zip(&blocked).enumerate() {
+                    assert_eq!(s.to_bits(), b.to_bits(), "{isa:?} pf={pf} row {i}");
+                }
             }
         }
     }
@@ -658,17 +1395,98 @@ mod tests {
     }
 
     #[test]
-    fn sell_chunk_odd_width_falls_back_to_scalar() {
-        // c = 6 has no vector path at any level; the dispatcher must
-        // produce the bit-exact scalar result.
+    fn sell_chunk_masked_heights_match_scalar() {
+        // c ∈ {2, 3, 5, 6, 7} run the AVX-512 masked path when the
+        // host has it; every level must stay inside the ulp contract,
+        // including widths whose trailing steps need the staged-index
+        // loop (total columns < 8).
+        for &c in &[2usize, 3, 5, 6, 7] {
+            for width in [0usize, 1, 2, 3, 9, 40] {
+                let (vals, cols, x) = rand_problem(width * c, 256, width as u64 * 17 + c as u64);
+                let mut want = vec![0.25f64; c];
+                sell_chunk_scalar(&vals, &cols, c, &x, &mut want);
+                for isa in runnable() {
+                    let mut got = vec![0.25f64; c];
+                    unsafe { sell_chunk(isa, &vals, &cols, c, &x, &mut got) };
+                    assert_ulp_close(
+                        &got,
+                        &want,
+                        SPMV_MAX_ULPS,
+                        SPMV_ABS_FLOOR,
+                        &format!("{isa:?} c={c} width={width}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sell_chunk_pair_is_bit_identical_to_sequential_chunks() {
+        let c = 8usize;
+        // Different widths so the joint loop + solo-tail path runs.
+        for (w0, w1) in [(0usize, 5usize), (7, 7), (12, 3), (1, 0)] {
+            let (v0, c0, x) = rand_problem(w0 * c, 512, 71 + w0 as u64);
+            let (v1, c1, _) = rand_problem(w1 * c, 512, 171 + w1 as u64);
+            for isa in runnable() {
+                for pf in [0usize, 4] {
+                    let mut s0 = vec![0.5f64; c];
+                    let mut s1 = vec![-0.5f64; c];
+                    unsafe {
+                        sell_chunk_pf(isa, &v0, &c0, c, &x, &mut s0, pf);
+                        sell_chunk_pf(isa, &v1, &c1, c, &x, &mut s1, pf);
+                    }
+                    let mut p0 = vec![0.5f64; c];
+                    let mut p1 = vec![-0.5f64; c];
+                    unsafe {
+                        sell_chunk_pair(isa, &v0, &c0, &mut p0, &v1, &c1, &mut p1, c, &x, pf)
+                    };
+                    let key = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(key(&s0), key(&p0), "{isa:?} pf={pf} w=({w0},{w1}) chunk0");
+                    assert_eq!(key(&s1), key(&p1), "{isa:?} pf={pf} w=({w0},{w1}) chunk1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sell_chunk_odd_width_is_scalar_or_masked() {
+        // c = 6: AVX2 has no vector path and must produce the
+        // bit-exact scalar result; AVX-512 runs the masked kernel,
+        // which is ulp-close (FMA fuses what scalar rounds twice).
         let c = 6usize;
         let (vals, cols, x) = rand_problem(5 * c, 128, 3);
         let mut want = vec![0.0f64; c];
         sell_chunk_scalar(&vals, &cols, c, &x, &mut want);
-        for isa in [SimdIsa::Avx2, SimdIsa::Avx512] {
+        let mut got = vec![0.0f64; c];
+        unsafe { sell_chunk(SimdIsa::Avx2, &vals, &cols, c, &x, &mut got) };
+        assert_eq!(got, want, "Avx2 must fall back to the exact scalar loop");
+        let mut got = vec![0.0f64; c];
+        unsafe { sell_chunk(SimdIsa::Avx512, &vals, &cols, c, &x, &mut got) };
+        assert_ulp_close(&got, &want, SPMV_MAX_ULPS, SPMV_ABS_FLOOR, "Avx512 masked c=6");
+    }
+
+    #[test]
+    fn portable_kernels_honor_the_contract() {
+        let (vals, cols, x) = rand_problem(129, 512, 23);
+        let want = csr_row_scalar(&vals, &cols, &x);
+        let got = portable::csr_row(&vals, &cols, &x);
+        assert!(
+            ulp_close(got, want, SPMV_MAX_ULPS, SPMV_ABS_FLOOR),
+            "portable csr_row: {got} vs {want}"
+        );
+        // The portable SELL chunk keeps scalar accumulation order and
+        // must be bit-exact.
+        for c in [2usize, 4, 8] {
+            let (vals, cols, x) = rand_problem(9 * c, 128, c as u64);
+            let mut want = vec![0.0f64; c];
+            sell_chunk_scalar(&vals, &cols, c, &x, &mut want);
             let mut got = vec![0.0f64; c];
-            unsafe { sell_chunk(isa, &vals, &cols, c, &x, &mut got) };
-            assert_eq!(got, want, "{isa:?}");
+            portable::sell_chunk(&vals, &cols, c, &x, &mut got);
+            assert_eq!(got, want, "portable sell_chunk c={c}");
+            // And the dispatcher reaches it when Portable is requested.
+            let mut via = vec![0.0f64; c];
+            unsafe { sell_chunk(SimdIsa::Portable, &vals, &cols, c, &x, &mut via) };
+            assert_eq!(via, want, "dispatched portable sell_chunk c={c}");
         }
     }
 

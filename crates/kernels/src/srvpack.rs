@@ -152,6 +152,16 @@ pub struct SrvPack {
     /// before this field existed deserialize to auto.
     #[serde(default)]
     simd: usize,
+    /// Requested software prefetch distance in vector steps (see
+    /// [`SrvPack::with_prefetch`]). `None` (the serde default, so old
+    /// packs still load) defers to `WISE_PREFETCH` / the auto policy.
+    #[serde(default)]
+    prefetch: Option<usize>,
+    /// Requested chunk-interleave factor (see
+    /// [`SrvPack::with_interleave`]): 0 = auto policy, 1 = off, ≥ 2 =
+    /// pair chunks. Serde-defaulted for the same back-compat reason.
+    #[serde(default)]
+    interleave: usize,
 }
 
 /// Reusable scratch buffers for [`SrvPack::spmv`] so iterative callers
@@ -218,8 +228,24 @@ impl SrvPack {
     // ---- Generic builder ---------------------------------------------
 
     /// Packs `m` per `config`. Cost is O(nnz + rows·log σ-window); this
-    /// is the preprocessing the selection heuristic charges for.
+    /// is the preprocessing the selection heuristic charges for. Chunk
+    /// filling is parallelized over the worker pool
+    /// ([`crate::sched::default_threads`] workers); the output is
+    /// bit-identical to [`SrvPack::build_serial`] because each chunk
+    /// owns a disjoint `offsets`-delimited range of the buffers.
     pub fn build(m: &Csr, config: PackConfig) -> SrvPack {
+        Self::build_with_threads(m, config, crate::sched::default_threads())
+    }
+
+    /// The serial reference build — the parity oracle for the parallel
+    /// path (`convert_parity` asserts bit-identical prepared buffers).
+    pub fn build_serial(m: &Csr, config: PackConfig) -> SrvPack {
+        Self::build_with_threads(m, config, 1)
+    }
+
+    /// [`SrvPack::build`] with an explicit worker count (1 = fill
+    /// chunks on the calling thread, no pool dispatch).
+    pub fn build_with_threads(m: &Csr, config: PackConfig, nthreads: usize) -> SrvPack {
         assert!(config.c >= 1, "chunk height c must be >= 1");
         if let SegmentSpec::DenseFraction(t) = config.segments {
             assert!((0.0..=1.0).contains(&t), "T must be a fraction, got {t}");
@@ -265,7 +291,6 @@ impl SrvPack {
         // 3. Build each segment.
         let nseg = boundaries.len() - 1;
         let mut segments = Vec::with_capacity(nseg);
-        let mut seg_cols: Vec<(u32, f64)> = Vec::new(); // scratch
         for s in 0..nseg {
             let (lo, hi) = (boundaries[s], boundaries[s + 1]);
 
@@ -319,59 +344,93 @@ impl SrvPack {
                 }
             };
 
-            // Pack chunk-major.
+            // Pack chunk-major. Widths and offsets are computed up
+            // front (cheap: one max over `lens` per chunk), which lets
+            // the expensive fill — re-walking every row's nonzeros —
+            // run one chunk per work item over the worker pool: chunk
+            // `k` owns the disjoint buffer range `offsets[k] * c ..
+            // offsets[k + 1] * c`, so the parallel fill writes exactly
+            // the bytes the serial loop would (padding slots keep their
+            // zero initialization either way) and the prepared buffers
+            // are bit-identical for every thread count.
             let c = config.c;
             let nchunks = row_order.len().div_ceil(c);
             let mut offsets = Vec::with_capacity(nchunks + 1);
             offsets.push(0usize);
-            let mut col_ids: Vec<u32> = Vec::new();
-            let mut vals: Vec<f64> = Vec::new();
-            let mut nnz_real = 0usize;
-            let mut chunk_start = 0usize;
-            while chunk_start < row_order.len() {
-                let chunk_rows = &row_order[chunk_start..(chunk_start + c).min(row_order.len())];
+            for chunk_rows in row_order.chunks(c) {
                 let width = chunk_rows.iter().map(|&r| lens[r as usize]).max().unwrap_or(0);
-                let base = col_ids.len();
-                col_ids.resize(base + width * c, 0u32);
-                vals.resize(base + width * c, 0.0f64);
-                for (lane, &r) in chunk_rows.iter().enumerate() {
-                    seg_cols.clear();
-                    for (cc, v) in m.row(r as usize) {
-                        let nc = match &old_to_new {
-                            Some(p) => p.apply(cc as usize),
-                            None => cc as usize,
-                        };
-                        if nc >= lo && nc < hi {
-                            seg_cols.push((nc as u32, v));
+                offsets.push(offsets.last().unwrap() + width);
+            }
+            let total = *offsets.last().unwrap() * c;
+            let mut col_ids = vec![0u32; total];
+            let mut vals = vec![0.0f64; total];
+            let mut chunk_nnz = vec![0usize; nchunks];
+            {
+                let cols_w = DisjointWriter::new(&mut col_ids);
+                let vals_w = DisjointWriter::new(&mut vals);
+                let nnz_w = DisjointWriter::new(&mut chunk_nnz);
+                let offsets = &offsets;
+                let row_order = &row_order;
+                let old_to_new = &old_to_new;
+                let fill = |k: usize| {
+                    let base = offsets[k] * c;
+                    let chunk_rows = &row_order[k * c..((k + 1) * c).min(row_order.len())];
+                    let mut real = 0usize;
+                    let mut seg_cols: Vec<(u32, f64)> = Vec::new(); // scratch
+                    for (lane, &r) in chunk_rows.iter().enumerate() {
+                        seg_cols.clear();
+                        for (cc, v) in m.row(r as usize) {
+                            let nc = match old_to_new {
+                                Some(p) => p.apply(cc as usize),
+                                None => cc as usize,
+                            };
+                            if nc >= lo && nc < hi {
+                                seg_cols.push((nc as u32, v));
+                            }
+                        }
+                        real += seg_cols.len();
+                        for (j, &(nc, v)) in seg_cols.iter().enumerate() {
+                            // SAFETY: `base + j * c + lane` stays inside
+                            // chunk k's buffer range (j < its width, lane
+                            // < c) and chunk ranges are disjoint by the
+                            // offsets prefix sum; k is unique per call.
+                            unsafe {
+                                cols_w.write(base + j * c + lane, nc);
+                                vals_w.write(base + j * c + lane, v);
+                            }
                         }
                     }
-                    nnz_real += seg_cols.len();
-                    for (j, &(nc, v)) in seg_cols.iter().enumerate() {
-                        col_ids[base + j * c + lane] = nc;
-                        vals[base + j * c + lane] = v;
+                    // SAFETY: one writer per chunk index.
+                    unsafe { nnz_w.write(k, real) };
+                };
+                if nthreads <= 1 {
+                    for k in 0..nchunks {
+                        fill(k);
                     }
+                } else {
+                    let grain = (crate::csr_spmv::DEFAULT_ROWS_PER_CHUNK / c.max(1)).max(1);
+                    parallel_for_chunks(nchunks, nthreads, Schedule::Dyn, grain, fill);
                 }
-                offsets.push(offsets.last().unwrap() + width);
-                chunk_start += c;
             }
             segments.push(Segment {
                 row_order,
                 offsets,
                 col_ids,
                 vals,
-                nnz_real,
+                nnz_real: chunk_nnz.iter().sum(),
                 col_range: (lo, hi),
             });
         }
 
-        SrvPack { nrows, ncols, config, col_perm, segments, simd: 0 }
+        SrvPack { nrows, ncols, config, col_perm, segments, simd: 0, prefetch: None, interleave: 0 }
     }
 
     /// Requests a SIMD width for the chunk kernel: 0 = auto (widest
     /// active level), 1 = the original scalar path (bit-exact), else
     /// capped at the host's [`simd::active`] level. Vector paths exist
-    /// for `c ∈ {4, 8}` (the catalog's widths); other chunk heights
-    /// always run scalar.
+    /// for `c ∈ {4, 8}` (the catalog's widths) on every vector level,
+    /// and for `c ∈ {2..=7}` on AVX-512 via the masked-lane kernel;
+    /// other chunk heights always run scalar.
     pub fn with_simd(mut self, v: usize) -> SrvPack {
         self.simd = v;
         self
@@ -382,12 +441,72 @@ impl SrvPack {
         self.simd
     }
 
+    /// Requests a software prefetch distance in vector steps:
+    /// `Some(0)` disables prefetch, `Some(d)` forces `d` (clamped at
+    /// [`simd::MAX_PREFETCH`]), `None` (default) defers to the
+    /// `WISE_PREFETCH` override / auto policy. Scheduling only — never
+    /// changes results.
+    pub fn with_prefetch(mut self, d: Option<usize>) -> SrvPack {
+        self.prefetch = d;
+        self
+    }
+
+    /// The requested prefetch distance (see [`SrvPack::with_prefetch`]).
+    pub fn prefetch(&self) -> Option<usize> {
+        self.prefetch
+    }
+
+    /// Requests a chunk-interleave factor: 0 = auto policy (pair chunks
+    /// on the AVX-512 c=8 path), 1 = off, ≥ 2 = pair chunks. Paired
+    /// execution keeps each chunk's accumulator chain in solo-kernel
+    /// order, so results are bit-identical across factors.
+    pub fn with_interleave(mut self, r: usize) -> SrvPack {
+        self.interleave = r;
+        self
+    }
+
+    /// The requested interleave factor (see [`SrvPack::with_interleave`]).
+    pub fn interleave(&self) -> usize {
+        self.interleave
+    }
+
     /// The level the chunk kernel will actually execute at.
     pub fn resolved_isa(&self) -> SimdIsa {
-        if self.config.c == 4 || self.config.c == 8 {
-            simd::resolve(self.simd, self.ncols)
-        } else {
-            SimdIsa::Scalar
+        let isa = simd::resolve(self.simd, self.ncols);
+        match (isa, self.config.c) {
+            (_, 4 | 8) => isa,
+            // Non-native chunk heights vectorize only through the
+            // AVX-512 masked-lane kernel; everything else would fall
+            // back to the scalar loop inside the dispatcher, so report
+            // it honestly as Scalar here.
+            (SimdIsa::Avx512, 2..=7) => isa,
+            _ => SimdIsa::Scalar,
+        }
+    }
+
+    /// The effective prefetch distance at `isa`: the pack's override
+    /// when set, else the `WISE_PREFETCH` / auto policy chain. Scalar
+    /// never prefetches.
+    pub fn resolved_prefetch(&self, isa: SimdIsa) -> usize {
+        if isa.lanes() <= 1 {
+            return 0;
+        }
+        match self.prefetch {
+            Some(d) => d.min(simd::MAX_PREFETCH),
+            None => simd::prefetch_distance(isa, self.ncols),
+        }
+    }
+
+    /// The effective chunk-interleave factor at `isa`: the pack's
+    /// override (clamped to {1, 2}) or the auto policy.
+    pub fn resolved_interleave(&self, isa: SimdIsa) -> usize {
+        if isa == SimdIsa::Scalar {
+            return 1;
+        }
+        match self.interleave {
+            0 => simd::auto_sell_interleave(isa, self.config.c),
+            1 => 1,
+            _ => 2,
         }
     }
 
@@ -505,20 +624,37 @@ impl SrvPack {
             _ => (crate::csr_spmv::DEFAULT_ROWS_PER_CHUNK / c).max(1),
         };
         let isa = self.resolved_isa();
+        let pf = self.resolved_prefetch(isa);
+        let pair = self.resolved_interleave(isa) >= 2;
         for seg in &self.segments {
             let writer = DisjointWriter::new(&mut *y);
-            let body = |chunk: usize| {
-                if isa == SimdIsa::Scalar {
-                    match c {
-                        4 => Self::chunk_kernel::<4>(seg, xeff, &writer, chunk),
-                        8 => Self::chunk_kernel::<8>(seg, xeff, &writer, chunk),
-                        _ => Self::chunk_kernel_dyn(seg, c, xeff, &writer, chunk),
+            if isa == SimdIsa::Scalar {
+                let body = |chunk: usize| match c {
+                    4 => Self::chunk_kernel::<4>(seg, xeff, &writer, chunk),
+                    8 => Self::chunk_kernel::<8>(seg, xeff, &writer, chunk),
+                    _ => Self::chunk_kernel_dyn(seg, c, xeff, &writer, chunk),
+                };
+                parallel_for_chunks(seg.nchunks(), nthreads, schedule, grain, body);
+            } else if pair {
+                // Chunk-pair interleave: one work item covers chunks
+                // (2p, 2p + 1) so their gathers share the load ports
+                // (two independent accumulator chains — bit-identical
+                // to sequential chunks, see `simd::sell_chunk_pair`).
+                let npairs = seg.nchunks().div_ceil(2);
+                let body = |p: usize| {
+                    let k0 = 2 * p;
+                    if k0 + 1 < seg.nchunks() {
+                        Self::chunk_pair_kernel_simd(seg, c, isa, xeff, &writer, k0, pf);
+                    } else {
+                        Self::chunk_kernel_simd(seg, c, isa, xeff, &writer, k0, pf);
                     }
-                } else {
-                    Self::chunk_kernel_simd(seg, c, isa, xeff, &writer, chunk)
-                }
-            };
-            parallel_for_chunks(seg.nchunks(), nthreads, schedule, grain, body);
+                };
+                parallel_for_chunks(npairs, nthreads, schedule, grain.div_ceil(2), body);
+            } else {
+                let body =
+                    |chunk: usize| Self::chunk_kernel_simd(seg, c, isa, xeff, &writer, chunk, pf);
+                parallel_for_chunks(seg.nchunks(), nthreads, schedule, grain, body);
+            }
         }
     }
 
@@ -560,10 +696,12 @@ impl SrvPack {
         }
     }
 
-    /// Explicitly vectorized chunk kernel (`c ∈ {4, 8}` only — enforced
-    /// by [`SrvPack::resolved_isa`]): the chunk's `c` rows map 1:1 onto
-    /// vector lanes, so every column step is one gather + one FMA with
-    /// no horizontal reduction.
+    /// Explicitly vectorized chunk kernel (`c ∈ {2..=8}` — enforced by
+    /// [`SrvPack::resolved_isa`]): the chunk's `c` rows map 1:1 onto
+    /// vector lanes (masked lanes for `c ∉ {4, 8}` on AVX-512), so
+    /// every column step is one gather + one FMA with no horizontal
+    /// reduction. `pf` steps of software prefetch on the gathered
+    /// x-lines.
     fn chunk_kernel_simd(
         seg: &Segment,
         c: usize,
@@ -571,8 +709,9 @@ impl SrvPack {
         x: &[f64],
         writer: &DisjointWriter<f64>,
         chunk: usize,
+        pf: usize,
     ) {
-        debug_assert!(c == 4 || c == 8);
+        debug_assert!((2..=8).contains(&c));
         let w0 = seg.offsets[chunk];
         let w1 = seg.offsets[chunk + 1];
         let vals = &seg.vals[w0 * c..w1 * c];
@@ -582,12 +721,60 @@ impl SrvPack {
         // stored column id is a real (post-CFS) column or padding
         // column 0, both < ncols == x.len() (`build` writes nothing
         // else); acc[..c] has exactly c lanes.
-        unsafe { simd::sell_chunk(isa, vals, cols, c, x, &mut acc[..c]) };
+        unsafe { simd::sell_chunk_pf(isa, vals, cols, c, x, &mut acc[..c], pf) };
         let rows = seg.chunk_rows(chunk, c);
         for (l, &r) in rows.iter().enumerate() {
             // SAFETY: rows are unique within a segment and segments are
             // processed sequentially.
             unsafe { writer.add(r as usize, acc[l]) };
+        }
+    }
+
+    /// Two adjacent chunks (`k0`, `k0 + 1`) through the interleaved
+    /// pair kernel: both chunks' gathers stay in flight together (two
+    /// independent accumulator chains, bit-identical to sequential
+    /// solo chunks).
+    fn chunk_pair_kernel_simd(
+        seg: &Segment,
+        c: usize,
+        isa: SimdIsa,
+        x: &[f64],
+        writer: &DisjointWriter<f64>,
+        k0: usize,
+        pf: usize,
+    ) {
+        debug_assert!((2..=8).contains(&c) && k0 + 1 < seg.nchunks());
+        let (a0, a1, a2) = (seg.offsets[k0], seg.offsets[k0 + 1], seg.offsets[k0 + 2]);
+        let vals0 = &seg.vals[a0 * c..a1 * c];
+        let cols0 = &seg.col_ids[a0 * c..a1 * c];
+        let vals1 = &seg.vals[a1 * c..a2 * c];
+        let cols1 = &seg.col_ids[a1 * c..a2 * c];
+        let mut acc0 = [0.0f64; 8];
+        let mut acc1 = [0.0f64; 8];
+        // SAFETY: same invariants as `chunk_kernel_simd`, for both
+        // chunks against the same x.
+        unsafe {
+            simd::sell_chunk_pair(
+                isa,
+                vals0,
+                cols0,
+                &mut acc0[..c],
+                vals1,
+                cols1,
+                &mut acc1[..c],
+                c,
+                x,
+                pf,
+            )
+        };
+        for (k, acc) in [(k0, &acc0), (k0 + 1, &acc1)] {
+            let rows = seg.chunk_rows(k, c);
+            for (l, &r) in rows.iter().enumerate() {
+                // SAFETY: rows are unique within a segment and segments
+                // are processed sequentially; the two chunks of a pair
+                // cover disjoint row sets.
+                unsafe { writer.add(r as usize, acc[l]) };
+            }
         }
     }
 
@@ -853,11 +1040,135 @@ mod tests {
     }
 
     #[test]
-    fn non_catalog_chunk_heights_never_resolve_simd() {
+    fn non_catalog_chunk_heights_resolve_masked_or_scalar() {
+        // c ∈ {2..=7} \ {4} vectorize only through the AVX-512 masked
+        // kernel; on lesser hosts (or under a narrower width request)
+        // they must resolve scalar. c > 8 never vectorizes.
         let m = RmatParams::MED_SKEW.generate(8, 6, 9);
-        for c in [3usize, 5, 6] {
+        let masked =
+            if simd::active() == SimdIsa::Avx512 { SimdIsa::Avx512 } else { SimdIsa::Scalar };
+        for c in [2usize, 3, 5, 6, 7] {
+            assert_eq!(SrvPack::sellpack(&m, c).resolved_isa(), masked, "c={c}");
+            assert_eq!(
+                SrvPack::sellpack(&m, c).with_simd(4).resolved_isa(),
+                SimdIsa::Scalar,
+                "c={c} under a v=4 cap"
+            );
+        }
+        for c in [1usize, 9, 16] {
             assert_eq!(SrvPack::sellpack(&m, c).resolved_isa(), SimdIsa::Scalar, "c={c}");
         }
+    }
+
+    #[test]
+    fn masked_chunk_heights_match_reference() {
+        // End-to-end SpMV through the masked AVX-512 path (scalar
+        // elsewhere): every non-native chunk height must still match
+        // the reference within the ulp contract.
+        let m = RmatParams::MED_SKEW.generate(9, 8, 31);
+        for c in [2usize, 3, 5, 6, 7] {
+            assert_matches_reference(&m, &SrvPack::sell_c_sigma(&m, c, 64), 3, &format!("mc{c}"));
+        }
+    }
+
+    #[test]
+    fn prefetch_and_interleave_never_change_results() {
+        // Both MLP knobs are scheduling-only: for a fixed resolved
+        // level the output must be bit-identical across every (D, R)
+        // combination, including the auto policies.
+        let m = RmatParams::HIGH_SKEW.generate(9, 8, 41);
+        let x = random_x(m.ncols(), 13);
+        let mut ws = SpmvWorkspace::default();
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        for c in [4usize, 8] {
+            let pack = SrvPack::sell_c_sigma(&m, c, 64);
+            let mut base = vec![0.0; m.nrows()];
+            pack.clone().with_prefetch(Some(0)).with_interleave(1).spmv(
+                &x,
+                &mut base,
+                2,
+                Schedule::Dyn,
+                &mut ws,
+            );
+            for pf in [None, Some(0), Some(4), Some(simd::MAX_PREFETCH + 9)] {
+                for il in [0usize, 1, 2, 5] {
+                    let p = pack.clone().with_prefetch(pf).with_interleave(il);
+                    let mut got = vec![0.0; m.nrows()];
+                    p.spmv(&x, &mut got, 2, Schedule::Dyn, &mut ws);
+                    assert_eq!(bits(&got), bits(&base), "c={c} pf={pf:?} il={il}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolved_knobs_follow_policy() {
+        let m = RmatParams::MED_SKEW.generate(8, 6, 2);
+        let p = SrvPack::sellpack(&m, 8);
+        assert_eq!(p.resolved_prefetch(SimdIsa::Scalar), 0);
+        assert_eq!(p.resolved_interleave(SimdIsa::Scalar), 1);
+        assert_eq!(p.resolved_interleave(SimdIsa::Avx512), 2, "auto pairs on AVX-512 c=8");
+        let p = p.with_prefetch(Some(simd::MAX_PREFETCH + 3)).with_interleave(7);
+        assert_eq!(p.resolved_prefetch(SimdIsa::Avx512), simd::MAX_PREFETCH);
+        assert_eq!(p.resolved_interleave(SimdIsa::Avx512), 2);
+        assert_eq!(p.prefetch(), Some(simd::MAX_PREFETCH + 3));
+        assert_eq!(p.interleave(), 7);
+        let p = p.with_interleave(1);
+        assert_eq!(p.resolved_interleave(SimdIsa::Avx512), 1);
+        let q = SrvPack::sellpack(&m, 4);
+        assert_eq!(q.resolved_interleave(SimdIsa::Avx512), 1, "auto never pairs c=4");
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Satellite 1: the pool-parallel chunk fill must produce
+        // byte-identical prepared buffers for every method and thread
+        // count (the serial path is the parity oracle).
+        for (i, m) in [RmatParams::HIGH_SKEW.generate(9, 8, 51), suite::banded(300, 5, 0.8, 7)]
+            .iter()
+            .enumerate()
+        {
+            for cfg in [
+                PackConfig { c: 8, sigma: SigmaSpec::None, cfs: false, segments: SegmentSpec::One },
+                PackConfig {
+                    c: 4,
+                    sigma: SigmaSpec::Window(64),
+                    cfs: false,
+                    segments: SegmentSpec::One,
+                },
+                PackConfig {
+                    c: 8,
+                    sigma: SigmaSpec::Full,
+                    cfs: true,
+                    segments: SegmentSpec::DenseFraction(0.7),
+                },
+                PackConfig { c: 3, sigma: SigmaSpec::Full, cfs: false, segments: SegmentSpec::One },
+            ] {
+                let serial = SrvPack::build_serial(m, cfg);
+                for t in [2usize, 3, 7] {
+                    let par = SrvPack::build_with_threads(m, cfg, t);
+                    assert_eq!(par, serial, "matrix {i} cfg {cfg:?} t={t}");
+                }
+                assert_eq!(SrvPack::build(m, cfg), serial, "matrix {i} cfg {cfg:?} default");
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_pack_without_mlp_fields_defaults_to_auto() {
+        // Packs written before the prefetch/interleave fields existed
+        // must deserialize (serde defaults) and round-trip new values.
+        let m = fig1a();
+        let p = SrvPack::sellpack(&m, 2).with_prefetch(Some(4)).with_interleave(2);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SrvPack = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.prefetch(), Some(4));
+        assert_eq!(back.interleave(), 2);
+        let stripped = json.replace(",\"prefetch\":4", "").replace(",\"interleave\":2", "");
+        assert_ne!(stripped, json, "test must actually strip the fields");
+        let old: SrvPack = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.prefetch(), None);
+        assert_eq!(old.interleave(), 0);
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub struct MachineModel {
     /// the Skylake preset for files missing the field.
     #[serde(default = "default_simd_lanes")]
     pub simd_lanes: usize,
+    /// Relative throughput gained per extra in-flight gather stream —
+    /// the memory-level-parallelism dividend of software prefetch and
+    /// row/chunk interleaving. Each enabled MLP mechanism (prefetch on,
+    /// plus every interleaved chain beyond the first) multiplies SIMD
+    /// step throughput by `1 + simd_gather_mlp` (see
+    /// [`MachineModel::mlp_factor`]). Calibrated from the measured
+    /// chunk-pair win on this repo's Skylake-class host (~1.2× for the
+    /// first extra stream, diminishing after). Defaults to the preset
+    /// for files serialized before this field existed.
+    #[serde(default = "default_simd_gather_mlp")]
+    pub simd_gather_mlp: f64,
     /// Overhead of one dynamic-scheduling work grab, nanoseconds
     /// (shared-counter fetch_add plus its coherence traffic).
     pub dyn_grab_ns: f64,
@@ -66,6 +77,10 @@ fn default_simd_lanes() -> usize {
     8
 }
 
+fn default_simd_gather_mlp() -> f64 {
+    0.2
+}
+
 impl MachineModel {
     /// The paper's testbed: 2 × 12-core Xeon Gold 6126 @ 2.6 GHz,
     /// 32 KB L1D + 1 MB L2 per core, 19.25 MB LLC per socket,
@@ -85,6 +100,7 @@ impl MachineModel {
             vector_cycles_per_step: 6.0,
             simd_cycles_per_step: 6.0,
             simd_lanes: 8,
+            simd_gather_mlp: 0.2,
             dyn_grab_ns: 40.0,
             single_thread_dram_fraction: 0.125,
             single_thread_llc_fraction: 0.1,
@@ -169,6 +185,20 @@ impl MachineModel {
         }
     }
 
+    /// Throughput multiplier for the memory-level parallelism a config
+    /// exposes: `pf` is the resolved prefetch distance (0 = off) and
+    /// `il` the resolved interleave factor (≤ 1 = solo chains). Each
+    /// extra in-flight gather stream — prefetch counts as one, every
+    /// chain beyond the first counts as one — adds `simd_gather_mlp`
+    /// of a step's base throughput, saturating at three extra streams
+    /// (the load ports bound further overlap). Returns exactly 1.0
+    /// when no MLP mechanism is enabled, so pre-MLP model outputs are
+    /// bit-unchanged.
+    pub fn mlp_factor(&self, pf: usize, il: usize) -> f64 {
+        let streams = (il.max(1) - 1) + usize::from(pf > 0);
+        1.0 + self.simd_gather_mlp * streams.min(3) as f64
+    }
+
     /// The SIMD capability of the *host* this process runs on, as
     /// `(isa name, f64 lanes)` — the runtime probe of
     /// `wise_kernels::simd` surfaced where cost-model users live.
@@ -223,11 +253,25 @@ mod tests {
         // saved experiments reload their machine description).
         let m = MachineModel::skylake_6126();
         let json = serde_json::to_string(&m).unwrap();
-        let stripped =
-            json.replace(",\"simd_cycles_per_step\":6.0", "").replace(",\"simd_lanes\":8", "");
+        let stripped = json
+            .replace(",\"simd_cycles_per_step\":6.0", "")
+            .replace(",\"simd_lanes\":8", "")
+            .replace(",\"simd_gather_mlp\":0.2", "");
         assert_ne!(stripped, json, "test must actually strip the fields");
         let back: MachineModel = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mlp_factor_counts_streams_and_saturates() {
+        let m = MachineModel::skylake_6126();
+        assert_eq!(m.mlp_factor(0, 0), 1.0, "no MLP → exactly 1.0");
+        assert_eq!(m.mlp_factor(0, 1), 1.0);
+        assert_eq!(m.mlp_factor(8, 1), 1.0 + m.simd_gather_mlp);
+        assert_eq!(m.mlp_factor(0, 2), 1.0 + m.simd_gather_mlp);
+        assert_eq!(m.mlp_factor(8, 2), 1.0 + 2.0 * m.simd_gather_mlp);
+        assert_eq!(m.mlp_factor(8, 4), 1.0 + 3.0 * m.simd_gather_mlp, "saturates at 3 streams");
+        assert_eq!(m.mlp_factor(64, 8), m.mlp_factor(1, 4));
     }
 
     #[test]

@@ -811,6 +811,8 @@ mod tests {
             rustc: Some("rustc 1.95.0".into()),
             simd: Some("avx2:4".into()),
             simd_env: Some("0".into()),
+            mlp: Some("pf8:il2".into()),
+            prefetch_env: None,
         };
         let doc = json::parse(&perf_summary_json_with(&summary, &host)).expect("parses");
         let h = doc.get("host").expect("host object");
@@ -820,6 +822,7 @@ mod tests {
         assert_eq!(h.get("rustc").unwrap().as_str(), Some("rustc 1.95.0"));
         assert_eq!(h.get("simd").unwrap().as_str(), Some("avx2:4"));
         assert_eq!(h.get("simd_env").unwrap().as_str(), Some("0"));
+        assert_eq!(h.get("mlp").unwrap().as_str(), Some("pf8:il2"));
         // The detect()-based default emits a host object too.
         assert!(json::parse(&perf_summary_json(&summary)).unwrap().get("host").is_some());
     }

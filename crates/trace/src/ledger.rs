@@ -73,6 +73,16 @@ pub struct HostFingerprint {
     /// Raw `WISE_SIMD` value, if set — it caps which kernels run, so
     /// runs under different caps must never be compared.
     pub simd_env: Option<String>,
+    /// Per-kernel MLP settings as `pf{d}:il{r}` — the resolved
+    /// prefetch distance and interleave factor the SIMD bench stages
+    /// ran with (e.g. `pf8:il2`). `None` in records written before the
+    /// MLP kernels existed; tolerated when missing so old records stay
+    /// comparable.
+    pub mlp: Option<String>,
+    /// Raw `WISE_PREFETCH` value, if set — like `simd_env`, an explicit
+    /// override changes what the kernels execute, so it must match
+    /// exactly for two runs to be comparable.
+    pub prefetch_env: Option<String>,
 }
 
 /// The host's SIMD capability in `isa:lanes` form. Mirrors the probe in
@@ -108,12 +118,22 @@ impl HostFingerprint {
             rustc: None,
             simd: Some(detect_simd()),
             simd_env: std::env::var("WISE_SIMD").ok(),
+            mlp: None,
+            prefetch_env: std::env::var("WISE_PREFETCH").ok(),
         }
     }
 
     /// Returns `self` with the rustc version string attached.
     pub fn with_rustc(mut self, rustc: Option<String>) -> HostFingerprint {
         self.rustc = rustc;
+        self
+    }
+
+    /// Returns `self` with the per-kernel MLP settings attached
+    /// (`pf{d}:il{r}`; bins that run the SIMD bench stages record what
+    /// they resolved).
+    pub fn with_mlp(mut self, mlp: Option<String>) -> HostFingerprint {
+        self.mlp = mlp;
         self
     }
 
@@ -127,6 +147,8 @@ impl HostFingerprint {
             ("rustc", &self.rustc),
             ("simd", &self.simd),
             ("simd_env", &self.simd_env),
+            ("mlp", &self.mlp),
+            ("prefetch_env", &self.prefetch_env),
         ] {
             let _ = write!(out, ",\"{key}\":");
             match v {
@@ -152,6 +174,8 @@ impl HostFingerprint {
             && opt_ok(&self.rustc, &other.rustc)
             && opt_ok(&self.simd, &other.simd)
             && self.simd_env == other.simd_env
+            && opt_ok(&self.mlp, &other.mlp)
+            && self.prefetch_env == other.prefetch_env
     }
 }
 
@@ -376,6 +400,7 @@ impl BenchRecord {
             ("kernel.convert.nnz", "kernel.convert.nnz_per_s"),
             ("bench.simd.scalar.nnz", "bench.simd.scalar.nnz_per_s"),
             ("bench.simd.vector.nnz", "bench.simd.vector.nnz_per_s"),
+            ("bench.simd.mlp.nnz", "bench.simd.mlp.nnz_per_s"),
         ] {
             let volume = summary.counters.get(counter).copied().unwrap_or(0);
             let stage = counter.rsplit_once('.').map(|(s, _)| s).unwrap_or(counter);
@@ -562,6 +587,8 @@ impl BenchRecord {
             rustc: opt_str("rustc"),
             simd: opt_str("simd"),
             simd_env: opt_str("simd_env"),
+            mlp: opt_str("mlp"),
+            prefetch_env: opt_str("prefetch_env"),
         };
 
         let mut stages = BTreeMap::new();
@@ -1171,12 +1198,15 @@ mod tests {
             rustc: Some("rustc 1.95.0".into()),
             simd: Some("avx2:4".into()),
             simd_env: None,
+            mlp: Some("pf8:il2".into()),
+            prefetch_env: None,
         };
         assert!(a.comparable_to(&a));
         // Unknown rustc / SIMD capability on one side is tolerated
         // (records written before the fields existed).
         assert!(a.comparable_to(&HostFingerprint { rustc: None, ..a.clone() }));
         assert!(a.comparable_to(&HostFingerprint { simd: None, ..a.clone() }));
+        assert!(a.comparable_to(&HostFingerprint { mlp: None, ..a.clone() }));
         // Different cores / env / rustc / capability are not.
         assert!(!a.comparable_to(&HostFingerprint { cpu_cores: 4, ..a.clone() }));
         assert!(!a.comparable_to(&HostFingerprint { threads_env: None, ..a.clone() }));
@@ -1188,6 +1218,10 @@ mod tests {
         // WISE_SIMD is strict: a forced-scalar run is a different
         // experiment, even if the hardware matches.
         assert!(!a.comparable_to(&HostFingerprint { simd_env: Some("0".into()), ..a.clone() }));
+        // Mismatched MLP settings (both known) or an explicit
+        // WISE_PREFETCH override on one side are different experiments.
+        assert!(!a.comparable_to(&HostFingerprint { mlp: Some("pf0:il1".into()), ..a.clone() }));
+        assert!(!a.comparable_to(&HostFingerprint { prefetch_env: Some("4".into()), ..a.clone() }));
     }
 
     #[test]
@@ -1195,6 +1229,8 @@ mod tests {
         let mut rec = record(1, &[("a", stage(10, 10))]);
         rec.host.simd = Some("avx512f:8".into());
         rec.host.simd_env = Some("4".into());
+        rec.host.mlp = Some("pf8:il2".into());
+        rec.host.prefetch_env = Some("8".into());
         let back = BenchRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(back.host, rec.host);
         // detect() always knows its own capability, in isa:lanes form.

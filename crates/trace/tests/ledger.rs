@@ -62,6 +62,8 @@ fn full_record(seq: u64) -> BenchRecord {
             rustc: Some("rustc 1.95.0 (abc 2026-01-01)".into()),
             simd: Some("avx512f:8".into()),
             simd_env: Some("8".into()),
+            mlp: Some("pf8:il2".into()),
+            prefetch_env: None,
         },
         stages,
         counters: [("kernel.spmv.nnz".to_string(), 123_456u64)].into_iter().collect(),

@@ -1,0 +1,186 @@
+use std::arch::x86_64::*;
+use std::time::Instant;
+
+// --- tiny deterministic rng (no deps) ---
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn csr_row_scalar(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (v, &c) in vals.iter().zip(cols) {
+        acc += v * x[c as usize];
+    }
+    acc
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn csr_rows_avx512<const R: usize>(
+    ranges: &[(usize, usize); R],
+    vals: &[f64],
+    cols: &[u32],
+    x: &[f64],
+    pf: usize,
+) -> [f64; R] {
+    let dist = pf * 8;
+    let mut acc = [_mm512_setzero_pd(); R];
+    // Interleaved phase: all R rows advance one vector step per round.
+    let mut steps = usize::MAX;
+    for r in ranges.iter().take(R) {
+        steps = steps.min((r.1 - r.0) / 8);
+    }
+    for s in 0..steps {
+        for i in 0..R {
+            let k = ranges[i].0 + s * 8;
+            if dist > 0 && k + dist + 8 <= ranges[i].1 {
+                let p = k + dist;
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8,
+                    );
+                }
+            }
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+            let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+            acc[i] = _mm512_fmadd_pd(vv, xv, acc[i]);
+        }
+    }
+    // Per-row remainder: leftover full steps, then a masked tail.
+    let mut out = [0.0f64; R];
+    for i in 0..R {
+        let (k0, k1) = ranges[i];
+        let mut k = k0 + steps * 8;
+        let mut a = acc[i];
+        while k + 8 <= k1 {
+            if dist > 0 && k + dist + 8 <= k1 {
+                let p = k + dist;
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8,
+                    );
+                }
+            }
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+            let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+            a = _mm512_fmadd_pd(vv, xv, a);
+            k += 8;
+        }
+        let rem = k1 - k;
+        if rem > 0 {
+            let m: __mmask8 = (1u8 << rem) - 1;
+            let mut buf = [0u32; 8];
+            buf[..rem].copy_from_slice(&cols[k..k1]);
+            let idx = _mm256_loadu_si256(buf.as_ptr() as *const __m256i);
+            let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+            let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(k));
+            a = _mm512_fmadd_pd(vv, xv, a);
+        }
+        out[i] = _mm512_reduce_add_pd(a);
+    }
+    out
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn sell_chunk_avx512_pf(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64], pf: usize) {
+    let steps = vals.len() / 8;
+    let dist = pf * 8;
+    let mut a = _mm512_loadu_pd(acc.as_ptr());
+    for s in 0..steps {
+        let base = s * 8;
+        if dist > 0 && base + dist + 8 <= vals.len() {
+            let p = base + dist;
+            for j in 0..8 {
+                _mm_prefetch::<_MM_HINT_T0>(
+                    x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8
+                );
+            }
+        }
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+        let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    _mm512_storeu_pd(acc.as_mut_ptr(), a);
+}
+
+/// Masked SELL chunk for heights 1..8 (c not in {4,8} dispatch case).
+#[target_feature(enable = "avx512f")]
+unsafe fn sell_chunk_avx512_masked(
+    vals: &[f64],
+    cols: &[u32],
+    c: usize,
+    x: &[f64],
+    acc: &mut [f64],
+    pf: usize,
+) {
+    let steps = vals.len() / c;
+    if steps == 0 {
+        return;
+    }
+    let m: __mmask8 = (1u16 << c) as u8 - 1;
+    let dist = pf * c;
+    let mut a = _mm512_maskz_loadu_pd(m, acc.as_ptr());
+    // All but the last step may read a full 8-lane index block: the
+    // inactive lanes land inside the next step's entries.
+    for s in 0..steps - 1 {
+        let base = s * c;
+        if dist > 0 && base + dist + c <= vals.len() {
+            let p = base + dist;
+            for j in 0..c {
+                _mm_prefetch::<_MM_HINT_T0>(
+                    x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8
+                );
+            }
+        }
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+        let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    let base = (steps - 1) * c;
+    let mut buf = [0u32; 8];
+    buf[..c].copy_from_slice(&cols[base..base + c]);
+    let idx = _mm256_loadu_si256(buf.as_ptr() as *const __m256i);
+    let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+    let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(base));
+    a = _mm512_fmadd_pd(vv, xv, a);
+    for l in 0..c {
+        let mut t = [0.0f64; 8];
+        _mm512_storeu_pd(t.as_mut_ptr(), a);
+        acc[l] = t[l];
+        break;
+    }
+    let mut t = [0.0f64; 8];
+    _mm512_storeu_pd(t.as_mut_ptr(), a);
+    acc[..c].copy_from_slice(&t[..c]);
+}
+
+fn ulp(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    fn key(x: f64) -> i64 {
+        let b = x.to_bits() as i64;
+        if b < 0 {
+            i64::MIN.wrapping_add(b.wrapping_neg())
+        } else {
+            b
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+

@@ -1,0 +1,368 @@
+//! Standalone harness: validates the planned MLP kernel shapes on rustc
+//! stable (intrinsic signatures, target_feature on const-generic fns)
+//! and measures scalar vs v8 vs v8+pf vs v8+pf+il throughput.
+#![allow(dead_code)]
+use std::arch::x86_64::*;
+use std::time::Instant;
+
+// --- tiny deterministic rng (no deps) ---
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn csr_row_scalar(vals: &[f64], cols: &[u32], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (v, &c) in vals.iter().zip(cols) {
+        acc += v * x[c as usize];
+    }
+    acc
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn csr_rows_avx512<const R: usize>(
+    ranges: &[(usize, usize); R],
+    vals: &[f64],
+    cols: &[u32],
+    x: &[f64],
+    pf: usize,
+) -> [f64; R] {
+    let dist = pf * 8;
+    let mut acc = [_mm512_setzero_pd(); R];
+    // Interleaved phase: all R rows advance one vector step per round.
+    let mut steps = usize::MAX;
+    for r in ranges.iter().take(R) {
+        steps = steps.min((r.1 - r.0) / 8);
+    }
+    for s in 0..steps {
+        for i in 0..R {
+            let k = ranges[i].0 + s * 8;
+            if dist > 0 && k + dist + 8 <= ranges[i].1 {
+                let p = k + dist;
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8,
+                    );
+                }
+            }
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+            let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+            acc[i] = _mm512_fmadd_pd(vv, xv, acc[i]);
+        }
+    }
+    // Per-row remainder: leftover full steps, then a masked tail.
+    let mut out = [0.0f64; R];
+    for i in 0..R {
+        let (k0, k1) = ranges[i];
+        let mut k = k0 + steps * 8;
+        let mut a = acc[i];
+        while k + 8 <= k1 {
+            if dist > 0 && k + dist + 8 <= k1 {
+                let p = k + dist;
+                for j in 0..8 {
+                    _mm_prefetch::<_MM_HINT_T0>(
+                        x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8,
+                    );
+                }
+            }
+            let idx = _mm256_loadu_si256(cols.as_ptr().add(k) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+            let vv = _mm512_loadu_pd(vals.as_ptr().add(k));
+            a = _mm512_fmadd_pd(vv, xv, a);
+            k += 8;
+        }
+        let rem = k1 - k;
+        if rem > 0 {
+            let m: __mmask8 = (1u8 << rem) - 1;
+            let mut buf = [0u32; 8];
+            buf[..rem].copy_from_slice(&cols[k..k1]);
+            let idx = _mm256_loadu_si256(buf.as_ptr() as *const __m256i);
+            let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+            let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(k));
+            a = _mm512_fmadd_pd(vv, xv, a);
+        }
+        out[i] = _mm512_reduce_add_pd(a);
+    }
+    out
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn sell_chunk_avx512_pf(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64], pf: usize) {
+    let steps = vals.len() / 8;
+    let dist = pf * 8;
+    let mut a = _mm512_loadu_pd(acc.as_ptr());
+    for s in 0..steps {
+        let base = s * 8;
+        if dist > 0 && base + dist + 8 <= vals.len() {
+            let p = base + dist;
+            for j in 0..8 {
+                _mm_prefetch::<_MM_HINT_T0>(
+                    x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8
+                );
+            }
+        }
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+        let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    _mm512_storeu_pd(acc.as_mut_ptr(), a);
+}
+
+/// Masked SELL chunk for heights 1..8 (c not in {4,8} dispatch case).
+#[target_feature(enable = "avx512f")]
+unsafe fn sell_chunk_avx512_masked(
+    vals: &[f64],
+    cols: &[u32],
+    c: usize,
+    x: &[f64],
+    acc: &mut [f64],
+    pf: usize,
+) {
+    let steps = vals.len() / c;
+    if steps == 0 {
+        return;
+    }
+    let m: __mmask8 = (1u16 << c) as u8 - 1;
+    let dist = pf * c;
+    let mut a = _mm512_maskz_loadu_pd(m, acc.as_ptr());
+    // All but the last step may read a full 8-lane index block: the
+    // inactive lanes land inside the next step's entries.
+    for s in 0..steps - 1 {
+        let base = s * c;
+        if dist > 0 && base + dist + c <= vals.len() {
+            let p = base + dist;
+            for j in 0..c {
+                _mm_prefetch::<_MM_HINT_T0>(
+                    x.as_ptr().add(*cols.get_unchecked(p + j) as usize) as *const i8
+                );
+            }
+        }
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+        let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    let base = (steps - 1) * c;
+    let mut buf = [0u32; 8];
+    buf[..c].copy_from_slice(&cols[base..base + c]);
+    let idx = _mm256_loadu_si256(buf.as_ptr() as *const __m256i);
+    let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), m, idx, x.as_ptr());
+    let vv = _mm512_maskz_loadu_pd(m, vals.as_ptr().add(base));
+    a = _mm512_fmadd_pd(vv, xv, a);
+    for l in 0..c {
+        let mut t = [0.0f64; 8];
+        _mm512_storeu_pd(t.as_mut_ptr(), a);
+        acc[l] = t[l];
+        break;
+    }
+    let mut t = [0.0f64; 8];
+    _mm512_storeu_pd(t.as_mut_ptr(), a);
+    acc[..c].copy_from_slice(&t[..c]);
+}
+
+fn ulp(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    fn key(x: f64) -> i64 {
+        let b = x.to_bits() as i64;
+        if b < 0 {
+            i64::MIN.wrapping_add(b.wrapping_neg())
+        } else {
+            b
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+fn main() {
+    assert!(is_x86_feature_detected!("avx512f"), "need avx512f host");
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    // Long-row CSR problem: rows of ~512 nnz, x big enough to miss LLC.
+    let ncols: usize = 1 << 22; // 32 MB x vector
+    let nrows: usize = 4096;
+    let row_len: usize = 509; // odd: exercises masked tail
+    let n = nrows * row_len;
+    let vals: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+    let cols: Vec<u32> = (0..n).map(|_| rng.below(ncols as u64) as u32).collect();
+    let x: Vec<f64> = (0..ncols).map(|_| rng.f64()).collect();
+    let row_ptr: Vec<usize> = (0..=nrows).map(|r| r * row_len).collect();
+
+    // --- parity: every (pf, R) combo vs scalar ---
+    let mut worst = 0u64;
+    for r in 0..64 {
+        let (k0, k1) = (row_ptr[r], row_ptr[r + 1]);
+        let want = csr_row_scalar(&vals[k0..k1], &cols[k0..k1], &x);
+        for pf in [0usize, 1, 2, 4, 8] {
+            let got1 = unsafe { csr_rows_avx512::<1>(&[(k0, k1)], &vals, &cols, &x, pf) }[0];
+            let got2 = unsafe {
+                csr_rows_avx512::<2>(&[(k0, k1), (k0, k1)], &vals, &cols, &x, pf)
+            }[1];
+            let got4 = unsafe {
+                csr_rows_avx512::<4>(&[(k0, k1); 4], &vals, &cols, &x, pf)
+            }[3];
+            assert_eq!(got1.to_bits(), got2.to_bits(), "R must be pure scheduling");
+            assert_eq!(got1.to_bits(), got4.to_bits(), "R must be pure scheduling");
+            worst = worst.max(ulp(got1, want));
+        }
+    }
+    println!("csr parity worst ulp vs scalar: {worst}");
+    assert!(worst <= 1024);
+
+    // masked SELL parity for odd heights
+    for c in [2usize, 3, 5, 6, 7] {
+        let steps = 97;
+        let sv: Vec<f64> = (0..steps * c).map(|_| rng.f64()).collect();
+        let sc: Vec<u32> = (0..steps * c).map(|_| rng.below(ncols as u64) as u32).collect();
+        let mut want = vec![0.25f64; c];
+        for s in 0..steps {
+            for l in 0..c {
+                want[l] += sv[s * c + l] * x[sc[s * c + l] as usize];
+            }
+        }
+        for pf in [0usize, 4] {
+            let mut got = vec![0.25f64; c];
+            unsafe { sell_chunk_avx512_masked(&sv, &sc, c, &x, &mut got, pf) };
+            for l in 0..c {
+                assert!(ulp(got[l], want[l]) <= 1024, "c={c} lane {l}");
+            }
+        }
+    }
+    println!("masked sell parity ok (c in 2..8)");
+
+    // --- timing ---
+    let mut y = vec![0.0f64; nrows];
+    let time = |f: &mut dyn FnMut(&mut [f64]), y: &mut [f64]| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let t = Instant::now();
+            f(y);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut scalar = |y: &mut [f64]| {
+        for r in 0..nrows {
+            y[r] = csr_row_scalar(&vals[row_ptr[r]..row_ptr[r + 1]], &cols[row_ptr[r]..row_ptr[r + 1]], &x);
+        }
+    };
+    let t_scalar = time(&mut scalar, &mut y);
+    let y_ref = y.clone();
+
+    for (pf, il, tag) in [
+        (0usize, 1usize, "v8            "),
+        (2, 1, "v8 pf2        "),
+        (4, 1, "v8 pf4        "),
+        (8, 1, "v8 pf8        "),
+        (0, 2, "v8 il2        "),
+        (0, 4, "v8 il4        "),
+        (2, 2, "v8 pf2 il2    "),
+        (2, 4, "v8 pf2 il4    "),
+        (4, 2, "v8 pf4 il2    "),
+        (4, 4, "v8 pf4 il4    "),
+        (8, 4, "v8 pf8 il4    "),
+    ] {
+        let mut f = |y: &mut [f64]| {
+            let mut r = 0;
+            match il {
+                4 => {
+                    while r + 4 <= nrows {
+                        let rg = [
+                            (row_ptr[r], row_ptr[r + 1]),
+                            (row_ptr[r + 1], row_ptr[r + 2]),
+                            (row_ptr[r + 2], row_ptr[r + 3]),
+                            (row_ptr[r + 3], row_ptr[r + 4]),
+                        ];
+                        let o = unsafe { csr_rows_avx512::<4>(&rg, &vals, &cols, &x, pf) };
+                        y[r..r + 4].copy_from_slice(&o);
+                        r += 4;
+                    }
+                }
+                2 => {
+                    while r + 2 <= nrows {
+                        let rg = [(row_ptr[r], row_ptr[r + 1]), (row_ptr[r + 1], row_ptr[r + 2])];
+                        let o = unsafe { csr_rows_avx512::<2>(&rg, &vals, &cols, &x, pf) };
+                        y[r..r + 2].copy_from_slice(&o);
+                        r += 2;
+                    }
+                }
+                _ => {}
+            }
+            while r < nrows {
+                let rg = [(row_ptr[r], row_ptr[r + 1])];
+                y[r] = unsafe { csr_rows_avx512::<1>(&rg, &vals, &cols, &x, pf) }[0];
+                r += 1;
+            }
+        };
+        let t = time(&mut f, &mut y);
+        for r in 0..nrows {
+            assert!(ulp(y[r], y_ref[r]) <= 1024 || (y[r] - y_ref[r]).abs() < 1e-9, "{tag} row {r}");
+        }
+        println!("csr {tag} {:8.3} ms  speedup {:5.2}x", t * 1e3, t_scalar / t);
+    }
+    println!("csr scalar         {:8.3} ms", t_scalar * 1e3);
+
+    // --- SELL c=8 timing: pack rows 8-at-a-time (uniform length: no padding) ---
+    let c = 8usize;
+    let nch = nrows / c;
+    let width = row_len;
+    let mut pv = vec![0.0f64; nch * width * c];
+    let mut pc = vec![0u32; nch * width * c];
+    for ch in 0..nch {
+        for lane in 0..c {
+            let r = ch * c + lane;
+            for j in 0..width {
+                pv[ch * width * c + j * c + lane] = vals[row_ptr[r] + j];
+                pc[ch * width * c + j * c + lane] = cols[row_ptr[r] + j];
+            }
+        }
+    }
+    let mut sell_scalar = |y: &mut [f64]| {
+        for ch in 0..nch {
+            let base = ch * width * c;
+            let mut acc = [0.0f64; 8];
+            for s in 0..width {
+                for l in 0..c {
+                    acc[l] += pv[base + s * c + l] * x[pc[base + s * c + l] as usize];
+                }
+            }
+            y[ch * c..ch * c + c].copy_from_slice(&acc);
+        }
+    };
+    let ts = time(&mut sell_scalar, &mut y);
+    for pf in [0usize, 1, 2, 4, 8, 16] {
+        let mut f = |y: &mut [f64]| {
+            for ch in 0..nch {
+                let base = ch * width * c;
+                let mut acc = [0.0f64; 8];
+                unsafe {
+                    sell_chunk_avx512_pf(
+                        &pv[base..base + width * c],
+                        &pc[base..base + width * c],
+                        &x,
+                        &mut acc,
+                        pf,
+                    )
+                };
+                y[ch * c..ch * c + c].copy_from_slice(&acc);
+            }
+        };
+        let t = time(&mut f, &mut y);
+        println!("sell c8 pf{pf:<2}      {:8.3} ms  speedup {:5.2}x", t * 1e3, ts / t);
+    }
+    println!("sell c8 scalar     {:8.3} ms", ts * 1e3);
+}

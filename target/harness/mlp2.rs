@@ -1,0 +1,95 @@
+//! Regime 2: cache-resident x (the bench_regress probe shape) — gather
+//! latency bound, not DRAM bound.
+include!("kernels.rs");
+
+fn main() {
+    assert!(is_x86_feature_detected!("avx512f"));
+    let mut rng = Rng(0x12345678abcdef01);
+    for (ncols, nrows, row_len, tag) in [
+        (8192usize, 8192usize, 16usize, "short-row L2x"),
+        (8192, 2048, 64, "mid-row   L2x"),
+        (65536, 2048, 256, "long-row  LLCx"),
+    ] {
+        let n = nrows * row_len;
+        let vals: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let cols: Vec<u32> = (0..n).map(|_| rng.below(ncols as u64) as u32).collect();
+        let x: Vec<f64> = (0..ncols).map(|_| rng.f64()).collect();
+        let row_ptr: Vec<usize> = (0..=nrows).map(|r| r * row_len).collect();
+        let mut y = vec![0.0f64; nrows];
+        let iters = (40_000_000 / n).max(3);
+        let time = |f: &mut dyn FnMut(&mut [f64]), y: &mut [f64]| -> f64 {
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t = Instant::now();
+                for _ in 0..iters { f(y); }
+                best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+            }
+            best
+        };
+        let mut scalar = |y: &mut [f64]| {
+            for r in 0..nrows {
+                y[r] = csr_row_scalar(&vals[row_ptr[r]..row_ptr[r+1]], &cols[row_ptr[r]..row_ptr[r+1]], &x);
+            }
+        };
+        let ts = time(&mut scalar, &mut y);
+        println!("--- {tag}: {nrows}x{ncols} len={row_len} scalar {:.3} ms", ts*1e3);
+        for (pf, il) in [(0usize,1usize),(2,1),(4,1),(0,2),(0,4),(2,2),(2,4),(4,4)] {
+            let mut f = |y: &mut [f64]| {
+                let mut r = 0;
+                if il == 4 {
+                    while r + 4 <= nrows {
+                        let rg = [(row_ptr[r],row_ptr[r+1]),(row_ptr[r+1],row_ptr[r+2]),(row_ptr[r+2],row_ptr[r+3]),(row_ptr[r+3],row_ptr[r+4])];
+                        let o = unsafe { csr_rows_avx512::<4>(&rg, &vals, &cols, &x, pf) };
+                        y[r..r+4].copy_from_slice(&o);
+                        r += 4;
+                    }
+                } else if il == 2 {
+                    while r + 2 <= nrows {
+                        let rg = [(row_ptr[r],row_ptr[r+1]),(row_ptr[r+1],row_ptr[r+2])];
+                        let o = unsafe { csr_rows_avx512::<2>(&rg, &vals, &cols, &x, pf) };
+                        y[r..r+2].copy_from_slice(&o);
+                        r += 2;
+                    }
+                }
+                while r < nrows {
+                    y[r] = unsafe { csr_rows_avx512::<1>(&[(row_ptr[r],row_ptr[r+1])], &vals, &cols, &x, pf) }[0];
+                    r += 1;
+                }
+            };
+            let t = time(&mut f, &mut y);
+            println!("  csr v8 pf{pf} il{il}: {:8.4} ms  speedup {:5.2}x", t*1e3, ts/t);
+        }
+        // SELL c8
+        let c = 8usize;
+        let nch = nrows / c;
+        let width = row_len;
+        let mut pv = vec![0.0f64; nch*width*c];
+        let mut pc = vec![0u32; nch*width*c];
+        for ch in 0..nch { for lane in 0..c { let r = ch*c+lane; for j in 0..width {
+            pv[ch*width*c + j*c + lane] = vals[row_ptr[r]+j];
+            pc[ch*width*c + j*c + lane] = cols[row_ptr[r]+j];
+        }}}
+        let mut ssc = |y: &mut [f64]| {
+            for ch in 0..nch {
+                let base = ch*width*c;
+                let mut acc = [0.0f64; 8];
+                for s in 0..width { for l in 0..c { acc[l] += pv[base+s*c+l] * x[pc[base+s*c+l] as usize]; } }
+                y[ch*c..ch*c+c].copy_from_slice(&acc);
+            }
+        };
+        let tss = time(&mut ssc, &mut y);
+        println!("  sell c8 scalar: {:8.4} ms", tss*1e3);
+        for pf in [0usize, 2, 4, 8] {
+            let mut f = |y: &mut [f64]| {
+                for ch in 0..nch {
+                    let base = ch*width*c;
+                    let mut acc = [0.0f64; 8];
+                    unsafe { sell_chunk_avx512_pf(&pv[base..base+width*c], &pc[base..base+width*c], &x, &mut acc, pf) };
+                    y[ch*c..ch*c+c].copy_from_slice(&acc);
+                }
+            };
+            let t = time(&mut f, &mut y);
+            println!("  sell c8 pf{pf}:    {:8.4} ms  speedup {:5.2}x", t*1e3, tss/t);
+        }
+    }
+}

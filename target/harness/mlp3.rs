@@ -1,0 +1,286 @@
+// Harness: SELL-c8 chunk kernels vs the repo's exact unchecked scalar
+// baseline (chunk_kernel::<8>), on an L2-resident x. Compares:
+//   scalar   : repo chunk_kernel::<8> (get_unchecked, autovectorizable)
+//   v8       : PR6 sell_chunk_avx512 (single acc chain)
+//   v8+pair  : two chunks interleaved (two independent acc chains)
+//   v8+pf    : single chain + software prefetch
+#![allow(dead_code)]
+use std::arch::x86_64::*;
+use std::time::Instant;
+
+struct Pack {
+    c: usize,
+    offsets: Vec<usize>, // per-chunk step offsets
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    rows: Vec<u32>, // row_order
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+// Build a sigma-sorted-ish SELL-c8 pack: nrows rows with skewed lengths.
+fn build(nrows: usize, ncols: usize, mean_len: usize, seed: u64) -> Pack {
+    let c = 8usize;
+    let mut s = seed;
+    let mut lens: Vec<usize> = (0..nrows)
+        .map(|_| {
+            // skewed: 80% short, 20% long-ish
+            let r = lcg(&mut s) % 100;
+            if r < 80 { mean_len / 2 + (lcg(&mut s) as usize % mean_len) } else { mean_len * 2 + (lcg(&mut s) as usize % (mean_len * 2)) }
+        })
+        .collect();
+    // sigma-sort within windows of 512
+    let mut order: Vec<u32> = (0..nrows as u32).collect();
+    for win in order.chunks_mut(512) {
+        win.sort_by(|&a, &b| lens[b as usize].cmp(&lens[a as usize]));
+    }
+    let nchunks = (nrows + c - 1) / c;
+    let mut offsets = vec![0usize; nchunks + 1];
+    for k in 0..nchunks {
+        let w = (0..c)
+            .filter_map(|l| order.get(k * c + l))
+            .map(|&r| lens[r as usize])
+            .max()
+            .unwrap_or(0);
+        offsets[k + 1] = offsets[k] + w;
+    }
+    let total = offsets[nchunks] * c;
+    let mut cols = vec![0u32; total];
+    let mut vals = vec![0.0f64; total];
+    for k in 0..nchunks {
+        let base = offsets[k] * c;
+        for l in 0..c {
+            let Some(&r) = order.get(k * c + l) else { continue };
+            for j in 0..lens[r as usize] {
+                cols[base + j * c + l] = (lcg(&mut s) % ncols as u64) as u32;
+                vals[base + j * c + l] = (lcg(&mut s) % 1000) as f64 / 500.0 - 1.0;
+            }
+        }
+    }
+    lens.clear();
+    Pack { c, offsets, cols, vals, rows: order }
+}
+
+// Repo chunk_kernel::<8>: unchecked scalar, autovectorizable.
+#[inline]
+fn chunk_scalar(p: &Pack, x: &[f64], y: &mut [f64], k: usize) {
+    const C: usize = 8;
+    let w0 = p.offsets[k];
+    let w1 = p.offsets[k + 1];
+    let vals = &p.vals[w0 * C..w1 * C];
+    let cols = &p.cols[w0 * C..w1 * C];
+    let mut acc = [0.0f64; C];
+    for (vrow, crow) in vals.chunks_exact(C).zip(cols.chunks_exact(C)) {
+        for l in 0..C {
+            unsafe {
+                let c = *crow.get_unchecked(l) as usize;
+                acc[l] += *vrow.get_unchecked(l) * *x.get_unchecked(c);
+            }
+        }
+    }
+    for l in 0..C {
+        if let Some(&r) = p.rows.get(k * C + l) {
+            y[r as usize] += acc[l];
+        }
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn sell8(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64]) {
+    let steps = vals.len() / 8;
+    let mut a = _mm512_loadu_pd(acc.as_ptr());
+    for s in 0..steps {
+        let base = s * 8;
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+        let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    _mm512_storeu_pd(acc.as_mut_ptr(), a);
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn sell8_pf(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64], pf: usize) {
+    let steps = vals.len() / 8;
+    let mut a = _mm512_loadu_pd(acc.as_ptr());
+    let dist = pf * 8;
+    for s in 0..steps {
+        let base = s * 8;
+        if dist > 0 && base + dist + 8 <= vals.len() {
+            for j in 0..8 {
+                _mm_prefetch::<_MM_HINT_T0>(
+                    x.as_ptr().add(*cols.get_unchecked(base + dist + j) as usize) as *const i8,
+                );
+            }
+        }
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+        let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    _mm512_storeu_pd(acc.as_mut_ptr(), a);
+}
+
+// Two chunks (possibly different widths) interleaved: two acc chains.
+#[target_feature(enable = "avx512f")]
+unsafe fn sell8_pair(
+    v0: &[f64],
+    c0: &[u32],
+    v1: &[f64],
+    c1: &[u32],
+    x: &[f64],
+    a0: &mut [f64],
+    a1: &mut [f64],
+) {
+    let s0 = v0.len() / 8;
+    let s1 = v1.len() / 8;
+    let joint = s0.min(s1);
+    let mut acc0 = _mm512_loadu_pd(a0.as_ptr());
+    let mut acc1 = _mm512_loadu_pd(a1.as_ptr());
+    for s in 0..joint {
+        let b = s * 8;
+        let i0 = _mm256_loadu_si256(c0.as_ptr().add(b) as *const __m256i);
+        let i1 = _mm256_loadu_si256(c1.as_ptr().add(b) as *const __m256i);
+        let x0 = _mm512_i32gather_pd::<8>(i0, x.as_ptr());
+        let x1 = _mm512_i32gather_pd::<8>(i1, x.as_ptr());
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(v0.as_ptr().add(b)), x0, acc0);
+        acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(v1.as_ptr().add(b)), x1, acc1);
+    }
+    for s in joint..s0 {
+        let b = s * 8;
+        let i0 = _mm256_loadu_si256(c0.as_ptr().add(b) as *const __m256i);
+        let x0 = _mm512_i32gather_pd::<8>(i0, x.as_ptr());
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(v0.as_ptr().add(b)), x0, acc0);
+    }
+    for s in joint..s1 {
+        let b = s * 8;
+        let i1 = _mm256_loadu_si256(c1.as_ptr().add(b) as *const __m256i);
+        let x1 = _mm512_i32gather_pd::<8>(i1, x.as_ptr());
+        acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(v1.as_ptr().add(b)), x1, acc1);
+    }
+    _mm512_storeu_pd(a0.as_mut_ptr(), acc0);
+    _mm512_storeu_pd(a1.as_mut_ptr(), acc1);
+}
+
+fn chunk_slices<'a>(p: &'a Pack, k: usize) -> (&'a [f64], &'a [u32]) {
+    let w0 = p.offsets[k];
+    let w1 = p.offsets[k + 1];
+    (&p.vals[w0 * 8..w1 * 8], &p.cols[w0 * 8..w1 * 8])
+}
+
+fn scatter(p: &Pack, k: usize, acc: &[f64; 8], y: &mut [f64]) {
+    for l in 0..8 {
+        if let Some(&r) = p.rows.get(k * 8 + l) {
+            y[r as usize] += acc[l];
+        }
+    }
+}
+
+fn run(p: &Pack, x: &[f64], y: &mut [f64], mode: usize, pf: usize) {
+    let nchunks = p.offsets.len() - 1;
+    y.iter_mut().for_each(|v| *v = 0.0);
+    match mode {
+        0 => {
+            for k in 0..nchunks {
+                chunk_scalar(p, x, y, k);
+            }
+        }
+        1 => unsafe {
+            for k in 0..nchunks {
+                let (v, c) = chunk_slices(p, k);
+                let mut acc = [0.0f64; 8];
+                sell8(v, c, x, &mut acc);
+                scatter(p, k, &acc, y);
+            }
+        },
+        2 => unsafe {
+            let mut k = 0;
+            while k + 2 <= nchunks {
+                let (v0, c0) = chunk_slices(p, k);
+                let (v1, c1) = chunk_slices(p, k + 1);
+                let mut a0 = [0.0f64; 8];
+                let mut a1 = [0.0f64; 8];
+                sell8_pair(v0, c0, v1, c1, x, &mut a0, &mut a1);
+                scatter(p, k, &a0, y);
+                scatter(p, k + 1, &a1, y);
+                k += 2;
+            }
+            while k < nchunks {
+                let (v, c) = chunk_slices(p, k);
+                let mut acc = [0.0f64; 8];
+                sell8(v, c, x, &mut acc);
+                scatter(p, k, &acc, y);
+                k += 1;
+            }
+        },
+        _ => unsafe {
+            for k in 0..nchunks {
+                let (v, c) = chunk_slices(p, k);
+                let mut acc = [0.0f64; 8];
+                sell8_pf(v, c, x, &mut acc, pf);
+                scatter(p, k, &acc, y);
+            }
+        },
+    }
+}
+
+fn bench(p: &Pack, x: &[f64], name: &str, mode: usize, pf: usize, base: f64) -> f64 {
+    let mut y = vec![0.0f64; p.rows.len()];
+    // warm
+    for _ in 0..3 {
+        run(p, x, &mut y, mode, pf);
+    }
+    let iters = 60;
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            run(p, x, &mut y, mode, pf);
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    let sp = if base > 0.0 { base / best } else { 1.0 };
+    println!("  {name:>12}: {:8.1} us  speedup {:.2}x  (y[0]={:.3})", best * 1e6, sp, y[0]);
+    best
+}
+
+fn parity(p: &Pack, x: &[f64]) {
+    let mut y0 = vec![0.0f64; p.rows.len()];
+    run(p, x, &mut y0, 0, 0);
+    for (mode, pf, tag) in [(1, 0, "v8"), (2, 0, "pair"), (3, 4, "pf4")] {
+        let mut y = vec![0.0f64; p.rows.len()];
+        run(p, x, &mut y, mode, pf);
+        let mut worst = 0u64;
+        for (a, b) in y.iter().zip(&y0) {
+            if a == b {
+                continue;
+            }
+            let d = (a.to_bits() as i64).abs_diff(b.to_bits() as i64);
+            worst = worst.max(d);
+            assert!(d < 1024 || (a - b).abs() < 1e-9, "{tag}: {a} vs {b}");
+        }
+        println!("  parity {tag}: worst {worst} ulps");
+    }
+}
+
+fn main() {
+    let mut s = 7u64;
+    for &(nrows, ncols, mean, tag) in &[
+        (8192usize, 8192usize, 16usize, "L2x short (bench probe shape)"),
+        (2048, 8192, 64, "L2x mid"),
+        (2048, 65536, 256, "LLCx long"),
+    ] {
+        let p = build(nrows, ncols, mean, 42);
+        let x: Vec<f64> = (0..ncols).map(|_| (lcg(&mut s) % 1000) as f64 / 500.0 - 1.0).collect();
+        let nnz = p.offsets.last().unwrap() * 8;
+        println!("== {tag}: {nrows}x{ncols}, padded nnz {nnz} ==");
+        parity(&p, &x);
+        let base = bench(&p, &x, "scalar", 0, 0, 0.0);
+        bench(&p, &x, "v8", 1, 0, base);
+        bench(&p, &x, "v8+pair", 2, 0, base);
+        bench(&p, &x, "v8+pf4", 3, 4, base);
+    }
+}

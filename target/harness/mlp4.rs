@@ -1,0 +1,260 @@
+// Probe-faithful harness: RMAT MedSkew s13 d16 -> Sell-c-sigma(8, 512),
+// repo-equivalent unchecked scalar chunk kernel vs avx512 variants.
+#![allow(dead_code)]
+use std::arch::x86_64::*;
+use std::time::Instant;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+fn unif(state: &mut u64) -> f64 {
+    (lcg(state) as f64) / ((1u64 << 31) as f64)
+}
+
+struct Pack {
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+    rows: Vec<u32>,
+}
+
+// RMAT MedSkew sample + dedup -> per-row sorted column lists.
+fn rmat(scale: u32, degree: usize, seed: u64) -> Vec<Vec<u32>> {
+    let n = 1usize << scale;
+    let (a, b, c, _d) = (0.46f64, 0.22f64, 0.22f64, 0.10f64);
+    let mut s = seed;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * degree);
+    for _ in 0..n * degree {
+        let (mut r, mut col) = (0u32, 0u32);
+        for _ in 0..scale {
+            let u = unif(&mut s);
+            r <<= 1;
+            col <<= 1;
+            if u < a {
+            } else if u < a + b {
+                col |= 1;
+            } else if u < a + b + c {
+                r |= 1;
+            } else {
+                r |= 1;
+                col |= 1;
+            }
+        }
+        edges.push((r, col));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let mut rows = vec![Vec::new(); n];
+    for (r, c) in edges {
+        rows[r as usize].push(c);
+    }
+    rows
+}
+
+fn pack_sell(rowlists: &[Vec<u32>], sigma: usize, seed: u64) -> Pack {
+    let c = 8usize;
+    let nrows = rowlists.len();
+    let mut order: Vec<u32> = (0..nrows as u32).collect();
+    for win in order.chunks_mut(sigma) {
+        win.sort_by(|&a, &b| rowlists[b as usize].len().cmp(&rowlists[a as usize].len()));
+    }
+    let nchunks = (nrows + c - 1) / c;
+    let mut offsets = vec![0usize; nchunks + 1];
+    for k in 0..nchunks {
+        let w = (0..c)
+            .filter_map(|l| order.get(k * c + l))
+            .map(|&r| rowlists[r as usize].len())
+            .max()
+            .unwrap_or(0);
+        offsets[k + 1] = offsets[k] + w;
+    }
+    let total = offsets[nchunks] * c;
+    let mut cols = vec![0u32; total];
+    let mut vals = vec![0.0f64; total];
+    let mut s = seed;
+    for k in 0..nchunks {
+        let base = offsets[k] * c;
+        for l in 0..c {
+            let Some(&r) = order.get(k * c + l) else { continue };
+            for (j, &cc) in rowlists[r as usize].iter().enumerate() {
+                cols[base + j * c + l] = cc;
+                vals[base + j * c + l] = 0.5 + unif(&mut s);
+            }
+        }
+    }
+    Pack { offsets, cols, vals, rows: order }
+}
+
+#[inline]
+fn chunk_scalar(p: &Pack, x: &[f64], y: &mut [f64], k: usize) {
+    const C: usize = 8;
+    let w0 = p.offsets[k];
+    let w1 = p.offsets[k + 1];
+    let vals = &p.vals[w0 * C..w1 * C];
+    let cols = &p.cols[w0 * C..w1 * C];
+    let mut acc = [0.0f64; C];
+    for (vrow, crow) in vals.chunks_exact(C).zip(cols.chunks_exact(C)) {
+        for l in 0..C {
+            unsafe {
+                let c = *crow.get_unchecked(l) as usize;
+                acc[l] += *vrow.get_unchecked(l) * *x.get_unchecked(c);
+            }
+        }
+    }
+    for l in 0..C {
+        if let Some(&r) = p.rows.get(k * C + l) {
+            y[r as usize] += acc[l];
+        }
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn sell8_pf(vals: &[f64], cols: &[u32], x: &[f64], acc: &mut [f64], dist: usize) {
+    let steps = vals.len() / 8;
+    let mut a = _mm512_loadu_pd(acc.as_ptr());
+    for s in 0..steps {
+        let base = s * 8;
+        if dist > 0 && base + dist + 8 <= vals.len() {
+            for j in 0..8 {
+                _mm_prefetch::<_MM_HINT_T0>(
+                    x.as_ptr().add(*cols.get_unchecked(base + dist + j) as usize) as *const i8,
+                );
+            }
+        }
+        let idx = _mm256_loadu_si256(cols.as_ptr().add(base) as *const __m256i);
+        let xv = _mm512_i32gather_pd::<8>(idx, x.as_ptr());
+        let vv = _mm512_loadu_pd(vals.as_ptr().add(base));
+        a = _mm512_fmadd_pd(vv, xv, a);
+    }
+    _mm512_storeu_pd(acc.as_mut_ptr(), a);
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn sell8_pair(
+    v0: &[f64],
+    c0: &[u32],
+    v1: &[f64],
+    c1: &[u32],
+    x: &[f64],
+    a0: &mut [f64],
+    a1: &mut [f64],
+) {
+    let s0 = v0.len() / 8;
+    let s1 = v1.len() / 8;
+    let joint = s0.min(s1);
+    let mut acc0 = _mm512_loadu_pd(a0.as_ptr());
+    let mut acc1 = _mm512_loadu_pd(a1.as_ptr());
+    for s in 0..joint {
+        let b = s * 8;
+        let i0 = _mm256_loadu_si256(c0.as_ptr().add(b) as *const __m256i);
+        let i1 = _mm256_loadu_si256(c1.as_ptr().add(b) as *const __m256i);
+        let x0 = _mm512_i32gather_pd::<8>(i0, x.as_ptr());
+        let x1 = _mm512_i32gather_pd::<8>(i1, x.as_ptr());
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(v0.as_ptr().add(b)), x0, acc0);
+        acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(v1.as_ptr().add(b)), x1, acc1);
+    }
+    for s in joint..s0 {
+        let b = s * 8;
+        let i0 = _mm256_loadu_si256(c0.as_ptr().add(b) as *const __m256i);
+        let x0 = _mm512_i32gather_pd::<8>(i0, x.as_ptr());
+        acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(v0.as_ptr().add(b)), x0, acc0);
+    }
+    for s in joint..s1 {
+        let b = s * 8;
+        let i1 = _mm256_loadu_si256(c1.as_ptr().add(b) as *const __m256i);
+        let x1 = _mm512_i32gather_pd::<8>(i1, x.as_ptr());
+        acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(v1.as_ptr().add(b)), x1, acc1);
+    }
+    _mm512_storeu_pd(a0.as_mut_ptr(), acc0);
+    _mm512_storeu_pd(a1.as_mut_ptr(), acc1);
+}
+
+fn chunk_slices<'a>(p: &'a Pack, k: usize) -> (&'a [f64], &'a [u32]) {
+    let w0 = p.offsets[k];
+    let w1 = p.offsets[k + 1];
+    (&p.vals[w0 * 8..w1 * 8], &p.cols[w0 * 8..w1 * 8])
+}
+fn scatter(p: &Pack, k: usize, acc: &[f64; 8], y: &mut [f64]) {
+    for l in 0..8 {
+        if let Some(&r) = p.rows.get(k * 8 + l) {
+            y[r as usize] += acc[l];
+        }
+    }
+}
+
+fn run(p: &Pack, x: &[f64], y: &mut [f64], mode: usize, pf: usize) {
+    let nchunks = p.offsets.len() - 1;
+    y.iter_mut().for_each(|v| *v = 0.0);
+    match mode {
+        0 => {
+            for k in 0..nchunks {
+                chunk_scalar(p, x, y, k);
+            }
+        }
+        1 => unsafe {
+            for k in 0..nchunks {
+                let (v, c) = chunk_slices(p, k);
+                let mut acc = [0.0f64; 8];
+                sell8_pf(v, c, x, &mut acc, pf * 8);
+                scatter(p, k, &acc, y);
+            }
+        },
+        _ => unsafe {
+            let mut k = 0;
+            while k + 2 <= nchunks {
+                let (v0, c0) = chunk_slices(p, k);
+                let (v1, c1) = chunk_slices(p, k + 1);
+                let mut a0 = [0.0f64; 8];
+                let mut a1 = [0.0f64; 8];
+                sell8_pair(v0, c0, v1, c1, x, &mut a0, &mut a1);
+                scatter(p, k, &a0, y);
+                scatter(p, k + 1, &a1, y);
+                k += 2;
+            }
+            while k < nchunks {
+                let (v, c) = chunk_slices(p, k);
+                let mut acc = [0.0f64; 8];
+                sell8_pf(v, c, x, &mut acc, 0);
+                scatter(p, k, &acc, y);
+                k += 1;
+            }
+        },
+    }
+}
+
+fn bench(p: &Pack, x: &[f64], name: &str, mode: usize, pf: usize, base: f64) -> f64 {
+    let mut y = vec![0.0f64; p.rows.len()];
+    for _ in 0..3 {
+        run(p, x, &mut y, mode, pf);
+    }
+    let iters = 100;
+    let mut best = f64::MAX;
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            run(p, x, &mut y, mode, pf);
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    let sp = if base > 0.0 { base / best } else { 1.0 };
+    println!("  {name:>10}: {:8.1} us  speedup {:.2}x", best * 1e6, sp);
+    best
+}
+
+fn main() {
+    let rows = rmat(13, 16, 42);
+    let nnz: usize = rows.iter().map(|r| r.len()).sum();
+    let p = pack_sell(&rows, 512, 7);
+    let padded = p.offsets.last().unwrap() * 8;
+    println!("rmat s13 d16: nnz {nnz}, padded {padded}");
+    let mut s = 99u64;
+    let x: Vec<f64> = (0..rows.len()).map(|_| 0.5 + unif(&mut s)).collect();
+    let base = bench(&p, &x, "scalar", 0, 0, 0.0);
+    bench(&p, &x, "v8", 1, 0, base);
+    bench(&p, &x, "v8+pf2", 1, 2, base);
+    bench(&p, &x, "v8+pf4", 1, 4, base);
+    bench(&p, &x, "v8+pair", 2, 0, base);
+}
+
+// ---- appended experiments: split-chain and quad interleave ----

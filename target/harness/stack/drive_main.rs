@@ -1,0 +1,10 @@
+fn main() {
+    wise_trace::set_enabled(true);
+    for name in ["features.extract", "kernel.convert", "kernel.spmv", "estimate.batch", "label.corpus", "train.registry", "ml.fit", "pipeline.select"] {
+        let _s = wise_trace::span(name);
+        std::hint::black_box(0);
+    }
+    wise_trace::counter("kernel.spmv.nnz", 1000);
+    let events = wise_trace::take_events();
+    wise_trace::write_trace_files(&events, std::path::Path::new("/tmp/drive_trace.json")).unwrap();
+}

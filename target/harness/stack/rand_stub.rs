@@ -1,0 +1,95 @@
+//! Stub rand with the exact API surface the workspace uses:
+//! StdRng::seed_from_u64, gen::<f64>(), gen_range(Range<{f64,u32,usize,i64}>),
+//! SliceRandom::shuffle. Real (splitmix64) PRNG so tests can execute;
+//! the stream differs from upstream rand, which the tests tolerate.
+pub mod rngs {
+    pub struct StdRng {
+        pub(crate) s: u64,
+    }
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.s = self.s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { s: seed ^ 0xD1B54A32D192ED03 }
+    }
+}
+
+pub trait Standard: Sized {
+    fn make(u: u64) -> Self;
+}
+impl Standard for f64 {
+    fn make(u: u64) -> f64 {
+        (u >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl Standard for u64 {
+    fn make(u: u64) -> u64 {
+        u
+    }
+}
+impl Standard for u32 {
+    fn make(u: u64) -> u32 {
+        (u >> 32) as u32
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample(self, u: u64) -> T;
+}
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, u: u64) -> f64 {
+        self.start + f64::make(u) * (self.end - self.start)
+    }
+}
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, u: u64) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + (u % span.max(1)) as $t
+            }
+        }
+    )*};
+}
+int_range!(u32, usize, u64, i64, i32, u8);
+
+pub trait Rng {
+    fn next_word(&mut self) -> u64;
+    fn gen<T: Standard>(&mut self) -> T {
+        T::make(self.next_word())
+    }
+    fn gen_range<T, R: SampleRange<T>>(&mut self, r: R) -> T {
+        r.sample(self.next_word())
+    }
+}
+impl Rng for rngs::StdRng {
+    fn next_word(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        fn shuffle<R: crate::Rng>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_word() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Stub rayon: sequential std iterators behind the par_* names.
+pub mod prelude {
+    pub use crate::iter_ext::MapInitExt;
+    pub trait IntoParallelIterator: Sized + IntoIterator {
+        fn into_par_iter(self) -> <Self as IntoIterator>::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(n)
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+pub mod iter_ext {
+    pub trait MapInitExt: Iterator + Sized {
+        fn map_init<St, G, F, R>(self, mut init: G, mut f: F) -> impl Iterator<Item = R>
+        where
+            G: FnMut() -> St,
+            F: FnMut(&mut St, Self::Item) -> R,
+        {
+            let mut st = init();
+            self.map(move |x| f(&mut st, x))
+        }
+    }
+    impl<I: Iterator> MapInitExt for I {}
+}

@@ -1,0 +1,14 @@
+//! Stub serde_derive: accepts the derives + #[serde(...)] attrs, emits
+//! nothing. Enough to typecheck/link the workspace libs offline.
+extern crate proc_macro;
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,10 @@
+//! Stub serde: blanket-implemented marker traits + no-op derives.
+pub use serde_derive::{Deserialize, Serialize};
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

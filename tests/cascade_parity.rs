@@ -225,7 +225,7 @@ fn stage_one_choice_round_trips_and_config_labels_parse() {
 #[test]
 fn probe_features_match_full_extractor_on_the_zoo() {
     // The cascade's safety argument rests on the probe being
-    // bit-identical to the full extractor on the 19 shared features —
+    // bit-identical to the full extractor on the 22 shared features —
     // re-checked here on the parity zoo (unit tests cover the rest).
     let config = FeatureConfig::default();
     for (tag, m) in zoo() {

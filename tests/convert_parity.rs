@@ -1,0 +1,71 @@
+//! Serial-vs-parallel conversion parity: `SrvPack::build` fans chunk
+//! filling out over the PR 4 worker pool, and the resulting pack must
+//! be **bit-identical** to [`SrvPack::build_serial`] — same row order,
+//! same offsets, same padded lanes, same value bits — for every packing
+//! policy and any thread count. Packing is pure data movement (no
+//! floating-point arithmetic), so the contract is exact equality, not
+//! an ulp bound; `PartialEq` on `SrvPack` compares every buffer.
+
+use wise_gen::{suite, RmatParams};
+use wise_kernels::srvpack::{PackConfig, SegmentSpec, SigmaSpec, SrvPack};
+use wise_matrix::coo::DupPolicy;
+use wise_matrix::{Coo, Csr};
+
+fn zoo() -> Vec<(&'static str, Csr)> {
+    let mut sparse_rect = Coo::new(12, 300);
+    sparse_rect.push(0, 299, 3.0).unwrap();
+    sparse_rect.push(3, 0, -1.0).unwrap();
+    sparse_rect.push(3, 150, 4.0).unwrap();
+    vec![
+        ("rmat-ragged", RmatParams::HIGH_SKEW.generate(9, 8, 1)),
+        ("rmat-short-rows", RmatParams::LOW_LOC.generate(8, 2, 2)),
+        ("empty-rows-rect", sparse_rect.to_csr(DupPolicy::Sum)),
+        ("zero", Csr::zero(17, 9)),
+        ("stencil2d", suite::stencil_2d(23, 29)),
+    ]
+}
+
+/// Every packing policy the catalog reaches, plus a masked chunk
+/// height (c = 5) the catalog does not.
+fn configs() -> Vec<PackConfig> {
+    vec![
+        PackConfig { c: 4, sigma: SigmaSpec::None, cfs: false, segments: SegmentSpec::One },
+        PackConfig { c: 8, sigma: SigmaSpec::None, cfs: false, segments: SegmentSpec::One },
+        PackConfig { c: 8, sigma: SigmaSpec::Window(64), cfs: false, segments: SegmentSpec::One },
+        PackConfig { c: 4, sigma: SigmaSpec::Full, cfs: false, segments: SegmentSpec::One },
+        PackConfig { c: 8, sigma: SigmaSpec::Full, cfs: true, segments: SegmentSpec::One },
+        PackConfig {
+            c: 8,
+            sigma: SigmaSpec::Full,
+            cfs: true,
+            segments: SegmentSpec::DenseFraction(0.8),
+        },
+        PackConfig { c: 5, sigma: SigmaSpec::Window(32), cfs: false, segments: SegmentSpec::One },
+    ]
+}
+
+#[test]
+fn parallel_build_is_bit_identical_to_serial_for_every_policy() {
+    for (tag, m) in zoo() {
+        for config in configs() {
+            let want = SrvPack::build_serial(&m, config);
+            for nthreads in [1usize, 2, 3, 7, 16] {
+                let got = SrvPack::build_with_threads(&m, config, nthreads);
+                assert_eq!(got, want, "{tag}: {config:?} at {nthreads} threads diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn default_build_uses_pool_and_matches_serial() {
+    // `build` (the path `MethodConfig::prepare` takes) routes through
+    // the pool at `default_threads()`; it must be the same oracle.
+    for (tag, m) in zoo() {
+        for config in configs() {
+            let want = SrvPack::build_serial(&m, config);
+            let got = SrvPack::build(&m, config);
+            assert_eq!(got, want, "{tag}: {config:?} default build diverged");
+        }
+    }
+}

@@ -18,7 +18,7 @@ use wise_gen::{suite, RmatParams};
 use wise_kernels::method::MethodConfig;
 use wise_kernels::simd::{self, SPMV_ABS_FLOOR, SPMV_MAX_ULPS};
 use wise_kernels::srvpack::SpmvWorkspace;
-use wise_kernels::SimdIsa;
+use wise_kernels::{Schedule, SimdIsa};
 use wise_matrix::coo::DupPolicy;
 use wise_matrix::{Coo, Csr};
 
@@ -36,6 +36,15 @@ struct RestoreIsa(SimdIsa);
 impl Drop for RestoreIsa {
     fn drop(&mut self) {
         simd::set_active(self.0);
+    }
+}
+
+/// Restores the saved `WISE_PREFETCH` override when dropped.
+struct RestorePrefetch(Option<usize>);
+
+impl Drop for RestorePrefetch {
+    fn drop(&mut self) {
+        simd::set_prefetch(self.0);
     }
 }
 
@@ -148,6 +157,145 @@ fn pre_simd_labels_still_parse_and_new_ones_round_trip() {
         }
     }
     assert_eq!(MethodConfig::parse("CSR-v8-Dyn").map(|c| c.v), Some(8));
+}
+
+#[test]
+fn mlp_knobs_never_change_results_bitwise() {
+    // The MLP contract from DESIGN.md §17: prefetch is a pure hint and
+    // interleaving only overlaps *independent* accumulator chains —
+    // each row's (or chunk's) own op order is identical to the solo
+    // kernel. Every explicit (D, R) setting must therefore be
+    // bit-for-bit the auto config, at every thread count.
+    let _g = lock_active_isa();
+    let picks = [
+        MethodConfig::csr(Schedule::Dyn),
+        MethodConfig::csr(Schedule::St),
+        MethodConfig::sellpack(8, Schedule::Dyn),
+        MethodConfig::sell_c_r(8),
+        MethodConfig::sell_c_sigma(4, 4096, Schedule::StCont),
+        MethodConfig::lav(8, 0.8),
+    ];
+    for (tag, m) in zoo() {
+        let x = dense_x(m.ncols(), 0xD15C0);
+        for cfg in picks {
+            for nthreads in [1usize, 2, 7] {
+                let base = run(&cfg, &m, &x, nthreads);
+                for pf in [1usize, 4, simd::MAX_PREFETCH] {
+                    for il in [1usize, 2, 5] {
+                        let knobbed = cfg.with_prefetch(pf).with_interleave(il);
+                        let got = run(&knobbed, &m, &x, nthreads);
+                        for (i, (g, w)) in got.iter().zip(&base).enumerate() {
+                            assert_eq!(
+                                g.to_bits(),
+                                w.to_bits(),
+                                "{tag}: {} row {i} at {nthreads} threads: {g} vs {w}",
+                                knobbed.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn masked_chunk_heights_stay_within_ulp_contract() {
+    // Chunk heights outside {4, 8} resolve to the AVX-512 masked-lane
+    // kernel where the host supports it; its FMA rounds once where the
+    // scalar oracle rounds twice, so the contract here is ulp
+    // closeness, not bit equality.
+    let _g = lock_active_isa();
+    for (tag, m) in zoo() {
+        let x = dense_x(m.ncols(), 0xAB1E);
+        for c in [2usize, 3, 5, 6, 7] {
+            let cfg = MethodConfig::sell_c_sigma(c, 1024, Schedule::Dyn);
+            for nthreads in [1usize, 3] {
+                let want = run(&cfg.with_simd(1), &m, &x, nthreads);
+                let got = run(&cfg, &m, &x, nthreads);
+                let ctx = format!("{tag}: {} at {nthreads} threads (masked height)", cfg.label());
+                simd::assert_ulp_close(&got, &want, SPMV_MAX_ULPS, SPMV_ABS_FLOOR, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_off_plus_scalar_isa_is_bitwise_pre_pr() {
+    // The `WISE_PREFETCH=0 WISE_SIMD=scalar` contract, exercised via
+    // the process-wide setters those variables feed (so the suite
+    // needs no subprocess): with both pinned, the default catalog is
+    // bit-for-bit the v = 1 scalar reference loop.
+    let _g = lock_active_isa();
+    let _risa = RestoreIsa(simd::active());
+    let _rpf = RestorePrefetch(simd::prefetch_override());
+    simd::set_active(SimdIsa::Scalar);
+    simd::set_prefetch(Some(0));
+    for (tag, m) in zoo() {
+        let x = dense_x(m.ncols(), 0x5EED);
+        for cfg in MethodConfig::catalog() {
+            let want = run(&cfg.with_simd(1), &m, &x, 2);
+            let got = run(&cfg, &m, &x, 2);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "{tag}: {} row {i}: {g} vs {w}", cfg.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_override_sweep_never_changes_numerics() {
+    // Every `WISE_PREFETCH` override value — off, short, the auto
+    // default, the clamp ceiling, and back to auto — leaves results
+    // bit-identical: the distance only changes *when* x lines arrive,
+    // never what is computed from them.
+    let _g = lock_active_isa();
+    let _rpf = RestorePrefetch(simd::prefetch_override());
+    let m = RmatParams::HIGH_SKEW.generate(9, 8, 1);
+    let x = dense_x(m.ncols(), 0x0DD5);
+    for cfg in [
+        MethodConfig::csr(Schedule::Dyn),
+        MethodConfig::sell_c_r(8),
+        MethodConfig::sellpack(4, Schedule::St),
+    ] {
+        simd::set_prefetch(None);
+        let base = run(&cfg, &m, &x, 2);
+        for ov in [Some(0), Some(1), Some(8), Some(simd::MAX_PREFETCH), None] {
+            simd::set_prefetch(ov);
+            let got = run(&cfg, &m, &x, 2);
+            for (i, (g, w)) in got.iter().zip(&base).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "{}: override {ov:?} row {i}: {g} vs {w}",
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wise_prefetch_grammar_accepts_distances_and_rejects_noise() {
+    // The parse path behind the `WISE_PREFETCH` knob: unset/`auto` →
+    // policy, `0` → off, big values clamp, and malformed input is an
+    // error (the runtime warns once and falls back to auto — it never
+    // silently changes numerics, per the sweep test above).
+    use wise_kernels::simd::{parse_wise_prefetch, PrefetchEnvError, MAX_PREFETCH};
+    assert_eq!(parse_wise_prefetch(None), Ok(None));
+    assert_eq!(parse_wise_prefetch(Some("auto")), Ok(None));
+    assert_eq!(parse_wise_prefetch(Some("AUTO")), Ok(None));
+    assert_eq!(parse_wise_prefetch(Some("0")), Ok(Some(0)));
+    assert_eq!(parse_wise_prefetch(Some(" 8 ")), Ok(Some(8)));
+    assert_eq!(parse_wise_prefetch(Some("4096")), Ok(Some(MAX_PREFETCH)));
+    assert_eq!(parse_wise_prefetch(Some("")), Err(PrefetchEnvError::Empty));
+    assert_eq!(parse_wise_prefetch(Some("   ")), Err(PrefetchEnvError::Empty));
+    for junk in ["-2", "fast", "8x", "0.5", "p4"] {
+        assert!(
+            matches!(parse_wise_prefetch(Some(junk)), Err(PrefetchEnvError::NotADistance(_))),
+            "{junk:?} should be rejected"
+        );
+    }
 }
 
 proptest! {
