@@ -23,7 +23,10 @@
 //! `--cascade-speedup-floor <x>` (minimum p50 cascade-vs-full selection
 //! speedup on the stage-7 latency probe; default 1.0 — the fast path
 //! must not lose. Skipped with a notice when the calibrated gate never
-//! accepts a probe matrix).
+//! accepts a probe matrix),
+//! `--telemetry-overhead-ceiling <x>` (maximum per-span slowdown of the
+//! streaming-sketch telemetry layer measured by the stage-8 probe;
+//! default 10.0 — observability must stay an epsilon on the workload).
 //!
 //! With PMU counters available the suite also runs a *residual* pass:
 //! every catalog config executes single-threaded under a counter
@@ -69,6 +72,7 @@ struct Args {
     simd_floor: f64,
     miss_rate_ceiling: Option<f64>,
     cascade_speedup_floor: f64,
+    telemetry_overhead_ceiling: f64,
 }
 
 fn parse_args() -> Args {
@@ -80,6 +84,7 @@ fn parse_args() -> Args {
         simd_floor: 1.0,
         miss_rate_ceiling: None,
         cascade_speedup_floor: 1.0,
+        telemetry_overhead_ceiling: 10.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -106,12 +111,18 @@ fn parse_args() -> Args {
                 args.cascade_speedup_floor =
                     raw.parse().expect("--cascade-speedup-floor: not a number");
             }
+            "--telemetry-overhead-ceiling" => {
+                let raw = it.next().expect("--telemetry-overhead-ceiling needs a number");
+                args.telemetry_overhead_ceiling =
+                    raw.parse().expect("--telemetry-overhead-ceiling: not a number");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_regress [--quick] [--ledger-dir <dir>] \
                      [--trace-out <path>] [--note <text>] [--simd-floor <x>] \
-                     [--miss-rate-ceiling <x>] [--cascade-speedup-floor <x>]"
+                     [--miss-rate-ceiling <x>] [--cascade-speedup-floor <x>] \
+                     [--telemetry-overhead-ceiling <x>]"
                 );
                 std::process::exit(2);
             }
@@ -218,7 +229,7 @@ fn main() {
     println!("== bench_regress: pinned suite (seed {SEED}, {mode} mode) ==");
 
     // ---- 1. Feature extraction on the fixed probes ------------------
-    report::progress("stage 1/7: feature extraction probes");
+    report::progress("stage 1/8: feature extraction probes");
     let probes = probe_matrices();
     let feature_config = FeatureConfig::default();
     for (name, m) in &probes {
@@ -228,7 +239,7 @@ fn main() {
     }
 
     // ---- 2. Registry fit on the pinned tiny corpus ------------------
-    report::progress("stage 2/7: label corpus + registry fit");
+    report::progress("stage 2/8: label corpus + registry fit");
     let scale = CorpusScale::tiny();
     let corpus = Corpus::full(&scale, SEED);
     let digest = corpus_digest(&probes, &corpus);
@@ -245,7 +256,7 @@ fn main() {
     let wise = Wise::from_labels(&labels, &opts);
 
     // ---- 3. SpMV catalog through the worker pool --------------------
-    report::progress("stage 3/7: SpMV catalog sweep");
+    report::progress("stage 3/8: SpMV catalog sweep");
     let (_, spmv_matrix) = &probes[0];
     let x: Vec<f64> = (0..spmv_matrix.ncols()).map(|i| (i as f64).sin()).collect();
     let mut y = vec![0.0; spmv_matrix.nrows()];
@@ -263,7 +274,7 @@ fn main() {
     // interleave pinned off, so the span stays comparable with records
     // written before the MLP kernels existed), and the MLP kernel with
     // the auto prefetch/interleave policies engaged.
-    report::progress("stage 4/7: SIMD throughput probe (scalar / vector / mlp)");
+    report::progress("stage 4/8: SIMD throughput probe (scalar / vector / mlp)");
     let isa = wise_kernels::simd::active();
     let (_, simd_matrix) = &probes[3];
     let simd_cfg = MethodConfig::sell_c_sigma(8, 512, Schedule::StCont);
@@ -325,7 +336,7 @@ fn main() {
     // compared to the cost model's prediction for the same prepared
     // representation. Skipped entirely — with an explicit notice — when
     // counters are off or denied, leaving the trace bit-identical.
-    report::progress("stage 5/7: cost-model residual probe");
+    report::progress("stage 5/8: cost-model residual probe");
     let pmu_status = wise_trace::pmu::status_label();
     if wise_trace::pmu::read_counts().is_some() {
         let (_, res_matrix) = &probes[3];
@@ -360,7 +371,7 @@ fn main() {
     }
 
     // ---- 6. End-to-end selection + model quality --------------------
-    report::progress("stage 6/7: end-to-end select + CV evaluation");
+    report::progress("stage 6/8: end-to-end select + CV evaluation");
     let choice = wise.select(spmv_matrix);
     wise.run_spmv(spmv_matrix, &choice, &x, &mut y, nthreads);
     println!("\n{}", explain_choice(wise.registry().catalog(), &choice));
@@ -382,7 +393,7 @@ fn main() {
     // exact pre-cascade pipeline) — under `bench.cascade.fast` /
     // `bench.cascade.full` latency samples. Stage-1 answers then run a
     // measured SpMV to feed the regret accumulator.
-    report::progress("stage 7/7: selection-latency probe (cascade vs full)");
+    report::progress("stage 7/8: selection-latency probe (cascade vs full)");
     wise_core::cascade::reset_regret();
     let full_wise = wise.clone().with_cascade_gate(None);
     let sel_iters = if args.quick { 3 } else { 10 };
@@ -433,9 +444,51 @@ fn main() {
             r.mean_ratio, r.observed
         );
     }
+    let drift = wise_core::drift::stats();
+    if drift.observed > 0 {
+        println!(
+            "drift monitor: {} ({} observed executions)",
+            drift.status.label(),
+            drift.observed
+        );
+    }
+
+    // ---- 8. Telemetry-overhead probe --------------------------------
+    // Times a hot span loop with the streaming-sketch layer on and off;
+    // the per-span ratio lands in the ledger and gates against
+    // `--telemetry-overhead-ceiling`, so the observability layer can
+    // never silently become the workload. The suite's events are
+    // drained *first* so the probe's ring traffic (discarded below)
+    // cannot overflow the ring and drop stage 1-7 samples out of the
+    // summary.
+    report::progress("stage 8/8: telemetry-overhead probe (streaming sketches on vs off)");
+    let events = wise_trace::take_events();
+    let overhead_iters: u32 = if args.quick { 20_000 } else { 50_000 };
+    let time_spans = |iters: u32| -> f64 {
+        let t0 = std::time::Instant::now();
+        for i in 0..iters {
+            let _s = wise_trace::span("bench.telemetry.probe");
+            black_box(i);
+        }
+        t0.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+    };
+    let telemetry_was_on = wise_trace::telemetry::telemetry_enabled();
+    wise_trace::telemetry::set_telemetry_enabled(true);
+    time_spans(overhead_iters / 10); // warm the span path + the sketch
+    let span_on_ns = time_spans(overhead_iters);
+    wise_trace::telemetry::set_telemetry_enabled(false);
+    time_spans(overhead_iters / 10);
+    let span_off_ns = time_spans(overhead_iters);
+    wise_trace::telemetry::set_telemetry_enabled(telemetry_was_on);
+    drop(wise_trace::take_events()); // discard the probe's ring traffic
+    let telemetry_overhead = if span_off_ns > 0.0 { span_on_ns / span_off_ns } else { 1.0 };
+    report::progress(format_args!(
+        "telemetry overhead: {span_on_ns:.0}ns/span with sketches vs {span_off_ns:.0}ns/span \
+         without ({telemetry_overhead:.2}x, ceiling {:.2}x)",
+        args.telemetry_overhead_ceiling
+    ));
 
     // ---- Flush the trace and build the record -----------------------
-    let events = wise_trace::take_events();
     if let Some(path) = &args.trace_out {
         match wise_trace::write_trace_files(&events, path) {
             Ok(summary_path) => {
@@ -512,6 +565,7 @@ fn main() {
         _ => None,
     };
     record.throughput.insert("select.cascade.fallthrough_rate".to_string(), fallthrough_rate);
+    record.throughput.insert("bench.telemetry.overhead".to_string(), telemetry_overhead);
     if let Some(sp) = cascade_speedup {
         record.throughput.insert("bench.cascade.speedup".to_string(), sp);
         println!(
@@ -610,6 +664,18 @@ fn main() {
         }
     } else {
         println!("cascade: gate accepted no probe selections; floor gate skipped");
+    }
+
+    // ---- Telemetry-overhead ceiling ---------------------------------
+    // The stage-8 per-span ratio: tracing with the sketch pipeline
+    // engaged must stay within a constant factor of tracing alone.
+    if telemetry_overhead > args.telemetry_overhead_ceiling {
+        eprintln!(
+            "bench_regress: telemetry overhead ceiling violated — {telemetry_overhead:.2}x \
+             per span (ceiling {:.2}x)",
+            args.telemetry_overhead_ceiling
+        );
+        std::process::exit(1);
     }
 
     // ---- LLC miss-rate ceiling (opt-in, needs hardware counters) -----

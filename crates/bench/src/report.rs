@@ -68,12 +68,18 @@ fn trace_out_from_args() -> Option<PathBuf> {
 /// exporters on drop (i.e. at the end of `main`).
 pub struct TraceSession {
     trace_out: Option<PathBuf>,
+    /// Periodic `metrics_snapshot.json` exporter, live when
+    /// `WISE_SNAPSHOT=<path>` is set; stopping it (on drop) writes one
+    /// final snapshot.
+    snapshot: Option<wise_trace::telemetry::SnapshotHandle>,
 }
 
 /// Starts the trace session for a harness binary. `--trace-out <path>`
 /// turns tracing on even without `WISE_TRACE=1`; `WISE_TRACE=1` alone
 /// still records and prints the run report, just without the JSON
-/// artifacts.
+/// artifacts. `WISE_SNAPSHOT=<path>` additionally starts the periodic
+/// telemetry snapshot exporter (interval `WISE_SNAPSHOT_SECS`, default
+/// 5s), which also writes a final snapshot when the session ends.
 pub fn init() -> TraceSession {
     TraceSession::with_path(trace_out_from_args())
 }
@@ -86,12 +92,23 @@ impl TraceSession {
         if trace_out.is_some() {
             wise_trace::set_enabled(true);
         }
-        TraceSession { trace_out }
+        let snapshot = wise_trace::telemetry::snapshot_from_env();
+        if let Some(s) = &snapshot {
+            progress(format_args!("telemetry snapshots -> {}", s.path().display()));
+        }
+        TraceSession { trace_out, snapshot }
     }
 }
 
 impl Drop for TraceSession {
     fn drop(&mut self) {
+        // Stop the exporter first so the final snapshot reflects the
+        // full run (stopping joins the thread and writes once more).
+        if let Some(snapshot) = self.snapshot.take() {
+            let path = snapshot.path().to_path_buf();
+            snapshot.stop();
+            artifact(path.display());
+        }
         if !wise_trace::enabled() {
             return;
         }

@@ -40,6 +40,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use wise_ml::PartialPrediction;
 use wise_perf::{calibrate_margin_threshold, Estimator, MachineModel, MarginSample};
+use wise_trace::env_knob::{Knob, KnobError};
 
 /// The cascade's training-set quality contract: the calibrated gate
 /// must keep the cascade P-ratio at ≥ 98% of full WISE's.
@@ -75,42 +76,24 @@ impl CascadeMode {
     }
 }
 
-/// Why a `WISE_CASCADE` value was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CascadeEnvError {
-    /// Set but empty (or only whitespace).
-    Empty,
-    /// Not a recognized mode name.
-    NotAMode(String),
-}
+/// The `WISE_CASCADE` knob, on the shared [`wise_trace::env_knob`]
+/// grammar.
+const CASCADE_KNOB: Knob =
+    Knob::new("WISE_CASCADE", "a cascade mode (expected 0/off, 1/on, or auto)");
 
-impl std::fmt::Display for CascadeEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CascadeEnvError::Empty => write!(f, "WISE_CASCADE is set but empty"),
-            CascadeEnvError::NotAMode(s) => {
-                write!(
-                    f,
-                    "WISE_CASCADE={s:?} is not a cascade mode (expected 0/off, 1/on, or auto)"
-                )
-            }
-        }
+/// Interpreter shared by [`parse_wise_cascade`] and the env read.
+fn cascade_interp(norm: &str) -> Option<CascadeMode> {
+    match norm {
+        "0" | "off" => Some(CascadeMode::Off),
+        "1" | "on" | "auto" => Some(CascadeMode::Auto),
+        _ => None,
     }
 }
 
 /// Parses a raw `WISE_CASCADE` value. `Ok(None)` means unset (use the
 /// default, [`CascadeMode::Auto`]); `1`, `on` and `auto` are synonyms.
-pub fn parse_wise_cascade(raw: Option<&str>) -> Result<Option<CascadeMode>, CascadeEnvError> {
-    let Some(raw) = raw else { return Ok(None) };
-    let t = raw.trim();
-    if t.is_empty() {
-        return Err(CascadeEnvError::Empty);
-    }
-    match t.to_ascii_lowercase().as_str() {
-        "0" | "off" => Ok(Some(CascadeMode::Off)),
-        "1" | "on" | "auto" => Ok(Some(CascadeMode::Auto)),
-        _ => Err(CascadeEnvError::NotAMode(t.to_string())),
-    }
+pub fn parse_wise_cascade(raw: Option<&str>) -> Result<Option<CascadeMode>, KnobError> {
+    CASCADE_KNOB.parse(raw, cascade_interp)
 }
 
 const MODE_UNINIT: u8 = u8::MAX;
@@ -133,18 +116,9 @@ pub fn mode() -> CascadeMode {
 }
 
 fn mode_from_env() -> CascadeMode {
-    match parse_wise_cascade(std::env::var("WISE_CASCADE").ok().as_deref()) {
-        Ok(Some(m)) => m,
-        Ok(None) => CascadeMode::Auto,
-        Err(err) => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!("[wise-core] {err}; cascade stays in auto mode");
-            });
-            wise_trace::counter("select.cascade_env_invalid", 1);
-            CascadeMode::Auto
-        }
-    }
+    CASCADE_KNOB
+        .read("select.cascade_env_invalid", "cascade stays in auto mode", cascade_interp)
+        .unwrap_or(CascadeMode::Auto)
 }
 
 /// Overrides the process-wide mode (tests, experiments).
@@ -348,12 +322,19 @@ pub struct RegretStats {
     pub mean_ratio: f64,
 }
 
-/// Feeds one measured execution back into the cascade's regret loop.
-/// Only stage-1 choices carrying a roofline prediction contribute;
-/// everything else is a no-op. Each observation lands in the
-/// `select.cascade.regret` trace metric (permille of
-/// measured/predicted) and in the process-global [`regret_stats`].
+/// Feeds one measured execution back into the closed loop: the
+/// per-request flight recorder (matching the record by
+/// `choice.request_id`), the drift monitor ([`crate::drift`], which
+/// sees every observation), and — for stage-1 choices carrying a
+/// roofline prediction — the regret accumulator. Each regret
+/// observation lands in the `select.cascade.regret` trace metric
+/// (permille of measured/predicted) and in the process-global
+/// [`regret_stats`].
 pub fn observe_execution(choice: &crate::pipeline::Choice, measured_seconds: f64) {
+    if choice.request_id != 0 && measured_seconds > 0.0 {
+        wise_trace::telemetry::note_measured(choice.request_id, measured_seconds);
+    }
+    crate::drift::observe_choice(choice, measured_seconds);
     let Some(info) = &choice.cascade else { return };
     if info.stage != CascadeStage::Stage1 {
         return;
@@ -397,9 +378,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_values() {
-        assert_eq!(parse_wise_cascade(Some("")), Err(CascadeEnvError::Empty));
-        assert_eq!(parse_wise_cascade(Some("  ")), Err(CascadeEnvError::Empty));
+        assert_eq!(parse_wise_cascade(Some("")), Err(KnobError::Empty { knob: "WISE_CASCADE" }));
+        assert_eq!(parse_wise_cascade(Some("  ")), Err(KnobError::Empty { knob: "WISE_CASCADE" }));
         let err = parse_wise_cascade(Some("fast")).unwrap_err();
+        assert!(matches!(err, KnobError::Invalid { knob: "WISE_CASCADE", .. }));
         assert!(err.to_string().contains("WISE_CASCADE"), "{err}");
     }
 
@@ -445,6 +427,8 @@ mod tests {
 
     #[test]
     fn regret_accumulator_rounds_trip() {
+        // observe_execution also feeds the global drift monitor.
+        let _g = crate::drift::monitor_test_lock();
         reset_regret();
         assert_eq!(regret_stats(), None);
         // Build a minimal stage-1 choice by hand.
@@ -466,6 +450,7 @@ mod tests {
                 fallthrough: None,
                 predicted_seconds: Some(1e-3),
             }),
+            request_id: 0,
         };
         observe_execution(&choice, 2e-3); // 2x the prediction
         observe_execution(&choice, 1e-3); // exact

@@ -44,6 +44,7 @@
 
 pub mod cascade;
 pub mod classes;
+pub mod drift;
 pub mod evaluate;
 pub mod explain;
 pub mod labels;
@@ -56,6 +57,7 @@ pub use cascade::{
     FallthroughReason, RegretStats,
 };
 pub use classes::SpeedupClass;
+pub use drift::{DriftStats, DriftStatus};
 pub use evaluate::{evaluate_cv, CvEvaluation, EvalOutcome};
 pub use explain::explain_choice;
 pub use labels::{label_corpus, CorpusLabels, MatrixLabels};

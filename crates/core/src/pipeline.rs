@@ -17,6 +17,7 @@ use wise_kernels::srvpack::SpmvWorkspace;
 use wise_matrix::Csr;
 use wise_ml::TreeParams;
 use wise_perf::Estimator;
+use wise_trace::telemetry;
 
 /// Everything needed to train a WISE instance.
 #[derive(Debug, Clone)]
@@ -93,6 +94,83 @@ pub struct Choice {
     /// byte-identical to pre-cascade ones.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cascade: Option<CascadeInfo>,
+    /// Flight-recorder request id of the selection that produced this
+    /// choice (see [`wise_trace::telemetry`]), for correlating a saved
+    /// choice with its flight-dump record. `0` — and absent from
+    /// serializations — when telemetry was off, the selection was
+    /// nested inside another request, or the JSON predates the
+    /// recorder.
+    #[serde(default, skip_serializing_if = "request_id_unset")]
+    pub request_id: u64,
+}
+
+fn request_id_unset(id: &u64) -> bool {
+    *id == 0
+}
+
+/// Attributes one public selection entry point to a flight-recorder
+/// request: allocates the id, scopes it onto the calling thread (the
+/// worker pool forwards it to kernel workers), and on [`Self::finish`]
+/// records the completed request — latency, method, cascade stage,
+/// margin, roofline prediction and PMU deltas — into
+/// [`wise_trace::telemetry`]. Nested entry points (`select_full` →
+/// `select_from_features`) see the outer id already set and record
+/// nothing, so every public selection is exactly one request.
+struct FlightRequest {
+    id: u64,
+    start_ns: u64,
+    pmu_base: Option<wise_trace::PmuCounts>,
+    _scope: Option<telemetry::RequestScope>,
+}
+
+impl FlightRequest {
+    fn begin() -> FlightRequest {
+        if !telemetry::telemetry_enabled() || telemetry::current_request() != 0 {
+            return FlightRequest { id: 0, start_ns: 0, pmu_base: None, _scope: None };
+        }
+        let id = telemetry::next_request_id();
+        FlightRequest {
+            id,
+            start_ns: telemetry::now_ns(),
+            pmu_base: wise_trace::pmu::read_counts(),
+            _scope: Some(telemetry::RequestScope::enter(id)),
+        }
+    }
+
+    /// Stamps `choice.request_id` and records the request; returns
+    /// whether the recorder flagged it anomalous.
+    fn finish(self, choice: &mut Choice) -> bool {
+        if self.id == 0 {
+            return false;
+        }
+        choice.request_id = self.id;
+        let (stage, margin, predicted_s) = match &choice.cascade {
+            Some(info) => (
+                match info.stage {
+                    CascadeStage::Stage1 => "stage1",
+                    CascadeStage::Stage2 => "stage2",
+                },
+                Some(info.margin),
+                info.predicted_seconds,
+            ),
+            None => ("full", None, None),
+        };
+        let pmu = match (&self.pmu_base, wise_trace::pmu::read_counts()) {
+            (Some(base), Some(now)) => Some(now.delta_since(base)),
+            _ => None,
+        };
+        telemetry::record_request(telemetry::RequestRecord {
+            id: self.id,
+            start_ns: self.start_ns,
+            latency_ns: telemetry::now_ns().saturating_sub(self.start_ns),
+            method: choice.config.label(),
+            stage,
+            margin,
+            predicted_s,
+            measured_s: None,
+            pmu,
+        })
+    }
 }
 
 impl Choice {
@@ -173,6 +251,15 @@ impl Wise {
     /// [`Choice::cascade`] provenance field.
     pub fn select(&self, m: &Csr) -> Choice {
         let _span = wise_trace::span_pmu("pipeline.select");
+        let flight = FlightRequest::begin();
+        let mut choice = self.select_cascaded(m);
+        flight.finish(&mut choice);
+        choice
+    }
+
+    /// [`Wise::select`] minus the span/flight bookkeeping: cascade
+    /// dispatch with its early returns.
+    fn select_cascaded(&self, m: &Csr) -> Choice {
         if cascade::mode() != cascade::CascadeMode::Off {
             if let Some(gate) = &self.cascade_gate {
                 match self.select_stage_one(m, gate) {
@@ -282,12 +369,14 @@ impl Wise {
                 fallthrough: None,
                 predicted_seconds,
             }),
+            request_id: 0,
         })
     }
 
     /// Selection from pre-extracted features (used when the caller
     /// already paid for extraction).
     pub fn select_from_features(&self, features: FeatureVector) -> Choice {
+        let flight = FlightRequest::begin();
         let t0 = Instant::now();
         let (predictions, decision_paths) = {
             let _predict = wise_trace::span("select.predict");
@@ -304,7 +393,7 @@ impl Wise {
             predict_s,
             select_s: t1.elapsed().as_secs_f64(),
         };
-        Choice {
+        let mut choice = Choice {
             config: self.registry.catalog()[index],
             index,
             predictions,
@@ -312,7 +401,10 @@ impl Wise {
             timing,
             decision_paths,
             cascade: None,
-        }
+            request_id: 0,
+        };
+        flight.finish(&mut choice);
+        choice
     }
 
     /// Amortization-aware selection: minimizes conversion cost plus
@@ -327,12 +419,14 @@ impl Wise {
         n_iterations: u64,
     ) -> Choice {
         let _span = wise_trace::span_pmu("pipeline.select");
+        let flight = FlightRequest::begin();
         let t0 = Instant::now();
         let features = FeatureVector::extract(m, &self.feature_config);
         let feature_extraction_s = t0.elapsed().as_secs_f64();
         let mut choice =
             self.select_for_iterations_from_features(m, features, estimator, n_iterations);
         choice.timing.feature_extraction_s = feature_extraction_s;
+        flight.finish(&mut choice);
         choice
     }
 
@@ -350,6 +444,7 @@ impl Wise {
         estimator: &wise_perf::Estimator,
         n_iterations: u64,
     ) -> Choice {
+        let flight = FlightRequest::begin();
         let t1 = Instant::now();
         let (predictions, decision_paths) = {
             let _predict = wise_trace::span("select.predict");
@@ -378,7 +473,7 @@ impl Wise {
             predict_s,
             select_s: t2.elapsed().as_secs_f64(),
         };
-        Choice {
+        let mut choice = Choice {
             config: catalog[index],
             index,
             predictions,
@@ -386,7 +481,10 @@ impl Wise {
             timing,
             decision_paths,
             cascade: None,
-        }
+            request_id: 0,
+        };
+        flight.finish(&mut choice);
+        choice
     }
 
     /// Steps 4–5 of Figure 8: converts `m` to the chosen format and

@@ -36,4 +36,4 @@ pub use engine::FeatureScratch;
 pub use probe::ProbeFeatures;
 pub use stats::SummaryStats;
 pub use tiling::{TileGeometry, TileGrid};
-pub use vector::{FeatureConfig, FeatureVector};
+pub use vector::{FeatureConfig, FeatureVector, N_FEATURES};

@@ -61,6 +61,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use wise_trace::env_knob::{Knob, KnobError};
 
 thread_local! {
     /// Logical executor-thread index of the current thread, if it is
@@ -97,6 +98,11 @@ struct ErasedJob {
     /// participant has decremented `remaining` (see module docs).
     body: &'static (dyn Fn(usize) + Sync),
     nworkers: usize,
+    /// The dispatcher's flight-recorder request id
+    /// ([`wise_trace::telemetry::current_request`]), forwarded to the
+    /// workers so kernel work is attributed to the selection request
+    /// that dispatched it (0 = none).
+    request: u64,
 }
 
 struct JobState {
@@ -138,41 +144,16 @@ fn wait<'a>(cv: &Condvar, g: MutexGuard<'a, JobState>) -> MutexGuard<'a, JobStat
     cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }
 
-/// Why a `WISE_POOL_SPIN` value was rejected (see
-/// [`parse_wise_pool_spin`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpinEnvError {
-    /// Set but empty (or only whitespace).
-    Empty,
-    /// Not a non-negative integer that fits u32.
-    NotANumber(String),
-}
-
-impl std::fmt::Display for SpinEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SpinEnvError::Empty => write!(f, "WISE_POOL_SPIN is set but empty"),
-            SpinEnvError::NotANumber(v) => {
-                write!(f, "WISE_POOL_SPIN={v:?} is not a non-negative integer")
-            }
-        }
-    }
-}
+/// The `WISE_POOL_SPIN` knob, on the shared [`wise_trace::env_knob`]
+/// grammar.
+const SPIN_KNOB: Knob = Knob::new("WISE_POOL_SPIN", "a non-negative integer");
 
 /// Parses a raw `WISE_POOL_SPIN` value. `Ok(None)` means unset (use the
 /// automatic budget); `Ok(Some(0))` is valid and disables spinning
 /// entirely; `Err` means set but malformed, which [`spin_budget`]
 /// reports loudly instead of silently ignoring.
-pub fn parse_wise_pool_spin(raw: Option<&str>) -> Result<Option<u32>, SpinEnvError> {
-    let Some(raw) = raw else { return Ok(None) };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Err(SpinEnvError::Empty);
-    }
-    match trimmed.parse::<u32>() {
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(SpinEnvError::NotANumber(trimmed.to_string())),
-    }
+pub fn parse_wise_pool_spin(raw: Option<&str>) -> Result<Option<u32>, KnobError> {
+    SPIN_KNOB.parse(raw, |norm| norm.parse::<u32>().ok())
 }
 
 /// Spin iterations before sleeping on a condvar, tunable via
@@ -192,16 +173,11 @@ fn spin_budget() -> u32 {
                 0
             }
         };
-        match parse_wise_pool_spin(std::env::var("WISE_POOL_SPIN").ok().as_deref()) {
-            Ok(Some(n)) => n,
-            Ok(None) => auto(),
-            Err(e) => {
-                // OnceLock already guarantees once-per-process here.
-                eprintln!("[wise-kernels] {e}; falling back to the automatic spin budget");
-                wise_trace::counter("pool.spin_env_invalid", 1);
-                auto()
-            }
-        }
+        SPIN_KNOB
+            .read("pool.spin_env_invalid", "falling back to the automatic spin budget", |norm| {
+                norm.parse::<u32>().ok()
+            })
+            .unwrap_or_else(auto)
     })
 }
 
@@ -279,9 +255,10 @@ impl WorkerPool {
         let body: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
 
         let panicked = {
+            let request = wise_trace::telemetry::current_request();
             let mut st = lock(&self.shared.state);
             debug_assert_eq!(st.remaining, 0, "dispatch lock admitted overlapping jobs");
-            st.job = Some(ErasedJob { body, nworkers });
+            st.job = Some(ErasedJob { body, nworkers, request });
             st.remaining = nworkers;
             st.panicked = false;
             st.epoch += 1;
@@ -377,8 +354,13 @@ fn worker_loop(shared: std::sync::Arc<Shared>, id: usize, mut seen: u64) {
         if id < job.nworkers {
             // Participant: run our share, then report completion. The
             // catch_unwind keeps the worker alive across body panics;
-            // the dispatcher re-throws after the barrier.
-            let ok = catch_unwind(AssertUnwindSafe(|| (job.body)(id))).is_ok();
+            // the dispatcher re-throws after the barrier. The scope
+            // attributes the worker's spans to the dispatching request.
+            let ok = catch_unwind(AssertUnwindSafe(|| {
+                let _req = wise_trace::telemetry::RequestScope::enter(job.request);
+                (job.body)(id)
+            }))
+            .is_ok();
             let mut st = lock(&shared.state);
             if !ok {
                 st.panicked = true;
@@ -482,6 +464,30 @@ mod tests {
     }
 
     #[test]
+    fn forwards_dispatcher_request_id_to_workers() {
+        use wise_trace::telemetry;
+        let pool = WorkerPool::new();
+        let id = telemetry::next_request_id();
+        let seen: Vec<TestCounter> = (0..3).map(|_| TestCounter::new(u64::MAX)).collect();
+        {
+            let _scope = telemetry::RequestScope::enter(id);
+            pool.run(3, &|t| {
+                seen[t].store(telemetry::current_request(), Ordering::Relaxed);
+            });
+        }
+        for (t, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), id, "worker {t}");
+        }
+        // Outside any request scope, workers see 0 again.
+        pool.run(3, &|t| {
+            seen[t].store(telemetry::current_request(), Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
     fn drop_joins_workers() {
         let pool = WorkerPool::new();
         pool.run(4, &|_| {});
@@ -500,12 +506,23 @@ mod tests {
 
     #[test]
     fn spin_env_rejects_malformed_budgets() {
-        assert_eq!(parse_wise_pool_spin(Some("")), Err(SpinEnvError::Empty));
-        assert_eq!(parse_wise_pool_spin(Some("  ")), Err(SpinEnvError::Empty));
+        assert_eq!(
+            parse_wise_pool_spin(Some("")),
+            Err(KnobError::Empty { knob: "WISE_POOL_SPIN" })
+        );
+        assert_eq!(
+            parse_wise_pool_spin(Some("  ")),
+            Err(KnobError::Empty { knob: "WISE_POOL_SPIN" })
+        );
         for bad in ["-1", "lots", "1e3", "4294967296"] {
-            let got = parse_wise_pool_spin(Some(bad));
-            assert_eq!(got, Err(SpinEnvError::NotANumber(bad.to_string())), "input {bad:?}");
-            assert!(got.unwrap_err().to_string().contains("WISE_POOL_SPIN"));
+            let err = parse_wise_pool_spin(Some(bad)).unwrap_err();
+            match &err {
+                KnobError::Invalid { knob: "WISE_POOL_SPIN", value, .. } => {
+                    assert_eq!(value, bad, "input {bad:?}");
+                }
+                other => panic!("input {bad:?}: unexpected error {other:?}"),
+            }
+            assert!(err.to_string().contains("WISE_POOL_SPIN"));
         }
     }
 }

@@ -31,6 +31,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use wise_trace::env_knob::{Knob, KnobError};
 
 /// A chunk-to-thread scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,44 +67,20 @@ impl Schedule {
 // Thread-count resolution
 // ---------------------------------------------------------------------
 
-/// Why a `WISE_THREADS` value was rejected (see [`parse_wise_threads`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ThreadsEnvError {
-    /// Set but empty (or only whitespace).
-    Empty,
-    /// Parsed to zero — a zero-thread pool cannot make progress.
-    Zero,
-    /// Not a non-negative integer.
-    NotANumber(String),
-}
-
-impl std::fmt::Display for ThreadsEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ThreadsEnvError::Empty => write!(f, "WISE_THREADS is set but empty"),
-            ThreadsEnvError::Zero => write!(f, "WISE_THREADS=0 is invalid (need >= 1)"),
-            ThreadsEnvError::NotANumber(v) => {
-                write!(f, "WISE_THREADS={v:?} is not a positive integer")
-            }
-        }
-    }
-}
+/// The `WISE_THREADS` knob, on the shared [`wise_trace::env_knob`]
+/// grammar.
+const THREADS_KNOB: Knob = Knob::new("WISE_THREADS", "a positive integer");
 
 /// Parses a raw `WISE_THREADS` value. `Ok(None)` means the variable is
 /// unset (use the hardware default); `Err` means it is set but
-/// malformed, which [`default_threads`] reports loudly instead of
+/// malformed — including `0`, since a zero-thread pool cannot make
+/// progress — which [`default_threads`] reports loudly instead of
 /// silently ignoring.
-pub fn parse_wise_threads(raw: Option<&str>) -> Result<Option<usize>, ThreadsEnvError> {
-    let Some(raw) = raw else { return Ok(None) };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Err(ThreadsEnvError::Empty);
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(ThreadsEnvError::Zero),
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(ThreadsEnvError::NotANumber(trimmed.to_string())),
-    }
+pub fn parse_wise_threads(raw: Option<&str>) -> Result<Option<usize>, KnobError> {
+    THREADS_KNOB.parse(raw, |norm| match norm.parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    })
 }
 
 /// Number of worker threads to use: the `WISE_THREADS` environment
@@ -115,18 +92,14 @@ pub fn parse_wise_threads(raw: Option<&str>) -> Result<Option<usize>, ThreadsEnv
 /// benchmark script cannot silently change what was measured.
 pub fn default_threads() -> usize {
     let hardware = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    match parse_wise_threads(std::env::var("WISE_THREADS").ok().as_deref()) {
-        Ok(Some(n)) => n,
-        Ok(None) => hardware(),
-        Err(e) => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!("[wise-kernels] {e}; falling back to available_parallelism()");
-            });
-            wise_trace::counter("sched.threads_env_invalid", 1);
-            hardware()
-        }
-    }
+    THREADS_KNOB
+        .read("sched.threads_env_invalid", "falling back to available_parallelism()", |norm| {
+            match norm.parse::<usize>() {
+                Ok(0) | Err(_) => None,
+                Ok(n) => Some(n),
+            }
+        })
+        .unwrap_or_else(hardware)
 }
 
 // ---------------------------------------------------------------------
@@ -527,16 +500,16 @@ mod tests {
         assert_eq!(parse_wise_threads(None), Ok(None));
         assert_eq!(parse_wise_threads(Some("4")), Ok(Some(4)));
         assert_eq!(parse_wise_threads(Some(" 16 ")), Ok(Some(16)));
-        assert_eq!(parse_wise_threads(Some("")), Err(ThreadsEnvError::Empty));
-        assert_eq!(parse_wise_threads(Some("   ")), Err(ThreadsEnvError::Empty));
-        assert_eq!(parse_wise_threads(Some("0")), Err(ThreadsEnvError::Zero));
-        assert_eq!(
-            parse_wise_threads(Some("four")),
-            Err(ThreadsEnvError::NotANumber("four".into()))
-        );
-        assert_eq!(parse_wise_threads(Some("-2")), Err(ThreadsEnvError::NotANumber("-2".into())));
-        // Error messages are self-describing.
-        assert!(ThreadsEnvError::Zero.to_string().contains("WISE_THREADS=0"));
+        assert_eq!(parse_wise_threads(Some("")), Err(KnobError::Empty { knob: "WISE_THREADS" }));
+        assert_eq!(parse_wise_threads(Some("   ")), Err(KnobError::Empty { knob: "WISE_THREADS" }));
+        // Zero, words and negatives are all rejected by the shared
+        // grammar with a self-describing message.
+        for bad in ["0", "four", "-2"] {
+            let err = parse_wise_threads(Some(bad)).unwrap_err();
+            assert!(matches!(err, KnobError::Invalid { knob: "WISE_THREADS", .. }), "{bad:?}");
+            assert!(err.to_string().contains("WISE_THREADS"), "{err}");
+            assert!(err.to_string().contains("positive integer"), "{err}");
+        }
     }
 
     #[test]

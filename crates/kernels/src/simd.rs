@@ -51,6 +51,7 @@
 
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use wise_trace::env_knob::{Knob, KnobError};
 
 /// A SIMD capability level, ordered narrowest to widest.
 ///
@@ -166,46 +167,25 @@ pub fn detected() -> SimdIsa {
     *DETECTED.get_or_init(detect_raw)
 }
 
-/// Why a `WISE_SIMD` value was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimdEnvError {
-    /// Set but empty (or only whitespace).
-    Empty,
-    /// Not a recognized width or ISA name.
-    NotAWidth(String),
-}
-
-impl std::fmt::Display for SimdEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimdEnvError::Empty => write!(f, "WISE_SIMD is set but empty"),
-            SimdEnvError::NotAWidth(s) => write!(
-                f,
-                "WISE_SIMD={s:?} is not a SIMD width (expected 0/off/scalar/1, 2/sse2, \
-                 4/avx2, 8/avx512, or portable)"
-            ),
-        }
-    }
-}
+/// The `WISE_SIMD` knob, on the shared [`wise_trace::env_knob`] grammar.
+const SIMD_KNOB: Knob = Knob::new(
+    "WISE_SIMD",
+    "a SIMD width (expected 0/off/scalar/1, 2/sse2, 4/avx2, 8/avx512, or portable)",
+);
 
 /// Parses a raw `WISE_SIMD` value into a capability *cap*. `Ok(None)`
 /// means unset (auto-detect); `0`, `off`, `scalar`, and `1` all force
 /// the scalar path; `portable` caps at the plain-Rust level (useful for
 /// exercising the non-x86 path on x86 hosts).
-pub fn parse_wise_simd(raw: Option<&str>) -> Result<Option<SimdIsa>, SimdEnvError> {
-    let Some(raw) = raw else { return Ok(None) };
-    let t = raw.trim();
-    if t.is_empty() {
-        return Err(SimdEnvError::Empty);
-    }
-    match t.to_ascii_lowercase().as_str() {
-        "0" | "off" | "scalar" | "1" => Ok(Some(SimdIsa::Scalar)),
-        "portable" | "portable2" => Ok(Some(SimdIsa::Portable)),
-        "2" | "sse2" => Ok(Some(SimdIsa::Sse2)),
-        "4" | "avx2" => Ok(Some(SimdIsa::Avx2)),
-        "8" | "avx512" | "avx512f" => Ok(Some(SimdIsa::Avx512)),
-        _ => Err(SimdEnvError::NotAWidth(t.to_string())),
-    }
+pub fn parse_wise_simd(raw: Option<&str>) -> Result<Option<SimdIsa>, KnobError> {
+    SIMD_KNOB.parse(raw, |norm| match norm {
+        "0" | "off" | "scalar" | "1" => Some(SimdIsa::Scalar),
+        "portable" | "portable2" => Some(SimdIsa::Portable),
+        "2" | "sse2" => Some(SimdIsa::Sse2),
+        "4" | "avx2" => Some(SimdIsa::Avx2),
+        "8" | "avx512" | "avx512f" => Some(SimdIsa::Avx512),
+        _ => None,
+    })
 }
 
 const ISA_UNINIT: u8 = u8::MAX;
@@ -229,18 +209,16 @@ pub fn active() -> SimdIsa {
 
 fn active_from_env() -> SimdIsa {
     let det = detected();
-    match parse_wise_simd(std::env::var("WISE_SIMD").ok().as_deref()) {
-        Ok(Some(cap)) => cap.min(det),
-        Ok(None) => det,
-        Err(err) => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!("[wise-kernels] {err}; using the detected level ({})", det.name());
-            });
-            wise_trace::counter("kernel.simd_env_invalid", 1);
-            det
-        }
-    }
+    SIMD_KNOB
+        .read("kernel.simd_env_invalid", "using the detected level", |norm| match norm {
+            "0" | "off" | "scalar" | "1" => Some(SimdIsa::Scalar),
+            "portable" | "portable2" => Some(SimdIsa::Portable),
+            "2" | "sse2" => Some(SimdIsa::Sse2),
+            "4" | "avx2" => Some(SimdIsa::Avx2),
+            "8" | "avx512" | "avx512f" => Some(SimdIsa::Avx512),
+            _ => None,
+        })
+        .map_or(det, |cap| cap.min(det))
 }
 
 /// Overrides the active level (tests, experiments). The request is
@@ -276,45 +254,27 @@ pub const INTERLEAVE_MAX_X_BYTES: usize = 256 << 10;
 /// where interleaving cannot help.
 pub const INTERLEAVE_MIN_ROW_NNZ: usize = 32;
 
-/// Why a `WISE_PREFETCH` value was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PrefetchEnvError {
-    /// Set but empty (or only whitespace).
-    Empty,
-    /// Not a distance (non-negative integer) or `auto`.
-    NotADistance(String),
-}
+/// The `WISE_PREFETCH` knob, on the shared [`wise_trace::env_knob`]
+/// grammar.
+const PREFETCH_KNOB: Knob =
+    Knob::new("WISE_PREFETCH", "a prefetch distance (expected a step count, 0 = off, or `auto`)");
 
-impl std::fmt::Display for PrefetchEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PrefetchEnvError::Empty => write!(f, "WISE_PREFETCH is set but empty"),
-            PrefetchEnvError::NotADistance(s) => write!(
-                f,
-                "WISE_PREFETCH={s:?} is not a prefetch distance (expected a step count, \
-                 0 = off, or `auto`)"
-            ),
-        }
+/// Interpreter shared by [`parse_wise_prefetch`] and the env read:
+/// `auto` keeps the policy (`Some(None)`), a number forces a distance
+/// (clamped at [`MAX_PREFETCH`]).
+fn prefetch_interp(norm: &str) -> Option<Option<usize>> {
+    if norm == "auto" {
+        return Some(None);
     }
+    norm.parse::<usize>().ok().map(|d| Some(d.min(MAX_PREFETCH)))
 }
 
 /// Parses a raw `WISE_PREFETCH` value into a distance *override* in
 /// vector steps. `Ok(None)` means unset or `auto` (use the policy);
 /// `Ok(Some(0))` disables prefetch entirely; larger values clamp at
 /// [`MAX_PREFETCH`].
-pub fn parse_wise_prefetch(raw: Option<&str>) -> Result<Option<usize>, PrefetchEnvError> {
-    let Some(raw) = raw else { return Ok(None) };
-    let t = raw.trim();
-    if t.is_empty() {
-        return Err(PrefetchEnvError::Empty);
-    }
-    if t.eq_ignore_ascii_case("auto") {
-        return Ok(None);
-    }
-    match t.parse::<usize>() {
-        Ok(d) => Ok(Some(d.min(MAX_PREFETCH))),
-        Err(_) => Err(PrefetchEnvError::NotADistance(t.to_string())),
-    }
+pub fn parse_wise_prefetch(raw: Option<&str>) -> Result<Option<usize>, KnobError> {
+    PREFETCH_KNOB.parse(raw, prefetch_interp).map(Option::flatten)
 }
 
 const PF_UNINIT: usize = usize::MAX;
@@ -339,17 +299,9 @@ pub fn prefetch_override() -> Option<usize> {
 }
 
 fn prefetch_from_env() -> Option<usize> {
-    match parse_wise_prefetch(std::env::var("WISE_PREFETCH").ok().as_deref()) {
-        Ok(ov) => ov,
-        Err(err) => {
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!("[wise-kernels] {err}; using the auto prefetch policy");
-            });
-            wise_trace::counter("kernel.prefetch_env_invalid", 1);
-            None
-        }
-    }
+    PREFETCH_KNOB
+        .read("kernel.prefetch_env_invalid", "using the auto prefetch policy", prefetch_interp)
+        .flatten()
 }
 
 /// Overrides the prefetch distance (tests, experiments): `Some(d)`
@@ -1218,12 +1170,17 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage_loudly() {
-        assert_eq!(parse_wise_simd(Some("")), Err(SimdEnvError::Empty));
-        assert_eq!(parse_wise_simd(Some("  ")), Err(SimdEnvError::Empty));
+        assert_eq!(parse_wise_simd(Some("")), Err(KnobError::Empty { knob: "WISE_SIMD" }));
+        assert_eq!(parse_wise_simd(Some("  ")), Err(KnobError::Empty { knob: "WISE_SIMD" }));
         for bad in ["3", "16", "-4", "avx", "wide", "8 lanes"] {
-            let got = parse_wise_simd(Some(bad));
-            assert_eq!(got, Err(SimdEnvError::NotAWidth(bad.trim().to_string())), "input {bad:?}");
-            assert!(got.unwrap_err().to_string().contains("WISE_SIMD"));
+            let err = parse_wise_simd(Some(bad)).unwrap_err();
+            match &err {
+                KnobError::Invalid { knob: "WISE_SIMD", value, .. } => {
+                    assert_eq!(value, bad.trim(), "input {bad:?}");
+                }
+                other => panic!("input {bad:?}: unexpected error {other:?}"),
+            }
+            assert!(err.to_string().contains("WISE_SIMD"));
         }
     }
 
@@ -1241,16 +1198,20 @@ mod tests {
 
     #[test]
     fn parse_prefetch_rejects_garbage_loudly() {
-        assert_eq!(parse_wise_prefetch(Some("")), Err(PrefetchEnvError::Empty));
-        assert_eq!(parse_wise_prefetch(Some("  ")), Err(PrefetchEnvError::Empty));
+        assert_eq!(parse_wise_prefetch(Some("")), Err(KnobError::Empty { knob: "WISE_PREFETCH" }));
+        assert_eq!(
+            parse_wise_prefetch(Some("  ")),
+            Err(KnobError::Empty { knob: "WISE_PREFETCH" })
+        );
         for bad in ["-1", "2.5", "far", "8 steps"] {
-            let got = parse_wise_prefetch(Some(bad));
-            assert_eq!(
-                got,
-                Err(PrefetchEnvError::NotADistance(bad.trim().to_string())),
-                "input {bad:?}"
-            );
-            assert!(got.unwrap_err().to_string().contains("WISE_PREFETCH"));
+            let err = parse_wise_prefetch(Some(bad)).unwrap_err();
+            match &err {
+                KnobError::Invalid { knob: "WISE_PREFETCH", value, .. } => {
+                    assert_eq!(value, bad.trim(), "input {bad:?}");
+                }
+                other => panic!("input {bad:?}: unexpected error {other:?}"),
+            }
+            assert!(err.to_string().contains("WISE_PREFETCH"));
         }
     }
 

@@ -1,20 +1,25 @@
 //! CI validator for emitted trace artifacts.
 //!
 //! Usage: `check_trace <trace.json> [<perf_summary.json>] [--summary
-//! <perf_summary.json>] [--require stage1,stage2,...]`
+//! <perf_summary.json>] [--snapshot <metrics_snapshot.json>]
+//! [--require stage1,stage2,...]`
 //!
 //! Checks that the Chrome trace parses as JSON with balanced,
 //! properly-nested begin/end events, and that the perf summary (given
 //! positionally or via `--summary`) conforms to the schema
 //! `perf_summary_json` emits — a `host` fingerprint object with a
-//! positive core count, numeric per-stage statistics, numeric counters
-//! — and contains every required stage with a non-zero count. The
-//! default required set is the end-to-end WISE pipeline: feature
+//! positive core count, numeric per-stage statistics (including a
+//! loadable quantile sketch whose count matches the stage), numeric
+//! counters — and contains every required stage with a non-zero count.
+//! The default required set is the end-to-end WISE pipeline: feature
 //! extraction, labeling, training, selection, format conversion and
-//! SpMV.
+//! SpMV. `--snapshot` additionally validates a `metrics_snapshot.json`
+//! written by the streaming telemetry exporter (schema version, stage
+//! sketch quantiles, drift status, flight-recorder aggregates).
 
 use wise_trace::export::json::{self, Value};
 use wise_trace::export::validate_chrome_trace;
+use wise_trace::telemetry::{DriftLevel, QuantileSketch};
 
 const DEFAULT_REQUIRED: &[&str] = &[
     "features.extract",
@@ -42,6 +47,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&String> = Vec::new();
     let mut summary_flag: Option<&String> = None;
+    let mut snapshot_flag: Option<&String> = None;
     let mut required: Vec<String> = DEFAULT_REQUIRED.iter().map(|s| s.to_string()).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,23 +56,31 @@ fn main() {
             required = list.split(',').map(|s| s.trim().to_string()).collect();
         } else if a == "--summary" {
             summary_flag = Some(it.next().unwrap_or_else(|| fail("--summary needs a path")));
+        } else if a == "--snapshot" {
+            snapshot_flag = Some(it.next().unwrap_or_else(|| fail("--snapshot needs a path")));
         } else {
             paths.push(a);
         }
     }
-    let [trace_path, rest @ ..] = paths.as_slice() else {
-        fail(
+    // A snapshot stands alone (`check_trace --snapshot <path>`); every
+    // other mode starts from a positional trace.
+    let (trace_path, rest): (Option<&String>, &[&String]) = match paths.as_slice() {
+        [trace, rest @ ..] => (Some(trace), rest),
+        [] if snapshot_flag.is_some() => (None, &[]),
+        [] => fail(
             "usage: check_trace <trace.json> [<perf_summary.json>] \
-             [--summary <path>] [--require a,b,...]",
-        );
+             [--summary <path>] [--snapshot <path>] [--require a,b,...]",
+        ),
     };
 
-    let trace_text = std::fs::read_to_string(trace_path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {trace_path}: {e}")));
-    match validate_chrome_trace(&trace_text) {
-        Ok(0) => fail("trace is valid JSON but contains no complete spans"),
-        Ok(spans) => println!("check_trace: {trace_path}: OK ({spans} balanced spans)"),
-        Err(e) => fail(&format!("{trace_path}: {e}")),
+    if let Some(trace_path) = trace_path {
+        let trace_text = std::fs::read_to_string(trace_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {trace_path}: {e}")));
+        match validate_chrome_trace(&trace_text) {
+            Ok(0) => fail("trace is valid JSON but contains no complete spans"),
+            Ok(spans) => println!("check_trace: {trace_path}: OK ({spans} balanced spans)"),
+            Err(e) => fail(&format!("{trace_path}: {e}")),
+        }
     }
 
     // The summary may be given positionally (historical) or via
@@ -100,6 +114,77 @@ fn main() {
             stages.len(),
             required.len()
         );
+    }
+
+    if let Some(snapshot_path) = snapshot_flag {
+        let text = std::fs::read_to_string(snapshot_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {snapshot_path}: {e}")));
+        let doc = json::parse(&text).unwrap_or_else(|e| fail(&format!("{snapshot_path}: {e}")));
+        validate_snapshot_schema(&doc)
+            .unwrap_or_else(|e| fail(&format!("{snapshot_path}: schema: {e}")));
+        let stages = doc.get("stages").and_then(|v| v.as_object()).unwrap();
+        println!("check_trace: {snapshot_path}: OK ({} streaming stages)", stages.len());
+    }
+}
+
+/// Numeric fields of a snapshot's per-stage streaming-sketch block.
+const SNAPSHOT_STAGE_FIELDS: &[&str] =
+    &["count", "p50_ns", "p95_ns", "p99_ns", "max_ns", "total_ns", "alpha"];
+
+/// Validates a `metrics_snapshot.json` written by
+/// `wise_trace::telemetry::snapshot_json`: schema version 1, a
+/// timestamp, the PMU status marker, per-stage sketch quantiles, a
+/// drift object with a known status label, and the flight-recorder
+/// aggregates.
+fn validate_snapshot_schema(doc: &Value) -> Result<(), String> {
+    match doc.get("schema_version").and_then(|v| v.as_f64()) {
+        Some(v) if v == 1.0 => {}
+        Some(v) => return Err(format!("unsupported schema_version {v}")),
+        None => return Err("schema_version missing".into()),
+    }
+    doc.get("ts_ns").and_then(|v| v.as_f64()).ok_or("ts_ns missing or not a number")?;
+    match doc.get("pmu_status") {
+        Some(Value::String(s)) if !s.is_empty() => {}
+        _ => return Err("pmu_status missing or empty".into()),
+    }
+    let stages = doc.get("stages").and_then(|v| v.as_object()).ok_or("missing stages object")?;
+    for (name, st) in stages {
+        for field in SNAPSHOT_STAGE_FIELDS {
+            let v = st
+                .get(field)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("stage '{name}': {field} missing or not a number"))?;
+            if v < 0.0 {
+                return Err(format!("stage '{name}': {field} negative"));
+            }
+        }
+        let p50 = st.get("p50_ns").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let p99 = st.get("p99_ns").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if p99 < p50 {
+            return Err(format!("stage '{name}': p99 < p50 ({p99} < {p50})"));
+        }
+    }
+    let drift = doc.get("drift").ok_or("missing drift object")?;
+    let status = drift.get("status").and_then(|v| v.as_str()).ok_or("drift.status missing")?;
+    if DriftLevel::parse(status).is_none() {
+        return Err(format!("drift.status '{status}' is not a known level"));
+    }
+    for field in ["regret_permille", "fallthrough_permille", "observed"] {
+        drift
+            .get(field)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("drift.{field} missing or not a number"))?;
+    }
+    let flight = doc.get("flight").ok_or("missing flight object")?;
+    for field in ["requests", "anomalies", "ring"] {
+        flight
+            .get(field)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("flight.{field} missing or not a number"))?;
+    }
+    match flight.get("threshold_ns") {
+        Some(Value::Number(_) | Value::Null) => Ok(()),
+        _ => Err("flight.threshold_ns missing or mistyped".into()),
     }
 }
 
@@ -148,6 +233,19 @@ fn validate_summary_schema(doc: &Value) -> Result<(), String> {
                 if v < 0.0 {
                     return Err(format!("stage '{name}': pmu.{field} negative"));
                 }
+            }
+        }
+        // The sketch is optional (summaries from older tools); when
+        // present it must load and agree with the stage's count.
+        if let Some(sk) = st.get("sketch") {
+            let sketch = QuantileSketch::from_json(sk)
+                .ok_or_else(|| format!("stage '{name}': sketch is malformed"))?;
+            let count = st.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+            if sketch.count() != count {
+                return Err(format!(
+                    "stage '{name}': sketch count {} != stage count {count}",
+                    sketch.count()
+                ));
             }
         }
     }

@@ -122,6 +122,9 @@ pub fn perf_summary_json_with(summary: &Summary, host: &HostFingerprint) -> Stri
                 pmu.branch_misses
             );
         }
+        // Mergeable sketch alongside the exact percentiles, so
+        // summaries from separate runs can be combined post hoc.
+        let _ = write!(out, ",\"sketch\":{}", st.sketch.to_json());
         out.push('}');
     }
     out.push_str("},\"counters\":{");
@@ -248,6 +251,29 @@ pub fn run_report(summary: &Summary) -> String {
     }
     if !summary.pmu_status.is_empty() {
         let _ = writeln!(out, "pmu: {}", summary.pmu_status);
+    }
+    // Live telemetry gauges, when the run exercised them: the drift
+    // monitor's verdict and the flight recorder's aggregates.
+    let drift = crate::telemetry::drift_gauge();
+    if drift.observed > 0 {
+        let _ = writeln!(
+            out,
+            "drift: {} (regret {:.2}x, fallthrough {:.1}%, {} observed)",
+            drift.level.label(),
+            drift.regret_permille as f64 / 1000.0,
+            drift.fallthrough_permille as f64 / 10.0,
+            drift.observed
+        );
+    }
+    let flight = crate::telemetry::flight_stats();
+    if flight.requests > 0 {
+        let _ = writeln!(
+            out,
+            "flight: {} request(s), {} anomaly(ies), threshold {}",
+            flight.requests,
+            flight.anomalies,
+            flight.threshold_ns.map_or("unarmed".to_string(), fmt_ns)
+        );
     }
     if !summary.counters.is_empty() {
         out.push_str("-- counters --\n");

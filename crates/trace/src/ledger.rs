@@ -30,6 +30,7 @@
 
 use crate::export::json::{self, Value};
 use crate::export::write_escaped;
+use crate::telemetry::QuantileSketch;
 use crate::Summary;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -318,6 +319,38 @@ impl PmuSection {
     }
 }
 
+/// The drift monitor's reading at record time, lifted from
+/// `wise_core::drift` via the [`crate::telemetry`] gauge. Records
+/// written before the monitor existed carry `None` (tolerated
+/// everywhere, like the `pmu` section).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DriftRecord {
+    /// [`crate::telemetry::DriftLevel::label`] (`stable`, `warning`, or
+    /// `retrain-suggested`).
+    pub status: String,
+    /// EWMA of measured/predicted execution time, permille.
+    pub regret_permille: u64,
+    /// EWMA of the cascade fallthrough indicator, permille.
+    pub fallthrough_permille: u64,
+    /// Executions the monitor had observed.
+    pub observed: u64,
+}
+
+impl DriftRecord {
+    /// The current [`crate::telemetry::drift_gauge`] reading, or `None`
+    /// when the monitor never observed an execution this process (the
+    /// record then matches pre-monitor ones).
+    pub fn from_gauge() -> Option<DriftRecord> {
+        let g = crate::telemetry::drift_gauge();
+        (g.observed > 0).then(|| DriftRecord {
+            status: g.level.label().to_string(),
+            regret_permille: g.regret_permille,
+            fallthrough_permille: g.fallthrough_permille,
+            observed: g.observed,
+        })
+    }
+}
+
 /// Prediction-quality metrics of the model the run trained.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ModelMetrics {
@@ -363,6 +396,13 @@ pub struct BenchRecord {
     /// Hardware-counter section; `None` on records written before the
     /// field existed (tolerated everywhere, including the gate).
     pub pmu: Option<PmuSection>,
+    /// Stage name → mergeable quantile sketch over the same durations
+    /// the [`StageRecord`] percentiles summarize. Empty on records
+    /// written before sketches existed (tolerated everywhere).
+    pub sketches: BTreeMap<String, QuantileSketch>,
+    /// Prediction-drift reading at record time; `None` on old records
+    /// and on runs that never fed the monitor.
+    pub drift: Option<DriftRecord>,
 }
 
 impl BenchRecord {
@@ -420,6 +460,12 @@ impl BenchRecord {
             throughput,
             model: None,
             pmu: Some(PmuSection::from_summary(summary)),
+            sketches: summary
+                .stages
+                .iter()
+                .map(|(name, st)| (name.clone(), st.sketch.clone()))
+                .collect(),
+            drift: DriftRecord::from_gauge(),
         }
     }
 
@@ -553,6 +599,30 @@ impl BenchRecord {
                     }
                 }
                 out.push('}');
+            }
+        }
+        out.push_str(",\"sketches\":{");
+        let mut first = true;
+        for (name, sk) in &self.sketches {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&sk.to_json());
+        }
+        out.push_str("},\"drift\":");
+        match &self.drift {
+            None => out.push_str("null"),
+            Some(d) => {
+                out.push_str("{\"status\":");
+                write_json_str(&mut out, &d.status);
+                let _ = write!(
+                    out,
+                    ",\"regret_permille\":{},\"fallthrough_permille\":{},\"observed\":{}}}",
+                    d.regret_permille, d.fallthrough_permille, d.observed
+                );
             }
         }
         out.push('}');
@@ -718,6 +788,30 @@ impl BenchRecord {
             }
         };
 
+        // Tolerated-when-missing: old records have no sketches/drift.
+        let mut sketches = BTreeMap::new();
+        if let Some(obj) = doc.get("sketches").and_then(|v| v.as_object()) {
+            for (name, v) in obj {
+                let sk = QuantileSketch::from_json(v)
+                    .ok_or_else(|| format!("sketches.{name}: malformed sketch"))?;
+                sketches.insert(name.clone(), sk);
+            }
+        }
+        let drift = match doc.get("drift") {
+            None | Some(Value::Null) => None,
+            Some(d) => {
+                let g = |key: &str| -> Result<u64, String> {
+                    u64_of(d.get(key).ok_or_else(|| format!("drift.{key}: missing"))?, key)
+                };
+                Some(DriftRecord {
+                    status: str_of(d.get("status").ok_or("drift.status")?, "status")?,
+                    regret_permille: g("regret_permille")?,
+                    fallthrough_permille: g("fallthrough_permille")?,
+                    observed: g("observed")?,
+                })
+            }
+        };
+
         Ok(BenchRecord {
             schema_version,
             seq,
@@ -729,6 +823,8 @@ impl BenchRecord {
             throughput,
             model,
             pmu,
+            sketches,
+            drift,
         })
     }
 }
@@ -1315,6 +1411,35 @@ mod tests {
         let rep = gate(&[rec_old], &rec, &policy(&["pipeline.select"]));
         assert!(rep.passed(), "{}", rep.render());
         assert_eq!(rep.baselines_used, 1);
+    }
+
+    #[test]
+    fn sketch_and_drift_round_trip_and_old_records_tolerate_absence() {
+        let mut rec = record(8, &[("kernel.spmv", stage(100, 120))]);
+        let mut sk = QuantileSketch::default();
+        for v in [0u64, 100, 120, 150, 600, 1_000_000] {
+            sk.observe(v);
+        }
+        rec.sketches.insert("kernel.spmv".to_string(), sk.clone());
+        rec.drift = Some(DriftRecord {
+            status: "warning".to_string(),
+            regret_permille: 1_500,
+            fallthrough_permille: 120,
+            observed: 640,
+        });
+        let back = BenchRecord::from_json(&rec.to_json()).expect("parses");
+        assert_eq!(back, rec);
+        assert_eq!(back.sketches["kernel.spmv"].quantile(0.5), sk.quantile(0.5));
+        // Old records (no sketches / drift fields at all) still load.
+        let old = r#"{"schema_version":1,"seq":3,"note":"old","corpus_digest":"fnv1a:0000000000000001",
+            "host":{"cpu_cores":4,"threads_env":null,"pool_env":null,"rustc":null,"simd":null,"simd_env":null},
+            "stages":{"kernel.spmv":{"count":5,"min_ns":100,"p50_ns":120,"p95_ns":150,"total_ns":600}},
+            "counters":{},"throughput":{},"model":null}"#;
+        let rec_old = BenchRecord::from_json(old).expect("pre-sketch record parses");
+        assert!(rec_old.sketches.is_empty());
+        assert_eq!(rec_old.drift, None);
+        let rep = gate(&[rec_old], &rec, &policy(&["kernel.spmv"]));
+        assert!(rep.passed(), "{}", rep.render());
     }
 
     #[test]

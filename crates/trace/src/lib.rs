@@ -55,11 +55,13 @@
 //! `kernel.*`, `estimate.*`, `label.*`, `train.*`, `select.*` and
 //! `pipeline.*` (see DESIGN.md §10 for the full table).
 
+pub mod env_knob;
 pub mod export;
 pub mod ledger;
 pub mod metrics;
 pub mod pmu;
 pub mod span;
+pub mod telemetry;
 
 pub use export::{
     balanced_events, chrome_trace_json, perf_summary_json, perf_summary_json_with, run_report,
@@ -73,6 +75,7 @@ pub use span::{
     Phase, Span, SpanNode,
 };
 pub use summary::{PmuStats, StageStats, Summary};
+pub use telemetry::{DriftLevel, QuantileSketch, RequestRecord};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -111,6 +114,7 @@ mod summary {
     use crate::metrics::Hist;
     use crate::pmu::PmuKind;
     use crate::span::{Event, Phase};
+    use crate::telemetry::QuantileSketch;
     use std::collections::{BTreeMap, HashMap};
 
     /// Aggregated hardware-counter deltas of one stage (summed over its
@@ -171,6 +175,11 @@ mod summary {
         /// Hardware-counter aggregate when any of this stage's spans
         /// carried PMU deltas.
         pub pmu: Option<PmuStats>,
+        /// Mergeable quantile sketch over the same durations
+        /// (α = [`crate::telemetry::DEFAULT_ALPHA`]): lets runs be
+        /// combined after the fact with bounded error, unlike the exact
+        /// percentiles above which only describe this stream.
+        pub sketch: QuantileSketch,
     }
 
     /// Everything the exporters need, aggregated from a flushed event
@@ -256,8 +265,10 @@ mod summary {
                     ds.sort_unstable();
                     let pct = |p: f64| ds[((ds.len() - 1) as f64 * p).round() as usize];
                     let mut hist = Hist::default();
+                    let mut sketch = crate::telemetry::QuantileSketch::default();
                     for &d in &ds {
                         hist.observe(d);
+                        sketch.observe(d);
                     }
                     // Dominant parent; ties break toward "" (root,
                     // which sorts first) then lexicographically.
@@ -288,6 +299,7 @@ mod summary {
                         hist,
                         parent,
                         pmu,
+                        sketch,
                     };
                     (name.to_string(), stats)
                 })
@@ -318,6 +330,25 @@ mod tests {
         assert_eq!(st.parent, None);
         assert_eq!(st.pmu, None);
         assert!(!s.pmu_status.is_empty());
+    }
+
+    #[test]
+    fn summary_sketch_agrees_with_exact_percentiles() {
+        // Acceptance bound: the streaming sketch must land within its
+        // documented α of the retained-sample exact percentiles.
+        let mk = |value| Event { name: "s", phase: Phase::Sample, ts_ns: 0, tid: 0, value };
+        let events: Vec<Event> = (1..=5000u64).map(|i| mk(i * 37 % 100_000 + 1)).collect();
+        let s = Summary::from_events(&events);
+        let st = &s.stages["s"];
+        assert_eq!(st.sketch.count(), st.count);
+        for (exact, q) in [(st.p50_ns, 0.50), (st.p95_ns, 0.95), (st.p99_ns, 0.99)] {
+            let est = st.sketch.quantile(q).unwrap();
+            let bound = st.sketch.alpha() * exact as f64 + 1.0;
+            assert!(
+                (est as f64 - exact as f64).abs() <= bound,
+                "sketch q{q}: {est} vs exact {exact} (bound {bound})"
+            );
+        }
     }
 
     #[test]

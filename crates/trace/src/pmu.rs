@@ -39,6 +39,7 @@
 //! values warn once, bump the `trace.pmu_env_invalid` counter, and fall
 //! back to `auto` — the same contract as `WISE_THREADS` / `WISE_SIMD`.
 
+use crate::env_knob::{Knob, KnobError};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Once, OnceLock};
@@ -168,36 +169,20 @@ pub enum PmuEnv {
     Auto,
 }
 
-/// Why a `WISE_PMU` value did not parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PmuEnvError {
-    Empty,
-    Unknown(String),
-}
-
-impl std::fmt::Display for PmuEnvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PmuEnvError::Empty => write!(f, "WISE_PMU is set but empty"),
-            PmuEnvError::Unknown(v) => {
-                write!(f, "WISE_PMU={v:?} not recognized (expected 0|off|1|on|auto)")
-            }
-        }
-    }
-}
+/// The `WISE_PMU` knob, on the shared [`crate::env_knob`] grammar.
+const PMU_KNOB: Knob = Knob::new("WISE_PMU", "a pmu mode (expected 0/off, 1/on, or auto)");
 
 /// Parses a `WISE_PMU` value. `None` (unset) means `auto`; values are
-/// trimmed and case-insensitive.
-pub fn parse_wise_pmu(raw: Option<&str>) -> Result<PmuEnv, PmuEnvError> {
-    let Some(raw) = raw else { return Ok(PmuEnv::Auto) };
-    let norm = raw.trim().to_ascii_lowercase();
-    match norm.as_str() {
-        "" => Err(PmuEnvError::Empty),
-        "0" | "off" => Ok(PmuEnv::Off),
-        "1" | "on" => Ok(PmuEnv::On),
-        "auto" => Ok(PmuEnv::Auto),
-        _ => Err(PmuEnvError::Unknown(norm)),
-    }
+/// trimmed and case-insensitive ([`crate::env_knob`] grammar).
+pub fn parse_wise_pmu(raw: Option<&str>) -> Result<PmuEnv, KnobError> {
+    PMU_KNOB
+        .parse(raw, |norm| match norm {
+            "0" | "off" => Some(PmuEnv::Off),
+            "1" | "on" => Some(PmuEnv::On),
+            "auto" => Some(PmuEnv::Auto),
+            _ => None,
+        })
+        .map(|env| env.unwrap_or(PmuEnv::Auto))
 }
 
 const ST_UNINIT: u8 = 0;
@@ -241,11 +226,7 @@ fn resolve_slow() -> PmuStatus {
     let env = match parse_wise_pmu(std::env::var("WISE_PMU").ok().as_deref()) {
         Ok(env) => env,
         Err(err) => {
-            static WARNED: Once = Once::new();
-            WARNED.call_once(|| {
-                eprintln!("wise-trace: ignoring invalid WISE_PMU: {err}; defaulting to auto");
-                crate::counter("trace.pmu_env_invalid", 1);
-            });
+            PMU_KNOB.warn_once(&err, "trace.pmu_env_invalid", "defaulting to auto");
             PmuEnv::Auto
         }
     };
@@ -610,10 +591,12 @@ mod tests {
 
     #[test]
     fn parse_rejects_empty_and_unknown() {
-        assert_eq!(parse_wise_pmu(Some("")), Err(PmuEnvError::Empty));
-        assert_eq!(parse_wise_pmu(Some("   ")), Err(PmuEnvError::Empty));
-        assert_eq!(parse_wise_pmu(Some("yes")), Err(PmuEnvError::Unknown("yes".to_string())));
-        assert_eq!(parse_wise_pmu(Some("2")), Err(PmuEnvError::Unknown("2".to_string())));
+        assert_eq!(parse_wise_pmu(Some("")), Err(KnobError::Empty { knob: "WISE_PMU" }));
+        assert_eq!(parse_wise_pmu(Some("   ")), Err(KnobError::Empty { knob: "WISE_PMU" }));
+        for bad in ["yes", "2"] {
+            let err = parse_wise_pmu(Some(bad)).unwrap_err();
+            assert!(matches!(err, KnobError::Invalid { knob: "WISE_PMU", .. }), "{bad:?}");
+        }
         let err = parse_wise_pmu(Some("bogus")).unwrap_err();
         assert!(err.to_string().contains("bogus"));
         assert!(parse_wise_pmu(Some("")).unwrap_err().to_string().contains("empty"));

@@ -164,7 +164,9 @@ impl Drop for Span {
                 // stays out of the measured duration.
                 crate::pmu::emit_span_delta(self.name, &base, end);
             }
-            record(self.name, Phase::End, end, end - self.start_ns);
+            let dur = end - self.start_ns;
+            record(self.name, Phase::End, end, dur);
+            crate::telemetry::stream_observe(self.name, dur);
         }
     }
 }
@@ -185,6 +187,7 @@ pub fn counter(name: &'static str, value: u64) {
 pub fn observe_ns(name: &'static str, ns: u64) {
     if crate::enabled() {
         record(name, Phase::Sample, now_ns(), ns);
+        crate::telemetry::stream_observe(name, ns);
     }
 }
 
@@ -197,6 +200,7 @@ pub fn observe_ns(name: &'static str, ns: u64) {
 pub fn observe(name: &'static str, value: u64) {
     if crate::enabled() {
         record(name, Phase::Sample, now_ns(), value);
+        crate::telemetry::stream_observe(name, value);
     }
 }
 

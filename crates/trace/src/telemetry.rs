@@ -1,0 +1,1224 @@
+//! Streaming telemetry for infinite-lifetime processes.
+//!
+//! The exporters in [`crate::export`] assume a *bounded* run: raw
+//! samples are retained per stage and everything flushes at process
+//! exit. A long-lived selection daemon breaks both assumptions, so this
+//! module keeps a second, always-on aggregation path whose memory is
+//! constant after warm-up:
+//!
+//! * [`QuantileSketch`] — a DDSketch-style mergeable quantile sketch
+//!   with log-γ buckets: relative error is bounded by a fixed α, two
+//!   sketches over disjoint streams merge *exactly* (the merged sketch
+//!   is bit-identical to one built from the concatenated stream), and
+//!   the footprint is hard-capped by the bucket range of `u64`.
+//! * A **streaming stage registry**: every closing span and duration
+//!   sample also lands in a per-stage sketch (one global map keyed by
+//!   the `'static` stage name), so quantiles stay queryable while the
+//!   process runs — no flush, no retained samples.
+//! * A **per-request flight recorder**: selection requests record a
+//!   bounded ring of [`RequestRecord`]s (method, cascade stage, margin,
+//!   predicted vs measured seconds, PMU deltas). A request whose
+//!   latency exceeds a configurable quantile of recent history dumps
+//!   the surrounding window as a loadable Chrome-trace JSON — the
+//!   "black box" for post-hoc analysis of one slow request.
+//! * A **drift gauge**: `wise-core`'s prediction-drift monitor mirrors
+//!   its windowed EWMAs here so exports and snapshots can carry them
+//!   without a dependency cycle.
+//! * A **periodic snapshot exporter**: a background thread renders the
+//!   above to `metrics_snapshot.json` every N seconds (atomic
+//!   tmp+rename), the feed for the `wise-top` live view.
+//!
+//! # Knobs
+//!
+//! All on the [`crate::env_knob`] grammar: `WISE_TELEMETRY=0|off`
+//! disables the streaming registry and the flight recorder (spans then
+//! cost exactly what they did before this module existed);
+//! `WISE_FLIGHT_QUANTILE` moves the anomaly threshold (default 0.99);
+//! `WISE_FLIGHT_DIR` makes anomaly dumps land as files;
+//! `WISE_SNAPSHOT` / `WISE_SNAPSHOT_SECS` drive the snapshot thread.
+
+use crate::env_knob::Knob;
+use crate::pmu::PmuCounts;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Mergeable relative-error quantile sketch
+// ---------------------------------------------------------------------
+
+/// Default relative-error bound α for every sketch the workspace
+/// creates (stage registry, flight recorder, [`crate::Summary`]).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A DDSketch-style quantile sketch over `u64` values (nanoseconds by
+/// convention) with relative-error guarantee α: for any quantile the
+/// estimate `e` of true value `v` satisfies `|e - v| <= α·v` (plus
+/// integer rounding). Buckets are logarithmic: bucket `i` covers
+/// `(γ^(i-1), γ^i]` with `γ = (1+α)/(1-α)`, zero values get a dedicated
+/// exact bucket. The bucket index range for `u64` is finite (~2.2k at
+/// α = 0.01), so the footprint is hard-capped no matter how many values
+/// stream in — and two sketches with the same α merge exactly by
+/// bucket-wise addition.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    alpha: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    /// Count of exact zeros.
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+    /// Bucket counts for indices `bucket_lo ..`, grown lazily toward
+    /// both ends but bounded by the index range of `u64`.
+    buckets: Vec<u64>,
+    bucket_lo: i32,
+}
+
+impl QuantileSketch {
+    /// A sketch with relative-error bound `alpha` (clamped to a sane
+    /// `(0.0001, 0.5)` range).
+    pub fn new(alpha: f64) -> QuantileSketch {
+        let alpha = alpha.clamp(1e-4, 0.5);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+            bucket_lo: 0,
+        }
+    }
+
+    /// The documented relative-error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(if self.zero > 0 { 0 } else { self.min })
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Current heap footprint in bytes — constant once the observed
+    /// value range stops widening (the soak test pins this).
+    pub fn footprint_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// `γ^i` through the same expression the index adjustment uses, so
+    /// bucket boundaries and midpoints stay mutually consistent.
+    fn power(&self, i: i32) -> f64 {
+        (i as f64 * self.ln_gamma).exp()
+    }
+
+    /// Bucket index for `v >= 1`: the unique `i` with
+    /// `γ^(i-1) < v <= γ^i` (float error at the boundaries is repaired
+    /// by the adjustment loops, keeping the α bound exact).
+    fn bucket_index(&self, v: u64) -> i32 {
+        let x = (v as f64).ln() / self.ln_gamma;
+        let mut i = x.ceil() as i32;
+        while i > i32::MIN && self.power(i - 1) >= v as f64 {
+            i -= 1;
+        }
+        while self.power(i) < v as f64 {
+            i += 1;
+        }
+        i
+    }
+
+    /// Midpoint estimate for bucket `i`, minimizing worst-case relative
+    /// error: `2·γ^i / (γ + 1)`.
+    fn bucket_value(&self, i: i32) -> u64 {
+        (2.0 * self.power(i) / (self.gamma + 1.0)).round() as u64
+    }
+
+    /// Ensures `buckets` covers index `i`, growing toward the needed
+    /// end. Growth is bounded: indices live in the fixed range the
+    /// `u64` domain maps to, so repeated observes converge to a
+    /// constant footprint.
+    fn slot(&mut self, i: i32) -> &mut u64 {
+        if self.buckets.is_empty() {
+            self.bucket_lo = i;
+            self.buckets.push(0);
+        } else if i < self.bucket_lo {
+            let grow = (self.bucket_lo - i) as usize;
+            self.buckets.splice(0..0, std::iter::repeat(0).take(grow));
+            self.bucket_lo = i;
+        } else if (i - self.bucket_lo) as usize >= self.buckets.len() {
+            self.buckets.resize((i - self.bucket_lo) as usize + 1, 0);
+        }
+        &mut self.buckets[(i - self.bucket_lo) as usize]
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as f64;
+        self.max = self.max.max(v);
+        if v == 0 {
+            self.zero += 1;
+            return;
+        }
+        self.min = self.min.min(v);
+        let i = self.bucket_index(v);
+        *self.slot(i) += 1;
+    }
+
+    /// Merges `other` into `self`. Exact: the result is identical to a
+    /// sketch that observed both streams. Both sketches must share α
+    /// (same-γ bucket grids; enforced).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "cannot merge sketches with different alpha ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (idx, &c) in other.buckets.iter().enumerate() {
+            if c > 0 {
+                *self.slot(other.bucket_lo + idx as i32) += c;
+            }
+        }
+    }
+
+    /// The quantile estimate at `q ∈ [0, 1]`, within α relative error
+    /// of the exact order statistic (rank convention matches
+    /// [`crate::Summary`]: `round(q·(count-1))`). `None` on an empty
+    /// sketch.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        if rank < self.zero {
+            return Some(0);
+        }
+        let mut seen = self.zero;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(self.bucket_value(self.bucket_lo + idx as i32));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Serializes to a canonical JSON object: only non-empty buckets,
+    /// index-sorted, so equal sketch contents produce identical bytes
+    /// (and [`QuantileSketch::from_json`] round-trips byte-stably).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str(&format!(
+            "{{\"alpha\":{},\"count\":{},\"zero\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.alpha,
+            self.count,
+            self.zero,
+            self.sum,
+            if self.count > 0 && self.zero == 0 { self.min } else { 0 },
+            self.max
+        ));
+        let mut first = true;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("[{},{}]", self.bucket_lo + idx as i32, c));
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses [`QuantileSketch::to_json`] output. `None` on malformed
+    /// or schema-mismatched input.
+    pub fn from_json(v: &crate::export::json::Value) -> Option<QuantileSketch> {
+        let obj = v.as_object()?;
+        let num = |k: &str| obj.get(k).and_then(|v| v.as_f64());
+        let mut sk = QuantileSketch::new(num("alpha")?);
+        sk.count = num("count")? as u64;
+        sk.zero = num("zero")? as u64;
+        sk.sum = num("sum")?;
+        sk.max = num("max")? as u64;
+        let min = num("min")? as u64;
+        sk.min = if sk.count > 0 && sk.zero == 0 { min } else { u64::MAX };
+        for pair in obj.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let idx = pair[0].as_f64()? as i32;
+            let c = pair[1].as_f64()? as u64;
+            *sk.slot(idx) += c;
+        }
+        Some(sk)
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new(DEFAULT_ALPHA)
+    }
+}
+
+impl PartialEq for QuantileSketch {
+    /// Content equality (bucket grids compared sparsely, so differently
+    /// grown-but-equal sketches compare equal).
+    fn eq(&self, other: &QuantileSketch) -> bool {
+        self.to_json() == other.to_json()
+    }
+}
+
+// ---------------------------------------------------------------------
+// WISE_TELEMETRY gate
+// ---------------------------------------------------------------------
+
+const TELEMETRY_KNOB: Knob =
+    Knob::new("WISE_TELEMETRY", "a telemetry mode (expected 0/off, 1/on, or auto)");
+
+const T_UNINIT: u8 = 0;
+const T_OFF: u8 = 1;
+const T_ON: u8 = 2;
+
+static TELEMETRY: AtomicU8 = AtomicU8::new(T_UNINIT);
+
+/// Whether the streaming registry and the flight recorder are live.
+/// Defaults to on (`WISE_TELEMETRY=0|off` disables); one relaxed atomic
+/// load after the first call.
+#[inline]
+pub fn telemetry_enabled() -> bool {
+    match TELEMETRY.load(Ordering::Relaxed) {
+        T_ON => true,
+        T_OFF => false,
+        _ => telemetry_from_env(),
+    }
+}
+
+#[cold]
+fn telemetry_from_env() -> bool {
+    let on = TELEMETRY_KNOB
+        .read("trace.telemetry_env_invalid", "telemetry stays on", |norm| match norm {
+            "0" | "off" => Some(false),
+            "1" | "on" | "auto" => Some(true),
+            _ => None,
+        })
+        .unwrap_or(true);
+    TELEMETRY.store(if on { T_ON } else { T_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the `WISE_TELEMETRY` gate (tests, the overhead benchmark).
+pub fn set_telemetry_enabled(on: bool) {
+    TELEMETRY.store(if on { T_ON } else { T_OFF }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Streaming per-stage sketch registry
+// ---------------------------------------------------------------------
+
+fn stream() -> &'static Mutex<BTreeMap<&'static str, QuantileSketch>> {
+    static STREAM: OnceLock<Mutex<BTreeMap<&'static str, QuantileSketch>>> = OnceLock::new();
+    STREAM.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Feeds one duration/value into the named stage's streaming sketch.
+/// Called by every closing span and duration sample when tracing and
+/// telemetry are both on; bounded memory (one sketch per distinct
+/// `'static` stage name).
+pub(crate) fn stream_observe(name: &'static str, value: u64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let mut map = match stream().lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    map.entry(name).or_default().observe(value);
+}
+
+/// Snapshot (clone) of the streaming stage sketches.
+pub fn stream_sketches() -> BTreeMap<&'static str, QuantileSketch> {
+    match stream().lock() {
+        Ok(g) => g.clone(),
+        Err(p) => p.into_inner().clone(),
+    }
+}
+
+/// Clears the streaming registry (tests).
+pub fn stream_reset() {
+    match stream().lock() {
+        Ok(mut g) => g.clear(),
+        Err(mut p) => p.get_mut().clear(),
+    }
+}
+
+/// Total heap footprint of the streaming registry, for bounded-memory
+/// assertions.
+pub fn stream_footprint_bytes() -> usize {
+    stream_sketches().values().map(QuantileSketch::footprint_bytes).sum()
+}
+
+// ---------------------------------------------------------------------
+// Request ids + flight recorder
+// ---------------------------------------------------------------------
+
+/// Nanoseconds on the shared trace epoch — the clock span events and
+/// [`RequestRecord::start_ns`] are stamped with. Public so request
+/// producers outside this crate (the selection pipeline) can timestamp
+/// records consistently with the trace stream.
+pub fn now_ns() -> u64 {
+    crate::span::now_ns()
+}
+
+/// Ring capacity of the flight recorder, in requests.
+pub const FLIGHT_RING_CAPACITY: usize = 512;
+
+/// Latency-history window size: the anomaly threshold is the configured
+/// quantile over the current plus previous window (so "recent" spans at
+/// most `2 × FLIGHT_WINDOW` requests).
+pub const FLIGHT_WINDOW: u64 = 1024;
+
+/// Minimum latency history before the anomaly trigger arms — a cold
+/// recorder never fires on its first requests.
+pub const FLIGHT_MIN_HISTORY: u64 = 64;
+
+const FLIGHT_QUANTILE_KNOB: Knob =
+    Knob::new("WISE_FLIGHT_QUANTILE", "a quantile in (0, 1), e.g. 0.99");
+
+/// One selection request, as the flight recorder keeps it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Process-unique id (from [`next_request_id`]), propagated through
+    /// cascade, pool dispatch and kernel spans via [`current_request`].
+    pub id: u64,
+    /// Start timestamp, nanoseconds on the trace epoch.
+    pub start_ns: u64,
+    /// End-to-end selection latency.
+    pub latency_ns: u64,
+    /// Chosen method label.
+    pub method: String,
+    /// Which path answered: `"stage1"`, `"stage2"`, or `"full"`.
+    pub stage: &'static str,
+    /// Stage-1 confidence margin, when the cascade ran.
+    pub margin: Option<f64>,
+    /// Stage-1 roofline prediction for the chosen method, seconds.
+    pub predicted_s: Option<f64>,
+    /// Measured seconds, filled in later by [`note_measured`].
+    pub measured_s: Option<f64>,
+    /// Hardware-counter deltas over the selection, when available.
+    pub pmu: Option<PmuCounts>,
+}
+
+/// Aggregate flight-recorder state, for reports and snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlightStats {
+    pub requests: u64,
+    pub anomalies: u64,
+    pub ring_len: usize,
+    /// The armed anomaly threshold, when history suffices.
+    pub threshold_ns: Option<u64>,
+}
+
+struct FlightState {
+    ring: VecDeque<RequestRecord>,
+    window: QuantileSketch,
+    prior: QuantileSketch,
+    requests: u64,
+    anomalies: u64,
+    /// Request count at the last dump (rate limit: one dump per
+    /// window's worth of requests).
+    last_dump_at: u64,
+    last_dump: Option<String>,
+    quantile: f64,
+    dir: Option<PathBuf>,
+    dir_from_env: bool,
+}
+
+impl FlightState {
+    fn threshold_ns(&self) -> Option<u64> {
+        let mut hist = self.prior.clone();
+        hist.merge(&self.window);
+        if hist.count() < FLIGHT_MIN_HISTORY {
+            return None;
+        }
+        // Inflate the estimate by γ: the sketch may undershoot the true
+        // quantile by up to α (relative), and a request sitting exactly
+        // at the quantile must never flag. The armed threshold is an
+        // upper bound on the true quantile value.
+        let est = hist.quantile(self.quantile)? as f64;
+        let gamma = (1.0 + hist.alpha()) / (1.0 - hist.alpha());
+        Some((est * gamma).ceil() as u64)
+    }
+}
+
+fn flight() -> &'static Mutex<FlightState> {
+    static FLIGHT: OnceLock<Mutex<FlightState>> = OnceLock::new();
+    FLIGHT.get_or_init(|| {
+        let quantile = FLIGHT_QUANTILE_KNOB
+            .read("trace.flight_env_invalid", "keeping the default 0.99 quantile", |norm| {
+                norm.parse::<f64>().ok().filter(|q| *q > 0.0 && *q < 1.0)
+            })
+            .unwrap_or(0.99);
+        let dir =
+            std::env::var("WISE_FLIGHT_DIR").ok().filter(|d| !d.is_empty()).map(PathBuf::from);
+        Mutex::new(FlightState {
+            ring: VecDeque::with_capacity(FLIGHT_RING_CAPACITY),
+            window: QuantileSketch::default(),
+            prior: QuantileSketch::default(),
+            requests: 0,
+            anomalies: 0,
+            last_dump_at: 0,
+            last_dump: None,
+            quantile,
+            dir_from_env: dir.is_some(),
+            dir,
+        })
+    })
+}
+
+fn flight_lock() -> std::sync::MutexGuard<'static, FlightState> {
+    flight().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates the next process-unique request id.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT_REQUEST: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The request id attributed to work on the calling thread (0 = none).
+/// `pipeline.select` sets it for the selection scope and the worker
+/// pool forwards the dispatcher's id to its workers, so kernel-level
+/// code can attribute itself to the originating request.
+pub fn current_request() -> u64 {
+    CURRENT_REQUEST.with(|c| c.get())
+}
+
+/// Sets the calling thread's request id, returning the previous one
+/// (restore it when the scope ends — see [`RequestScope`]).
+pub fn set_current_request(id: u64) -> u64 {
+    CURRENT_REQUEST.with(|c| c.replace(id))
+}
+
+/// RAII scope for [`set_current_request`].
+pub struct RequestScope {
+    prior: u64,
+}
+
+impl RequestScope {
+    pub fn enter(id: u64) -> RequestScope {
+        RequestScope { prior: set_current_request(id) }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        set_current_request(self.prior);
+    }
+}
+
+/// Records one completed selection request into the flight ring,
+/// updates the latency history, and fires the anomaly trigger when the
+/// request's latency exceeds the configured quantile of recent history.
+/// Returns `true` when the request was flagged as an anomaly.
+pub fn record_request(rec: RequestRecord) -> bool {
+    if !telemetry_enabled() {
+        return false;
+    }
+    let mut st = flight_lock();
+    // Threshold first: the request must not raise the bar it is judged
+    // against.
+    let threshold = st.threshold_ns();
+    let anomalous = threshold.is_some_and(|t| rec.latency_ns > t);
+    st.window.observe(rec.latency_ns);
+    if st.window.count() >= FLIGHT_WINDOW {
+        st.prior = std::mem::take(&mut st.window);
+    }
+    if st.ring.len() == FLIGHT_RING_CAPACITY {
+        st.ring.pop_front();
+    }
+    st.requests += 1;
+    let anomaly_id = rec.id;
+    st.ring.push_back(rec);
+    if anomalous {
+        st.anomalies += 1;
+        crate::counter("flight.anomaly", 1);
+        // Rate limit: at most one dump per window of requests.
+        if st.requests - st.last_dump_at >= FLIGHT_WINDOW || st.last_dump_at == 0 {
+            st.last_dump_at = st.requests;
+            let dump = flight_dump_json(&st.ring, anomaly_id, threshold.unwrap_or(0));
+            if let Some(dir) = st.dir.clone() {
+                write_flight_dump(&dir, anomaly_id, &dump);
+            }
+            st.last_dump = Some(dump);
+        }
+    }
+    anomalous
+}
+
+/// Fills in the measured execution time of a recorded request (matched
+/// by id in the live ring; a no-op once the request aged out).
+pub fn note_measured(id: u64, seconds: f64) {
+    if !telemetry_enabled() || id == 0 {
+        return;
+    }
+    let mut st = flight_lock();
+    if let Some(rec) = st.ring.iter_mut().rev().find(|r| r.id == id) {
+        rec.measured_s = Some(seconds);
+    }
+}
+
+/// Current flight-recorder aggregates.
+pub fn flight_stats() -> FlightStats {
+    let st = flight_lock();
+    FlightStats {
+        requests: st.requests,
+        anomalies: st.anomalies,
+        ring_len: st.ring.len(),
+        threshold_ns: st.threshold_ns(),
+    }
+}
+
+/// The most recent anomaly dump (Chrome-trace JSON), kept in memory for
+/// hosts without a `WISE_FLIGHT_DIR`.
+pub fn last_anomaly_dump() -> Option<String> {
+    flight_lock().last_dump.clone()
+}
+
+/// Clones the live request ring, most recent last (tests, `wise-top`).
+pub fn flight_ring() -> Vec<RequestRecord> {
+    flight_lock().ring.iter().cloned().collect()
+}
+
+/// Points anomaly dumps at a directory (`None` restores the
+/// `WISE_FLIGHT_DIR` environment setting, or disables file dumps if the
+/// variable is unset).
+pub fn set_flight_dir(dir: Option<PathBuf>) {
+    let mut st = flight_lock();
+    match dir {
+        Some(d) => {
+            st.dir = Some(d);
+            st.dir_from_env = false;
+        }
+        None => {
+            st.dir =
+                std::env::var("WISE_FLIGHT_DIR").ok().filter(|d| !d.is_empty()).map(PathBuf::from);
+            st.dir_from_env = st.dir.is_some();
+        }
+    }
+}
+
+/// Overrides the anomaly quantile (tests; clamped into `(0, 1)`).
+pub fn set_flight_quantile(q: f64) {
+    flight_lock().quantile = q.clamp(1e-6, 1.0 - 1e-6);
+}
+
+/// Resets the recorder to cold state (tests).
+pub fn flight_reset() {
+    let mut st = flight_lock();
+    st.ring.clear();
+    st.window = QuantileSketch::default();
+    st.prior = QuantileSketch::default();
+    st.requests = 0;
+    st.anomalies = 0;
+    st.last_dump_at = 0;
+    st.last_dump = None;
+}
+
+/// Renders the ring window around an anomaly as Chrome-trace JSON: one
+/// balanced Begin/End pair per request (on its own tid so concurrent
+/// requests cannot interleave) plus an instant `flight.anomaly` marker
+/// at the offending request. Loads in Perfetto and passes the
+/// `check_trace` balance validator.
+fn flight_dump_json(ring: &VecDeque<RequestRecord>, anomaly_id: u64, threshold_ns: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(ring.len() * 256 + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+    for rec in ring {
+        let ts_us = rec.start_ns as f64 / 1000.0;
+        let end_us = (rec.start_ns + rec.latency_ns) as f64 / 1000.0;
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"request\",\"cat\":\"flight\",\"ph\":\"B\",\"ts\":{ts_us:.3},\
+             \"pid\":1,\"tid\":{}}}",
+            rec.id
+        );
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"request\",\"cat\":\"flight\",\"ph\":\"E\",\"ts\":{end_us:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"method\":\"",
+            rec.id, rec.id
+        );
+        crate::export::write_escaped(&mut out, &rec.method);
+        let _ = write!(out, "\",\"stage\":\"{}\"", rec.stage);
+        // Non-finite floats (e.g. the f64::MAX all-leaves margin after
+        // arithmetic) would render as invalid JSON; drop them instead.
+        if let Some(m) = rec.margin.filter(|m| m.is_finite()) {
+            let _ = write!(out, ",\"margin\":{m}");
+        }
+        if let Some(p) = rec.predicted_s.filter(|p| p.is_finite()) {
+            let _ = write!(out, ",\"predicted_s\":{p}");
+        }
+        if let Some(m) = rec.measured_s.filter(|m| m.is_finite()) {
+            let _ = write!(out, ",\"measured_s\":{m}");
+        }
+        if let Some(pmu) = &rec.pmu {
+            let _ = write!(
+                out,
+                ",\"cycles\":{},\"instructions\":{},\"llc_misses\":{}",
+                pmu.cycles, pmu.instructions, pmu.llc_misses
+            );
+        }
+        out.push_str("}}");
+        if rec.id == anomaly_id {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"flight.anomaly\",\"cat\":\"flight\",\"ph\":\"i\",\"s\":\"g\",\
+                 \"ts\":{end_us:.3},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"latency_ns\":{},\"threshold_ns\":{threshold_ns}}}}}",
+                rec.id, rec.latency_ns
+            );
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+fn write_flight_dump(dir: &Path, id: u64, dump: &str) {
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flight_{id}.json"));
+        std::fs::write(&path, dump)?;
+        // Stable alias for scripts/CI that cannot glob.
+        std::fs::write(dir.join("flight_latest.json"), dump)?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!("[wise] flight-recorder dump failed ({}): {e}", dir.display());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drift gauge (mirrored by wise-core's drift monitor)
+// ---------------------------------------------------------------------
+
+/// Coarse drift verdict, as the run report / ledger / snapshot carry
+/// it. Computed by `wise_core::drift`; mirrored here so the
+/// dependency-free exporters can render it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftLevel {
+    Stable,
+    Warning,
+    RetrainSuggested,
+}
+
+impl DriftLevel {
+    /// Stable snake-ish label used in every export.
+    pub fn label(self) -> &'static str {
+        match self {
+            DriftLevel::Stable => "stable",
+            DriftLevel::Warning => "warning",
+            DriftLevel::RetrainSuggested => "retrain-suggested",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DriftLevel> {
+        match s {
+            "stable" => Some(DriftLevel::Stable),
+            "warning" => Some(DriftLevel::Warning),
+            "retrain-suggested" => Some(DriftLevel::RetrainSuggested),
+            _ => None,
+        }
+    }
+}
+
+/// One exported drift reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftSnapshot {
+    pub level: DriftLevel,
+    /// EWMA of measured/predicted execution time, permille.
+    pub regret_permille: u64,
+    /// EWMA of the cascade fallthrough indicator, permille.
+    pub fallthrough_permille: u64,
+    /// Executions observed by the monitor.
+    pub observed: u64,
+}
+
+static DRIFT_LEVEL: AtomicU8 = AtomicU8::new(0);
+static DRIFT_REGRET: AtomicU64 = AtomicU64::new(0);
+static DRIFT_FALLTHROUGH: AtomicU64 = AtomicU64::new(0);
+static DRIFT_OBSERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Publishes the drift monitor's current reading (called by
+/// `wise_core::drift` after each observation).
+pub fn set_drift_gauge(snapshot: DriftSnapshot) {
+    let code = match snapshot.level {
+        DriftLevel::Stable => 0,
+        DriftLevel::Warning => 1,
+        DriftLevel::RetrainSuggested => 2,
+    };
+    DRIFT_LEVEL.store(code, Ordering::Relaxed);
+    DRIFT_REGRET.store(snapshot.regret_permille, Ordering::Relaxed);
+    DRIFT_FALLTHROUGH.store(snapshot.fallthrough_permille, Ordering::Relaxed);
+    DRIFT_OBSERVED.store(snapshot.observed, Ordering::Relaxed);
+}
+
+/// The last published drift reading (all-zero `Stable` before the
+/// monitor ever reported).
+pub fn drift_gauge() -> DriftSnapshot {
+    let level = match DRIFT_LEVEL.load(Ordering::Relaxed) {
+        1 => DriftLevel::Warning,
+        2 => DriftLevel::RetrainSuggested,
+        _ => DriftLevel::Stable,
+    };
+    DriftSnapshot {
+        level,
+        regret_permille: DRIFT_REGRET.load(Ordering::Relaxed),
+        fallthrough_permille: DRIFT_FALLTHROUGH.load(Ordering::Relaxed),
+        observed: DRIFT_OBSERVED.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Periodic snapshot exporter
+// ---------------------------------------------------------------------
+
+const SNAPSHOT_SECS_KNOB: Knob = Knob::new("WISE_SNAPSHOT_SECS", "a positive number of seconds");
+
+/// Renders the live telemetry state (streaming sketches, drift gauge,
+/// flight stats) as `metrics_snapshot.json` content. Pure read — does
+/// not drain the trace rings, so it can run forever alongside them.
+pub fn snapshot_json() -> String {
+    use std::fmt::Write as _;
+    let stages = stream_sketches();
+    let drift = drift_gauge();
+    let fs = flight_stats();
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = write!(out, "  \"schema_version\": 1,\n  \"ts_ns\": {},\n", crate::span::now_ns());
+    out.push_str("  \"pmu_status\": \"");
+    crate::export::write_escaped(&mut out, &crate::pmu::status_label());
+    out.push_str("\",\n");
+    let _ = write!(out, "  \"dropped_events\": {},\n", crate::dropped_events());
+    out.push_str("  \"stages\": {\n");
+    let mut first = true;
+    for (name, sk) in &stages {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    \"");
+        crate::export::write_escaped(&mut out, name);
+        out.push('"');
+        let q = |p: f64| sk.quantile(p).unwrap_or(0);
+        let _ = write!(
+            out,
+            ": {{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+             \"total_ns\":{},\"alpha\":{}}}",
+            sk.count(),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            sk.max().unwrap_or(0),
+            sk.sum() as u64,
+            sk.alpha()
+        );
+    }
+    out.push_str("\n  },\n");
+    let _ = write!(
+        out,
+        "  \"drift\": {{\"status\":\"{}\",\"regret_permille\":{},\"fallthrough_permille\":{},\
+         \"observed\":{}}},\n",
+        drift.level.label(),
+        drift.regret_permille,
+        drift.fallthrough_permille,
+        drift.observed
+    );
+    let _ = write!(
+        out,
+        "  \"flight\": {{\"requests\":{},\"anomalies\":{},\"ring\":{},\"threshold_ns\":{}}}\n",
+        fs.requests,
+        fs.anomalies,
+        fs.ring_len,
+        fs.threshold_ns.map_or("null".to_string(), |t| t.to_string())
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Writes [`snapshot_json`] atomically (tmp + rename) so a concurrent
+/// reader never sees a torn file.
+pub fn write_snapshot(path: &Path) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(snapshot_json().as_bytes())?;
+        f.sync_all().ok();
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Handle to the background snapshot thread; stops (and writes one
+/// final snapshot) on [`SnapshotHandle::stop`] or drop.
+pub struct SnapshotHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+    path: PathBuf,
+}
+
+impl SnapshotHandle {
+    /// The snapshot file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops the thread and writes a final snapshot.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for SnapshotHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts a background thread writing [`snapshot_json`] to `path` every
+/// `every` (plus once at shutdown, so short-lived processes still leave
+/// a final state behind).
+pub fn start_snapshot_thread(path: PathBuf, every: Duration) -> SnapshotHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_t = Arc::clone(&stop);
+    let path_t = path.clone();
+    let join = std::thread::Builder::new()
+        .name("wise-snapshot".to_string())
+        .spawn(move || {
+            let tick = Duration::from_millis(50).min(every);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                if stop_t.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= every {
+                    elapsed = Duration::ZERO;
+                    if let Err(e) = write_snapshot(&path_t) {
+                        eprintln!("[wise] snapshot write failed ({}): {e}", path_t.display());
+                    }
+                }
+            }
+            if let Err(e) = write_snapshot(&path_t) {
+                eprintln!("[wise] final snapshot write failed ({}): {e}", path_t.display());
+            }
+        })
+        .expect("spawn wise-snapshot thread");
+    SnapshotHandle { stop, join: Some(join), path }
+}
+
+/// Starts the snapshot thread when `WISE_SNAPSHOT=<path>` is set in the
+/// environment; interval from `WISE_SNAPSHOT_SECS` (default 5).
+pub fn snapshot_from_env() -> Option<SnapshotHandle> {
+    let path = std::env::var("WISE_SNAPSHOT").ok().filter(|p| !p.is_empty())?;
+    let secs = SNAPSHOT_SECS_KNOB
+        .read("trace.snapshot_env_invalid", "keeping the 5s default", |norm| {
+            norm.parse::<f64>().ok().filter(|s| *s > 0.0)
+        })
+        .unwrap_or(5.0);
+    Some(start_snapshot_thread(PathBuf::from(path), Duration::from_secs_f64(secs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream for the property-style tests
+    /// (the crate is dependency-free, so no proptest here).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    fn assert_within_alpha(sk: &QuantileSketch, est: u64, v: u64) {
+        let bound = sk.alpha() * v as f64 + 1.0 + 1e-9 * v as f64;
+        assert!(
+            (est as f64 - v as f64).abs() <= bound,
+            "estimate {est} outside alpha={} bound of true value {v}",
+            sk.alpha()
+        );
+    }
+
+    #[test]
+    fn sketch_relative_error_bound_across_the_u64_range() {
+        // Every observed value, re-estimated through its own bucket,
+        // must sit within alpha. Sweep powers spanning the full u64
+        // domain plus random values at every magnitude.
+        let mut sk = QuantileSketch::new(DEFAULT_ALPHA);
+        let mut values: Vec<u64> = vec![1, 2, 3, 10, 255, 4096, 1 << 32, u64::MAX];
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for shift in 0..64 {
+            values.push(1u64 << shift);
+            values.push((rng.next() >> (63 - shift)).max(1));
+        }
+        for &v in &values {
+            sk.observe(v);
+        }
+        for &v in &values {
+            let mut solo = QuantileSketch::new(DEFAULT_ALPHA);
+            solo.observe(v);
+            let est = solo.quantile(0.5).unwrap();
+            assert_within_alpha(&solo, est, v);
+        }
+        // Footprint stays under the documented hard cap.
+        assert!(sk.footprint_bytes() <= 4096 * 8, "footprint {}", sk.footprint_bytes());
+    }
+
+    #[test]
+    fn sketch_quantiles_track_exact_order_statistics() {
+        let mut rng = Rng(42);
+        let mut sk = QuantileSketch::new(DEFAULT_ALPHA);
+        let mut exact: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            // Log-uniform-ish latencies between ~100ns and ~100ms.
+            let v = 100 + (rng.next() % (1u64 << (10 + (rng.next() % 18) as u32)));
+            sk.observe(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let rank = (q * (exact.len() - 1) as f64).round() as usize;
+            let truth = exact[rank];
+            let est = sk.quantile(q).unwrap();
+            assert_within_alpha(&sk, est, truth);
+        }
+    }
+
+    #[test]
+    fn sketch_merge_is_associative_and_commutative() {
+        let mut rng = Rng(7);
+        let mut parts: Vec<QuantileSketch> = Vec::new();
+        let mut whole = QuantileSketch::new(DEFAULT_ALPHA);
+        for _ in 0..4 {
+            let mut part = QuantileSketch::new(DEFAULT_ALPHA);
+            for _ in 0..500 {
+                let v = rng.next() % 1_000_000;
+                part.observe(v);
+                whole.observe(v);
+            }
+            parts.push(part);
+        }
+        // (((a+b)+c)+d)
+        let mut left = parts[0].clone();
+        for p in &parts[1..] {
+            left.merge(p);
+        }
+        // (a+(b+(c+d)))
+        let right = parts[3].clone();
+        let mut cd = parts[2].clone();
+        cd.merge(&right);
+        let mut bcd = parts[1].clone();
+        bcd.merge(&cd);
+        let mut abcd = parts[0].clone();
+        abcd.merge(&bcd);
+        // Reversed order.
+        let mut rev = parts[3].clone();
+        for p in parts[..3].iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(left, abcd, "associativity");
+        assert_eq!(left, rev, "commutativity");
+        // Exact merge: identical to observing the concatenated stream.
+        assert_eq!(left, whole, "merge exactness");
+    }
+
+    #[test]
+    fn sketch_json_round_trip_is_byte_stable() {
+        let mut rng = Rng(99);
+        let mut sk = QuantileSketch::new(DEFAULT_ALPHA);
+        sk.observe(0);
+        sk.observe(0);
+        for _ in 0..2_000 {
+            sk.observe(rng.next() % 10_000_000);
+        }
+        let json1 = sk.to_json();
+        let parsed = crate::export::json::parse(&json1).expect("valid json");
+        let back = QuantileSketch::from_json(&parsed).expect("schema");
+        assert_eq!(back, sk);
+        assert_eq!(back.to_json(), json1, "byte-stable round trip");
+        assert_eq!(back.quantile(0.95), sk.quantile(0.95));
+        assert_eq!(back.min(), sk.min());
+        assert_eq!(back.max(), sk.max());
+    }
+
+    #[test]
+    fn sketch_handles_zero_and_empty() {
+        let mut sk = QuantileSketch::default();
+        assert_eq!(sk.quantile(0.5), None);
+        assert_eq!(sk.min(), None);
+        sk.observe(0);
+        sk.observe(0);
+        sk.observe(0);
+        assert_eq!(sk.quantile(0.5), Some(0));
+        assert_eq!(sk.min(), Some(0));
+        assert_eq!(sk.max(), Some(0));
+    }
+
+    #[test]
+    fn flight_recorder_flags_a_slow_request_and_dumps_a_valid_trace() {
+        set_telemetry_enabled(true);
+        flight_reset();
+        set_flight_quantile(0.99);
+        let mk = |id: u64, latency: u64| RequestRecord {
+            id,
+            start_ns: id * 10_000,
+            latency_ns: latency,
+            method: "CSR:Dyn:v8".to_string(),
+            stage: "stage1",
+            margin: Some(1.5),
+            predicted_s: Some(1e-4),
+            measured_s: None,
+            pmu: None,
+        };
+        let mut id = 0;
+        for _ in 0..200 {
+            id += 1;
+            assert!(!record_request(mk(id, 10_000 + id % 64)), "baseline flagged");
+        }
+        let stats = flight_stats();
+        assert_eq!(stats.requests, 200);
+        assert_eq!(stats.anomalies, 0);
+        assert!(stats.threshold_ns.is_some(), "history must be armed");
+        // One request 100x the p99 of history: must flag and dump.
+        id += 1;
+        assert!(record_request(mk(id, 1_200_000)), "slow request not flagged");
+        note_measured(id, 0.5);
+        let dump = last_anomaly_dump().expect("anomaly dump");
+        crate::export::validate_chrome_trace(&dump).expect("dump must be a valid trace");
+        assert!(dump.contains("flight.anomaly"), "missing anomaly marker");
+        assert!(dump.contains("CSR:Dyn:v8"), "missing method label");
+        let ring = flight_ring();
+        assert_eq!(ring.last().unwrap().measured_s, Some(0.5));
+        flight_reset();
+    }
+
+    #[test]
+    fn flight_ring_is_bounded() {
+        set_telemetry_enabled(true);
+        flight_reset();
+        for i in 0..(FLIGHT_RING_CAPACITY as u64 * 2) {
+            record_request(RequestRecord {
+                id: i + 1,
+                start_ns: i,
+                latency_ns: 1000,
+                method: "m".to_string(),
+                stage: "full",
+                margin: None,
+                predicted_s: None,
+                measured_s: None,
+                pmu: None,
+            });
+        }
+        let stats = flight_stats();
+        assert_eq!(stats.ring_len, FLIGHT_RING_CAPACITY);
+        assert_eq!(stats.requests, FLIGHT_RING_CAPACITY as u64 * 2);
+        flight_reset();
+    }
+
+    #[test]
+    fn request_scope_nests_and_restores() {
+        assert_eq!(current_request(), 0);
+        {
+            let _a = RequestScope::enter(7);
+            assert_eq!(current_request(), 7);
+            {
+                let _b = RequestScope::enter(9);
+                assert_eq!(current_request(), 9);
+            }
+            assert_eq!(current_request(), 7);
+        }
+        assert_eq!(current_request(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_carries_the_sections() {
+        set_telemetry_enabled(true);
+        stream_observe("unit.snapshot.stage", 1234);
+        stream_observe("unit.snapshot.stage", 2345);
+        set_drift_gauge(DriftSnapshot {
+            level: DriftLevel::Warning,
+            regret_permille: 1700,
+            fallthrough_permille: 250,
+            observed: 40,
+        });
+        let json = snapshot_json();
+        let v = crate::export::json::parse(&json).expect("valid json");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj.get("schema_version").and_then(|v| v.as_f64()), Some(1.0));
+        let stages = obj.get("stages").and_then(|v| v.as_object()).expect("stages");
+        let st = stages.get("unit.snapshot.stage").and_then(|v| v.as_object()).expect("stage");
+        assert_eq!(st.get("count").and_then(|v| v.as_f64()), Some(2.0));
+        let drift = obj.get("drift").and_then(|v| v.as_object()).expect("drift");
+        assert_eq!(drift.get("status").and_then(|v| v.as_str()), Some("warning"));
+        assert!(obj.get("flight").is_some());
+        assert!(obj.get("pmu_status").and_then(|v| v.as_str()).is_some());
+    }
+}

@@ -8,11 +8,12 @@
 
 use std::collections::BTreeMap;
 use wise_trace::ledger::{
-    gate, load_all, next_seq, write_record, BenchRecord, Fnv1a, GatePolicy, HostFingerprint,
-    ModelMetrics, PmuSection, PmuStageRecord, ResidualSummary, StageRecord, Verdict,
-    SCHEMA_VERSION,
+    gate, load_all, next_seq, write_record, BenchRecord, DriftRecord, Fnv1a, GatePolicy,
+    HostFingerprint, ModelMetrics, PmuSection, PmuStageRecord, ResidualSummary, StageRecord,
+    Verdict, SCHEMA_VERSION,
 };
 use wise_trace::span::{Event, Phase};
+use wise_trace::telemetry::QuantileSketch;
 use wise_trace::Summary;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -100,6 +101,21 @@ fn full_record(seq: u64) -> BenchRecord {
                 cycles_p50: 1.0,
                 cycles_p95: 1.5,
             }),
+        }),
+        sketches: [("kernel.spmv".to_string(), {
+            let mut sk = QuantileSketch::default();
+            for ns in [1_200u64, 1_500, 1_500, 2_100, 48_000] {
+                sk.observe(ns);
+            }
+            sk
+        })]
+        .into_iter()
+        .collect(),
+        drift: Some(DriftRecord {
+            status: "warning".into(),
+            regret_permille: 1_732,
+            fallthrough_permille: 250,
+            observed: 40,
         }),
     }
 }

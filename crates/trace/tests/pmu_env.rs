@@ -7,9 +7,10 @@
 //! forces the process-wide PMU status; everything lives in one `#[test]`
 //! so the forced status is never raced by a sibling test.
 
+use wise_trace::env_knob::KnobError;
 use wise_trace::export::{chrome_trace_json, perf_summary_json};
 use wise_trace::ledger::{BenchRecord, HostFingerprint};
-use wise_trace::pmu::{self, force_status, parse_wise_pmu, PmuEnv, PmuEnvError};
+use wise_trace::pmu::{self, force_status, parse_wise_pmu, PmuEnv};
 use wise_trace::span::Event;
 use wise_trace::{Phase, PmuStatus, Summary};
 
@@ -93,6 +94,9 @@ fn pmu_off_degrades_to_plain_spans_bit_identically() {
     for ok in [("1", PmuEnv::On), ("on", PmuEnv::On), (" Auto ", PmuEnv::Auto)] {
         assert_eq!(parse_wise_pmu(Some(ok.0)), Ok(ok.1));
     }
-    assert_eq!(parse_wise_pmu(Some("  ")), Err(PmuEnvError::Empty));
-    assert!(matches!(parse_wise_pmu(Some("maybe")), Err(PmuEnvError::Unknown(_))));
+    assert_eq!(parse_wise_pmu(Some("  ")), Err(KnobError::Empty { knob: "WISE_PMU" }));
+    assert!(matches!(
+        parse_wise_pmu(Some("maybe")),
+        Err(KnobError::Invalid { knob: "WISE_PMU", .. })
+    ));
 }

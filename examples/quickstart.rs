@@ -7,9 +7,17 @@
 //! `-- --trace-out trace.json` to additionally write Chrome trace JSON
 //! (open in Perfetto / `chrome://tracing`) plus a machine-readable
 //! `perf_summary.json` next to it.
+//!
+//! `WISE_SNAPSHOT=<path>` additionally streams a periodic
+//! `metrics_snapshot.json` (render it with `wise_top`), and
+//! `-- --flight-demo` warms the per-request flight recorder and injects
+//! one pathologically slow request so the anomaly dump
+//! (`WISE_FLIGHT_DIR/flight_latest.json`) can be demonstrated — and
+//! validated in CI — deterministically.
 
 use wise_core::pipeline::{TrainOptions, Wise};
 use wise_gen::{Corpus, CorpusScale, RmatParams};
+use wise_trace::telemetry;
 
 fn trace_out_path() -> Option<std::path::PathBuf> {
     let mut args = std::env::args().skip(1);
@@ -29,6 +37,10 @@ fn main() {
     if trace_out.is_some() {
         wise_trace::set_enabled(true);
     }
+    let flight_demo = std::env::args().skip(1).any(|a| a == "--flight-demo");
+    // WISE_SNAPSHOT=<path> streams metrics_snapshot.json while we run;
+    // dropping the handle at the end of main writes one final snapshot.
+    let _snapshot = telemetry::snapshot_from_env();
 
     // 1. Train. The corpus scale and the label backend (deterministic
     //    machine model by default, wall clock with WISE_MEASURED=1) are
@@ -78,6 +90,44 @@ fn main() {
     }
     let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
     println!("\nran 10 SpMV iterations; |x|_2 = {norm:.3e}");
+
+    // Optional: demonstrate the flight recorder's anomaly trigger.
+    if flight_demo {
+        println!("\nflight demo: warming the latency history...");
+        // Real selections arm the anomaly threshold (the trigger needs
+        // FLIGHT_MIN_HISTORY observations before it fires).
+        for _ in 0..telemetry::FLIGHT_MIN_HISTORY {
+            let _ = wise.select(&m);
+        }
+        let threshold = telemetry::flight_stats()
+            .threshold_ns
+            .expect("warmed recorder arms the anomaly threshold");
+        // Inject one request far beyond the armed threshold: the
+        // recorder must flag it and dump the surrounding window.
+        let id = telemetry::next_request_id();
+        let flagged = telemetry::record_request(telemetry::RequestRecord {
+            id,
+            start_ns: telemetry::now_ns(),
+            latency_ns: threshold.saturating_mul(10),
+            method: choice.config.label(),
+            stage: "full",
+            margin: None,
+            predicted_s: None,
+            measured_s: None,
+            pmu: None,
+        });
+        assert!(flagged, "injected slow request must trip the anomaly trigger");
+        let stats = telemetry::flight_stats();
+        println!(
+            "flight demo: request {id} flagged ({} requests, {} anomalies, threshold {}ns)",
+            stats.requests, stats.anomalies, threshold
+        );
+        if let Ok(dir) = std::env::var("WISE_FLIGHT_DIR") {
+            if !dir.is_empty() {
+                println!("[artifact] {dir}/flight_latest.json");
+            }
+        }
+    }
 
     // 5. Flush the trace: run report on stderr, JSON artifacts if asked.
     if wise_trace::enabled() {

@@ -149,10 +149,13 @@ fn cascade_off_is_bit_exact_with_pre_cascade_pipeline() {
         let mut off = wise.select(&m);
         let mut want = pre.select(&m);
         assert!(off.cascade.is_none(), "{tag}: WISE_CASCADE=0 must not cascade");
-        // Timing is wall-clock; zero it on both sides, then demand
-        // byte-identical serializations — the pre-cascade contract.
+        // Timing is wall-clock and request ids are per-process
+        // provenance; zero both sides, then demand byte-identical
+        // serializations — the pre-cascade contract.
         off.timing = ChoiceTiming::default();
         want.timing = ChoiceTiming::default();
+        off.request_id = 0;
+        want.request_id = 0;
         let off_json = serde_json::to_string(&off).unwrap();
         let want_json = serde_json::to_string(&want).unwrap();
         assert_eq!(off_json, want_json, "{tag}");

@@ -281,18 +281,22 @@ fn wise_prefetch_grammar_accepts_distances_and_rejects_noise() {
     // policy, `0` → off, big values clamp, and malformed input is an
     // error (the runtime warns once and falls back to auto — it never
     // silently changes numerics, per the sweep test above).
-    use wise_kernels::simd::{parse_wise_prefetch, PrefetchEnvError, MAX_PREFETCH};
+    use wise_kernels::simd::{parse_wise_prefetch, MAX_PREFETCH};
+    use wise_trace::env_knob::KnobError;
     assert_eq!(parse_wise_prefetch(None), Ok(None));
     assert_eq!(parse_wise_prefetch(Some("auto")), Ok(None));
     assert_eq!(parse_wise_prefetch(Some("AUTO")), Ok(None));
     assert_eq!(parse_wise_prefetch(Some("0")), Ok(Some(0)));
     assert_eq!(parse_wise_prefetch(Some(" 8 ")), Ok(Some(8)));
     assert_eq!(parse_wise_prefetch(Some("4096")), Ok(Some(MAX_PREFETCH)));
-    assert_eq!(parse_wise_prefetch(Some("")), Err(PrefetchEnvError::Empty));
-    assert_eq!(parse_wise_prefetch(Some("   ")), Err(PrefetchEnvError::Empty));
+    assert_eq!(parse_wise_prefetch(Some("")), Err(KnobError::Empty { knob: "WISE_PREFETCH" }));
+    assert_eq!(parse_wise_prefetch(Some("   ")), Err(KnobError::Empty { knob: "WISE_PREFETCH" }));
     for junk in ["-2", "fast", "8x", "0.5", "p4"] {
         assert!(
-            matches!(parse_wise_prefetch(Some(junk)), Err(PrefetchEnvError::NotADistance(_))),
+            matches!(
+                parse_wise_prefetch(Some(junk)),
+                Err(KnobError::Invalid { knob: "WISE_PREFETCH", .. })
+            ),
             "{junk:?} should be rejected"
         );
     }

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Offline build + test harness for air-gapped hosts.
+#
+# `cargo build` needs the registry to resolve serde/serde_json/rayon/
+# rand/proptest even though every runtime path in this workspace is
+# dependency-free. This script compiles the workspace with plain
+# `rustc` against the stub crates in this directory (no-op derives,
+# minimal trait markers), in dependency order, then builds and runs the
+# unit-test binaries. It is the tier-1 fallback when the network is
+# unavailable; with a registry, prefer `cargo build --release &&
+# cargo test -q`.
+#
+# Usage: tools/harness/build.sh [--no-tests]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+HARNESS="$ROOT/tools/harness"
+OUT="$ROOT/target/harness/stack"
+mkdir -p "$OUT"
+cd "$OUT"
+
+RUSTC=${RUSTC:-rustc}
+FLAGS=(--edition 2021 -C opt-level=2 -C debuginfo=0 -A dead_code)
+
+# --- stub dependency crates -----------------------------------------
+$RUSTC "${FLAGS[@]}" --crate-type proc-macro --crate-name serde_derive \
+    "$HARNESS/serde_derive_stub.rs" -o libserde_derive.so
+$RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name serde \
+    --extern serde_derive=libserde_derive.so \
+    "$HARNESS/serde_stub.rs" -o libserde.rlib
+$RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name serde_json \
+    "$HARNESS/serde_json_stub.rs" -o libserde_json.rlib
+$RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name rand \
+    "$HARNESS/rand_stub.rs" -o librand.rlib
+$RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name rayon \
+    "$HARNESS/rayon_stub.rs" -o librayon.rlib
+$RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name proptest \
+    "$HARNESS/proptest_stub.rs" -o libproptest.rlib
+
+STUBS=(--extern serde=libserde.rlib --extern serde_json=libserde_json.rlib
+       --extern rand=librand.rlib --extern rayon=librayon.rlib
+       --extern proptest=libproptest.rlib -L "$OUT")
+
+# --- workspace crates, dependency order ------------------------------
+build_crate() { # name path extra-externs...
+    local name="$1" path="$2"; shift 2
+    $RUSTC "${FLAGS[@]}" --crate-type rlib --crate-name "$name" \
+        "${STUBS[@]}" "$@" "$ROOT/$path" -o "lib$name.rlib"
+}
+
+build_crate wise_trace    crates/trace/src/lib.rs
+build_crate wise_matrix   crates/matrix/src/lib.rs   --extern wise_trace=libwise_trace.rlib
+build_crate wise_gen      crates/gen/src/lib.rs      --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib
+build_crate wise_kernels  crates/kernels/src/lib.rs  --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib
+build_crate wise_features crates/features/src/lib.rs --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_kernels=libwise_kernels.rlib
+build_crate wise_perf     crates/perf/src/lib.rs     --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_kernels=libwise_kernels.rlib --extern wise_features=libwise_features.rlib
+build_crate wise_ml       crates/ml/src/lib.rs       --extern wise_trace=libwise_trace.rlib
+build_crate wise_core     crates/core/src/lib.rs     --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_gen=libwise_gen.rlib --extern wise_kernels=libwise_kernels.rlib --extern wise_features=libwise_features.rlib --extern wise_perf=libwise_perf.rlib --extern wise_ml=libwise_ml.rlib
+build_crate wise_bench    crates/bench/src/lib.rs    --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_gen=libwise_gen.rlib --extern wise_kernels=libwise_kernels.rlib --extern wise_features=libwise_features.rlib --extern wise_perf=libwise_perf.rlib --extern wise_ml=libwise_ml.rlib --extern wise_core=libwise_core.rlib
+
+ALL=(--extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib
+     --extern wise_gen=libwise_gen.rlib --extern wise_kernels=libwise_kernels.rlib
+     --extern wise_features=libwise_features.rlib --extern wise_perf=libwise_perf.rlib
+     --extern wise_ml=libwise_ml.rlib --extern wise_core=libwise_core.rlib
+     --extern wise_bench=libwise_bench.rlib)
+
+# --- bins ------------------------------------------------------------
+$RUSTC "${FLAGS[@]}" --crate-name bench_regress "${STUBS[@]}" "${ALL[@]}" \
+    "$ROOT/crates/bench/src/bin/bench_regress.rs" -o bench_regress_bin
+$RUSTC "${FLAGS[@]}" --crate-name check_trace "${STUBS[@]}" \
+    --extern wise_trace=libwise_trace.rlib \
+    "$ROOT/crates/trace/src/bin/check_trace.rs" -o bin_check_trace
+$RUSTC "${FLAGS[@]}" --crate-name wise_top "${STUBS[@]}" "${ALL[@]}" \
+    "$ROOT/crates/bench/src/bin/wise_top.rs" -o bin_wise_top
+$RUSTC "${FLAGS[@]}" --crate-name quickstart "${STUBS[@]}" "${ALL[@]}" \
+    "$ROOT/examples/quickstart.rs" -o bin_quickstart
+
+[ "${1:-}" = "--no-tests" ] && exit 0
+
+# --- unit tests ------------------------------------------------------
+# Unit cases that round-trip through *real* serde/serde_json are
+# skipped under the stubs (libtest substring filters); the cargo
+# tier-1 run covers them.
+unit_skips() { # crate name -> stub-only --skip filters
+    case "$1" in
+        wise_kernels) echo "--skip defaults_to_auto --skip mlp_knobs_round_trip" ;;
+        wise_features) echo "--skip config_deserializes_without_threads_field" ;;
+        wise_perf) echo "--skip simd_fields_default_for_pre_simd_json" ;;
+        wise_ml) echo "--skip serde_roundtrip" ;;
+        wise_core) echo "--skip serde --skip save_load_roundtrip \
+                         --skip serializes_without_cascade_key --skip json_loads_without_gate" ;;
+    esac
+}
+
+run_unit() { # name path extra-externs...
+    local name="$1" path="$2"; shift 2
+    $RUSTC "${FLAGS[@]}" --test --crate-name "${name}_unit" "${STUBS[@]}" "$@" \
+        "$ROOT/$path" -o "${name}_unit"
+    # shellcheck disable=SC2046 # word-splitting the filters is intended
+    "./${name}_unit" -q $(unit_skips "$name")
+}
+
+run_unit wise_trace    crates/trace/src/lib.rs
+run_unit wise_matrix   crates/matrix/src/lib.rs   --extern wise_trace=libwise_trace.rlib
+run_unit wise_gen      crates/gen/src/lib.rs      --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib
+run_unit wise_kernels  crates/kernels/src/lib.rs  --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_gen=libwise_gen.rlib
+run_unit wise_features crates/features/src/lib.rs --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_kernels=libwise_kernels.rlib --extern wise_gen=libwise_gen.rlib
+run_unit wise_perf     crates/perf/src/lib.rs     --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_kernels=libwise_kernels.rlib --extern wise_features=libwise_features.rlib --extern wise_gen=libwise_gen.rlib
+run_unit wise_ml       crates/ml/src/lib.rs       --extern wise_trace=libwise_trace.rlib
+run_unit wise_core     crates/core/src/lib.rs     --extern wise_trace=libwise_trace.rlib --extern wise_matrix=libwise_matrix.rlib --extern wise_gen=libwise_gen.rlib --extern wise_kernels=libwise_kernels.rlib --extern wise_features=libwise_features.rlib --extern wise_perf=libwise_perf.rlib --extern wise_ml=libwise_ml.rlib
+run_unit wise_bench    crates/bench/src/lib.rs    "${ALL[@]:0:16}"
+
+# --- integration tests (one process each) ----------------------------
+# Cases that exercise *real* serde/serde_json round-trips cannot run
+# against the stub crates (to_string/from_str are Err-returning
+# no-ops); the cargo tier-1 run covers them. Binaries where *every*
+# case round-trips are excluded below; binaries with a few such cases
+# get libtest `--skip` substring filters.
+run_itest() { # out-name path [libtest-args...]
+    local name="$1" path="$2"; shift 2
+    $RUSTC "${FLAGS[@]}" --test --crate-name "$name" "${STUBS[@]}" "${ALL[@]}" \
+        "$ROOT/$path" -o "$name"
+    "./$name" -q "$@"
+}
+
+itest_skips() { # basename -> stub-only --skip filters
+    case "$1" in
+        cascade_parity) echo "--skip bit_exact --skip round_trips" ;;
+    esac
+}
+
+for t in "$ROOT"/crates/trace/tests/*.rs; do
+    base="$(basename "$t" .rs)"
+    # chrome_roundtrip needs serde_json::Value (real crate only).
+    [ "$base" = chrome_roundtrip ] && continue
+    # shellcheck disable=SC2046 # word-splitting the filters is intended
+    run_itest "t_$base" "${t#"$ROOT"/}" $(itest_skips "$base")
+done
+for t in "$ROOT"/tests/*.rs; do
+    base="$(basename "$t" .rs)"
+    # every tree_parity case asserts via a serde round-trip.
+    [ "$base" = tree_parity ] && continue
+    run_itest "rt_$base" "${t#"$ROOT"/}" $(itest_skips "$base")
+done
+
+echo "harness: all builds and tests passed"
